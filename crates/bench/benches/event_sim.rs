@@ -1,0 +1,42 @@
+//! Event-driven SNN execution vs the analytic reference forward pass — the
+//! conversion-equivalence machinery behind Table 1's zero-loss row.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_nn::{
+    ActivationLayer, Conv2dLayer, DenseLayer, Flatten, Layer, MaxPool2dLayer, Relu, Sequential,
+};
+use snn_sim::EventSnn;
+use snn_tensor::Conv2dSpec;
+use ttfs_core::{convert, Base2Kernel};
+
+fn bench_event_sim(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = Sequential::new(vec![
+        Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(3, 8, 3, 1, 1), &mut rng)),
+        Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+        Layer::MaxPool2d(MaxPool2dLayer::new(2, 2)),
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(DenseLayer::new(8 * 4 * 4, 10, &mut rng)),
+    ]);
+    let model = convert(&net, Base2Kernel::paper_default(), 24).expect("conversion");
+    let sim = EventSnn::new(&model);
+    let x = snn_tensor::uniform(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("event_sim");
+    group.bench_function("event_run_batch4", |b| {
+        b.iter(|| sim.run(black_box(&x)).expect("run"))
+    });
+    group.bench_function("reference_forward_batch4", |b| {
+        b.iter(|| model.reference_forward(black_box(&x)).expect("forward"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(900)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_event_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Functional hardware units: the spike encoder (threshold LUT + priority
+//! encoder) and the minfind merge-sorter — the §4 pipeline stages.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snn_hw::{MinFindUnit, SpikeEncoder, ThresholdLut};
+
+fn bench_units(c: &mut Criterion) {
+    let encoder = SpikeEncoder::new(ThresholdLut::base2(4.0, 1.0, 24));
+    // A 128-entry Vmem buffer like the real encoder's.
+    let vmem: Vec<f32> = (0..128)
+        .map(|i| ((i * 37 % 101) as f32 / 101.0) * 1.2 - 0.1)
+        .collect();
+
+    let minfind = MinFindUnit::new(16);
+    let streams: Vec<Vec<(usize, u32)>> = (0..16)
+        .map(|s| {
+            (0..64)
+                .map(|i| (s * 64 + i, ((i * 7 + s) % 25) as u32))
+                .map(|(n, t)| (n, t))
+                .collect::<Vec<_>>()
+        })
+        .map(|mut v: Vec<(usize, u32)>| {
+            v.sort_by_key(|e| e.1);
+            v
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("hw_units");
+    group.bench_function("spike_encoder_128_vmem", |b| {
+        b.iter(|| encoder.encode(black_box(&vmem)))
+    });
+    group.bench_function("minfind_merge_1k_spikes", |b| {
+        b.iter(|| minfind.merge(black_box(&streams)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(700)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_units
+}
+criterion_main!(benches);

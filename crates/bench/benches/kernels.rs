@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the TTFS kernels and CAT activations (the Fig. 2
+//! machinery): encode/decode and the φ functions that run once per neuron
+//! per layer during training and conversion.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snn_nn::ActivationFn;
+use ttfs_core::{Base2Kernel, ExpKernel, PhiClip, PhiTtfs, TtfsKernel};
+
+fn bench_kernels(c: &mut Criterion) {
+    let base2 = Base2Kernel::paper_default();
+    let expk = ExpKernel::t2fsnn_default();
+    let phi = PhiTtfs::paper_default();
+    let clip = PhiClip::new(1.0);
+    let inputs: Vec<f32> = (0..1024).map(|i| i as f32 / 900.0).collect();
+
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function("base2_encode_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &x in &inputs {
+                if let Some(t) = base2.encode(black_box(x), 24) {
+                    acc = acc.wrapping_add(t);
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("exp_encode_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &x in &inputs {
+                if let Some(t) = expk.encode(black_box(x), 80) {
+                    acc = acc.wrapping_add(t);
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("base2_decode_window", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for t in 0..=24u32 {
+                acc += base2.decode(black_box(t));
+            }
+            acc
+        })
+    });
+    group.bench_function("phi_ttfs_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &x in &inputs {
+                acc += phi.value(black_box(x));
+            }
+            acc
+        })
+    });
+    group.bench_function("phi_clip_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &x in &inputs {
+                acc += clip.value(black_box(x));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(700)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_kernels
+}
+criterion_main!(benches);

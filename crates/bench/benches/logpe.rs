@@ -1,0 +1,55 @@
+//! Log-domain (LUT + shift) vs multiplier PE datapath — the arithmetic
+//! substitution behind Fig. 6's "I+II" savings and Table 4's energy column.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snn_logquant::{LinearPe, LogBase, LogCode, LogPe, LogQuantizer};
+
+fn bench_pe(c: &mut Criterion) {
+    let q = LogQuantizer::with_fsr(LogBase::inv_sqrt2(), 5, 0.0).expect("quantizer");
+    let pe = LogPe::for_kernel(4.0, LogBase::inv_sqrt2())
+        .expect("paper kernel satisfies eq. 18")
+        .with_fsr_log2(0.0);
+    let linear = LinearPe::new();
+
+    let codes: Vec<LogCode> = (0..256)
+        .map(|i| q.code(((i as f32 / 128.0) - 1.0) * 0.9 + 0.01))
+        .collect();
+    let weights: Vec<f32> = codes.iter().map(|&c| q.decode(c)).collect();
+
+    let mut group = c.benchmark_group("pe_datapath");
+    group.bench_function("log_pe_256_sops", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for (i, &code) in codes.iter().enumerate() {
+                acc += pe.multiply(black_box(code), (i % 25) as u32).expect("in range");
+            }
+            acc
+        })
+    });
+    group.bench_function("linear_pe_256_sops", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for (i, &w) in weights.iter().enumerate() {
+                acc += linear.multiply(black_box(w), 4.0, (i % 25) as u32);
+            }
+            acc
+        })
+    });
+    group.bench_function("quantize_256_weights", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..256 {
+                acc += q.quantize(black_box((i as f32 / 128.0) - 1.0));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(700)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_pe
+}
+criterion_main!(benches);

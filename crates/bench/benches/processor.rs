@@ -1,0 +1,47 @@
+//! Whole-network processor modeling — the Table 4 and Fig. 6 generators.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snn_hw::{
+    vgg16_geometry, AreaPowerModel, Processor, ProcessorConfig, TpuModel, WorkloadProfile,
+};
+
+fn bench_processor(c: &mut Criterion) {
+    let processor = Processor::new(ProcessorConfig::proposed());
+    let layers_cifar = vgg16_geometry(32, 32, 10);
+    let layers_tin = vgg16_geometry(64, 64, 200);
+    let profile = WorkloadProfile::paper_default();
+    let tpu = TpuModel::redesigned_16x16();
+    let area_power = AreaPowerModel::cmos28();
+
+    let mut group = c.benchmark_group("processor_model");
+    group.bench_function("snn_vgg16_cifar", |b| {
+        b.iter(|| processor.run_network(black_box(&layers_cifar), &profile))
+    });
+    group.bench_function("snn_vgg16_tiny_imagenet", |b| {
+        b.iter(|| processor.run_network(black_box(&layers_tin), &profile))
+    });
+    group.bench_function("tpu_vgg16_cifar", |b| {
+        b.iter(|| tpu.run_network(black_box(&layers_cifar)))
+    });
+    group.bench_function("fig6_cost_model", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for config in [
+                ProcessorConfig::baseline(),
+                ProcessorConfig::with_cat(),
+                ProcessorConfig::proposed(),
+            ] {
+                acc += area_power.area(&config).total() + area_power.power(&config).total();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(700)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_processor
+}
+criterion_main!(benches);

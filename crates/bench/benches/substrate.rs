@@ -1,0 +1,54 @@
+//! Training-substrate micro-benchmarks: GEMM, im2col convolution and one
+//! SGD training step — the cost drivers of every Table 1/2 and Fig. 3/4 run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_nn::{
+    cross_entropy, ActivationLayer, Conv2dLayer, DenseLayer, Flatten, Layer, Relu, Sequential, Sgd,
+};
+use snn_tensor::{conv2d, gemm, kaiming_normal, Conv2dSpec, Transpose};
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = kaiming_normal(&[64, 64], 64, &mut rng);
+    let b = kaiming_normal(&[64, 64], 64, &mut rng);
+    let img = kaiming_normal(&[4, 3, 16, 16], 3 * 256, &mut rng);
+    let w = kaiming_normal(&[16, 3, 3, 3], 27, &mut rng);
+    let spec = Conv2dSpec::new(3, 16, 3, 1, 1);
+
+    let mut group = c.benchmark_group("substrate");
+    group.bench_function("gemm_64x64", |bch| {
+        bch.iter(|| gemm(black_box(&a), Transpose::No, black_box(&b), Transpose::No))
+    });
+    group.bench_function("conv2d_4x3x16x16", |bch| {
+        bch.iter(|| conv2d(black_box(&img), black_box(&w), None, &spec))
+    });
+
+    let mut net = Sequential::new(vec![
+        Layer::Conv2d(Conv2dLayer::new(spec, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(DenseLayer::new(16 * 16 * 16, 10, &mut rng)),
+    ]);
+    let mut opt = Sgd::new(0.01, 0.9, 5e-4);
+    let labels = [0usize, 1, 2, 3];
+    group.bench_function("sgd_step_small_cnn", |bch| {
+        bch.iter(|| {
+            net.zero_grad();
+            let logits = net.forward(black_box(&img), true).expect("forward");
+            let out = cross_entropy(&logits, &labels).expect("loss");
+            net.backward(&out.grad_logits).expect("backward");
+            opt.step(&mut net);
+            out.loss
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(900)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_substrate
+}
+criterion_main!(benches);

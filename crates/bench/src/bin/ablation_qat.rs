@@ -1,0 +1,88 @@
+//! Ablation / extension: quantization-aware training vs the paper's
+//! post-training quantization. §5 states the accuracy gap to the ANN
+//! baseline "can be improved if the quantization aware training is applied
+//! instead of post-training quantization" — this harness measures that.
+//!
+//! Run: `cargo run -p snn-bench --bin ablation_qat --release`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_bench::{scaled_cnn, scaled_dataset, Scale};
+use snn_data::DatasetSpec;
+use snn_logquant::{LogBase, QatTrainer};
+use snn_nn::{evaluate, train_epoch, Sgd, TrainConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = DatasetSpec::cifar100_like();
+    let data = scaled_dataset(&spec, scale, 77);
+    let classes = scale.classes_for(spec.classes);
+    let config = TrainConfig {
+        batch_size: 32,
+        shuffle: true,
+    };
+    let epochs = scale.epochs();
+
+    println!("# Ablation: post-training quantization (PTQ) vs quantization-aware training (QAT)");
+    println!("# CIFAR100-like stand-in, {} epochs, log base 2^-1/2", epochs);
+    println!("{:>6} {:>10} {:>10} {:>10}", "bits", "fp32 %", "PTQ %", "QAT %");
+
+    // Shared fp32 baseline.
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut fp_net = scaled_cnn(scale.image_side(), classes, &mut rng);
+    let mut opt = Sgd::new(0.05, 0.9, 5e-4);
+    for _ in 0..epochs {
+        train_epoch(
+            &mut fp_net,
+            &mut opt,
+            data.train_images(),
+            data.train_labels(),
+            &config,
+            &mut rng,
+        )
+        .expect("fp training");
+    }
+    let fp_acc = evaluate(&mut fp_net, data.test_images(), data.test_labels(), 32)
+        .expect("fp eval");
+
+    for bits in [3u8, 4, 5] {
+        let trainer = QatTrainer::new(LogBase::inv_sqrt2(), bits);
+
+        // PTQ: quantize the trained fp32 network.
+        let mut ptq_net = fp_net.clone();
+        trainer.finalize(&mut ptq_net).expect("ptq finalize");
+        let ptq_acc = evaluate(&mut ptq_net, data.test_images(), data.test_labels(), 32)
+            .expect("ptq eval");
+
+        // QAT: fine-tune the fp32 model with fake quantization (the usual
+        // QAT recipe — start from the converged full-precision weights).
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut qat_net = fp_net.clone();
+        let mut opt = Sgd::new(0.005, 0.9, 5e-4);
+        for _ in 0..epochs {
+            trainer
+                .train_epoch(
+                    &mut qat_net,
+                    &mut opt,
+                    data.train_images(),
+                    data.train_labels(),
+                    &config,
+                    &mut rng,
+                )
+                .expect("qat training");
+        }
+        trainer.finalize(&mut qat_net).expect("qat finalize");
+        let qat_acc = evaluate(&mut qat_net, data.test_images(), data.test_labels(), 32)
+            .expect("qat eval");
+
+        println!(
+            "{:>6} {:>10.2} {:>10.2} {:>10.2}",
+            bits,
+            fp_acc * 100.0,
+            ptq_acc * 100.0,
+            qat_acc * 100.0
+        );
+    }
+    println!();
+    println!("# expected shape: QAT >= PTQ, gap widening as bits shrink (paper §5 claim)");
+}

@@ -1,0 +1,25 @@
+//! Regenerates the right panel of **Figure 1**: the layer-pipelined
+//! execution staircase of kernel-based TTFS coding — each layer integrates
+//! for one window `T` and fires during the next, so latency is `T·(L+1)`.
+//!
+//! Run: `cargo run -p snn-bench --bin fig1_pipeline`
+
+use snn_sim::PipelineSchedule;
+
+fn main() {
+    for (label, layers, window) in [
+        ("VGG-16, T=24 (this work)", 16u32, 24u32),
+        ("VGG-16, T=48 (this work)", 16, 48),
+        ("VGG-16, T=80 (T2FSNN, no early firing)", 16, 80),
+    ] {
+        let s = PipelineSchedule::new(layers, window);
+        println!("# Figure 1 pipeline: {label}");
+        println!("# rows = layers; columns = global windows of {window} timesteps");
+        println!("# I = integration (decode) phase, F = fire (encode) phase");
+        for (l, row) in s.staircase().iter().enumerate() {
+            println!("layer {:>2}: {row}", l + 1);
+        }
+        println!("latency: {} timesteps (Table 2)", s.latency());
+        println!();
+    }
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Figure 2**: the CAT activation functions (ReLU, φ_Clip,
+//! φ_TTFS) and their data-representation error against the SNN coding, for
+//! the paper's parameters T = 24, τ = 4, θ₀ = 1.
+//!
+//! Run: `cargo run -p snn-bench --bin fig2_activations`
+
+use snn_nn::{ActivationFn, Relu};
+use ttfs_core::{Base2Kernel, PhiClip, PhiTtfs, TtfsKernel};
+
+fn main() {
+    let kernel = Base2Kernel::paper_default();
+    let window = 24u32;
+    let phi_ttfs = PhiTtfs::new(kernel, window);
+    let phi_clip = PhiClip::new(1.0);
+    let relu = Relu;
+
+    // What the SNN represents after encode/decode of a value v.
+    let snn_of = |v: f32| match kernel.encode(v, window) {
+        Some(t) => kernel.decode(t),
+        None => 0.0,
+    };
+
+    println!("# Figure 2 (a) activations and (b) error vs SNN coding");
+    println!("# T=24 tau=4 theta0=1");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
+        "x", "relu", "clip", "ttfs", "err_relu", "err_clip", "err_ttfs"
+    );
+    let mut max_err = [0.0f32; 3];
+    let mut mean_err = [0.0f32; 3];
+    let steps = 121;
+    for i in 0..steps {
+        let x = i as f32 * 0.01; // 0 .. 1.2 like the figure
+        let vals = [relu.value(x), phi_clip.value(x), phi_ttfs.value(x)];
+        let errs: Vec<f32> = vals.iter().map(|&v| (v - snn_of(v)).abs()).collect();
+        for (k, &e) in errs.iter().enumerate() {
+            max_err[k] = max_err[k].max(e);
+            mean_err[k] += e / steps as f32;
+        }
+        println!(
+            "{:>6.2} {:>9.4} {:>9.4} {:>9.4} {:>10.5} {:>10.5} {:>10.5}",
+            x, vals[0], vals[1], vals[2], errs[0], errs[1], errs[2]
+        );
+    }
+    println!();
+    println!("# summary (paper claim: TTFS activation has zero error)");
+    for (name, k) in [("relu", 0usize), ("clip", 1), ("ttfs", 2)] {
+        println!(
+            "{name:>6}: mean_err={:.5} max_err={:.5}",
+            mean_err[k], max_err[k]
+        );
+    }
+    assert!(max_err[2] < 1e-6, "phi_TTFS must be representation-exact");
+}

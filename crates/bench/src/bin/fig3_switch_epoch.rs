@@ -1,0 +1,87 @@
+//! Regenerates **Figure 3**: ANN test accuracy during CAT training for
+//! different φ_TTFS switch epochs. The paper's finding: switching while the
+//! learning rate is still high (before the last LR step) crashes training;
+//! switching after the LR has decayed to its final value is stable.
+//!
+//! The epoch axis is scaled (paper: 200 epochs, switches {40, 90, 100, 170,
+//! 180}; here the same fractions of the scaled budget).
+//!
+//! Run: `cargo run -p snn-bench --bin fig3_switch_epoch --release`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_bench::{scaled_dataset, scaled_deep_cnn, Scale};
+use snn_data::DatasetSpec;
+use snn_nn::LrSchedule;
+use ttfs_core::{train_with_cat, Base2Kernel, CatComponents, CatSchedule, PhiTtfs};
+
+fn main() {
+    let scale = Scale::from_env();
+    let epochs = scale.epochs() * 2; // Fig. 3 needs room around the LR steps
+    let phi = PhiTtfs::new(Base2Kernel::new(4.0, 1.0), 24);
+
+    // Paper switch epochs as fractions of 200.
+    let switch_fracs = [0.2f32, 0.45, 0.5, 0.85, 0.9];
+    let lr = LrSchedule::paper_scaled(epochs);
+
+    for (name, spec) in [
+        ("cifar100-like", DatasetSpec::cifar100_like()),
+        ("tiny-imagenet-like", DatasetSpec::tiny_imagenet_like()),
+    ] {
+        println!("# Figure 3 ({name}): test accuracy per epoch, one column per switch epoch");
+        let data = scaled_dataset(&spec, scale, 31);
+        let mut columns = Vec::new();
+        let mut switch_epochs = Vec::new();
+        for &frac in &switch_fracs {
+            let ttfs_from = ((epochs as f32 * frac) as usize).max(1);
+            switch_epochs.push(ttfs_from);
+            let schedule = CatSchedule::new(
+                epochs,
+                (epochs / 20).max(1),
+                ttfs_from,
+                CatComponents::full(),
+                phi,
+                lr.clone(),
+            )
+            .expect("scaled switch epochs are ordered");
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut net = scaled_deep_cnn(scale.image_side(), scale.classes_for(spec.classes), &mut rng);
+            let log = train_with_cat(
+                &mut net,
+                &schedule,
+                data.train_images(),
+                data.train_labels(),
+                data.test_images(),
+                data.test_labels(),
+                32,
+                &mut rng,
+            )
+            .expect("training run");
+            columns.push(log);
+        }
+        print!("{:>6}", "epoch");
+        for (&frac, &se) in switch_fracs.iter().zip(&switch_epochs) {
+            print!(" {:>12}", format!("sw@{se}({:.0}%)", frac * 100.0));
+        }
+        println!();
+        for e in 0..epochs {
+            print!("{e:>6}");
+            for log in &columns {
+                print!(" {:>12.4}", log.epochs[e].test_accuracy);
+            }
+            println!();
+        }
+        println!();
+        for (log, &se) in columns.iter().zip(&switch_epochs) {
+            let lr_at_switch = lr.lr_at(se);
+            println!(
+                "# switch@{se}: lr_at_switch={lr_at_switch:.0e} final={:.4} best={:.4} crashed={}",
+                log.final_test_accuracy(),
+                log.best_test_accuracy(),
+                log.crashed(0.05)
+            );
+        }
+        println!("# paper shape: early switches (lr > 1e-3) crash; late switches (lr <= 1e-4) are stable");
+        println!();
+    }
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Figure 4**: SNN accuracy vs weight bit width (4–8) for log
+//! bases a_w ∈ {2^−1, 2^−1/2, 2^−1/4} under post-training logarithmic
+//! quantization, at kernel parameters (T=24, τ=4) and (T=48, τ=8), on the
+//! CIFAR-100 stand-in.
+//!
+//! Expected shape: accuracy saturates to the fp32 line as bits grow; the
+//! finer base 2^−1/2 recovers fp32 accuracy at 5 bits (the paper's chosen
+//! configuration); the coarse base 2^−1 needs more bits.
+//!
+//! Run: `cargo run -p snn-bench --bin fig4_bitwidth --release`
+
+use snn_bench::{run_pipeline, scaled_dataset, Scale};
+use snn_data::DatasetSpec;
+use snn_logquant::{LogBase, LogQuantizer};
+use ttfs_core::{CatComponents, SnnLayer, SnnModel};
+
+/// Quantizes every weighted layer of a converted model in place (per-layer
+/// FSR, like the paper's post-training flow).
+fn quantize_model(model: &SnnModel, base: LogBase, bits: u8) -> SnnModel {
+    let mut q = model.clone();
+    for layer in q.layers_mut() {
+        match layer {
+            SnnLayer::Conv { weight, .. } | SnnLayer::Dense { weight, .. } => {
+                if let Ok(quantizer) = LogQuantizer::fit(base, bits, weight.as_slice()) {
+                    *weight = quantizer.quantize_tensor(weight);
+                }
+            }
+            _ => {}
+        }
+    }
+    q
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = DatasetSpec::cifar100_like();
+    let bases = [LogBase::pow2(), LogBase::inv_sqrt2(), LogBase::inv_4th_root2()];
+
+    for (window, tau) in [(24u32, 4.0f32), (48, 8.0)] {
+        println!("# Figure 4: accuracy vs weight bit width (T={window}, tau={tau}, CIFAR100-like)");
+        let data = scaled_dataset(&spec, scale, 404);
+        let r = run_pipeline(&data, CatComponents::full(), window, tau, scale.epochs(), 99)
+            .expect("pipeline");
+        let fp32 = r.snn_accuracy * 100.0;
+        println!("# fp32 reference: {fp32:.2} %");
+        print!("{:>6}", "bits");
+        for b in &bases {
+            print!(" {:>14}", b.label());
+        }
+        println!();
+        for bits in 4u8..=8 {
+            print!("{bits:>6}");
+            for base in &bases {
+                let q = quantize_model(&r.model, *base, bits);
+                let acc = q
+                    .accuracy(data.test_images(), data.test_labels())
+                    .expect("quantized eval")
+                    * 100.0;
+                print!(" {acc:>14.2}");
+            }
+            println!();
+        }
+        println!("# paper pick: 5-bit, aw=2^-1/2 (accuracy within ~1 pt of fp32)");
+        println!();
+    }
+}

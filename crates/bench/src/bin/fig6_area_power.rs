@@ -1,0 +1,59 @@
+//! Regenerates **Figure 6**: normalized PE-array area and power for the
+//! three processor configurations — Base (T2FSNN-on-SpinalFlow: per-layer
+//! SRAM kernel decoders + multiplier PEs), I (CAT: shared-LUT decoder),
+//! I+II (CAT + log-domain PEs).
+//!
+//! Paper numbers: I saves 12.7 % area / 14.7 % power; I+II saves a further
+//! 8.1 % / 8.6 %. The savings here are *computed* from the component model,
+//! not hard-coded (see `snn_hw::cost`).
+//!
+//! Run: `cargo run -p snn-bench --bin fig6_area_power`
+
+use snn_hw::{AreaPowerModel, ProcessorConfig};
+
+fn main() {
+    let model = AreaPowerModel::cmos28();
+    let configs = [
+        ("Base", ProcessorConfig::baseline()),
+        ("I", ProcessorConfig::with_cat()),
+        ("I+II", ProcessorConfig::proposed()),
+    ];
+
+    println!("# Figure 6: PE array area & power (normalized to Base)");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+        "config", "area_PE", "area_dec", "area_tot", "pow_PE", "pow_dec", "pow_tot"
+    );
+    let mut prev_area = None;
+    let mut prev_pow = None;
+    for (name, config) in &configs {
+        let a = model.area(config);
+        let p = model.power(config);
+        println!(
+            "{:>6} {:>10.4} {:>10.4} {:>10.4} | {:>10.4} {:>10.4} {:>10.4}",
+            name,
+            a.pe,
+            a.decoder,
+            a.total(),
+            p.pe,
+            p.decoder,
+            p.total()
+        );
+        if let (Some(pa), Some(pp)) = (prev_area, prev_pow) {
+            println!(
+                "       savings vs previous: area {:.1} %  power {:.1} %",
+                (pa - a.total()) * 100.0,
+                (pp - p.total()) * 100.0
+            );
+        }
+        prev_area = Some(a.total());
+        prev_pow = Some(p.total());
+    }
+    println!();
+    println!("# paper: I = -12.7 % area / -14.7 % power; I+II additional -8.1 % / -8.6 %");
+    println!(
+        "# absolute (proposed): chip area {:.4} mm2 (paper 0.9102), power {:.1} mW (paper 67.3)",
+        model.chip_area_mm2(&ProcessorConfig::proposed()),
+        model.chip_power_mw(&ProcessorConfig::proposed())
+    );
+}

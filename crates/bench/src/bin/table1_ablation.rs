@@ -1,0 +1,60 @@
+//! Regenerates **Table 1**: CAT component ablation — SNN accuracy and
+//! conversion loss (`acc_SNN − acc_ANN`) for component sets I, I+II,
+//! I+II+III across kernel parameters (T/τ ∈ {48/8, 24/4, 12/2}) and the
+//! three datasets.
+//!
+//! Expected shape (the paper's finding): conversion loss shrinks monotonically
+//! as components are added, and shrinks with larger T/τ; with I+II+III the
+//! loss is ≈ 0 at every setting.
+//!
+//! Run: `cargo run -p snn-bench --bin table1_ablation --release`
+//! Scale with `SNN_BENCH_SCALE=quick|default|full`.
+
+use snn_bench::{run_pipeline, scaled_dataset, table1_cell, Scale};
+use snn_data::DatasetSpec;
+use ttfs_core::CatComponents;
+
+fn main() {
+    let scale = Scale::from_env();
+    let datasets = [
+        DatasetSpec::cifar10_like(),
+        DatasetSpec::cifar100_like(),
+        DatasetSpec::tiny_imagenet_like(),
+    ];
+    let params: [(u32, f32); 3] = [(48, 8.0), (24, 4.0), (12, 2.0)];
+    let components = [
+        CatComponents::clip_only(),
+        CatComponents::clip_and_input(),
+        CatComponents::full(),
+    ];
+
+    println!("# Table 1: accuracies (conversion losses) of CAT");
+    println!("# scaled reproduction: synthetic datasets, scaled CNN, {} epochs", scale.epochs());
+    println!(
+        "{:>9} {:>7} {:>18} {:>18} {:>18}",
+        "method", "T/tau", datasets[0].name, datasets[1].name, datasets[2].name
+    );
+
+    for comp in &components {
+        for (window, tau) in &params {
+            let mut cells = Vec::new();
+            for (di, spec) in datasets.iter().enumerate() {
+                let data = scaled_dataset(spec, scale, 100 + di as u64);
+                match run_pipeline(&data, *comp, *window, *tau, scale.epochs(), 42) {
+                    Ok(r) => cells.push(table1_cell(r.snn_accuracy, r.conversion_loss())),
+                    Err(e) => cells.push(format!("error: {e}")),
+                }
+            }
+            println!(
+                "{:>9} {:>7} {:>18} {:>18} {:>18}",
+                comp.label(),
+                format!("{}/{}", window, tau),
+                cells[0],
+                cells[1],
+                cells[2]
+            );
+        }
+    }
+    println!();
+    println!("# paper shape: loss(I) > loss(I+II) > loss(I+II+III) ~ 0; loss grows as T/tau shrink");
+}

@@ -1,0 +1,255 @@
+use snn_nn::ActivationFn;
+
+use crate::{Base2Kernel, TtfsKernel};
+
+/// The relaxed CAT activation `φ_Clip(x) = clip(x, θ₀, 0)` (eq. 12–13).
+///
+/// Used during the bulk of training: it bounds activations into the range a
+/// TTFS window can represent while staying continuous, so training remains
+/// stable at high learning rates.
+///
+/// # Example
+///
+/// ```
+/// use snn_nn::ActivationFn;
+/// use ttfs_core::PhiClip;
+///
+/// let clip = PhiClip::new(1.0);
+/// assert_eq!(clip.value(-0.5), 0.0);
+/// assert_eq!(clip.value(0.3), 0.3);
+/// assert_eq!(clip.value(2.0), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhiClip {
+    theta0: f32,
+}
+
+impl PhiClip {
+    /// Creates the clip activation with saturation level `theta0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta0` is not strictly positive.
+    pub fn new(theta0: f32) -> Self {
+        assert!(theta0 > 0.0, "theta0 must be positive");
+        Self { theta0 }
+    }
+
+    /// Saturation level θ₀.
+    pub fn theta0(&self) -> f32 {
+        self.theta0
+    }
+}
+
+impl ActivationFn for PhiClip {
+    fn value(&self, x: f32) -> f32 {
+        x.clamp(0.0, self.theta0)
+    }
+
+    fn derivative(&self, x: f32) -> f32 {
+        if x > 0.0 && x < self.theta0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "clip"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ActivationFn> {
+        Box::new(*self)
+    }
+}
+
+/// The exact CAT activation `φ_TTFS` (eq. 10): simulates TTFS
+/// encode-then-decode during ANN training, so the trained ANN *is* the SNN's
+/// data representation and conversion becomes lossless.
+///
+/// Piecewise (self-consistent form, see the crate docs on the paper's sign
+/// typo):
+///
+/// * `x < κ(T)`   → `0` (the neuron would never fire within the window),
+/// * `κ(T) ≤ x < θ₀` → `θ₀·2^(−k/τ)` with `k = ⌈−τ·log₂(x/θ₀)⌉`,
+/// * `x ≥ θ₀`    → `θ₀` (fires immediately).
+///
+/// The derivative follows eq. 11 literally: straight-through (1) on the
+/// representable band `[κ(T), θ₀)` and **`x` otherwise** — an unbounded
+/// pass-through gradient on out-of-band units. That choice matters: it is
+/// the destabilizing feedback that makes φ_TTFS training crash at high
+/// learning rates (Fig. 3), forcing the switch to happen only after the LR
+/// has decayed.
+///
+/// # Example
+///
+/// ```
+/// use snn_nn::ActivationFn;
+/// use ttfs_core::{Base2Kernel, PhiTtfs, TtfsKernel};
+///
+/// let kernel = Base2Kernel::paper_default();
+/// let phi = PhiTtfs::new(kernel, 24);
+/// // Exactly the value an SNN would decode from the emitted spike:
+/// let x = 0.37;
+/// let t = kernel.encode(x, 24).unwrap();
+/// assert_eq!(phi.value(x), kernel.decode(t));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhiTtfs {
+    kernel: Base2Kernel,
+    window: u32,
+}
+
+impl PhiTtfs {
+    /// Creates the TTFS activation for `kernel` over a fire window of
+    /// `window` timesteps.
+    pub fn new(kernel: Base2Kernel, window: u32) -> Self {
+        Self { kernel, window }
+    }
+
+    /// The paper's hardware configuration: `T = 24`, `τ = 4`, `θ₀ = 1`.
+    pub fn paper_default() -> Self {
+        Self::new(Base2Kernel::paper_default(), 24)
+    }
+
+    /// The underlying kernel.
+    pub fn kernel(&self) -> &Base2Kernel {
+        &self.kernel
+    }
+
+    /// Fire-phase window T.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Smallest representable value `κ(T)` — inputs below it map to zero.
+    pub fn min_representable(&self) -> f32 {
+        self.kernel.value(self.window as f32)
+    }
+}
+
+impl ActivationFn for PhiTtfs {
+    fn value(&self, x: f32) -> f32 {
+        match self.kernel.encode(x, self.window) {
+            None => 0.0,
+            Some(k) => self.kernel.decode(k),
+        }
+    }
+
+    fn derivative(&self, x: f32) -> f32 {
+        if x >= self.min_representable() && x < self.kernel.theta0() {
+            1.0
+        } else {
+            x
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ttfs"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ActivationFn> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_matches_eq13() {
+        let c = PhiClip::new(1.0);
+        assert_eq!(c.value(-1.0), 0.0);
+        assert_eq!(c.value(0.5), 0.5);
+        assert_eq!(c.value(1.5), 1.0);
+        assert_eq!(c.derivative(0.5), 1.0);
+        assert_eq!(c.derivative(1.5), 0.0);
+        assert_eq!(c.derivative(-0.1), 0.0);
+    }
+
+    #[test]
+    fn ttfs_piecewise_regions() {
+        let phi = PhiTtfs::paper_default();
+        // Region 1: below kappa(24) = 2^-6.
+        assert_eq!(phi.value(0.01), 0.0);
+        // Region 3: at/above theta0.
+        assert_eq!(phi.value(1.0), 1.0);
+        assert_eq!(phi.value(3.0), 1.0);
+        // Region 2: quantized onto the 2^(-k/4) grid, never above x.
+        let y = phi.value(0.37);
+        assert!(y <= 0.37 && y > 0.0);
+        let k = (-4.0 * y.log2()).round();
+        assert!((y - (-k / 4.0).exp2()).abs() < 1e-6, "on grid");
+    }
+
+    #[test]
+    fn ttfs_idempotent() {
+        // phi(phi(x)) == phi(x): quantization onto the grid is idempotent.
+        let phi = PhiTtfs::paper_default();
+        for i in 0..=120 {
+            let x = i as f32 / 100.0;
+            let y = phi.value(x);
+            assert!(
+                (phi.value(y) - y).abs() < 1e-6,
+                "not idempotent at x={x}: {y} -> {}",
+                phi.value(y)
+            );
+        }
+    }
+
+    #[test]
+    fn ttfs_monotone_nondecreasing() {
+        let phi = PhiTtfs::paper_default();
+        let mut last = -1.0f32;
+        for i in 0..=200 {
+            let y = phi.value(i as f32 / 150.0);
+            assert!(y >= last - 1e-7);
+            last = y;
+        }
+    }
+
+    #[test]
+    fn ttfs_error_vanishes_only_on_grid() {
+        // Figure 2(b): clip has representation error vs the SNN, ttfs none.
+        let phi = PhiTtfs::paper_default();
+        let clip = PhiClip::new(1.0);
+        let kernel = phi.kernel;
+        let mut clip_err = 0.0f32;
+        let mut ttfs_err = 0.0f32;
+        for i in 1..=120 {
+            let x = i as f32 / 100.0;
+            // What the SNN represents after encode/decode:
+            let snn = match kernel.encode(clip.value(x).min(phi.value(x).max(clip.value(x))), 24)
+            {
+                Some(k) => kernel.decode(k),
+                None => 0.0,
+            };
+            let snn_of = |v: f32| match kernel.encode(v, 24) {
+                Some(k) => kernel.decode(k),
+                None => 0.0,
+            };
+            let _ = snn;
+            clip_err += (clip.value(x) - snn_of(clip.value(x))).abs();
+            ttfs_err += (phi.value(x) - snn_of(phi.value(x))).abs();
+        }
+        assert!(ttfs_err < 1e-5, "ttfs must be error-free: {ttfs_err}");
+        assert!(clip_err > 0.1, "clip must show representation error");
+    }
+
+    #[test]
+    fn eq11_derivative_band() {
+        let phi = PhiTtfs::paper_default();
+        assert_eq!(phi.derivative(0.5), 1.0);
+        // Outside the band eq. 11 passes the input through: tiny gradient
+        // below kappa(T), *amplifying* gradient beyond theta0.
+        assert_eq!(phi.derivative(0.001), 0.001);
+        assert_eq!(phi.derivative(1.5), 1.5);
+    }
+
+    #[test]
+    fn min_representable_matches_kernel() {
+        let phi = PhiTtfs::paper_default();
+        assert!((phi.min_representable() - (2.0f32).powf(-6.0)).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,426 @@
+use rand::Rng;
+use snn_nn::{
+    evaluate, train_epoch, ActivationFn, LrSchedule, Relu, Sequential, Sgd, TrainConfig,
+};
+use snn_tensor::Tensor;
+
+use crate::{ConvertError, PhiClip, PhiTtfs, TtfsKernel};
+
+/// Which CAT components are active during ANN training — the rows of
+/// Table 1.
+///
+/// * **I** — hidden activations use `φ_Clip` (later `φ_TTFS` if III).
+/// * **II** — the *input image* is passed through `φ_TTFS` so the ANN sees
+///   spike-coded inputs from the first epoch.
+/// * **III** — hidden activations switch to `φ_TTFS` late in training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CatComponents {
+    /// Component II: TTFS-encode the input during training.
+    pub input_ttfs: bool,
+    /// Component III: switch hidden activations to φ_TTFS late in training.
+    pub hidden_ttfs: bool,
+}
+
+impl CatComponents {
+    /// Row "I" of Table 1: clip activation only.
+    pub fn clip_only() -> Self {
+        Self {
+            input_ttfs: false,
+            hidden_ttfs: false,
+        }
+    }
+
+    /// Row "I+II": clip plus TTFS-coded inputs.
+    pub fn clip_and_input() -> Self {
+        Self {
+            input_ttfs: true,
+            hidden_ttfs: false,
+        }
+    }
+
+    /// Row "I+II+III": the full method.
+    pub fn full() -> Self {
+        Self {
+            input_ttfs: true,
+            hidden_ttfs: true,
+        }
+    }
+
+    /// Table 1 row label.
+    pub fn label(&self) -> &'static str {
+        match (self.input_ttfs, self.hidden_ttfs) {
+            (false, false) => "I",
+            (true, false) => "I+II",
+            (true, true) => "I+II+III",
+            (false, true) => "I+III",
+        }
+    }
+}
+
+/// The activation family in effect during an epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CatPhase {
+    /// Plain ReLU warm-up.
+    Relu,
+    /// Relaxed φ_Clip phase (bulk of training).
+    Clip,
+    /// Exact φ_TTFS phase (after the learning rate has decayed).
+    Ttfs,
+}
+
+/// The CAT activation-switching schedule (§3.1).
+///
+/// The paper trains 200 epochs: ReLU for the first 10, φ_Clip until epoch
+/// 170, φ_TTFS afterwards — where 170 was chosen because φ_TTFS is unstable
+/// until the LR has stepped down to 1e-4 at epoch 160 (Fig. 3).
+/// [`CatSchedule::paper_scaled`] keeps those proportions for any epoch
+/// budget.
+///
+/// # Example
+///
+/// ```
+/// use ttfs_core::{CatComponents, CatPhase, CatSchedule, PhiTtfs};
+///
+/// let s = CatSchedule::paper_scaled(40, PhiTtfs::paper_default(), CatComponents::full());
+/// assert_eq!(s.phase_at(0), CatPhase::Relu);
+/// assert_eq!(s.phase_at(20), CatPhase::Clip);
+/// assert_eq!(s.phase_at(36), CatPhase::Ttfs);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CatSchedule {
+    /// Total training epochs.
+    pub total_epochs: usize,
+    /// Epochs of initial ReLU warm-up.
+    pub relu_epochs: usize,
+    /// First epoch of the φ_TTFS phase (ignored unless component III).
+    pub ttfs_from: usize,
+    /// Active CAT components.
+    pub components: CatComponents,
+    /// The TTFS activation (kernel + window) being trained towards.
+    pub phi: PhiTtfs,
+    /// Learning-rate schedule.
+    pub lr: LrSchedule,
+}
+
+impl CatSchedule {
+    /// Builds a schedule with explicit switch points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::Schedule`] unless
+    /// `relu_epochs ≤ ttfs_from ≤ total_epochs`.
+    pub fn new(
+        total_epochs: usize,
+        relu_epochs: usize,
+        ttfs_from: usize,
+        components: CatComponents,
+        phi: PhiTtfs,
+        lr: LrSchedule,
+    ) -> Result<Self, ConvertError> {
+        if relu_epochs > ttfs_from || ttfs_from > total_epochs {
+            return Err(ConvertError::Schedule(format!(
+                "need relu ({relu_epochs}) <= ttfs_from ({ttfs_from}) <= total ({total_epochs})"
+            )));
+        }
+        Ok(Self {
+            total_epochs,
+            relu_epochs,
+            ttfs_from,
+            components,
+            phi,
+            lr,
+        })
+    }
+
+    /// The paper's 200-epoch recipe (ReLU 10, φ_TTFS from 170, LR steps at
+    /// 80/120/160) compressed proportionally into `total_epochs`.
+    pub fn paper_scaled(total_epochs: usize, phi: PhiTtfs, components: CatComponents) -> Self {
+        let relu = (total_epochs / 20).max(1); // 10/200 = 5 %
+        let ttfs_from = (total_epochs * 17 / 20).max(relu); // 170/200 = 85 %
+        Self {
+            total_epochs,
+            relu_epochs: relu,
+            ttfs_from,
+            components,
+            phi,
+            lr: LrSchedule::paper_scaled(total_epochs),
+        }
+    }
+
+    /// Activation family in effect at `epoch`, honouring the component
+    /// flags (without III the φ_TTFS phase degenerates to φ_Clip).
+    pub fn phase_at(&self, epoch: usize) -> CatPhase {
+        if epoch < self.relu_epochs {
+            CatPhase::Relu
+        } else if epoch < self.ttfs_from || !self.components.hidden_ttfs {
+            CatPhase::Clip
+        } else {
+            CatPhase::Ttfs
+        }
+    }
+
+    /// Installs the activation functions for `epoch` into `net`.
+    pub fn apply(&self, net: &mut Sequential, epoch: usize) {
+        let phi = self.phi;
+        let theta0 = phi.kernel().theta0();
+        let factory: Box<dyn Fn(usize) -> Box<dyn ActivationFn>> = match self.phase_at(epoch) {
+            CatPhase::Relu => Box::new(|_| Box::new(Relu)),
+            CatPhase::Clip => Box::new(move |_| Box::new(PhiClip::new(theta0))),
+            CatPhase::Ttfs => Box::new(move |_| Box::new(phi)),
+        };
+        net.set_activations(&factory);
+    }
+}
+
+/// TTFS-encodes a batch of images (component II / SNN input coding): each
+/// pixel is replaced by the value its first spike would decode to.
+///
+/// # Example
+///
+/// ```
+/// use snn_tensor::Tensor;
+/// use ttfs_core::{encode_input_as_spikes, PhiTtfs};
+///
+/// let x = Tensor::from_slice(&[0.37, 0.0, 1.0]);
+/// let e = encode_input_as_spikes(&x, &PhiTtfs::paper_default());
+/// assert!(e.as_slice()[0] <= 0.37);
+/// assert_eq!(e.as_slice()[2], 1.0);
+/// ```
+pub fn encode_input_as_spikes(images: &Tensor, phi: &PhiTtfs) -> Tensor {
+    images.map(|v| phi.value(v))
+}
+
+/// Per-epoch record of a CAT training run (the data behind Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Activation family in effect.
+    pub phase: CatPhase,
+    /// Learning rate in effect.
+    pub lr: f32,
+    /// Mean training loss.
+    pub train_loss: f32,
+    /// Training accuracy.
+    pub train_accuracy: f32,
+    /// Held-out accuracy.
+    pub test_accuracy: f32,
+}
+
+/// Full log of a CAT training run.
+#[derive(Debug, Clone, Default)]
+pub struct CatTrainLog {
+    /// One record per epoch.
+    pub epochs: Vec<EpochRecord>,
+}
+
+impl CatTrainLog {
+    /// Final test accuracy (0 if no epochs ran).
+    pub fn final_test_accuracy(&self) -> f32 {
+        self.epochs.last().map(|e| e.test_accuracy).unwrap_or(0.0)
+    }
+
+    /// Best test accuracy across epochs.
+    pub fn best_test_accuracy(&self) -> f32 {
+        self.epochs
+            .iter()
+            .map(|e| e.test_accuracy)
+            .fold(0.0, f32::max)
+    }
+
+    /// Whether training collapsed (final accuracy far below the best —
+    /// the "crash" signature of Fig. 3).
+    pub fn crashed(&self, tolerance: f32) -> bool {
+        self.final_test_accuracy() + tolerance < self.best_test_accuracy()
+    }
+}
+
+/// Trains `net` with the full CAT procedure: activation switching per
+/// `schedule`, optional input TTFS encoding (component II), SGD with
+/// momentum 0.9 / weight decay 5e-4 (the paper's §3.1 settings) and the
+/// schedule's LR steps.
+///
+/// # Errors
+///
+/// Propagates substrate errors (shape mismatches, bad labels).
+pub fn train_with_cat(
+    net: &mut Sequential,
+    schedule: &CatSchedule,
+    train_images: &Tensor,
+    train_labels: &[usize],
+    test_images: &Tensor,
+    test_labels: &[usize],
+    batch_size: usize,
+    rng: &mut impl Rng,
+) -> Result<CatTrainLog, ConvertError> {
+    let mut opt = Sgd::new(schedule.lr.lr_at(0), 0.9, 5e-4);
+    let config = TrainConfig {
+        batch_size,
+        shuffle: true,
+    };
+    let encoded_train;
+    let encoded_test;
+    let (train_x, test_x): (&Tensor, &Tensor) = if schedule.components.input_ttfs {
+        encoded_train = encode_input_as_spikes(train_images, &schedule.phi);
+        encoded_test = encode_input_as_spikes(test_images, &schedule.phi);
+        (&encoded_train, &encoded_test)
+    } else {
+        (train_images, test_images)
+    };
+
+    let mut log = CatTrainLog::default();
+    for epoch in 0..schedule.total_epochs {
+        schedule.apply(net, epoch);
+        opt.set_lr(schedule.lr.lr_at(epoch));
+        let stats = train_epoch(net, &mut opt, train_x, train_labels, &config, rng)?;
+        let test_accuracy = evaluate(net, test_x, test_labels, batch_size)?;
+        log.epochs.push(EpochRecord {
+            epoch,
+            phase: schedule.phase_at(epoch),
+            lr: opt.lr(),
+            train_loss: stats.loss,
+            train_accuracy: stats.accuracy,
+            test_accuracy,
+        });
+    }
+    // Leave the network in its final-phase state (φ_TTFS for component III),
+    // ready for conversion.
+    schedule.apply(net, schedule.total_epochs.saturating_sub(1));
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_nn::{ActivationLayer, DenseLayer, Layer};
+
+    fn schedule(components: CatComponents) -> CatSchedule {
+        CatSchedule::paper_scaled(20, PhiTtfs::paper_default(), components)
+    }
+
+    #[test]
+    fn paper_scaled_proportions() {
+        let s = schedule(CatComponents::full());
+        assert_eq!(s.relu_epochs, 1);
+        assert_eq!(s.ttfs_from, 17);
+        assert_eq!(s.lr.milestones(), &[8, 12, 16]);
+    }
+
+    #[test]
+    fn phase_transitions() {
+        let s = schedule(CatComponents::full());
+        assert_eq!(s.phase_at(0), CatPhase::Relu);
+        assert_eq!(s.phase_at(1), CatPhase::Clip);
+        assert_eq!(s.phase_at(16), CatPhase::Clip);
+        assert_eq!(s.phase_at(17), CatPhase::Ttfs);
+    }
+
+    #[test]
+    fn without_component_iii_no_ttfs_phase() {
+        let s = schedule(CatComponents::clip_only());
+        assert_eq!(s.phase_at(19), CatPhase::Clip);
+    }
+
+    #[test]
+    fn labels_match_table1_rows() {
+        assert_eq!(CatComponents::clip_only().label(), "I");
+        assert_eq!(CatComponents::clip_and_input().label(), "I+II");
+        assert_eq!(CatComponents::full().label(), "I+II+III");
+    }
+
+    #[test]
+    fn schedule_validation() {
+        let phi = PhiTtfs::paper_default();
+        assert!(CatSchedule::new(
+            10,
+            5,
+            3,
+            CatComponents::full(),
+            phi,
+            LrSchedule::constant(0.1)
+        )
+        .is_err());
+        assert!(CatSchedule::new(
+            10,
+            2,
+            8,
+            CatComponents::full(),
+            phi,
+            LrSchedule::constant(0.1)
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn apply_switches_network_activations() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Sequential::new(vec![
+            Layer::Dense(DenseLayer::new(2, 4, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::Dense(DenseLayer::new(4, 2, &mut rng)),
+        ]);
+        let s = schedule(CatComponents::full());
+        s.apply(&mut net, 5);
+        assert_eq!(net.activation_names(), vec!["clip"]);
+        s.apply(&mut net, 19);
+        assert_eq!(net.activation_names(), vec!["ttfs"]);
+    }
+
+    #[test]
+    fn crash_detector() {
+        let mut log = CatTrainLog::default();
+        for (e, acc) in [(0usize, 0.3f32), (1, 0.6), (2, 0.1)] {
+            log.epochs.push(EpochRecord {
+                epoch: e,
+                phase: CatPhase::Clip,
+                lr: 0.1,
+                train_loss: 0.0,
+                train_accuracy: acc,
+                test_accuracy: acc,
+            });
+        }
+        assert!(log.crashed(0.1));
+        assert_eq!(log.best_test_accuracy(), 0.6);
+    }
+
+    /// End-to-end smoke: CAT training on separable blobs still learns and
+    /// ends in the TTFS phase.
+    #[test]
+    fn cat_training_learns_blobs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 60;
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let c = if label == 0 { 0.25 } else { 0.75 };
+            data.push(c + rng.gen_range(-0.1..0.1f32));
+            data.push(c + rng.gen_range(-0.1..0.1f32));
+            labels.push(label);
+        }
+        let images = Tensor::from_vec(data, &[n, 2]).unwrap();
+
+        let mut net = Sequential::new(vec![
+            Layer::Dense(DenseLayer::new(2, 16, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::Dense(DenseLayer::new(16, 2, &mut rng)),
+        ]);
+        let s = schedule(CatComponents::full());
+        let log = train_with_cat(
+            &mut net,
+            &s,
+            &images,
+            &labels,
+            &images,
+            &labels,
+            16,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(log.epochs.len(), 20);
+        assert!(log.final_test_accuracy() > 0.9, "{:?}", log.final_test_accuracy());
+        assert_eq!(net.activation_names(), vec!["ttfs"]);
+    }
+}

@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+use snn_nn::NnError;
+
+/// Errors raised during ANN→SNN conversion or CAT training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConvertError {
+    /// A substrate layer operation failed.
+    Nn(NnError),
+    /// The network structure cannot be converted (e.g. a BN layer not
+    /// preceded by a convolution, or no trailing dense classifier).
+    Structure(String),
+    /// The CAT schedule is inconsistent (e.g. switch epochs out of order).
+    Schedule(String),
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvertError::Nn(e) => write!(f, "{e}"),
+            ConvertError::Structure(msg) => write!(f, "unconvertible network: {msg}"),
+            ConvertError::Schedule(msg) => write!(f, "invalid CAT schedule: {msg}"),
+        }
+    }
+}
+
+impl Error for ConvertError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConvertError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for ConvertError {
+    fn from(e: NnError) -> Self {
+        ConvertError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_variants() {
+        assert!(ConvertError::Structure("x".into()).to_string().contains("x"));
+        assert!(ConvertError::Schedule("y".into()).to_string().contains("y"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Converted-model persistence: a deployed SNN (fused weights + the shared
+//! kernel) is the artifact that ships to the processor, so it needs a
+//! stable on-disk format.
+
+use std::fs;
+use std::path::Path;
+
+use crate::{ConvertError, SnnModel};
+
+impl SnnModel {
+    /// Serializes the model to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::Structure`] if serialization fails (should
+    /// not happen for well-formed models).
+    pub fn to_json(&self) -> Result<String, ConvertError> {
+        serde_json::to_string(self)
+            .map_err(|e| ConvertError::Structure(format!("serialize: {e}")))
+    }
+
+    /// Deserializes a model from a JSON string produced by
+    /// [`SnnModel::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::Structure`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, ConvertError> {
+        serde_json::from_str(json)
+            .map_err(|e| ConvertError::Structure(format!("deserialize: {e}")))
+    }
+
+    /// Writes the model to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::Structure`] on serialization or I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ConvertError> {
+        let json = self.to_json()?;
+        fs::write(path.as_ref(), json)
+            .map_err(|e| ConvertError::Structure(format!("write model file: {e}")))
+    }
+
+    /// Reads a model from a file written by [`SnnModel::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::Structure`] on I/O or parse failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ConvertError> {
+        let json = fs::read_to_string(path.as_ref())
+            .map_err(|e| ConvertError::Structure(format!("read model file: {e}")))?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{convert, Base2Kernel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_nn::{ActivationLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
+
+    fn model() -> SnnModel {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Sequential::new(vec![
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(8, 4, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::Dense(DenseLayer::new(4, 2, &mut rng)),
+        ]);
+        convert(&net, Base2Kernel::paper_default(), 24).unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behaviour() {
+        let m = model();
+        let json = m.to_json().unwrap();
+        let restored = SnnModel::from_json(&json).unwrap();
+        assert_eq!(restored.weighted_layers(), m.weighted_layers());
+        assert_eq!(restored.window(), m.window());
+        let x = snn_tensor::Tensor::full(&[1, 1, 2, 4], 0.5);
+        let a = m.reference_forward(&x).unwrap();
+        let b = restored.reference_forward(&x).unwrap();
+        assert!(a.allclose(&b, 0.0), "bit-exact roundtrip");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let m = model();
+        let path = std::env::temp_dir().join("ttfs_snn_model_test.json");
+        m.save(&path).unwrap();
+        let restored = SnnModel::load(&path).unwrap();
+        assert_eq!(restored.weighted_layers(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(SnnModel::from_json("{not json").is_err());
+        assert!(SnnModel::load("/nonexistent/path/model.json").is_err());
+    }
+}

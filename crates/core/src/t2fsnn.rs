@@ -1,0 +1,316 @@
+//! T2FSNN baseline (Park et al., DAC 2020): kernel-based TTFS coding with
+//! **per-layer** base-e kernels and post-conversion kernel tuning.
+//!
+//! This is the comparison point of Table 2 and the "Base" configuration of
+//! Fig. 6. Its per-layer `(τ, t_d)` freedom buys accuracy at a given window
+//! but costs hardware: every layer needs its own (SRAM-backed,
+//! reconfigurable) kernel in the decoder, which CAT's single shared kernel
+//! eliminates.
+
+use snn_tensor::{avg_pool2d, conv2d, gemm, max_pool2d, Tensor, Transpose};
+
+use crate::{ConvertError, ExpKernel, SnnLayer, SnnModel, TtfsKernel};
+
+/// A converted SNN using T2FSNN-style per-layer exponential kernels.
+#[derive(Debug, Clone)]
+pub struct T2fsnnModel {
+    layers: Vec<SnnLayer>,
+    kernels: Vec<ExpKernel>,
+    window: u32,
+    early_firing: bool,
+}
+
+impl T2fsnnModel {
+    /// Wraps converted layers with one exponential kernel per weighted
+    /// layer, all initialized to `init`.
+    pub fn new(model: &SnnModel, init: ExpKernel, window: u32) -> Self {
+        let layers = model.layers().to_vec();
+        let weighted = layers.iter().filter(|l| l.is_weighted()).count();
+        Self {
+            layers,
+            kernels: vec![init; weighted],
+            window,
+            early_firing: true, // the paper notes T2FSNN uses early firing
+        }
+    }
+
+    /// Per-weighted-layer kernels.
+    pub fn kernels(&self) -> &[ExpKernel] {
+        &self.kernels
+    }
+
+    /// Enables/disables the early-firing latency optimization.
+    pub fn set_early_firing(&mut self, on: bool) {
+        self.early_firing = on;
+    }
+
+    /// Pipeline latency in timesteps. T2FSNN's early-firing technique lets
+    /// a layer's fire phase overlap the second half of its integration
+    /// phase, halving effective latency (Table 2: 680 vs 1360 at T=80).
+    pub fn latency_timesteps(&self) -> u32 {
+        let base = self.window * (self.kernels.len() as u32 + 1);
+        if self.early_firing {
+            base / 2
+        } else {
+            base
+        }
+    }
+
+    /// Mean squared coding error of `kernel` on an activation sample —
+    /// the per-layer objective the post-conversion optimization minimizes.
+    pub fn coding_error(kernel: &ExpKernel, activations: &[f32], window: u32) -> f32 {
+        if activations.is_empty() {
+            return 0.0;
+        }
+        let mut err = 0.0f32;
+        for &x in activations {
+            let decoded = match kernel.encode(x.max(0.0), window) {
+                Some(k) => kernel.decode(k),
+                None => 0.0,
+            };
+            err += (x.max(0.0) - decoded).powi(2);
+        }
+        err / activations.len() as f32
+    }
+
+    /// Post-conversion optimization (the `t_d`/`τ` tuning of T2FSNN §III):
+    /// gradient-free coordinate descent on the layer-wise coding error over
+    /// a calibration batch. Returns the per-layer errors after tuning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors from the calibration forward pass.
+    pub fn tune_kernels(&mut self, calibration: &Tensor) -> Result<Vec<f32>, ConvertError> {
+        let samples = self.layer_activations(calibration)?;
+        let mut errors = Vec::with_capacity(self.kernels.len());
+        for (kernel, acts) in self.kernels.iter_mut().zip(&samples) {
+            let mut best = *kernel;
+            let mut best_err = Self::coding_error(&best, acts, self.window);
+            // Coordinate descent with shrinking steps over (tau, t_d).
+            let mut tau_step = best.tau() * 0.5;
+            let mut td_step = 2.0f32;
+            for _ in 0..24 {
+                let mut improved = false;
+                for (dt, dd) in [
+                    (tau_step, 0.0),
+                    (-tau_step, 0.0),
+                    (0.0, td_step),
+                    (0.0, -td_step),
+                ] {
+                    let tau = (best.tau() + dt).max(0.5);
+                    let t_d = best.t_d() + dd;
+                    let cand = best.with_params(tau, t_d);
+                    let e = Self::coding_error(&cand, acts, self.window);
+                    if e < best_err {
+                        best = cand;
+                        best_err = e;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    tau_step *= 0.5;
+                    td_step *= 0.5;
+                    if tau_step < 1e-3 && td_step < 1e-3 {
+                        break;
+                    }
+                }
+            }
+            *kernel = best;
+            errors.push(best_err);
+        }
+        Ok(errors)
+    }
+
+    /// Pre-fire-phase activations of every weighted hidden layer on a
+    /// calibration batch (inputs to the per-layer encode step).
+    fn layer_activations(&self, x: &Tensor) -> Result<Vec<Vec<f32>>, ConvertError> {
+        let weighted = self.kernels.len();
+        let mut out: Vec<Vec<f32>> = vec![Vec::new(); weighted];
+        let mut cur = self.encode_with(0, x); // input coded by layer-0 kernel
+        let mut seen = 0usize;
+        for layer in &self.layers {
+            cur = self.step(layer, &cur, &mut seen, &mut Some(&mut out))?;
+        }
+        Ok(out)
+    }
+
+    /// Activation-domain reference forward pass with per-layer kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError`] on geometry mismatch.
+    pub fn reference_forward(&self, x: &Tensor) -> Result<Tensor, ConvertError> {
+        let mut cur = self.encode_with(0, x);
+        let mut seen = 0usize;
+        for layer in &self.layers {
+            cur = self.step(layer, &cur, &mut seen, &mut None)?;
+        }
+        Ok(cur)
+    }
+
+    fn encode_with(&self, kernel_idx: usize, x: &Tensor) -> Tensor {
+        let kernel = self.kernels[kernel_idx.min(self.kernels.len() - 1)];
+        let window = self.window;
+        x.map(|v| match kernel.encode(v, window) {
+            Some(k) => kernel.decode(k),
+            None => 0.0,
+        })
+    }
+
+    fn step(
+        &self,
+        layer: &SnnLayer,
+        cur: &Tensor,
+        seen: &mut usize,
+        tap: &mut Option<&mut Vec<Vec<f32>>>,
+    ) -> Result<Tensor, ConvertError> {
+        let weighted = self.kernels.len();
+        Ok(match layer {
+            SnnLayer::Conv { spec, weight, bias } => {
+                let y = conv2d(cur, weight, Some(bias), spec).map_err(snn_nn::NnError::from)?;
+                let idx = *seen;
+                *seen += 1;
+                if let Some(t) = tap.as_deref_mut() {
+                    t[idx].extend_from_slice(y.as_slice());
+                }
+                if *seen < weighted {
+                    self.encode_with(idx, &y)
+                } else {
+                    y
+                }
+            }
+            SnnLayer::Dense { weight, bias } => {
+                let mut y =
+                    gemm(cur, Transpose::No, weight, Transpose::Yes).map_err(snn_nn::NnError::from)?;
+                let (n, out_f) = (y.dims()[0], y.dims()[1]);
+                let data = y.as_mut_slice();
+                for s in 0..n {
+                    for (o, &b) in bias.as_slice().iter().enumerate() {
+                        data[s * out_f + o] += b;
+                    }
+                }
+                let idx = *seen;
+                *seen += 1;
+                if let Some(t) = tap.as_deref_mut() {
+                    t[idx].extend_from_slice(y.as_slice());
+                }
+                if *seen < weighted {
+                    self.encode_with(idx, &y)
+                } else {
+                    y
+                }
+            }
+            SnnLayer::MaxPool { spec } => max_pool2d(cur, spec).map_err(snn_nn::NnError::from)?.0,
+            SnnLayer::AvgPool { spec } => avg_pool2d(cur, spec).map_err(snn_nn::NnError::from)?,
+            SnnLayer::Flatten => {
+                let n = cur.dims()[0];
+                let rest = cur.len() / n.max(1);
+                cur.reshape(&[n, rest]).map_err(snn_nn::NnError::from)?
+            }
+        })
+    }
+
+    /// Classification accuracy on a labelled set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors.
+    pub fn accuracy(&self, images: &Tensor, labels: &[usize]) -> Result<f32, ConvertError> {
+        let n = images.dims()[0];
+        if n == 0 {
+            return Ok(0.0);
+        }
+        let logits = self.reference_forward(images)?;
+        let c = logits.dims()[1];
+        let mut correct = 0usize;
+        for (s, &label) in labels.iter().enumerate() {
+            let row = &logits.as_slice()[s * c..(s + 1) * c];
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if pred == label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f32 / n as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{convert, Base2Kernel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_nn::{ActivationLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
+    use snn_tensor::Conv2dSpec;
+
+    fn tiny_model(rng: &mut StdRng) -> SnnModel {
+        let net = Sequential::new(vec![
+            Layer::Conv2d(snn_nn::Conv2dLayer::new(Conv2dSpec::new(1, 3, 3, 1, 1), rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(3 * 6 * 6, 4, rng)),
+        ]);
+        convert(&net, Base2Kernel::paper_default(), 24).unwrap()
+    }
+
+    #[test]
+    fn latency_matches_table2() {
+        // 16 weighted layers at T=80: 1360 without early firing, 680 with.
+        let kernels = vec![ExpKernel::t2fsnn_default(); 16];
+        let model = T2fsnnModel {
+            layers: Vec::new(),
+            kernels,
+            window: 80,
+            early_firing: false,
+        };
+        assert_eq!(model.latency_timesteps(), 1360);
+        let mut with_ef = model.clone();
+        with_ef.set_early_firing(true);
+        assert_eq!(with_ef.latency_timesteps(), 680);
+    }
+
+    #[test]
+    fn tuning_reduces_coding_error() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = tiny_model(&mut rng);
+        // Start from a deliberately bad kernel (tau too large).
+        let mut model = T2fsnnModel::new(&base, ExpKernel::new(60.0, 0.0, 1.0), 80);
+        let x = snn_tensor::uniform(&[8, 1, 6, 6], 0.0, 1.0, &mut rng);
+        let before: Vec<f32> = {
+            let acts = model.layer_activations(&x).unwrap();
+            model
+                .kernels
+                .iter()
+                .zip(&acts)
+                .map(|(k, a)| T2fsnnModel::coding_error(k, a, 80))
+                .collect()
+        };
+        let after = model.tune_kernels(&x).unwrap();
+        for (b, a) in before.iter().zip(&after) {
+            assert!(a <= b, "tuning must not worsen error: {a} > {b}");
+        }
+        assert!(after.iter().sum::<f32>() < before.iter().sum::<f32>());
+    }
+
+    #[test]
+    fn coding_error_zero_on_grid() {
+        let k = ExpKernel::t2fsnn_default();
+        let grid: Vec<f32> = (0..=80).map(|t| k.decode(t)).collect();
+        assert!(T2fsnnModel::coding_error(&k, &grid, 80) < 1e-10);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let base = tiny_model(&mut rng);
+        let model = T2fsnnModel::new(&base, ExpKernel::t2fsnn_default(), 80);
+        let x = snn_tensor::uniform(&[2, 1, 6, 6], 0.0, 1.0, &mut rng);
+        let y = model.reference_forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 4]);
+    }
+}

@@ -1,0 +1,142 @@
+use snn_logquant::{LinearPe, LogBase, LogCode, LogPe, LogQuantizer, QuantError};
+
+use crate::{PeKind, ProcessorConfig};
+
+/// The actual synaptic arithmetic of one PE, instantiated from a processor
+/// configuration: a multiplier for [`PeKind::Linear`], or the eq. 17
+/// LUT+shift unit (from `snn-logquant`) for [`PeKind::Log`].
+///
+/// Building the log datapath *validates the co-design constraints* — the
+/// kernel τ must satisfy eq. 18 or the configuration is rejected, exactly
+/// as the real hardware could not be synthesized without a multiplier.
+///
+/// # Example
+///
+/// ```
+/// use snn_hw::{PeDatapath, ProcessorConfig};
+///
+/// # fn main() -> Result<(), snn_logquant::QuantError> {
+/// let dp = PeDatapath::for_config(&ProcessorConfig::proposed())?;
+/// assert_eq!(dp.lut_entries(), Some(4)); // the paper's 4-entry LUT
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub enum PeDatapath {
+    /// Multiplier datapath with the kernel τ it evaluates.
+    Linear {
+        /// The multiplier unit.
+        pe: LinearPe,
+        /// Kernel time constant.
+        tau: f32,
+    },
+    /// Multiplication-free LUT+shift datapath (eq. 17).
+    Log {
+        /// The log-domain unit.
+        pe: LogPe,
+        /// Weight quantizer sharing the PE's exponent grid.
+        quantizer: LogQuantizer,
+    },
+}
+
+impl PeDatapath {
+    /// Instantiates the datapath for a configuration (5-bit weights,
+    /// `a_w = 2^(−1/2)`, FSR 1.0 — the paper's deployment settings).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::KernelConstraint`] when a log PE is requested
+    /// but `config.kernel_tau` violates eq. 18.
+    pub fn for_config(config: &ProcessorConfig) -> Result<Self, QuantError> {
+        match config.pe_kind {
+            PeKind::Linear => Ok(PeDatapath::Linear {
+                pe: LinearPe::new(),
+                tau: config.kernel_tau,
+            }),
+            PeKind::Log => {
+                let base = LogBase::inv_sqrt2();
+                let pe = LogPe::for_kernel(config.kernel_tau, base)?.with_fsr_log2(0.0);
+                let quantizer =
+                    LogQuantizer::with_fsr(base, config.weight_bits as u8, 0.0)?;
+                Ok(PeDatapath::Log { pe, quantizer })
+            }
+        }
+    }
+
+    /// LUT entry count of the log datapath (`None` for the multiplier).
+    pub fn lut_entries(&self) -> Option<usize> {
+        match self {
+            PeDatapath::Linear { .. } => None,
+            PeDatapath::Log { pe, .. } => Some(pe.lut_entries()),
+        }
+    }
+
+    /// One synaptic operation: the PSP contribution `w · κ(t)` of a spike
+    /// at timestep `t` through a weight `w` (quantized on the fly for the
+    /// log datapath — deployment stores codes instead).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuantError`] from the log unit (cannot occur for
+    /// in-range inputs).
+    pub fn synaptic_op(&self, weight: f32, t: u32) -> Result<f32, QuantError> {
+        match self {
+            PeDatapath::Linear { pe, tau } => Ok(pe.multiply(weight, *tau, t)),
+            PeDatapath::Log { pe, quantizer } => pe.multiply(quantizer.code(weight), t),
+        }
+    }
+
+    /// Encodes a weight into its hardware code (log datapath only).
+    pub fn code(&self, weight: f32) -> Option<LogCode> {
+        match self {
+            PeDatapath::Linear { .. } => None,
+            PeDatapath::Log { quantizer, .. } => Some(quantizer.code(weight)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposed_config_builds_4_entry_lut() {
+        let dp = PeDatapath::for_config(&ProcessorConfig::proposed()).unwrap();
+        assert_eq!(dp.lut_entries(), Some(4));
+    }
+
+    #[test]
+    fn baseline_uses_multiplier() {
+        let dp = PeDatapath::for_config(&ProcessorConfig::baseline()).unwrap();
+        assert_eq!(dp.lut_entries(), None);
+        // tau=20 is fine for a multiplier: it computes any kernel.
+        let v = dp.synaptic_op(0.5, 20).unwrap();
+        assert!((v - 0.5 * (-1.0f32).exp2()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_pe_rejects_bad_tau() {
+        let config = ProcessorConfig {
+            kernel_tau: 5.0,
+            ..ProcessorConfig::proposed()
+        };
+        assert!(matches!(
+            PeDatapath::for_config(&config),
+            Err(QuantError::KernelConstraint(_))
+        ));
+    }
+
+    #[test]
+    fn log_and_linear_agree_on_quantized_weights() {
+        let log = PeDatapath::for_config(&ProcessorConfig::proposed()).unwrap();
+        let lin = PeDatapath::for_config(&ProcessorConfig::with_cat()).unwrap();
+        for &w in &[0.7071f32, -0.5, 0.25, -0.125] {
+            // w already on the a_w = 2^(-1/2) grid, so both paths agree.
+            for t in [0u32, 4, 11, 24] {
+                let a = log.synaptic_op(w, t).unwrap();
+                let b = lin.synaptic_op(w, t).unwrap();
+                assert!((a - b).abs() < 1e-4, "w={w} t={t}: {a} vs {b}");
+            }
+        }
+    }
+}

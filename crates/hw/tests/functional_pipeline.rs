@@ -1,0 +1,101 @@
+//! Functional cross-validation of the processor datapath: input spikes are
+//! sorted by the minfind unit, integrated through the *actual* eq. 17
+//! LUT+shift PE arithmetic, and encoded by the spike-encoder model. The
+//! resulting spikes must match what the TTFS math predicts — i.e. the
+//! hardware units compose into exactly the layer the algorithm specifies.
+
+use snn_hw::{MinFindUnit, PeDatapath, ProcessorConfig, SpikeEncoder, ThresholdLut};
+
+/// One dense SNN layer executed entirely with the functional hardware
+/// units.
+fn run_layer_on_hardware(
+    datapath: &PeDatapath,
+    encoder: &SpikeEncoder,
+    minfind: &MinFindUnit,
+    input_streams: &[Vec<(usize, u32)>],
+    weights: &[Vec<f32>], // [out][in]
+    bias: &[f32],
+) -> Vec<(usize, u32)> {
+    // 1. Input generator: merge-sort the spike streams.
+    let (sorted, _cycles) = minfind.merge(input_streams);
+    // 2. PE array: event-driven integration, one PSP per (spike, output).
+    let mut vmem: Vec<f32> = bias.to_vec();
+    for &(neuron, t) in &sorted {
+        for (o, v) in vmem.iter_mut().enumerate() {
+            *v += datapath
+                .synaptic_op(weights[o][neuron], t)
+                .expect("in-range synaptic op");
+        }
+    }
+    // 3. Output processing: PPU hands membranes to the spike encoder.
+    encoder.encode(&vmem).spikes
+}
+
+#[test]
+fn hardware_units_compose_into_a_ttfs_layer() {
+    let config = ProcessorConfig::proposed(); // log PEs, tau=4, T=24
+    let datapath = PeDatapath::for_config(&config).expect("valid co-design");
+    let encoder = SpikeEncoder::new(ThresholdLut::base2(
+        config.kernel_tau,
+        1.0,
+        config.window,
+    ));
+    let minfind = MinFindUnit::new(16);
+
+    // Weights already on the a_w = 2^(-1/2) grid (deployment stores codes).
+    let weights = vec![
+        vec![0.7071, 0.5, 0.0],
+        vec![0.25, -0.3536, 0.5],
+        vec![0.125, 0.177, 0.25],
+    ];
+    let bias = [0.05f32, 0.02, 0.0];
+    // Three input neurons spiking at different times (two sources).
+    let streams = vec![vec![(0usize, 2u32), (2, 9)], vec![(1, 5)]];
+
+    let hw_spikes = run_layer_on_hardware(&datapath, &encoder, &minfind, &streams, &weights, &bias);
+
+    // Reference: same math with exact float kernels.
+    let kernel = |t: u32| (-(t as f32) / config.kernel_tau).exp2();
+    let mut vmem = bias;
+    for &(n, t) in streams.iter().flatten() {
+        for (o, v) in vmem.iter_mut().enumerate() {
+            *v += weights[o][n] * kernel(t);
+        }
+    }
+    let expected: Vec<Option<u32>> = vmem
+        .iter()
+        .map(|&u| {
+            if u <= 0.0 {
+                None
+            } else if u >= 1.0 {
+                Some(0)
+            } else {
+                let k = (-config.kernel_tau * u.log2() - 1e-4).ceil().max(0.0);
+                (k <= config.window as f32).then_some(k as u32)
+            }
+        })
+        .collect();
+
+    for (o, exp) in expected.iter().enumerate() {
+        let got = hw_spikes.iter().find(|s| s.0 == o).map(|s| s.1);
+        assert_eq!(got, *exp, "output neuron {o}: hw {got:?} vs expected {exp:?}");
+    }
+}
+
+#[test]
+fn linear_and_log_datapaths_produce_identical_spikes() {
+    // With grid-aligned weights the two PE flavours must emit the same
+    // spike times — the Fig. 6 substitution is functionally transparent.
+    let log_dp = PeDatapath::for_config(&ProcessorConfig::proposed()).unwrap();
+    let lin_dp = PeDatapath::for_config(&ProcessorConfig::with_cat()).unwrap();
+    let encoder = SpikeEncoder::new(ThresholdLut::base2(4.0, 1.0, 24));
+    let minfind = MinFindUnit::new(16);
+
+    let weights = vec![vec![0.5, 0.3536], vec![-0.25, 0.7071]];
+    let bias = [0.1f32, 0.05];
+    let streams = vec![vec![(0usize, 1u32)], vec![(1usize, 6u32)]];
+
+    let a = run_layer_on_hardware(&log_dp, &encoder, &minfind, &streams, &weights, &bias);
+    let b = run_layer_on_hardware(&lin_dp, &encoder, &minfind, &streams, &weights, &bias);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the functional hardware units.
+
+use proptest::prelude::*;
+use snn_hw::{MinFindUnit, SpikeEncoder, ThresholdLut};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The spike encoder emits at most one spike per neuron, all within the
+    /// window, and larger membranes never fire later.
+    #[test]
+    fn encoder_ttfs_discipline(vmem in proptest::collection::vec(-1.0f32..2.0, 1..64)) {
+        let enc = SpikeEncoder::new(ThresholdLut::base2(4.0, 1.0, 24));
+        let res = enc.encode(&vmem);
+        let mut seen = vec![false; vmem.len()];
+        for &(n, t) in &res.spikes {
+            prop_assert!(!seen[n], "duplicate spike for neuron {n}");
+            seen[n] = true;
+            prop_assert!(t <= 24);
+        }
+        // Monotonicity across pairs that both fired.
+        for &(a, ta) in &res.spikes {
+            for &(b, tb) in &res.spikes {
+                if vmem[a] > vmem[b] {
+                    prop_assert!(ta <= tb, "vmem {} fired at {ta}, vmem {} at {tb}", vmem[a], vmem[b]);
+                }
+            }
+        }
+    }
+
+    /// Encoder cycle count is bounded: at most one cycle per threshold step
+    /// per "still busy" check plus one per emitted spike.
+    #[test]
+    fn encoder_cycles_bounded(vmem in proptest::collection::vec(-1.0f32..2.0, 1..64)) {
+        let window = 24u32;
+        let enc = SpikeEncoder::new(ThresholdLut::base2(4.0, 1.0, window));
+        let res = enc.encode(&vmem);
+        prop_assert!(res.cycles <= (window as u64 + 1) + res.spikes.len() as u64);
+        prop_assert!(res.cycles >= res.spikes.len() as u64);
+    }
+
+    /// Negative or zero membranes never appear in the spike list.
+    #[test]
+    fn encoder_ignores_nonpositive(vmem in proptest::collection::vec(-2.0f32..0.0, 1..32)) {
+        let enc = SpikeEncoder::new(ThresholdLut::base2(4.0, 1.0, 24));
+        let res = enc.encode(&vmem);
+        prop_assert!(res.spikes.is_empty());
+        prop_assert_eq!(res.cycles, 1); // a single no-hit scan
+    }
+
+    /// The minfind merge output is time-sorted and a permutation of the
+    /// inputs.
+    #[test]
+    fn minfind_sorts_and_preserves(
+        streams in proptest::collection::vec(
+            proptest::collection::vec((0usize..1000, 0u32..25), 0..32),
+            1..8,
+        )
+    ) {
+        // Pre-sort each stream by time (the unit's input contract).
+        let streams: Vec<Vec<(usize, u32)>> = streams
+            .into_iter()
+            .map(|mut s| {
+                s.sort_by_key(|e| e.1);
+                s
+            })
+            .collect();
+        let unit = MinFindUnit::new(8);
+        let (merged, cycles) = unit.merge(&streams);
+        let total: usize = streams.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(merged.len(), total);
+        prop_assert!(merged.windows(2).all(|w| w[0].1 <= w[1].1), "time-sorted");
+        prop_assert_eq!(cycles, total as u64 + unit.fill_cycles());
+        // Multiset equality on times.
+        let mut a: Vec<u32> = merged.iter().map(|e| e.1).collect();
+        let mut b: Vec<u32> = streams.iter().flatten().map(|e| e.1).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,41 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the logarithmic-quantization subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// The requested bit width cannot represent any value (needs ≥ 2 bits:
+    /// sign + at least one exponent bit).
+    BadBitWidth(u8),
+    /// The weight set is empty or all-zero, so no full-scale range exists.
+    DegenerateRange,
+    /// The kernel time constant violates eq. 18 (`log₂ τ` must be a power
+    /// of two), so spike exponents do not land on the PE's fractional grid.
+    KernelConstraint(String),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::BadBitWidth(b) => write!(f, "bit width {b} too small for sign + exponent"),
+            QuantError::DegenerateRange => write!(f, "weight set has no nonzero values"),
+            QuantError::KernelConstraint(msg) => write!(f, "kernel constraint violated: {msg}"),
+        }
+    }
+}
+
+impl Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(QuantError::BadBitWidth(1).to_string().contains('1'));
+        assert!(QuantError::DegenerateRange.to_string().contains("nonzero"));
+        assert!(QuantError::KernelConstraint("tau".into())
+            .to_string()
+            .contains("tau"));
+    }
+}

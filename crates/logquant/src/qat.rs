@@ -1,0 +1,303 @@
+//! Quantization-aware training (QAT) for logarithmic weights.
+//!
+//! The paper quantizes weights *post-training* and notes in §5 that its
+//! accuracy gap to the ANN baseline "can be improved if the quantization
+//! aware training is applied instead of post-training quantization". This
+//! module implements that extension with the standard fake-quantization /
+//! straight-through-estimator recipe (Jacob et al., CVPR 2018, which the
+//! paper cites as [12]):
+//!
+//! 1. keep full-precision *shadow* weights;
+//! 2. before each forward/backward, project rank ≥ 2 parameters onto the
+//!    log-quantized grid (biases and BN affine parameters stay fp32);
+//! 3. compute gradients at the quantized point (STE);
+//! 4. restore the shadow weights and apply the optimizer step to them.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use snn_nn::{cross_entropy, EpochStats, NnError, Sequential, Sgd, TrainConfig};
+use snn_tensor::Tensor;
+
+use crate::{LogBase, LogQuantizer, QuantError};
+
+/// Fake-quantization trainer for logarithmic weights.
+///
+/// # Example
+///
+/// ```
+/// use snn_logquant::{LogBase, QatTrainer};
+///
+/// let trainer = QatTrainer::new(LogBase::inv_sqrt2(), 5);
+/// assert_eq!(trainer.bits(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QatTrainer {
+    base: LogBase,
+    bits: u8,
+}
+
+impl QatTrainer {
+    /// Creates a QAT trainer for the given base and bit width.
+    pub fn new(base: LogBase, bits: u8) -> Self {
+        Self { base, bits }
+    }
+
+    /// Quantization base.
+    pub fn base(&self) -> LogBase {
+        self.base
+    }
+
+    /// Weight bit width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Projects every rank ≥ 2 parameter of `net` onto the quantized grid,
+    /// returning the full-precision shadow copies (in visit order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError`] if a weight tensor cannot be fitted (e.g.
+    /// all-zero).
+    pub fn project(&self, net: &mut Sequential) -> Result<Vec<Tensor>, QuantError> {
+        let mut shadows = Vec::new();
+        let mut failure: Option<QuantError> = None;
+        let (base, bits) = (self.base, self.bits);
+        net.visit_params(&mut |p, _| {
+            shadows.push(p.clone());
+            if p.shape().rank() >= 2 && failure.is_none() {
+                match LogQuantizer::fit(base, bits, p.as_slice()) {
+                    Ok(q) => *p = q.quantize_tensor(p),
+                    Err(QuantError::DegenerateRange) => {} // all-zero: leave as-is
+                    Err(e) => failure = Some(e),
+                }
+            }
+        });
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(shadows),
+        }
+    }
+
+    /// Restores shadow parameters captured by [`QatTrainer::project`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shadows` does not match the network's parameter count —
+    /// that indicates interleaved structural mutation, a caller bug.
+    pub fn restore(&self, net: &mut Sequential, shadows: Vec<Tensor>) {
+        let mut iter = shadows.into_iter();
+        net.visit_params(&mut |p, _| {
+            *p = iter
+                .next()
+                .expect("shadow count matches parameter count");
+        });
+        assert!(
+            iter.next().is_none(),
+            "shadow count matches parameter count"
+        );
+    }
+
+    /// One epoch of quantization-aware SGD: per batch, gradients are
+    /// computed at the quantized weights (STE) and applied to the
+    /// full-precision shadows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors ([`NnError`]); quantization failures are
+    /// reported as [`NnError::Config`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_epoch(
+        &self,
+        net: &mut Sequential,
+        opt: &mut Sgd,
+        images: &Tensor,
+        labels: &[usize],
+        config: &TrainConfig,
+        rng: &mut impl Rng,
+    ) -> Result<EpochStats, NnError> {
+        let n = images.dims()[0];
+        if labels.len() != n {
+            return Err(NnError::Config(format!(
+                "{} labels for {n} images",
+                labels.len()
+            )));
+        }
+        if n == 0 {
+            return Ok(EpochStats::default());
+        }
+        let sample_len = images.len() / n;
+        let mut order: Vec<usize> = (0..n).collect();
+        if config.shuffle {
+            order.shuffle(rng);
+        }
+        let mut total_loss = 0.0f32;
+        let mut total_correct = 0usize;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            let mut dims = images.dims().to_vec();
+            dims[0] = chunk.len();
+            let mut data = Vec::with_capacity(chunk.len() * sample_len);
+            let mut batch_labels = Vec::with_capacity(chunk.len());
+            for &s in chunk {
+                data.extend_from_slice(&images.as_slice()[s * sample_len..(s + 1) * sample_len]);
+                batch_labels.push(labels[s]);
+            }
+            let bx = Tensor::from_vec(data, &dims)?;
+
+            net.zero_grad();
+            let shadows = self
+                .project(net)
+                .map_err(|e| NnError::Config(format!("qat projection: {e}")))?;
+            let result = (|| -> Result<_, NnError> {
+                let logits = net.forward(&bx, true)?;
+                let out = cross_entropy(&logits, &batch_labels)?;
+                net.backward(&out.grad_logits)?;
+                Ok(out)
+            })();
+            // Always restore the fp32 shadows, even on error.
+            self.restore(net, shadows);
+            let out = result?;
+            opt.step(net);
+            total_loss += out.loss;
+            total_correct += out.correct;
+            batches += 1;
+        }
+        Ok(EpochStats {
+            loss: total_loss / batches.max(1) as f32,
+            accuracy: total_correct as f32 / n as f32,
+        })
+    }
+
+    /// Permanently quantizes the network's rank ≥ 2 parameters (the final
+    /// deployment step after QAT).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError`] as in [`QatTrainer::project`].
+    pub fn finalize(&self, net: &mut Sequential) -> Result<(), QuantError> {
+        self.project(net).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_nn::{ActivationLayer, DenseLayer, Layer, Relu};
+
+    fn blobs(rng: &mut StdRng, n: usize) -> (Tensor, Vec<usize>) {
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2;
+            let c = if label == 0 { 0.25 } else { 0.75 };
+            data.push(c + rng.gen_range(-0.1..0.1f32));
+            data.push(c + rng.gen_range(-0.1..0.1f32));
+            labels.push(label);
+        }
+        (Tensor::from_vec(data, &[n, 2]).unwrap(), labels)
+    }
+
+    fn net(rng: &mut StdRng) -> Sequential {
+        Sequential::new(vec![
+            Layer::Dense(DenseLayer::new(2, 16, rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::Dense(DenseLayer::new(16, 2, rng)),
+        ])
+    }
+
+    #[test]
+    fn project_restore_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut n = net(&mut rng);
+        let mut before = Vec::new();
+        n.visit_params(&mut |p, _| before.push(p.clone()));
+
+        let trainer = QatTrainer::new(LogBase::inv_sqrt2(), 5);
+        let shadows = trainer.project(&mut n).unwrap();
+        // Weights must now be on the log grid (rank-2 params changed).
+        let mut quantized_weight_seen = false;
+        n.visit_params(&mut |p, _| {
+            if p.shape().rank() >= 2 {
+                for &v in p.as_slice() {
+                    if v != 0.0 {
+                        let l = v.abs().log2() * 2.0;
+                        assert!((l - l.round()).abs() < 1e-3, "off-grid weight {v}");
+                        quantized_weight_seen = true;
+                    }
+                }
+            }
+        });
+        assert!(quantized_weight_seen);
+        trainer.restore(&mut n, shadows);
+        let mut after = Vec::new();
+        n.visit_params(&mut |p, _| after.push(p.clone()));
+        assert_eq!(before, after, "restore must be exact");
+    }
+
+    #[test]
+    fn qat_learns_blobs_and_finalizes_on_grid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (images, labels) = blobs(&mut rng, 64);
+        let mut n = net(&mut rng);
+        let trainer = QatTrainer::new(LogBase::inv_sqrt2(), 5);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        let config = TrainConfig {
+            batch_size: 16,
+            shuffle: true,
+        };
+        let mut last = EpochStats::default();
+        for _ in 0..25 {
+            last = trainer
+                .train_epoch(&mut n, &mut opt, &images, &labels, &config, &mut rng)
+                .unwrap();
+        }
+        assert!(last.accuracy > 0.9, "qat accuracy {}", last.accuracy);
+        trainer.finalize(&mut n).unwrap();
+        // Deployed network performs with quantized weights.
+        let acc = snn_nn::evaluate(&mut n, &images, &labels, 16).unwrap();
+        assert!(acc > 0.9, "finalized accuracy {acc}");
+    }
+
+    /// QAT must beat post-training quantization at an aggressive bit width
+    /// — the paper's §5 improvement claim.
+    #[test]
+    fn qat_beats_ptq_at_low_bits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (images, labels) = blobs(&mut rng, 96);
+        let bits = 3u8;
+        let config = TrainConfig {
+            batch_size: 16,
+            shuffle: true,
+        };
+
+        // PTQ: train fp32, quantize afterwards.
+        let mut fp_net = net(&mut rng);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        for _ in 0..25 {
+            snn_nn::train_epoch(&mut fp_net, &mut opt, &images, &labels, &config, &mut rng)
+                .unwrap();
+        }
+        let trainer = QatTrainer::new(LogBase::pow2(), bits);
+        let mut ptq_net = fp_net.clone();
+        trainer.finalize(&mut ptq_net).unwrap();
+        let ptq_acc = snn_nn::evaluate(&mut ptq_net, &images, &labels, 16).unwrap();
+
+        // QAT: same budget, fake-quantized training.
+        let mut qat_net = net(&mut rng);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        for _ in 0..25 {
+            trainer
+                .train_epoch(&mut qat_net, &mut opt, &images, &labels, &config, &mut rng)
+                .unwrap();
+        }
+        trainer.finalize(&mut qat_net).unwrap();
+        let qat_acc = snn_nn::evaluate(&mut qat_net, &images, &labels, 16).unwrap();
+        assert!(
+            qat_acc >= ptq_acc,
+            "QAT ({qat_acc}) must not lose to PTQ ({ptq_acc}) at {bits} bits"
+        );
+    }
+}

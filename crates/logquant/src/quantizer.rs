@@ -1,0 +1,272 @@
+use serde::{Deserialize, Serialize};
+use snn_tensor::Tensor;
+
+use crate::{LogBase, QuantError};
+
+/// The hardware representation of one quantized weight: a sign, a zero
+/// flag, and an exponent *code* counting `log2_step`s below the full-scale
+/// range (eq. 15). With `b` bits: 1 sign bit and `b−1` exponent bits giving
+/// `2^(b−1) − 1` magnitude levels plus a dedicated zero code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LogCode {
+    /// True for negative weights.
+    pub negative: bool,
+    /// Exponent steps below FSR (0 = largest magnitude). Meaningless when
+    /// `zero`.
+    pub steps: u16,
+    /// Dedicated zero code (weights that underflow the range).
+    pub zero: bool,
+}
+
+impl LogCode {
+    /// The zero code.
+    pub fn zeroed() -> Self {
+        Self {
+            negative: false,
+            steps: 0,
+            zero: true,
+        }
+    }
+}
+
+/// Post-training logarithmic weight quantizer (eq. 15, after Vogel et al.).
+///
+/// Fitted to a weight population: the full-scale range (FSR) anchors at the
+/// largest magnitude, and every weight is rounded to the nearest power of
+/// the base below it, clipped to the representable window.
+///
+/// # Example
+///
+/// ```
+/// use snn_logquant::{LogBase, LogQuantizer};
+///
+/// # fn main() -> Result<(), snn_logquant::QuantError> {
+/// let q = LogQuantizer::fit(LogBase::inv_sqrt2(), 5, &[1.0, -0.5, 0.1])?;
+/// assert_eq!(q.levels(), 15); // 2^(5-1) - 1
+/// assert_eq!(q.quantize(1.0), 1.0); // FSR is exactly representable
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogQuantizer {
+    base: LogBase,
+    bits: u8,
+    fsr_log2: f32,
+}
+
+impl LogQuantizer {
+    /// Fits a quantizer to a weight population: FSR := max |w|.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadBitWidth`] for `bits < 2` and
+    /// [`QuantError::DegenerateRange`] when no weight is nonzero.
+    pub fn fit(base: LogBase, bits: u8, weights: &[f32]) -> Result<Self, QuantError> {
+        if bits < 2 {
+            return Err(QuantError::BadBitWidth(bits));
+        }
+        let max = weights.iter().fold(0.0f32, |m, &w| m.max(w.abs()));
+        if max <= 0.0 {
+            return Err(QuantError::DegenerateRange);
+        }
+        // Snap the FSR exponent *up* onto the base grid so that it is a
+        // representable hardware exponent (the log-domain PE shares this
+        // grid) and no weight exceeds the full-scale range.
+        let denom = base.denominator() as f32;
+        let fsr_log2 = (max.log2() * denom).ceil() / denom;
+        Ok(Self {
+            base,
+            bits,
+            fsr_log2,
+        })
+    }
+
+    /// Builds a quantizer with an explicit full-scale range (log2 of the
+    /// largest representable magnitude).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadBitWidth`] for `bits < 2`.
+    pub fn with_fsr(base: LogBase, bits: u8, fsr_log2: f32) -> Result<Self, QuantError> {
+        if bits < 2 {
+            return Err(QuantError::BadBitWidth(bits));
+        }
+        Ok(Self {
+            base,
+            bits,
+            fsr_log2,
+        })
+    }
+
+    /// The quantization base.
+    pub fn base(&self) -> LogBase {
+        self.base
+    }
+
+    /// Total bit width (1 sign + `bits−1` exponent bits).
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of representable magnitude levels (`2^(bits−1) − 1`).
+    pub fn levels(&self) -> u16 {
+        (1u16 << (self.bits - 1)) - 1
+    }
+
+    /// log₂ of the full-scale range.
+    pub fn fsr_log2(&self) -> f32 {
+        self.fsr_log2
+    }
+
+    /// Encodes a weight into its hardware code.
+    pub fn code(&self, w: f32) -> LogCode {
+        if w == 0.0 {
+            return LogCode::zeroed();
+        }
+        let step = self.base.log2_step();
+        let n = ((self.fsr_log2 - w.abs().log2()) / step).round();
+        let max_steps = (self.levels() - 1) as f32;
+        // Underflow far below the smallest level becomes zero; mild
+        // underflow clips to the smallest magnitude (Vogel's clip).
+        if n > max_steps + 0.5 / step + (self.levels() as f32) {
+            return LogCode::zeroed();
+        }
+        let steps = n.clamp(0.0, max_steps) as u16;
+        LogCode {
+            negative: w < 0.0,
+            steps,
+            zero: false,
+        }
+    }
+
+    /// Decodes a hardware code back to its real value.
+    pub fn decode(&self, code: LogCode) -> f32 {
+        if code.zero {
+            return 0.0;
+        }
+        let mag = (self.fsr_log2 - code.steps as f32 * self.base.log2_step()).exp2();
+        if code.negative {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Quantizes a weight (encode–decode round trip).
+    pub fn quantize(&self, w: f32) -> f32 {
+        self.decode(self.code(w))
+    }
+
+    /// Quantizes every element of a tensor.
+    pub fn quantize_tensor(&self, t: &Tensor) -> Tensor {
+        t.map(|w| self.quantize(w))
+    }
+
+    /// log₂ of the magnitude a code represents — the operand the log-domain
+    /// PE adds to the spike exponent (eq. 17).
+    pub fn code_log2(&self, code: LogCode) -> Option<f32> {
+        if code.zero {
+            None
+        } else {
+            Some(self.fsr_log2 - code.steps as f32 * self.base.log2_step())
+        }
+    }
+
+    /// Mean relative quantization error over a population (diagnostic used
+    /// by the Fig. 4 harness).
+    pub fn mean_relative_error(&self, weights: &[f32]) -> f32 {
+        let mut err = 0.0f32;
+        let mut n = 0usize;
+        for &w in weights {
+            if w.abs() > 0.0 {
+                err += (self.quantize(w) - w).abs() / w.abs();
+                n += 1;
+            }
+        }
+        err / n.max(1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q5() -> LogQuantizer {
+        LogQuantizer::fit(LogBase::inv_sqrt2(), 5, &[1.0, -0.5, 0.001]).unwrap()
+    }
+
+    #[test]
+    fn fsr_is_exact() {
+        let q = q5();
+        assert_eq!(q.quantize(1.0), 1.0);
+        assert_eq!(q.quantize(-1.0), -1.0);
+    }
+
+    #[test]
+    fn quantized_values_on_base_grid() {
+        let q = q5();
+        for &w in &[0.9f32, 0.3, -0.07, 0.5, -0.21] {
+            let v = q.quantize(w);
+            // log2|v| must be a multiple of 1/2 (inv_sqrt2 base).
+            let l = v.abs().log2() * 2.0;
+            assert!((l - l.round()).abs() < 1e-4, "w={w} v={v}");
+        }
+    }
+
+    #[test]
+    fn sign_preserved() {
+        let q = q5();
+        assert!(q.quantize(-0.3) < 0.0);
+        assert!(q.quantize(0.3) > 0.0);
+        assert_eq!(q.quantize(0.0), 0.0);
+    }
+
+    #[test]
+    fn five_bits_give_15_levels() {
+        assert_eq!(q5().levels(), 15);
+        let q4 = LogQuantizer::fit(LogBase::inv_sqrt2(), 4, &[1.0]).unwrap();
+        assert_eq!(q4.levels(), 7);
+    }
+
+    #[test]
+    fn deep_underflow_becomes_zero_mild_clips() {
+        let q = q5();
+        // Smallest level: 2^(0 - 14*0.5) = 2^-7 ~ 0.0078
+        assert_eq!(q.quantize(1e-12), 0.0);
+        let mild = q.quantize(0.004);
+        assert!(mild > 0.0, "mild underflow clips to smallest level");
+    }
+
+    #[test]
+    fn error_shrinks_with_bits_and_finer_base() {
+        let pop: Vec<f32> = (1..200).map(|i| (i as f32 * 0.005) * if i % 3 == 0 { -1.0 } else { 1.0 }).collect();
+        let e4 = LogQuantizer::fit(LogBase::inv_sqrt2(), 4, &pop).unwrap().mean_relative_error(&pop);
+        let e6 = LogQuantizer::fit(LogBase::inv_sqrt2(), 6, &pop).unwrap().mean_relative_error(&pop);
+        assert!(e6 < e4, "more bits must reduce error: {e6} vs {e4}");
+        let coarse = LogQuantizer::fit(LogBase::pow2(), 6, &pop).unwrap().mean_relative_error(&pop);
+        let fine = LogQuantizer::fit(LogBase::inv_4th_root2(), 6, &pop).unwrap().mean_relative_error(&pop);
+        assert!(fine < coarse, "finer base must reduce error at ample bits");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(
+            LogQuantizer::fit(LogBase::inv_sqrt2(), 1, &[1.0]),
+            Err(QuantError::BadBitWidth(1))
+        );
+        assert_eq!(
+            LogQuantizer::fit(LogBase::inv_sqrt2(), 5, &[0.0]),
+            Err(QuantError::DegenerateRange)
+        );
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        let q = q5();
+        for &w in &[0.77f32, -0.12, 0.031] {
+            let code = q.code(w);
+            assert_eq!(q.decode(code), q.quantize(w));
+        }
+        assert_eq!(q.decode(LogCode::zeroed()), 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+use std::fmt;
+
+/// A scalar activation function with a (possibly surrogate) derivative.
+///
+/// Implementations must be pure: `value` and `derivative` may be called in
+/// any order and must depend only on `x`. The derivative is evaluated at the
+/// *pre-activation* input, which is what the backward pass of
+/// [`crate::ActivationLayer`] supplies.
+///
+/// The conversion-aware training activations of the paper (φ_Clip, φ_TTFS)
+/// implement this trait in `ttfs-core`; this crate ships only the generic
+/// [`Relu`] and [`Identity`].
+///
+/// # Example
+///
+/// ```
+/// use snn_nn::{ActivationFn, Relu};
+///
+/// assert_eq!(Relu.value(-1.0), 0.0);
+/// assert_eq!(Relu.value(2.5), 2.5);
+/// assert_eq!(Relu.derivative(2.5), 1.0);
+/// ```
+pub trait ActivationFn: fmt::Debug + Send + Sync {
+    /// Forward value `f(x)`.
+    fn value(&self, x: f32) -> f32;
+
+    /// Derivative `df/dx` at `x` (surrogate/straight-through allowed).
+    fn derivative(&self, x: f32) -> f32;
+
+    /// Short name used in training logs (e.g. `"relu"`, `"clip"`, `"ttfs"`).
+    fn name(&self) -> &'static str;
+
+    /// Clones the activation into a box (object-safe clone).
+    fn boxed_clone(&self) -> Box<dyn ActivationFn>;
+}
+
+impl Clone for Box<dyn ActivationFn> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+/// Rectified linear unit, used during the initial CAT phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Relu;
+
+impl ActivationFn for Relu {
+    fn value(&self, x: f32) -> f32 {
+        x.max(0.0)
+    }
+
+    fn derivative(&self, x: f32) -> f32 {
+        if x > 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ActivationFn> {
+        Box::new(*self)
+    }
+}
+
+/// Identity activation (used by the output layer, which the paper leaves
+/// activation-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Identity;
+
+impl ActivationFn for Identity {
+    fn value(&self, x: f32) -> f32 {
+        x
+    }
+
+    fn derivative(&self, _x: f32) -> f32 {
+        1.0
+    }
+
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ActivationFn> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Relu.value(-3.0), 0.0);
+        assert_eq!(Relu.derivative(-3.0), 0.0);
+        assert_eq!(Relu.value(0.5), 0.5);
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        assert_eq!(Identity.value(-3.0), -3.0);
+        assert_eq!(Identity.derivative(123.0), 1.0);
+    }
+
+    #[test]
+    fn boxed_clone_preserves_behaviour() {
+        let b: Box<dyn ActivationFn> = Box::new(Relu);
+        let c = b.clone();
+        assert_eq!(c.value(-1.0), 0.0);
+        assert_eq!(c.name(), "relu");
+    }
+}

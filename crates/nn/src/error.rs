@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+use snn_tensor::ShapeError;
+
+/// Errors raised by the neural-network substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// A tensor operation rejected its operand shapes.
+    Shape(ShapeError),
+    /// `backward` was called before `forward` populated the layer cache.
+    MissingForward(&'static str),
+    /// The network or configuration is structurally invalid.
+    Config(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Shape(e) => write!(f, "{e}"),
+            NnError::MissingForward(layer) => {
+                write!(f, "backward called before forward on {layer} layer")
+            }
+            NnError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for NnError {
+    fn from(e: ShapeError) -> Self {
+        NnError::Shape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_each_variant() {
+        assert!(NnError::MissingForward("conv").to_string().contains("conv"));
+        assert!(NnError::Config("bad".into()).to_string().contains("bad"));
+        let s = NnError::from(ShapeError::new("zip", "a vs b")).to_string();
+        assert!(s.contains("zip"));
+    }
+}

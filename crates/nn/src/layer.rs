@@ -1,0 +1,131 @@
+use snn_tensor::Tensor;
+
+use crate::layers::activation::ActivationLayer;
+use crate::layers::batchnorm::BatchNorm2d;
+use crate::layers::conv::Conv2dLayer;
+use crate::layers::dense::DenseLayer;
+use crate::layers::dropout::DropoutLayer;
+use crate::layers::flatten::Flatten;
+use crate::layers::pool::{AvgPool2dLayer, MaxPool2dLayer};
+use crate::NnError;
+
+/// A network layer. Modeled as an enum (rather than trait objects) so that
+/// conversion and the CAT schedule can pattern-match on layer kinds without
+/// downcasting.
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// Trainable 2-D convolution.
+    Conv2d(Conv2dLayer),
+    /// Fully connected layer.
+    Dense(DenseLayer),
+    /// Inverted dropout (identity at inference; removed by conversion).
+    Dropout(DropoutLayer),
+    /// Batch normalization over channels.
+    BatchNorm2d(BatchNorm2d),
+    /// Max pooling.
+    MaxPool2d(MaxPool2dLayer),
+    /// Average pooling.
+    AvgPool2d(AvgPool2dLayer),
+    /// Flatten to `[N, rest]`.
+    Flatten(Flatten),
+    /// Elementwise activation with swappable function.
+    Activation(ActivationLayer),
+}
+
+impl Layer {
+    /// Forward pass. `train` selects batch statistics for BN layers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/config errors from the underlying layer.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        match self {
+            Layer::Conv2d(l) => l.forward(x),
+            Layer::Dense(l) => l.forward(x),
+            Layer::Dropout(l) => l.forward(x, train),
+            Layer::BatchNorm2d(l) => l.forward(x, train),
+            Layer::MaxPool2d(l) => l.forward(x),
+            Layer::AvgPool2d(l) => l.forward(x),
+            Layer::Flatten(l) => l.forward(x),
+            Layer::Activation(l) => l.forward(x),
+        }
+    }
+
+    /// Backward pass; accumulates parameter gradients where applicable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForward`] if `forward` has not run.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        match self {
+            Layer::Conv2d(l) => l.backward(grad_out),
+            Layer::Dense(l) => l.backward(grad_out),
+            Layer::Dropout(l) => l.backward(grad_out),
+            Layer::BatchNorm2d(l) => l.backward(grad_out),
+            Layer::MaxPool2d(l) => l.backward(grad_out),
+            Layer::AvgPool2d(l) => l.backward(grad_out),
+            Layer::Flatten(l) => l.backward(grad_out),
+            Layer::Activation(l) => l.backward(grad_out),
+        }
+    }
+
+    /// Visits every `(param, grad)` pair of the layer.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        match self {
+            Layer::Conv2d(l) => l.visit_params(f),
+            Layer::Dense(l) => l.visit_params(f),
+            Layer::BatchNorm2d(l) => l.visit_params(f),
+            _ => {}
+        }
+    }
+
+    /// Whether the layer carries trainable parameters.
+    pub fn has_params(&self) -> bool {
+        matches!(
+            self,
+            Layer::Conv2d(_) | Layer::Dense(_) | Layer::BatchNorm2d(_)
+        )
+    }
+
+    /// Short kind name for logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Layer::Conv2d(_) => "conv2d",
+            Layer::Dense(_) => "dense",
+            Layer::Dropout(_) => "dropout",
+            Layer::BatchNorm2d(_) => "batchnorm2d",
+            Layer::MaxPool2d(_) => "max_pool2d",
+            Layer::AvgPool2d(_) => "avg_pool2d",
+            Layer::Flatten(_) => "flatten",
+            Layer::Activation(_) => "activation",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Relu;
+
+    #[test]
+    fn kinds_and_params() {
+        let act = Layer::Activation(ActivationLayer::new(Box::new(Relu)));
+        assert_eq!(act.kind(), "activation");
+        assert!(!act.has_params());
+        let bn = Layer::BatchNorm2d(BatchNorm2d::new(4));
+        assert!(bn.has_params());
+    }
+
+    #[test]
+    fn visit_params_counts() {
+        let mut bn = Layer::BatchNorm2d(BatchNorm2d::new(4));
+        let mut count = 0;
+        bn.visit_params(&mut |_, _| count += 1);
+        assert_eq!(count, 2); // gamma and beta
+
+        let mut fl = Layer::Flatten(Flatten::new());
+        let mut count = 0;
+        fl.visit_params(&mut |_, _| count += 1);
+        assert_eq!(count, 0);
+    }
+}

@@ -1,0 +1,111 @@
+use snn_tensor::Tensor;
+
+use crate::{ActivationFn, NnError};
+
+/// Elementwise activation layer whose function can be swapped mid-training.
+///
+/// This is the mechanism behind conversion-aware training: the CAT schedule
+/// replaces every activation layer's function at its switch epochs
+/// (`ReLU → φ_Clip → φ_TTFS`) via [`ActivationLayer::set_function`].
+///
+/// # Example
+///
+/// ```
+/// use snn_nn::{ActivationLayer, Identity, Relu};
+/// use snn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), snn_nn::NnError> {
+/// let mut layer = ActivationLayer::new(Box::new(Relu));
+/// let y = layer.forward(&Tensor::from_slice(&[-1.0, 2.0]))?;
+/// assert_eq!(y.as_slice(), &[0.0, 2.0]);
+/// layer.set_function(Box::new(Identity));
+/// assert_eq!(layer.function_name(), "identity");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActivationLayer {
+    f: Box<dyn ActivationFn>,
+    cached_input: Option<Tensor>,
+}
+
+impl ActivationLayer {
+    /// Creates an activation layer.
+    pub fn new(f: Box<dyn ActivationFn>) -> Self {
+        Self {
+            f,
+            cached_input: None,
+        }
+    }
+
+    /// Replaces the activation function (CAT switch hook).
+    pub fn set_function(&mut self, f: Box<dyn ActivationFn>) {
+        self.f = f;
+    }
+
+    /// Name of the current activation function.
+    pub fn function_name(&self) -> &'static str {
+        self.f.name()
+    }
+
+    /// Borrow of the current activation function.
+    pub fn function(&self) -> &dyn ActivationFn {
+        self.f.as_ref()
+    }
+
+    /// Forward pass, any shape.
+    ///
+    /// # Errors
+    ///
+    /// This method currently cannot fail but returns `Result` for interface
+    /// uniformity with the other layers.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        self.cached_input = Some(x.clone());
+        Ok(x.map(|v| self.f.value(v)))
+    }
+
+    /// Backward pass: `dL/dx = dL/dy · f'(x)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForward`] if called before `forward`, or
+    /// [`NnError::Shape`] if the gradient shape differs from the input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::MissingForward("activation"))?;
+        Ok(grad_out.zip(x, |g, xv| g * self.f.derivative(xv))?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Relu;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut layer = ActivationLayer::new(Box::new(Relu));
+        let x = Tensor::from_slice(&[-2.0, 3.0]);
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 3.0]);
+        let g = layer.backward(&Tensor::from_slice(&[1.0, 1.0])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn swap_function_changes_behaviour() {
+        use crate::Identity;
+        let mut layer = ActivationLayer::new(Box::new(Relu));
+        layer.set_function(Box::new(Identity));
+        let y = layer.forward(&Tensor::from_slice(&[-2.0])).unwrap();
+        assert_eq!(y.as_slice(), &[-2.0]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut layer = ActivationLayer::new(Box::new(Relu));
+        assert!(layer.backward(&Tensor::from_slice(&[1.0])).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+use snn_tensor::Tensor;
+
+use crate::NnError;
+
+/// Numerical-stability epsilon used in the variance denominator.
+pub const BN_EPS: f32 = 1e-5;
+
+/// Batch normalization over the channel axis of NCHW tensors.
+///
+/// Training mode normalizes with batch statistics and maintains running
+/// estimates (momentum 0.1, PyTorch convention); evaluation mode uses the
+/// running estimates. During ANN→SNN conversion the affine+running
+/// parameters are *fused* into the preceding convolution (see
+/// `ttfs-core::convert`), which is why they are exposed read-only here.
+///
+/// # Example
+///
+/// ```
+/// use snn_nn::BatchNorm2d;
+/// use snn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), snn_nn::NnError> {
+/// let mut bn = BatchNorm2d::new(3);
+/// let x = Tensor::zeros(&[2, 3, 4, 4]);
+/// let y = bn.forward(&x, true)?;
+/// assert_eq!(y.dims(), x.dims());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a BN layer for `channels` feature maps (γ=1, β=0).
+    pub fn new(channels: usize) -> Self {
+        Self {
+            gamma: Tensor::full(&[channels], 1.0),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::full(&[channels], 1.0),
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Scale parameter γ.
+    pub fn gamma(&self) -> &Tensor {
+        &self.gamma
+    }
+
+    /// Shift parameter β.
+    pub fn beta(&self) -> &Tensor {
+        &self.beta
+    }
+
+    /// Running mean estimate (inference statistics).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Running variance estimate (inference statistics).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    /// Overrides the inference statistics (used in tests and conversion).
+    pub fn set_running_stats(&mut self, mean: Tensor, var: Tensor) -> Result<(), NnError> {
+        if mean.dims() != self.gamma.dims() || var.dims() != self.gamma.dims() {
+            return Err(NnError::Config(format!(
+                "running stats {:?}/{:?} vs {} channels",
+                mean.dims(),
+                var.dims(),
+                self.channels()
+            )));
+        }
+        self.running_mean = mean;
+        self.running_var = var;
+        Ok(())
+    }
+
+    /// Forward pass; `train` selects batch vs running statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `x` is not NCHW with matching channels.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        let d = x.dims();
+        if d.len() != 4 || d[1] != self.channels() {
+            return Err(NnError::Config(format!(
+                "batchnorm input {:?} vs {} channels",
+                d,
+                self.channels()
+            )));
+        }
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let src = x.as_slice();
+
+        let mut out = vec![0.0f32; src.len()];
+        let mut x_hat = vec![0.0f32; src.len()];
+        let mut inv_std = vec![0.0f32; c];
+
+        for ci in 0..c {
+            let (mean, var) = if train {
+                let mut mean = 0.0f32;
+                for s in 0..n {
+                    let base = (s * c + ci) * plane;
+                    mean += src[base..base + plane].iter().sum::<f32>();
+                }
+                mean /= m;
+                let mut var = 0.0f32;
+                for s in 0..n {
+                    let base = (s * c + ci) * plane;
+                    var += src[base..base + plane]
+                        .iter()
+                        .map(|&v| (v - mean) * (v - mean))
+                        .sum::<f32>();
+                }
+                var /= m;
+                let rm = self.running_mean.as_mut_slice();
+                rm[ci] = (1.0 - self.momentum) * rm[ci] + self.momentum * mean;
+                // Unbiased variance in running estimate, PyTorch convention.
+                let unbiased = if m > 1.0 { var * m / (m - 1.0) } else { var };
+                let rv = self.running_var.as_mut_slice();
+                rv[ci] = (1.0 - self.momentum) * rv[ci] + self.momentum * unbiased;
+                (mean, var)
+            } else {
+                (
+                    self.running_mean.as_slice()[ci],
+                    self.running_var.as_slice()[ci],
+                )
+            };
+            let istd = 1.0 / (var + BN_EPS).sqrt();
+            inv_std[ci] = istd;
+            let g = self.gamma.as_slice()[ci];
+            let b = self.beta.as_slice()[ci];
+            for s in 0..n {
+                let base = (s * c + ci) * plane;
+                for i in 0..plane {
+                    let xh = (src[base + i] - mean) * istd;
+                    x_hat[base + i] = xh;
+                    out[base + i] = g * xh + b;
+                }
+            }
+        }
+
+        if train {
+            self.cache = Some(BnCache {
+                x_hat: Tensor::from_vec(x_hat, d)?,
+                inv_std,
+            });
+        }
+        Ok(Tensor::from_vec(out, d)?)
+    }
+
+    /// Backward pass (training statistics); accumulates γ/β gradients and
+    /// returns `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForward`] if called before a training-mode
+    /// `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::MissingForward("batchnorm"))?;
+        let d = grad_out.dims();
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let g = grad_out.as_slice();
+        let xh = cache.x_hat.as_slice();
+        let mut gin = vec![0.0f32; g.len()];
+
+        for ci in 0..c {
+            let mut sum_g = 0.0f32;
+            let mut sum_gx = 0.0f32;
+            for s in 0..n {
+                let base = (s * c + ci) * plane;
+                for i in 0..plane {
+                    sum_g += g[base + i];
+                    sum_gx += g[base + i] * xh[base + i];
+                }
+            }
+            self.grad_beta.as_mut_slice()[ci] += sum_g;
+            self.grad_gamma.as_mut_slice()[ci] += sum_gx;
+
+            let gamma = self.gamma.as_slice()[ci];
+            let istd = cache.inv_std[ci];
+            let mean_g = sum_g / m;
+            let mean_gx = sum_gx / m;
+            for s in 0..n {
+                let base = (s * c + ci) * plane;
+                for i in 0..plane {
+                    gin[base + i] =
+                        gamma * istd * (g[base + i] - mean_g - xh[base + i] * mean_gx);
+                }
+            }
+        }
+        Ok(Tensor::from_vec(gin, d)?)
+    }
+
+    /// Visits `(param, grad)` pairs: γ then β.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.gamma, &mut self.grad_gamma);
+        f(&mut self.beta, &mut self.grad_beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, // c0 of sample 0
+                10.0, 20.0, 30.0, 40.0, // c1 of sample 0
+                -1.0, -2.0, -3.0, -4.0, // c0 of sample 1
+                -10.0, -20.0, -30.0, -40.0, // c1 of sample 1
+            ],
+            &[2, 2, 2, 2],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn train_output_is_normalized() {
+        let mut bn = BatchNorm2d::new(2);
+        let y = bn.forward(&sample(), true).unwrap();
+        // Per-channel mean should be ~0 and variance ~1 after normalization.
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for s in 0..2 {
+                for i in 0..4 {
+                    vals.push(y.as_slice()[(s * 2 + ci) * 4 + i]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.set_running_stats(Tensor::from_slice(&[2.0]), Tensor::from_slice(&[4.0]))
+            .unwrap();
+        let x = Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]).unwrap();
+        let y = bn.forward(&x, false).unwrap();
+        // (4 - 2) / sqrt(4 + eps) ~ 1.0
+        assert!((y.as_slice()[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_gradient_sums_to_zero_per_channel() {
+        // BN's dx has zero mean per channel when gamma is constant — a known
+        // analytic property we can verify directly.
+        let mut bn = BatchNorm2d::new(2);
+        let x = sample();
+        bn.forward(&x, true).unwrap();
+        let g = Tensor::from_vec((0..16).map(|i| i as f32 * 0.1).collect(), &[2, 2, 2, 2]).unwrap();
+        let gin = bn.backward(&g).unwrap();
+        for ci in 0..2 {
+            let mut sum = 0.0f32;
+            for s in 0..2 {
+                for i in 0..4 {
+                    sum += gin.as_slice()[(s * 2 + ci) * 4 + i];
+                }
+            }
+            assert!(sum.abs() < 1e-4, "channel {ci} grad sum {sum}");
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1], &[2, 1, 1, 2]).unwrap();
+        // Loss: sum of BN output times fixed weights.
+        let wv = [1.0f32, -2.0, 0.5, 3.0];
+        let y = bn.forward(&x, true).unwrap();
+        let g = Tensor::from_vec(wv.to_vec(), y.dims()).unwrap();
+        let gin = bn.backward(&g).unwrap();
+
+        let eps = 1e-3;
+        for flat in 0..4 {
+            let loss = |x: &Tensor| {
+                let mut bn2 = BatchNorm2d::new(1);
+                let y = bn2.forward(x, true).unwrap();
+                y.as_slice()
+                    .iter()
+                    .zip(wv.iter())
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>()
+            };
+            let mut xp = x.clone();
+            xp.as_mut_slice()[flat] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[flat] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (num - gin.as_slice()[flat]).abs() < 2e-2,
+                "at {flat}: numeric {num} vs analytic {}",
+                gin.as_slice()[flat]
+            );
+        }
+    }
+
+    #[test]
+    fn set_running_stats_validates_shape() {
+        let mut bn = BatchNorm2d::new(2);
+        assert!(bn
+            .set_running_stats(Tensor::zeros(&[3]), Tensor::zeros(&[2]))
+            .is_err());
+    }
+}

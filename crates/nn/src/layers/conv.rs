@@ -1,0 +1,187 @@
+use rand::Rng;
+use snn_tensor::{
+    conv2d, conv2d_backward_input, conv2d_backward_weight, kaiming_normal, Conv2dSpec, Tensor,
+};
+
+use crate::NnError;
+
+/// Trainable 2-D convolution layer (NCHW).
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use snn_nn::Conv2dLayer;
+/// use snn_tensor::{Conv2dSpec, Tensor};
+///
+/// # fn main() -> Result<(), snn_nn::NnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut layer = Conv2dLayer::new(Conv2dSpec::new(3, 8, 3, 1, 1), &mut rng);
+/// let y = layer.forward(&Tensor::zeros(&[1, 3, 8, 8]))?;
+/// assert_eq!(y.dims(), &[1, 8, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2dLayer {
+    spec: Conv2dSpec,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2dLayer {
+    /// Creates a convolution layer with Kaiming-normal weights, zero bias.
+    pub fn new(spec: Conv2dSpec, rng: &mut impl Rng) -> Self {
+        let fan_in = spec.col_rows();
+        let dims = [spec.out_channels, spec.in_channels, spec.kernel, spec.kernel];
+        Self {
+            spec,
+            weight: kaiming_normal(&dims, fan_in, rng),
+            bias: Tensor::zeros(&[spec.out_channels]),
+            grad_weight: Tensor::zeros(&dims),
+            grad_bias: Tensor::zeros(&[spec.out_channels]),
+            cached_input: None,
+        }
+    }
+
+    /// Builds a layer from explicit parameters (used by BN fusion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] if parameter shapes disagree with `spec`.
+    pub fn from_params(spec: Conv2dSpec, weight: Tensor, bias: Tensor) -> Result<Self, NnError> {
+        let expect = [spec.out_channels, spec.in_channels, spec.kernel, spec.kernel];
+        if weight.dims() != expect {
+            return Err(NnError::Config(format!(
+                "conv weight {:?} vs spec {:?}",
+                weight.dims(),
+                expect
+            )));
+        }
+        if bias.dims() != [spec.out_channels] {
+            return Err(NnError::Config(format!(
+                "conv bias {:?} vs out channels {}",
+                bias.dims(),
+                spec.out_channels
+            )));
+        }
+        let gw = Tensor::zeros(weight.dims());
+        let gb = Tensor::zeros(bias.dims());
+        Ok(Self {
+            spec,
+            weight,
+            bias,
+            grad_weight: gw,
+            grad_bias: gb,
+            cached_input: None,
+        })
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+
+    /// Borrow of the weight `[out_c, in_c, k, k]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable borrow of the weight (conversion/quantization hook).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// Borrow of the bias `[out_c]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable borrow of the bias.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Forward pass for input `[N, C, H, W]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] on operand mismatch.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        let y = conv2d(x, &self.weight, Some(&self.bias), &self.spec)?;
+        self.cached_input = Some(x.clone());
+        Ok(y)
+    }
+
+    /// Backward pass; accumulates parameter gradients and returns `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForward`] if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::MissingForward("conv2d"))?;
+        let (gw, gb) = conv2d_backward_weight(x, grad_out, &self.spec)?;
+        self.grad_weight.axpy(1.0, &gw)?;
+        self.grad_bias.axpy(1.0, &gb)?;
+        let hw = (x.dims()[2], x.dims()[3]);
+        Ok(conv2d_backward_input(grad_out, &self.weight, &self.spec, hw)?)
+    }
+
+    /// Visits `(param, grad)` pairs, weight first.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Conv2dLayer::new(Conv2dSpec::new(2, 4, 3, 1, 1), &mut rng);
+        let y = layer.forward(&Tensor::zeros(&[2, 2, 6, 6])).unwrap();
+        assert_eq!(y.dims(), &[2, 4, 6, 6]);
+    }
+
+    #[test]
+    fn weight_gradient_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Conv2dLayer::new(Conv2dSpec::new(1, 2, 3, 1, 1), &mut rng);
+        let x = kaiming_normal(&[1, 1, 4, 4], 9, &mut rng);
+        let y = layer.forward(&x).unwrap();
+        layer.backward(&Tensor::full(y.dims(), 1.0)).unwrap();
+
+        let eps = 1e-3;
+        for &flat in &[0usize, 8, 17] {
+            let mut lp = layer.clone();
+            lp.weight_mut().as_mut_slice()[flat] += eps;
+            let mut lm = layer.clone();
+            lm.weight_mut().as_mut_slice()[flat] -= eps;
+            let num = (lp.forward(&x).unwrap().sum() - lm.forward(&x).unwrap().sum()) / (2.0 * eps);
+            assert!(
+                (num - layer.grad_weight.as_slice()[flat]).abs() < 1e-2,
+                "at {flat}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_params_validates_shapes() {
+        let spec = Conv2dSpec::new(1, 2, 3, 1, 1);
+        assert!(Conv2dLayer::from_params(spec, Tensor::zeros(&[2, 1, 3, 3]), Tensor::zeros(&[2]))
+            .is_ok());
+        assert!(Conv2dLayer::from_params(spec, Tensor::zeros(&[2, 2, 3, 3]), Tensor::zeros(&[2]))
+            .is_err());
+    }
+}

@@ -1,0 +1,209 @@
+use rand::Rng;
+use snn_tensor::{gemm, kaiming_normal, Tensor, Transpose};
+
+use crate::NnError;
+
+/// Fully connected layer `y = x Wᵀ + b` with weight `[out, in]`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use snn_nn::DenseLayer;
+/// use snn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), snn_nn::NnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut layer = DenseLayer::new(3, 2, &mut rng);
+/// let x = Tensor::zeros(&[4, 3]);
+/// let y = layer.forward(&x)?;
+/// assert_eq!(y.dims(), &[4, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseLayer {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl DenseLayer {
+    /// Creates a dense layer with Kaiming-normal weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            weight: kaiming_normal(&[out_features, in_features], in_features, rng),
+            bias: Tensor::zeros(&[out_features]),
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// Builds a layer from explicit parameters (used by conversion code).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] if `weight` is not rank-2 or `bias` length
+    /// differs from the output features.
+    pub fn from_params(weight: Tensor, bias: Tensor) -> Result<Self, NnError> {
+        if weight.shape().rank() != 2 {
+            return Err(NnError::Config(format!(
+                "dense weight must be rank-2, got {:?}",
+                weight.dims()
+            )));
+        }
+        if bias.dims() != [weight.dims()[0]] {
+            return Err(NnError::Config(format!(
+                "dense bias {:?} vs out features {}",
+                bias.dims(),
+                weight.dims()[0]
+            )));
+        }
+        let gw = Tensor::zeros(weight.dims());
+        let gb = Tensor::zeros(bias.dims());
+        Ok(Self {
+            weight,
+            bias,
+            grad_weight: gw,
+            grad_bias: gb,
+            cached_input: None,
+        })
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Borrow of the weight matrix `[out, in]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable borrow of the weight matrix (used by conversion/quantization).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// Borrow of the bias vector `[out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable borrow of the bias vector.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Forward pass for input `[N, in]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] on input shape mismatch.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        let y = gemm(x, Transpose::No, &self.weight, Transpose::Yes)?;
+        let n = y.dims()[0];
+        let out = self.out_features();
+        let mut y = y;
+        let data = y.as_mut_slice();
+        for s in 0..n {
+            for (o, &b) in self.bias.as_slice().iter().enumerate() {
+                data[s * out + o] += b;
+            }
+        }
+        self.cached_input = Some(x.clone());
+        Ok(y)
+    }
+
+    /// Backward pass; accumulates parameter gradients and returns `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForward`] if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::MissingForward("dense"))?;
+        // dW = g^T x ; db = sum_n g ; dx = g W
+        let gw = gemm(grad_out, Transpose::Yes, x, Transpose::No)?;
+        self.grad_weight.axpy(1.0, &gw)?;
+        let (n, out) = (grad_out.dims()[0], grad_out.dims()[1]);
+        for s in 0..n {
+            for o in 0..out {
+                self.grad_bias.as_mut_slice()[o] += grad_out.as_slice()[s * out + o];
+            }
+        }
+        Ok(gemm(grad_out, Transpose::No, &self.weight, Transpose::No)?)
+    }
+
+    /// Visits `(param, grad)` pairs, weight first.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_affine() {
+        let weight = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let bias = Tensor::from_slice(&[10.0, 20.0]);
+        let mut layer = DenseLayer::from_params(weight, bias).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 0.0, -1.0], &[1, 3]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[1.0 - 3.0 + 10.0, 4.0 - 6.0 + 20.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = DenseLayer::new(3, 2, &mut rng);
+        let g = Tensor::zeros(&[1, 2]);
+        assert_eq!(
+            layer.backward(&g),
+            Err(NnError::MissingForward("dense"))
+        );
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = DenseLayer::new(4, 3, &mut rng);
+        let x = kaiming_normal(&[2, 4], 4, &mut rng);
+        let y = layer.forward(&x).unwrap();
+        let g = Tensor::full(y.dims(), 1.0);
+        let gx = layer.backward(&g).unwrap();
+
+        let eps = 1e-3;
+        for &flat in &[0usize, 3, 7] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[flat] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[flat] -= eps;
+            let lp = layer.forward(&xp).unwrap().sum();
+            let lm = layer.forward(&xm).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gx.as_slice()[flat]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn from_params_validates() {
+        assert!(DenseLayer::from_params(Tensor::zeros(&[2, 3, 1]), Tensor::zeros(&[2])).is_err());
+        assert!(DenseLayer::from_params(Tensor::zeros(&[2, 3]), Tensor::zeros(&[3])).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snn_tensor::Tensor;
+
+use crate::NnError;
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`; evaluation is the
+/// identity. VGG-16's classifier stages traditionally use `p = 0.5`.
+///
+/// The layer owns a seeded RNG so training runs stay reproducible without
+/// threading an RNG through the `Layer` API.
+///
+/// # Example
+///
+/// ```
+/// use snn_nn::DropoutLayer;
+/// use snn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), snn_nn::NnError> {
+/// let mut layer = DropoutLayer::new(0.5, 42);
+/// let x = Tensor::full(&[4, 8], 1.0);
+/// let eval = layer.forward(&x, false)?; // identity in eval mode
+/// assert_eq!(eval.as_slice(), x.as_slice());
+/// let train = layer.forward(&x, true)?; // zeros and 2.0-scaled survivors
+/// assert!(train.as_slice().iter().all(|&v| v == 0.0 || v == 2.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DropoutLayer {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Tensor>,
+}
+
+impl DropoutLayer {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Self {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+
+    /// Forward pass; identity when `train` is false.
+    ///
+    /// # Errors
+    ///
+    /// This method cannot currently fail; `Result` keeps the layer API
+    /// uniform.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return Ok(x.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..x.len())
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, x.dims())?;
+        let y = x.mul(&mask)?;
+        self.mask = Some(mask);
+        Ok(y)
+    }
+
+    /// Backward pass: gradients flow only through kept elements, with the
+    /// same scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForward`] if called before a training-mode
+    /// `forward` (eval-mode forwards clear the mask and make backward the
+    /// identity).
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        match &self.mask {
+            Some(mask) => Ok(grad_out.mul(mask)?),
+            None => Ok(grad_out.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = DropoutLayer::new(0.5, 0);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.forward(&x, false).unwrap(), x);
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut d = DropoutLayer::new(0.5, 1);
+        let x = Tensor::full(&[1, 10_000], 1.0);
+        let y = d.forward(&x, true).unwrap();
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout keeps E[x]: {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = DropoutLayer::new(0.5, 2);
+        let x = Tensor::full(&[1, 64], 1.0);
+        let y = d.forward(&x, true).unwrap();
+        let g = d.backward(&Tensor::full(&[1, 64], 1.0)).unwrap();
+        // Gradient flows exactly where the forward survived.
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(yv == &0.0, gv == &0.0);
+        }
+    }
+
+    #[test]
+    fn zero_p_is_identity_even_in_train() {
+        let mut d = DropoutLayer::new(0.0, 3);
+        let x = Tensor::from_slice(&[1.0, -2.0]);
+        assert_eq!(d.forward(&x, true).unwrap(), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn rejects_p_one() {
+        let _ = DropoutLayer::new(1.0, 0);
+    }
+}

@@ -1,0 +1,68 @@
+use snn_tensor::Tensor;
+
+use crate::NnError;
+
+/// Flattens `[N, C, H, W]` (or any rank ≥ 2) to `[N, rest]`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] if `x` is rank-0 or rank-1 (no batch axis).
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        if x.shape().rank() < 2 {
+            return Err(NnError::Config(format!(
+                "flatten needs a batch axis, got shape {:?}",
+                x.dims()
+            )));
+        }
+        self.input_dims = Some(x.dims().to_vec());
+        let n = x.dims()[0];
+        let rest = x.len() / n.max(1);
+        Ok(x.reshape(&[n, rest])?)
+    }
+
+    /// Backward pass: reshapes the gradient back to the cached input dims.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForward`] if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::MissingForward("flatten"))?;
+        Ok(grad_out.reshape(dims)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = f.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 48]);
+        let g = f.backward(&Tensor::zeros(&[2, 48])).unwrap();
+        assert_eq!(g.dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_vectors() {
+        let mut f = Flatten::new();
+        assert!(f.forward(&Tensor::zeros(&[5])).is_err());
+    }
+}

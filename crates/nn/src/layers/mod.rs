@@ -1,0 +1,7 @@
+pub mod activation;
+pub mod batchnorm;
+pub mod conv;
+pub mod dense;
+pub mod dropout;
+pub mod flatten;
+pub mod pool;

@@ -1,0 +1,127 @@
+use snn_tensor::{
+    avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, Pool2dSpec, Tensor,
+};
+
+use crate::NnError;
+
+/// Max-pooling layer (VGG uses 2×2/stride-2).
+#[derive(Debug, Clone)]
+pub struct MaxPool2dLayer {
+    spec: Pool2dSpec,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input dims)
+}
+
+impl MaxPool2dLayer {
+    /// Creates a max-pooling layer.
+    pub fn new(window: usize, stride: usize) -> Self {
+        Self {
+            spec: Pool2dSpec::new(window, stride),
+            cache: None,
+        }
+    }
+
+    /// The pooling geometry.
+    pub fn spec(&self) -> &Pool2dSpec {
+        &self.spec
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `x` is not rank-4.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        let (y, arg) = max_pool2d(x, &self.spec)?;
+        self.cache = Some((arg, x.dims().to_vec()));
+        Ok(y)
+    }
+
+    /// Backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForward`] if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let (arg, dims) = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::MissingForward("max_pool2d"))?;
+        Ok(max_pool2d_backward(grad_out, arg, dims)?)
+    }
+}
+
+/// Average-pooling layer.
+#[derive(Debug, Clone)]
+pub struct AvgPool2dLayer {
+    spec: Pool2dSpec,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2dLayer {
+    /// Creates an average-pooling layer.
+    pub fn new(window: usize, stride: usize) -> Self {
+        Self {
+            spec: Pool2dSpec::new(window, stride),
+            input_dims: None,
+        }
+    }
+
+    /// The pooling geometry.
+    pub fn spec(&self) -> &Pool2dSpec {
+        &self.spec
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `x` is not rank-4.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        self.input_dims = Some(x.dims().to_vec());
+        Ok(avg_pool2d(x, &self.spec)?)
+    }
+
+    /// Backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForward`] if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::MissingForward("avg_pool2d"))?;
+        Ok(avg_pool2d_backward(grad_out, &self.spec, dims)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_roundtrip() {
+        let mut layer = MaxPool2dLayer::new(2, 2);
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        let gin = layer.backward(&Tensor::full(&[1, 1, 2, 2], 1.0)).unwrap();
+        assert_eq!(gin.sum(), 4.0);
+    }
+
+    #[test]
+    fn avg_pool_roundtrip() {
+        let mut layer = AvgPool2dLayer::new(2, 2);
+        let x = Tensor::full(&[1, 1, 4, 4], 2.0);
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+        let gin = layer.backward(&Tensor::full(&[1, 1, 2, 2], 4.0)).unwrap();
+        assert_eq!(gin.as_slice(), &[1.0f32; 16] as &[f32]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut layer = MaxPool2dLayer::new(2, 2);
+        assert!(layer.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+}

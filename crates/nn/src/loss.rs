@@ -1,0 +1,162 @@
+use snn_tensor::Tensor;
+
+use crate::NnError;
+
+/// Softmax over the last axis of a `[N, classes]` tensor (numerically
+/// stabilized by max subtraction).
+///
+/// # Errors
+///
+/// Returns [`NnError::Config`] if `logits` is not rank-2.
+pub fn softmax(logits: &Tensor) -> Result<Tensor, NnError> {
+    if logits.shape().rank() != 2 {
+        return Err(NnError::Config(format!(
+            "softmax expects [N, classes], got {:?}",
+            logits.dims()
+        )));
+    }
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    let src = logits.as_slice();
+    let mut out = vec![0.0f32; n * c];
+    for s in 0..n {
+        let row = &src[s * c..(s + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for (o, &x) in out[s * c..(s + 1) * c].iter_mut().zip(row.iter()) {
+            let e = (x - m).exp();
+            *o = e;
+            z += e;
+        }
+        for o in &mut out[s * c..(s + 1) * c] {
+            *o /= z;
+        }
+    }
+    Ok(Tensor::from_vec(out, logits.dims())?)
+}
+
+/// Result of the fused softmax cross-entropy loss.
+#[derive(Debug, Clone)]
+pub struct CrossEntropyOutput {
+    /// Mean negative log-likelihood over the batch.
+    pub loss: f32,
+    /// Gradient with respect to the logits, already divided by batch size.
+    pub grad_logits: Tensor,
+    /// Number of correct argmax predictions in the batch.
+    pub correct: usize,
+}
+
+/// Fused softmax + cross-entropy with integer class labels.
+///
+/// # Errors
+///
+/// Returns [`NnError::Config`] if shapes disagree or a label is out of
+/// range.
+///
+/// # Example
+///
+/// ```
+/// use snn_nn::cross_entropy;
+/// use snn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), snn_nn::NnError> {
+/// let logits = Tensor::from_vec(vec![5.0, 0.0, 0.0, 5.0], &[2, 2])?;
+/// let out = cross_entropy(&logits, &[0, 1])?;
+/// assert_eq!(out.correct, 2);
+/// assert!(out.loss < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<CrossEntropyOutput, NnError> {
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != n {
+        return Err(NnError::Config(format!(
+            "{} labels for batch of {n}",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= c) {
+        return Err(NnError::Config(format!("label {bad} out of range 0..{c}")));
+    }
+    let probs = softmax(logits)?;
+    let p = probs.as_slice();
+    let mut loss = 0.0f32;
+    let mut correct = 0usize;
+    let mut grad = probs.clone();
+    let g = grad.as_mut_slice();
+    let inv_n = 1.0 / n as f32;
+    for (s, &label) in labels.iter().enumerate() {
+        let row = &p[s * c..(s + 1) * c];
+        loss -= row[label].max(1e-12).ln();
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if pred == label {
+            correct += 1;
+        }
+        g[s * c + label] -= 1.0;
+    }
+    for v in g.iter_mut() {
+        *v *= inv_n;
+    }
+    Ok(CrossEntropyOutput {
+        loss: loss * inv_n,
+        grad_logits: grad,
+        correct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let p = softmax(&logits).unwrap();
+        for s in 0..2 {
+            let sum: f32 = p.as_slice()[s * 3..(s + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let b = a.map(|x| x + 100.0);
+        assert!(softmax(&a).unwrap().allclose(&softmax(&b).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_c_loss() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let out = cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[1, 3]).unwrap();
+        let out = cross_entropy(&logits, &[2]).unwrap();
+        let eps = 1e-3;
+        for flat in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[flat] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[flat] -= eps;
+            let num = (cross_entropy(&lp, &[2]).unwrap().loss
+                - cross_entropy(&lm, &[2]).unwrap().loss)
+                / (2.0 * eps);
+            assert!((num - out.grad_logits.as_slice()[flat]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(cross_entropy(&logits, &[0]).is_err());
+        assert!(cross_entropy(&logits, &[0, 3]).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Model zoo: the VGG-16 network the paper trains and deploys.
+
+use rand::Rng;
+use snn_tensor::Conv2dSpec;
+
+use crate::{
+    ActivationLayer, BatchNorm2d, Conv2dLayer, DenseLayer, Flatten, Layer, MaxPool2dLayer, Relu,
+    Sequential,
+};
+
+/// Builds the VGG-16 network of the paper (13 conv + 3 dense layers,
+/// conv-BN-ReLU blocks, 2×2 max pooling after each stage) for a square
+/// RGB input of side `input_side` and `classes` outputs.
+///
+/// The paper trains this graph with CAT on CIFAR-10/100 (32×32) and
+/// Tiny-ImageNet (64×64); its activations are later swapped to
+/// φ_Clip/φ_TTFS by the CAT schedule, and the graph converts to an SNN
+/// model with 16 weighted layers (Table 2 latency `T × 17`).
+///
+/// # Panics
+///
+/// Panics if `input_side` is not divisible by 32 (five 2× poolings).
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use snn_nn::models::vgg16;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let net = vgg16(32, 10, &mut rng);
+/// // 13 conv + 13 BN + 16 act (13 conv + 2 fc hidden) ... structure check:
+/// assert!(net.len() > 40);
+/// ```
+pub fn vgg16(input_side: usize, classes: usize, rng: &mut impl Rng) -> Sequential {
+    assert!(
+        input_side % 32 == 0,
+        "vgg16 needs the input side divisible by 32"
+    );
+    let stages: &[(usize, usize)] = &[(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    let mut layers = Vec::new();
+    let mut in_c = 3usize;
+    let mut side = input_side;
+    for &(out_c, convs) in stages {
+        for _ in 0..convs {
+            layers.push(Layer::Conv2d(Conv2dLayer::new(
+                Conv2dSpec::new(in_c, out_c, 3, 1, 1),
+                rng,
+            )));
+            layers.push(Layer::BatchNorm2d(BatchNorm2d::new(out_c)));
+            layers.push(Layer::Activation(ActivationLayer::new(Box::new(Relu))));
+            in_c = out_c;
+        }
+        layers.push(Layer::MaxPool2d(MaxPool2dLayer::new(2, 2)));
+        side /= 2;
+    }
+    layers.push(Layer::Flatten(Flatten::new()));
+    let flat = in_c * side * side;
+    layers.push(Layer::Dense(DenseLayer::new(flat, 512, rng)));
+    layers.push(Layer::Activation(ActivationLayer::new(Box::new(Relu))));
+    layers.push(Layer::Dense(DenseLayer::new(512, 512, rng)));
+    layers.push(Layer::Activation(ActivationLayer::new(Box::new(Relu))));
+    layers.push(Layer::Dense(DenseLayer::new(512, classes, rng)));
+    Sequential::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vgg16_structure() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = vgg16(32, 10, &mut rng);
+        let weighted = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv2d(_) | Layer::Dense(_)))
+            .count();
+        assert_eq!(weighted, 16, "13 conv + 3 dense");
+        // ~14.7 M conv params + ~1.3 M classifier params at 32x32.
+        let params = net.param_count();
+        assert!(
+            params > 14_000_000 && params < 17_500_000,
+            "param count {params}"
+        );
+        // 15 hidden activations (13 conv + 2 fc).
+        assert_eq!(net.activation_names().len(), 15);
+    }
+
+    #[test]
+    fn vgg16_tiny_imagenet_variant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = vgg16(64, 200, &mut rng);
+        let weighted = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv2d(_) | Layer::Dense(_)))
+            .count();
+        assert_eq!(weighted, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 32")]
+    fn vgg16_rejects_bad_input_side() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = vgg16(20, 10, &mut rng);
+    }
+}

@@ -1,0 +1,187 @@
+use snn_tensor::Tensor;
+
+use crate::{ActivationFn, Layer, NnError};
+
+/// A feed-forward stack of [`Layer`]s.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use snn_nn::{ActivationLayer, DenseLayer, Layer, Relu, Sequential};
+/// use snn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), snn_nn::NnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new(vec![
+///     Layer::Dense(DenseLayer::new(4, 8, &mut rng)),
+///     Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+///     Layer::Dense(DenseLayer::new(8, 3, &mut rng)),
+/// ]);
+/// let y = net.forward(&Tensor::zeros(&[2, 4]), false)?;
+/// assert_eq!(y.dims(), &[2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sequential {
+    layers: Vec<Layer>,
+}
+
+impl Sequential {
+    /// Creates a network from an ordered layer list.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        Self { layers }
+    }
+
+    /// Number of layers.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Borrow of the layer list.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable borrow of the layer list (conversion & CAT hooks).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Consumes the network, returning its layers.
+    pub fn into_layers(self) -> Vec<Layer> {
+        self.layers
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Layer) {
+        self.layers.push(layer);
+    }
+
+    /// Forward pass through all layers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train)?;
+        }
+        Ok(cur)
+    }
+
+    /// Backward pass through all layers in reverse; accumulates parameter
+    /// gradients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error (e.g. a missing forward cache).
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mut cur = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Visits every `(param, grad)` pair in layer order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Sets every parameter gradient to zero (call between optimizer steps).
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, g| g.map_inplace(|_| 0.0));
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0usize;
+        self.visit_params(&mut |p, _| n += p.len());
+        n
+    }
+
+    /// Replaces the function of every hidden [`ActivationLayer`] using
+    /// `make`, which is invoked once per activation layer with its index.
+    ///
+    /// This is the CAT switching hook: at each switch epoch the schedule
+    /// calls this with a factory for the next activation family.
+    pub fn set_activations(&mut self, make: &dyn Fn(usize) -> Box<dyn ActivationFn>) {
+        let mut idx = 0usize;
+        for layer in &mut self.layers {
+            if let Layer::Activation(a) = layer {
+                a.set_function(make(idx));
+                idx += 1;
+            }
+        }
+    }
+
+    /// Names of the activation functions currently installed, in order.
+    pub fn activation_names(&self) -> Vec<&'static str> {
+        self.layers
+            .iter()
+            .filter_map(|l| match l {
+                Layer::Activation(a) => Some(a.function_name()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ActivationLayer, DenseLayer, Identity, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(0);
+        Sequential::new(vec![
+            Layer::Dense(DenseLayer::new(2, 4, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::Dense(DenseLayer::new(4, 2, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn forward_backward_roundtrip() {
+        let mut net = tiny_net();
+        let x = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]).unwrap();
+        let y = net.forward(&x, true).unwrap();
+        let g = net.backward(&Tensor::full(y.dims(), 1.0)).unwrap();
+        assert_eq!(g.dims(), x.dims());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut net = tiny_net();
+        let x = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]).unwrap();
+        let y = net.forward(&x, true).unwrap();
+        net.backward(&Tensor::full(y.dims(), 1.0)).unwrap();
+        net.zero_grad();
+        let mut max_grad = 0.0f32;
+        net.visit_params(&mut |_, g| max_grad = max_grad.max(g.abs_max()));
+        assert_eq!(max_grad, 0.0);
+    }
+
+    #[test]
+    fn set_activations_swaps_all() {
+        let mut net = tiny_net();
+        assert_eq!(net.activation_names(), vec!["relu"]);
+        net.set_activations(&|_| Box::new(Identity));
+        assert_eq!(net.activation_names(), vec!["identity"]);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut net = tiny_net();
+        // 2*4 + 4 + 4*2 + 2 = 22
+        assert_eq!(net.param_count(), 22);
+    }
+}

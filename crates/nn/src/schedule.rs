@@ -1,0 +1,122 @@
+/// Step learning-rate schedule: starts at `base_lr` and divides by `factor`
+/// at each milestone epoch — the paper uses `0.1 ÷ 10` at epochs 80, 120
+/// and 160 of a 200-epoch run.
+///
+/// # Example
+///
+/// ```
+/// use snn_nn::LrSchedule;
+///
+/// let s = LrSchedule::step(0.1, 10.0, vec![80, 120, 160]);
+/// assert_eq!(s.lr_at(0), 0.1);
+/// assert_eq!(s.lr_at(80), 0.01);
+/// assert!((s.lr_at(199) - 1e-4).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrSchedule {
+    base_lr: f32,
+    factor: f32,
+    milestones: Vec<usize>,
+}
+
+impl LrSchedule {
+    /// Creates a step schedule. Milestones must be in increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 1.0` or milestones are not strictly increasing.
+    pub fn step(base_lr: f32, factor: f32, milestones: Vec<usize>) -> Self {
+        assert!(factor > 1.0, "step factor must exceed 1");
+        assert!(
+            milestones.windows(2).all(|w| w[0] < w[1]),
+            "milestones must be strictly increasing"
+        );
+        Self {
+            base_lr,
+            factor,
+            milestones,
+        }
+    }
+
+    /// A constant schedule (no decay).
+    pub fn constant(lr: f32) -> Self {
+        Self {
+            base_lr: lr,
+            factor: 10.0,
+            milestones: Vec::new(),
+        }
+    }
+
+    /// The paper's schedule scaled to `total` epochs: milestones at 40 %,
+    /// 60 % and 80 % of the run, base LR 0.1, divide-by-10.
+    pub fn paper_scaled(total: usize) -> Self {
+        let ms = vec![total * 2 / 5, total * 3 / 5, total * 4 / 5];
+        Self::step(0.1, 10.0, ms)
+    }
+
+    /// Learning rate in effect during `epoch` (0-based).
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        let steps = self.milestones.iter().filter(|&&m| epoch >= m).count();
+        self.base_lr / self.factor.powi(steps as i32)
+    }
+
+    /// Milestone epochs.
+    pub fn milestones(&self) -> &[usize] {
+        &self.milestones
+    }
+
+    /// First epoch at which the learning rate is at most `threshold`
+    /// (used by the CAT schedule to find where φ_TTFS becomes safe).
+    pub fn first_epoch_with_lr_at_most(&self, threshold: f32) -> Option<usize> {
+        // Tolerate one-ulp noise from repeated division (0.1/10³ vs 1e-4).
+        let limit = threshold * (1.0 + 1e-5);
+        if self.base_lr <= limit {
+            return Some(0);
+        }
+        self.milestones
+            .iter()
+            .copied()
+            .find(|&m| self.lr_at(m) <= limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_shape() {
+        let s = LrSchedule::step(0.1, 10.0, vec![80, 120, 160]);
+        assert_eq!(s.lr_at(79), 0.1);
+        assert!((s.lr_at(120) - 1e-3).abs() < 1e-9);
+        assert!((s.lr_at(160) - 1e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_keeps_fractions() {
+        let s = LrSchedule::paper_scaled(50);
+        assert_eq!(s.milestones(), &[20, 30, 40]);
+    }
+
+    #[test]
+    fn threshold_search_matches_paper_observation() {
+        // The paper observes phi_TTFS is only stable once LR <= 1e-4,
+        // i.e. after the last milestone (epoch 160 of 200).
+        let s = LrSchedule::step(0.1, 10.0, vec![80, 120, 160]);
+        assert_eq!(s.first_epoch_with_lr_at_most(1e-4), Some(160));
+        assert_eq!(s.first_epoch_with_lr_at_most(1e-3), Some(120));
+        assert_eq!(s.first_epoch_with_lr_at_most(1e-6), None);
+    }
+
+    #[test]
+    fn constant_never_decays() {
+        let s = LrSchedule::constant(0.05);
+        assert_eq!(s.lr_at(0), s.lr_at(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unordered_milestones() {
+        let _ = LrSchedule::step(0.1, 10.0, vec![10, 10]);
+    }
+}

@@ -1,0 +1,521 @@
+use snn_tensor::Tensor;
+use ttfs_core::{ConvertError, SnnLayer, SnnModel, TtfsKernel};
+
+use crate::{LayerStats, RunStats, Spike, SpikeTrain};
+
+/// Event-driven executor for a converted [`SnnModel`].
+///
+/// Every weighted layer runs the two TTFS phases of the paper's Fig. 1:
+/// integration (each incoming spike contributes `w · κ(t) · scale` to the
+/// membrane voltages) and fire (membranes race the falling threshold; the
+/// first crossing emits the neuron's single spike). The final dense layer
+/// skips the fire phase and reads the membrane voltages out as logits.
+#[derive(Debug, Clone)]
+pub struct EventSnn {
+    model: SnnModel,
+}
+
+impl EventSnn {
+    /// Creates an executor for `model` (the model is cloned; it is a bag of
+    /// fused weights).
+    pub fn new(model: &SnnModel) -> Self {
+        Self {
+            model: model.clone(),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &SnnModel {
+        &self.model
+    }
+
+    /// Runs a `[N, C, H, W]` batch through the event simulation.
+    ///
+    /// Returns the decoded logits `[N, classes]` and the accumulated event
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError`] if the batch does not match the model
+    /// geometry.
+    pub fn run(&self, images: &Tensor) -> Result<(Tensor, RunStats), ConvertError> {
+        let dims = images.dims();
+        if dims.len() < 2 {
+            return Err(ConvertError::Structure(format!(
+                "expected batched input, got {:?}",
+                dims
+            )));
+        }
+        let n = dims[0];
+        let sample_dims: Vec<usize> = dims[1..].to_vec();
+        let sample_len: usize = sample_dims.iter().product();
+        let weighted = self.model.weighted_layers();
+
+        let mut stats = RunStats {
+            batch: n,
+            layers: vec![LayerStats::default(); weighted],
+            latency_timesteps: self.model.latency_timesteps(),
+        };
+        let mut logits_data: Vec<f32> = Vec::new();
+        let mut classes = 0usize;
+
+        for s in 0..n {
+            let sample = &images.as_slice()[s * sample_len..(s + 1) * sample_len];
+            let out = self.run_sample(sample, &sample_dims, &mut stats, None)?;
+            classes = out.len();
+            logits_data.extend_from_slice(&out);
+        }
+        let logits =
+            Tensor::from_vec(logits_data, &[n, classes]).map_err(snn_nn::NnError::from)?;
+        Ok((logits, stats))
+    }
+
+    /// Runs a single sample and returns, besides the logits, the spike
+    /// train at every layer boundary (input coding first, then one train
+    /// per hidden weighted layer) with times mapped onto the global
+    /// pipeline schedule — the raster behind Fig. 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError`] if `image` does not match the model
+    /// geometry.
+    pub fn run_traced(
+        &self,
+        image: &Tensor,
+    ) -> Result<(Tensor, Vec<Vec<(usize, u32)>>), ConvertError> {
+        let dims = image.dims();
+        if dims.is_empty() || dims[0] != 1 {
+            return Err(ConvertError::Structure(format!(
+                "run_traced expects a single sample [1, ...], got {:?}",
+                dims
+            )));
+        }
+        let schedule = crate::PipelineSchedule::new(
+            self.model.weighted_layers() as u32,
+            self.model.window(),
+        );
+        let mut trace: Vec<Vec<(usize, u32)>> = Vec::new();
+        let sample_dims: Vec<usize> = dims[1..].to_vec();
+        let input = self.encode_input(image.as_slice(), &sample_dims);
+        // Input coding occupies the first window (layer-0 integration).
+        trace.push(
+            input
+                .spikes()
+                .iter()
+                .map(|s| (s.neuron, s.t))
+                .collect(),
+        );
+        let mut stats = RunStats {
+            batch: 1,
+            layers: vec![LayerStats::default(); self.model.weighted_layers()],
+            latency_timesteps: self.model.latency_timesteps(),
+        };
+        let mut hidden_trains: Vec<SpikeTrain> = Vec::new();
+        let logits =
+            self.run_sample(image.as_slice(), &sample_dims, &mut stats, Some(&mut hidden_trains))?;
+        for (layer_idx, train) in hidden_trains.iter().enumerate() {
+            trace.push(schedule.globalize_train(layer_idx as u32, train));
+        }
+        let n_out = logits.len();
+        let logits = Tensor::from_vec(logits, &[1, n_out]).map_err(snn_nn::NnError::from)?;
+        Ok((logits, trace))
+    }
+
+    /// Classification accuracy of the event simulation on a labelled set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors.
+    pub fn accuracy(&self, images: &Tensor, labels: &[usize]) -> Result<f32, ConvertError> {
+        let (logits, _) = self.run(images)?;
+        let n = logits.dims()[0];
+        let c = logits.dims()[1];
+        let mut correct = 0usize;
+        for (s, &label) in labels.iter().enumerate().take(n) {
+            let row = &logits.as_slice()[s * c..(s + 1) * c];
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if pred == label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f32 / n.max(1) as f32)
+    }
+
+    fn encode_input(&self, sample: &[f32], dims: &[usize]) -> SpikeTrain {
+        let kernel = self.model.kernel();
+        let window = self.model.window();
+        let mut train = SpikeTrain::new(dims.to_vec(), window);
+        for (i, &v) in sample.iter().enumerate() {
+            if let Some(t) = kernel.encode(v, window) {
+                train.push(Spike::new(i, t));
+            }
+        }
+        train.sort_by_time();
+        train
+    }
+
+    fn run_sample(
+        &self,
+        sample: &[f32],
+        dims: &[usize],
+        stats: &mut RunStats,
+        mut fire_tap: Option<&mut Vec<SpikeTrain>>,
+    ) -> Result<Vec<f32>, ConvertError> {
+        let kernel = *self.model.kernel();
+        let window = self.model.window();
+        let weighted = self.model.weighted_layers();
+        let mut train = self.encode_input(sample, dims);
+        let mut seen = 0usize;
+        let mut logits: Option<Vec<f32>> = None;
+
+        for layer in self.model.layers() {
+            match layer {
+                SnnLayer::Conv { spec, weight, bias } => {
+                    let d = train.dims();
+                    if d.len() != 3 || d[0] != spec.in_channels {
+                        return Err(ConvertError::Structure(format!(
+                            "conv expects [{}, H, W] spikes, got {:?}",
+                            spec.in_channels, d
+                        )));
+                    }
+                    let (h, w) = (d[1], d[2]);
+                    let (oh, ow) = spec.output_hw(h, w);
+                    let mut vmem = vec![0.0f32; spec.out_channels * oh * ow];
+                    let wd = weight.as_slice();
+                    let k = spec.kernel;
+                    let mut ops = 0usize;
+                    for spike in train.spikes() {
+                        let psp = kernel.decode(spike.t) * spike.scale;
+                        let ci = spike.neuron / (h * w);
+                        let rem = spike.neuron % (h * w);
+                        let (iy, ix) = (rem / w, rem % w);
+                        for ki in 0..k {
+                            let oy_num = iy as isize + spec.padding as isize - ki as isize;
+                            if oy_num < 0 || oy_num % spec.stride as isize != 0 {
+                                continue;
+                            }
+                            let oy = (oy_num / spec.stride as isize) as usize;
+                            if oy >= oh {
+                                continue;
+                            }
+                            for kj in 0..k {
+                                let ox_num = ix as isize + spec.padding as isize - kj as isize;
+                                if ox_num < 0 || ox_num % spec.stride as isize != 0 {
+                                    continue;
+                                }
+                                let ox = (ox_num / spec.stride as isize) as usize;
+                                if ox >= ow {
+                                    continue;
+                                }
+                                for oc in 0..spec.out_channels {
+                                    let widx = ((oc * spec.in_channels + ci) * k + ki) * k + kj;
+                                    vmem[(oc * oh + oy) * ow + ox] += wd[widx] * psp;
+                                    ops += 1;
+                                }
+                            }
+                        }
+                    }
+                    for oc in 0..spec.out_channels {
+                        let b = bias.as_slice()[oc];
+                        for v in &mut vmem[oc * oh * ow..(oc + 1) * oh * ow] {
+                            *v += b;
+                        }
+                    }
+                    let layer_stats = &mut stats.layers[seen];
+                    layer_stats.input_spikes += train.len();
+                    layer_stats.synaptic_ops += ops;
+                    layer_stats.neurons += vmem.len();
+                    seen += 1;
+                    if seen < weighted {
+                        train = self.fire_phase(
+                            &vmem,
+                            vec![spec.out_channels, oh, ow],
+                            layer_stats,
+                        );
+                        if let Some(tap) = fire_tap.as_deref_mut() {
+                            tap.push(train.clone());
+                        }
+                    } else {
+                        logits = Some(vmem);
+                    }
+                }
+                SnnLayer::Dense { weight, bias } => {
+                    let in_f = weight.dims()[1];
+                    let out_f = weight.dims()[0];
+                    if train.neuron_count() != in_f {
+                        return Err(ConvertError::Structure(format!(
+                            "dense expects {in_f} input neurons, got {}",
+                            train.neuron_count()
+                        )));
+                    }
+                    let mut vmem = bias.as_slice().to_vec();
+                    let wd = weight.as_slice();
+                    let mut ops = 0usize;
+                    for spike in train.spikes() {
+                        let psp = kernel.decode(spike.t) * spike.scale;
+                        for (o, v) in vmem.iter_mut().enumerate() {
+                            *v += wd[o * in_f + spike.neuron] * psp;
+                        }
+                        ops += out_f;
+                    }
+                    let layer_stats = &mut stats.layers[seen];
+                    layer_stats.input_spikes += train.len();
+                    layer_stats.synaptic_ops += ops;
+                    layer_stats.neurons += out_f;
+                    seen += 1;
+                    if seen < weighted {
+                        train = self.fire_phase(&vmem, vec![out_f], layer_stats);
+                        if let Some(tap) = fire_tap.as_deref_mut() {
+                            tap.push(train.clone());
+                        }
+                    } else {
+                        logits = Some(vmem);
+                    }
+                }
+                SnnLayer::MaxPool { spec } => {
+                    train = self.max_pool_spikes(&train, spec.window, spec.stride)?;
+                }
+                SnnLayer::AvgPool { spec } => {
+                    train = self.avg_pool_spikes(&train, spec.window, spec.stride)?;
+                }
+                SnnLayer::Flatten => {
+                    let flat = train.neuron_count();
+                    let mut t = SpikeTrain::new(vec![flat], window);
+                    for s in train.spikes() {
+                        t.push(*s);
+                    }
+                    train = t;
+                }
+            }
+        }
+        logits.ok_or_else(|| ConvertError::Structure("model produced no readout".into()))
+    }
+
+    /// Fire (encoding) phase: membranes race the falling threshold; each
+    /// neuron emits at most one spike at its first crossing. Also models
+    /// the encoder's iteration count (it steps the threshold until every
+    /// membrane has fired/reset or the window ends).
+    fn fire_phase(&self, vmem: &[f32], dims: Vec<usize>, stats: &mut LayerStats) -> SpikeTrain {
+        let kernel = self.model.kernel();
+        let window = self.model.window();
+        let mut train = SpikeTrain::new(dims, window);
+        let mut latest: u32 = 0;
+        let mut all_fired = true;
+        for (i, &u) in vmem.iter().enumerate() {
+            match kernel.encode(u, window) {
+                Some(t) => {
+                    latest = latest.max(t);
+                    train.push(Spike::new(i, t));
+                }
+                None => all_fired = false,
+            }
+        }
+        stats.output_spikes += train.len();
+        stats.encoder_iterations += if all_fired {
+            latest as usize + 1
+        } else {
+            window as usize + 1
+        };
+        train.sort_by_time();
+        train
+    }
+
+    /// Exact max pooling in the event domain: within each window the spike
+    /// with the largest decoded value wins — under TTFS that is the
+    /// earliest spike (scale ties broken by value).
+    fn max_pool_spikes(
+        &self,
+        train: &SpikeTrain,
+        win: usize,
+        stride: usize,
+    ) -> Result<SpikeTrain, ConvertError> {
+        let d = train.dims();
+        if d.len() != 3 {
+            return Err(ConvertError::Structure(format!(
+                "max pool expects [C, H, W] spikes, got {:?}",
+                d
+            )));
+        }
+        let (c, h, w) = (d[0], d[1], d[2]);
+        let oh = (h - win) / stride + 1;
+        let ow = (w - win) / stride + 1;
+        let kernel = self.model.kernel();
+        // Per-neuron lookup (TTFS: at most one spike each).
+        let mut by_neuron: Vec<Option<Spike>> = vec![None; train.neuron_count()];
+        for s in train.spikes() {
+            by_neuron[s.neuron] = Some(*s);
+        }
+        let mut out = SpikeTrain::new(vec![c, oh, ow], train.window());
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best: Option<Spike> = None;
+                    let mut best_val = f32::NEG_INFINITY;
+                    for ky in 0..win {
+                        for kx in 0..win {
+                            let iy = oy * stride + ky;
+                            let ix = ox * stride + kx;
+                            if let Some(sp) = by_neuron[(ci * h + iy) * w + ix] {
+                                let val = kernel.decode(sp.t) * sp.scale;
+                                if val > best_val {
+                                    best_val = val;
+                                    best = Some(sp);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(sp) = best {
+                        out.push(Spike {
+                            neuron: (ci * oh + oy) * ow + ox,
+                            t: sp.t,
+                            scale: sp.scale,
+                        });
+                    }
+                }
+            }
+        }
+        out.sort_by_time();
+        Ok(out)
+    }
+
+    /// Average pooling in the event domain: every input spike is re-emitted
+    /// at its output position with `scale / win²` — integration downstream
+    /// is linear, so this is exact.
+    fn avg_pool_spikes(
+        &self,
+        train: &SpikeTrain,
+        win: usize,
+        stride: usize,
+    ) -> Result<SpikeTrain, ConvertError> {
+        let d = train.dims();
+        if d.len() != 3 {
+            return Err(ConvertError::Structure(format!(
+                "avg pool expects [C, H, W] spikes, got {:?}",
+                d
+            )));
+        }
+        let (c, h, w) = (d[0], d[1], d[2]);
+        let oh = (h - win) / stride + 1;
+        let ow = (w - win) / stride + 1;
+        let norm = 1.0 / (win * win) as f32;
+        let mut out = SpikeTrain::new(vec![c, oh, ow], train.window());
+        for sp in train.spikes() {
+            let ci = sp.neuron / (h * w);
+            let rem = sp.neuron % (h * w);
+            let (iy, ix) = (rem / w, rem % w);
+            // A spike can belong to several overlapping windows.
+            for oy in 0..oh {
+                if oy * stride > iy || iy >= oy * stride + win {
+                    continue;
+                }
+                for ox in 0..ow {
+                    if ox * stride > ix || ix >= ox * stride + win {
+                        continue;
+                    }
+                    out.push(Spike {
+                        neuron: (ci * oh + oy) * ow + ox,
+                        t: sp.t,
+                        scale: sp.scale * norm,
+                    });
+                }
+            }
+        }
+        out.sort_by_time();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_nn::{
+        ActivationLayer, Conv2dLayer, DenseLayer, Flatten, Layer, MaxPool2dLayer, Relu, Sequential,
+    };
+    use snn_tensor::Conv2dSpec;
+    use ttfs_core::{convert, Base2Kernel};
+
+    fn tiny_model(rng: &mut StdRng) -> SnnModel {
+        let net = Sequential::new(vec![
+            Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(1, 4, 3, 1, 1), rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::MaxPool2d(MaxPool2dLayer::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(4 * 4 * 4, 5, rng)),
+        ]);
+        convert(&net, Base2Kernel::paper_default(), 24).unwrap()
+    }
+
+    #[test]
+    fn event_sim_matches_reference_forward() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = tiny_model(&mut rng);
+        let sim = EventSnn::new(&model);
+        let x = snn_tensor::uniform(&[4, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let (event_logits, _) = sim.run(&x).unwrap();
+        let reference = model.reference_forward(&x).unwrap();
+        assert!(
+            event_logits.allclose(&reference, 1e-3),
+            "event {:?} vs reference {:?}",
+            &event_logits.as_slice()[..5],
+            &reference.as_slice()[..5]
+        );
+    }
+
+    #[test]
+    fn ttfs_discipline_holds() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let model = tiny_model(&mut rng);
+        let sim = EventSnn::new(&model);
+        let x = snn_tensor::uniform(&[1, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let train = sim.encode_input(&x.as_slice()[..64], &[1, 8, 8]);
+        assert!(train.is_ttfs());
+        assert!(train.len() <= 64);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let model = tiny_model(&mut rng);
+        let sim = EventSnn::new(&model);
+        let x = snn_tensor::uniform(&[2, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let (_, stats) = sim.run(&x).unwrap();
+        assert_eq!(stats.batch, 2);
+        assert_eq!(stats.layers.len(), 2);
+        assert!(stats.layers[0].input_spikes > 0);
+        assert!(stats.layers[0].synaptic_ops > 0);
+        assert_eq!(stats.latency_timesteps, 24 * 3);
+        assert!(stats.layers[0].encoder_iterations > 0);
+    }
+
+    #[test]
+    fn zero_input_produces_no_spikes_and_bias_logits() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let model = tiny_model(&mut rng);
+        let sim = EventSnn::new(&model);
+        let x = Tensor::zeros(&[1, 1, 8, 8]);
+        let (logits, stats) = sim.run(&x).unwrap();
+        assert_eq!(stats.layers[0].input_spikes, 0);
+        // Logits must equal the reference (pure bias propagation).
+        let reference = model.reference_forward(&x).unwrap();
+        assert!(logits.allclose(&reference, 1e-4));
+    }
+
+    #[test]
+    fn accuracy_matches_reference_accuracy() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let model = tiny_model(&mut rng);
+        let sim = EventSnn::new(&model);
+        let x = snn_tensor::uniform(&[8, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..8).map(|i| i % 5).collect();
+        let a = sim.accuracy(&x, &labels).unwrap();
+        let b = model.accuracy(&x, &labels).unwrap();
+        assert!((a - b).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests: the event-driven simulator must agree with the
+//! analytic reference on every supported layer shape.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_nn::{
+    ActivationLayer, AvgPool2dLayer, Conv2dLayer, DenseLayer, Flatten, Layer, MaxPool2dLayer,
+    Relu, Sequential,
+};
+use snn_sim::EventSnn;
+use snn_tensor::{Conv2dSpec, Tensor};
+use ttfs_core::{convert, Base2Kernel};
+
+fn check_equivalence(net: Sequential, xs: Vec<f32>, dims: &[usize]) -> Result<(), TestCaseError> {
+    let model = convert(&net, Base2Kernel::paper_default(), 24).expect("conversion");
+    let x = Tensor::from_vec(xs, dims).expect("sized");
+    let sim = EventSnn::new(&model);
+    let (event, stats) = sim.run(&x).expect("event run");
+    let reference = model.reference_forward(&x).expect("reference");
+    let tol = 1e-3 * (1.0 + reference.abs_max());
+    prop_assert!(
+        event.allclose(&reference, tol),
+        "event {:?} vs reference {:?}",
+        &event.as_slice()[..event.len().min(4)],
+        &reference.as_slice()[..reference.len().min(4)]
+    );
+    for layer in &stats.layers {
+        prop_assert!(layer.output_spikes <= layer.neurons, "TTFS discipline");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conv + max-pool network.
+    #[test]
+    fn conv_maxpool_equivalence(
+        seed in 0u64..64,
+        xs in proptest::collection::vec(0.0f32..1.0, 2 * 48),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Sequential::new(vec![
+            Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(3, 4, 3, 1, 1), &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::MaxPool2d(MaxPool2dLayer::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(4 * 2 * 2, 3, &mut rng)),
+        ]);
+        check_equivalence(net, xs, &[2, 3, 4, 4])?;
+    }
+
+    /// Conv + average-pool network (exercises scaled virtual spikes).
+    #[test]
+    fn conv_avgpool_equivalence(
+        seed in 0u64..64,
+        xs in proptest::collection::vec(0.0f32..1.0, 48),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Sequential::new(vec![
+            Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(3, 4, 3, 1, 1), &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::AvgPool2d(AvgPool2dLayer::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(4 * 2 * 2, 3, &mut rng)),
+        ]);
+        check_equivalence(net, xs, &[1, 3, 4, 4])?;
+    }
+
+    /// Strided convolution without padding.
+    #[test]
+    fn strided_conv_equivalence(
+        seed in 0u64..64,
+        xs in proptest::collection::vec(0.0f32..1.0, 49),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Sequential::new(vec![
+            Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(1, 3, 3, 2, 0), &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(3 * 3 * 3, 2, &mut rng)),
+        ]);
+        check_equivalence(net, xs, &[1, 1, 7, 7])?;
+    }
+
+    /// Deeper stack of dense layers (quantization error compounds but
+    /// equivalence must hold exactly).
+    #[test]
+    fn deep_dense_equivalence(
+        seed in 0u64..64,
+        xs in proptest::collection::vec(0.0f32..1.0, 10),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = vec![Layer::Flatten(Flatten::new())];
+        let mut width = 10usize;
+        for _ in 0..4 {
+            layers.push(Layer::Dense(DenseLayer::new(width, 8, &mut rng)));
+            layers.push(Layer::Activation(ActivationLayer::new(Box::new(Relu))));
+            width = 8;
+        }
+        layers.push(Layer::Dense(DenseLayer::new(width, 3, &mut rng)));
+        check_equivalence(Sequential::new(layers), xs, &[1, 1, 2, 5])?;
+    }
+}

@@ -1,0 +1,71 @@
+//! Tests of the spike-trace API (`EventSnn::run_traced`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_nn::{ActivationLayer, Conv2dLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
+use snn_sim::{EventSnn, PipelineSchedule};
+use snn_tensor::{Conv2dSpec, Tensor};
+use ttfs_core::{convert, Base2Kernel};
+
+fn model() -> (EventSnn, usize) {
+    let mut rng = StdRng::seed_from_u64(33);
+    let net = Sequential::new(vec![
+        Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(1, 3, 3, 1, 1), &mut rng)),
+        Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(DenseLayer::new(3 * 4 * 4, 8, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+        Layer::Dense(DenseLayer::new(8, 4, &mut rng)),
+    ]);
+    let m = convert(&net, Base2Kernel::paper_default(), 24).unwrap();
+    let weighted = m.weighted_layers();
+    (EventSnn::new(&m), weighted)
+}
+
+#[test]
+fn trace_has_one_train_per_boundary() {
+    let (sim, weighted) = model();
+    let x = snn_tensor::uniform(&[1, 1, 4, 4], 0.3, 1.0, &mut StdRng::seed_from_u64(0));
+    let (logits, trace) = sim.run_traced(&x).unwrap();
+    assert_eq!(logits.dims(), &[1, 4]);
+    // input coding + one fire train per *hidden* weighted layer
+    assert_eq!(trace.len(), weighted);
+}
+
+#[test]
+fn trace_times_respect_pipeline_windows() {
+    let (sim, weighted) = model();
+    let schedule = PipelineSchedule::new(weighted as u32, 24);
+    let x = snn_tensor::uniform(&[1, 1, 4, 4], 0.3, 1.0, &mut StdRng::seed_from_u64(1));
+    let (_, trace) = sim.run_traced(&x).unwrap();
+    // Input spikes live in the first window.
+    for &(_, t) in &trace[0] {
+        assert!(t <= 24);
+    }
+    // Layer l's fire spikes live in its fire window.
+    for (l, train) in trace.iter().enumerate().skip(1) {
+        let (start, end) = schedule.fire_window((l - 1) as u32);
+        for &(_, t) in train {
+            assert!(
+                t >= start && t <= end,
+                "layer {l} spike at {t} outside [{start}, {end}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn traced_logits_match_untraced() {
+    let (sim, _) = model();
+    let x = snn_tensor::uniform(&[1, 1, 4, 4], 0.3, 1.0, &mut StdRng::seed_from_u64(2));
+    let (traced, _) = sim.run_traced(&x).unwrap();
+    let (plain, _) = sim.run(&x).unwrap();
+    assert!(traced.allclose(&plain, 0.0), "identical execution paths");
+}
+
+#[test]
+fn run_traced_rejects_batches() {
+    let (sim, _) = model();
+    let x = Tensor::zeros(&[2, 1, 4, 4]);
+    assert!(sim.run_traced(&x).is_err());
+}

@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when tensor shapes are incompatible with the requested
+/// operation.
+///
+/// # Example
+///
+/// ```
+/// use snn_tensor::Tensor;
+///
+/// let a = Tensor::zeros(&[2, 3]);
+/// let b = Tensor::zeros(&[4, 4]);
+/// assert!(a.matmul(&b).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    detail: String,
+}
+
+impl ShapeError {
+    /// Creates a shape error for operation `op` with a human-readable detail.
+    pub fn new(op: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            op,
+            detail: detail.into(),
+        }
+    }
+
+    /// The operation that rejected the shapes (e.g. `"matmul"`).
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// Human-readable description of the mismatch.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape mismatch in {}: {}", self.op, self.detail)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_op_and_detail() {
+        let e = ShapeError::new("matmul", "2x3 vs 4x4");
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3 vs 4x4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

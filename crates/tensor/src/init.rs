@@ -1,0 +1,95 @@
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Kaiming (He) normal initialization for ReLU-family networks:
+/// `N(0, sqrt(2 / fan_in))`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let w = snn_tensor::kaiming_normal(&[16, 3, 3, 3], 27, &mut rng);
+/// assert_eq!(w.len(), 16 * 27);
+/// ```
+pub fn kaiming_normal(dims: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    let n: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(n);
+    // Box-Muller transform; rand's StandardNormal lives in rand_distr which
+    // we avoid pulling in for a single sampler.
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(data, dims).expect("sampled element count matches dims")
+}
+
+/// Xavier/Glorot uniform initialization:
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(dims, -bound, bound, rng)
+}
+
+/// Uniform initialization over `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(lo < hi, "uniform bounds must satisfy lo < hi");
+    let dist = Uniform::new(lo, hi);
+    let n: usize = dims.iter().product();
+    let data = (0..n).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(data, dims).expect("sampled element count matches dims")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_std_close_to_expected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let fan_in = 64;
+        let t = kaiming_normal(&[4096], fan_in, &mut rng);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|&x| (x - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        let expected = 2.0 / fan_in as f32;
+        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&[1000], -0.25, 0.25, &mut rng);
+        assert!(t.max() < 0.25);
+        assert!(t.min() >= -0.25);
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fanout() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let wide = xavier_uniform(&[1000], 10, 10, &mut rng);
+        let narrow = xavier_uniform(&[1000], 1000, 1000, &mut rng);
+        assert!(wide.abs_max() > narrow.abs_max());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = kaiming_normal(&[32], 8, &mut StdRng::seed_from_u64(7));
+        let b = kaiming_normal(&[32], 8, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

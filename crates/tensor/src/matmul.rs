@@ -1,0 +1,188 @@
+use crate::{ShapeError, Tensor};
+
+/// Whether a GEMM operand is used transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    #[default]
+    No,
+    /// Use the operand transposed.
+    Yes,
+}
+
+/// General matrix multiply `op(a) * op(b)` for rank-2 tensors.
+///
+/// Inner loops are written cache-friendly (ikj order) for the `No`/`No`
+/// case, which dominates the training workload via im2col convolution.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either tensor is not rank-2 or the contracted
+/// dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use snn_tensor::{gemm, Tensor, Transpose};
+///
+/// # fn main() -> Result<(), snn_tensor::ShapeError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// // a * a^T
+/// let c = gemm(&a, Transpose::No, &a, Transpose::Yes)?;
+/// assert_eq!(c.as_slice(), &[5.0, 11.0, 11.0, 25.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gemm(
+    a: &Tensor,
+    ta: Transpose,
+    b: &Tensor,
+    tb: Transpose,
+) -> Result<Tensor, ShapeError> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(ShapeError::new(
+            "matmul",
+            format!(
+                "expected rank-2 operands, got ranks {} and {}",
+                a.shape().rank(),
+                b.shape().rank()
+            ),
+        ));
+    }
+    let (ar, ac) = (a.dims()[0], a.dims()[1]);
+    let (br, bc) = (b.dims()[0], b.dims()[1]);
+    let (m, k1) = match ta {
+        Transpose::No => (ar, ac),
+        Transpose::Yes => (ac, ar),
+    };
+    let (k2, n) = match tb {
+        Transpose::No => (br, bc),
+        Transpose::Yes => (bc, br),
+    };
+    if k1 != k2 {
+        return Err(ShapeError::new(
+            "matmul",
+            format!("inner dimensions {k1} vs {k2}"),
+        ));
+    }
+    let k = k1;
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+
+    match (ta, tb) {
+        (Transpose::No, Transpose::No) => {
+            for i in 0..m {
+                let arow = &ad[i * k..(i + 1) * k];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (p, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[p * n..(p + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        (Transpose::No, Transpose::Yes) => {
+            for i in 0..m {
+                let arow = &ad[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let brow = &bd[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                        acc += av * bv;
+                    }
+                    out[i * n + j] = acc;
+                }
+            }
+        }
+        (Transpose::Yes, Transpose::No) => {
+            // a is (k x m) stored row-major; walk k outer for locality.
+            for p in 0..k {
+                let arow = &ad[p * m..(p + 1) * m];
+                let brow = &bd[p * n..(p + 1) * n];
+                for (i, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut out[i * n..(i + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        (Transpose::Yes, Transpose::Yes) => {
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += ad[p * m + i] * bd[j * k + p];
+                    }
+                    out[i * n + j] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
+                }
+                out.as_mut_slice()[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive() {
+        let a = Tensor::from_vec((0..12).map(|i| i as f32 * 0.5 - 2.0).collect(), &[3, 4]).unwrap();
+        let b = Tensor::from_vec((0..20).map(|i| (i as f32).sin()).collect(), &[4, 5]).unwrap();
+        let c = gemm(&a, Transpose::No, &b, Transpose::No).unwrap();
+        assert!(c.allclose(&naive(&a, &b), 1e-5));
+    }
+
+    #[test]
+    fn transposed_variants_agree() {
+        let a = Tensor::from_vec((0..12).map(|i| i as f32 * 0.3).collect(), &[3, 4]).unwrap();
+        let b = Tensor::from_vec((0..20).map(|i| i as f32 * 0.1 - 1.0).collect(), &[4, 5]).unwrap();
+        let base = gemm(&a, Transpose::No, &b, Transpose::No).unwrap();
+
+        let at = a.transpose().unwrap();
+        let bt = b.transpose().unwrap();
+        assert!(gemm(&at, Transpose::Yes, &b, Transpose::No)
+            .unwrap()
+            .allclose(&base, 1e-5));
+        assert!(gemm(&a, Transpose::No, &bt, Transpose::Yes)
+            .unwrap()
+            .allclose(&base, 1e-5));
+        assert!(gemm(&at, Transpose::Yes, &bt, Transpose::Yes)
+            .unwrap()
+            .allclose(&base, 1e-5));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(gemm(&a, Transpose::No, &b, Transpose::No).is_err());
+        let v = Tensor::zeros(&[3]);
+        assert!(gemm(&v, Transpose::No, &b, Transpose::No).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use snn_tensor::{
+    avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward_input, gemm, max_pool2d,
+    max_pool2d_backward, Conv2dSpec, Pool2dSpec, Tensor, Transpose,
+};
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |v| Tensor::from_vec(v, &[r, c]).expect("sized"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A B) C == A (B C) within fp tolerance.
+    #[test]
+    fn matmul_associative(
+        a in small_matrix(6),
+        bv in proptest::collection::vec(-5.0f32..5.0, 36),
+        cv in proptest::collection::vec(-5.0f32..5.0, 36),
+    ) {
+        let k = a.dims()[1];
+        let b = Tensor::from_vec(bv[..k * 4].to_vec(), &[k, 4]).expect("sized");
+        let c = Tensor::from_vec(cv[..4 * 3].to_vec(), &[4, 3]).expect("sized");
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        let scale = 1.0 + left.abs_max();
+        prop_assert!(left.allclose(&right, 1e-3 * scale));
+    }
+
+    /// (A B)^T == B^T A^T.
+    #[test]
+    fn matmul_transpose_identity(a in small_matrix(6)) {
+        let k = a.dims()[1];
+        let b = Tensor::full(&[k, 5], 0.5);
+        let ab_t = a.matmul(&b).unwrap().transpose().unwrap();
+        let bt_at = gemm(&b, Transpose::Yes, &a, Transpose::Yes).unwrap();
+        prop_assert!(ab_t.allclose(&bt_at, 1e-4));
+    }
+
+    /// Convolution is linear in its input: conv(x + y) == conv(x) + conv(y).
+    #[test]
+    fn conv_linear_in_input(
+        xv in proptest::collection::vec(-2.0f32..2.0, 2 * 4 * 4),
+        yv in proptest::collection::vec(-2.0f32..2.0, 2 * 4 * 4),
+        wv in proptest::collection::vec(-1.0f32..1.0, 3 * 2 * 9),
+    ) {
+        let spec = Conv2dSpec::new(2, 3, 3, 1, 1);
+        let x = Tensor::from_vec(xv, &[1, 2, 4, 4]).expect("sized");
+        let y = Tensor::from_vec(yv, &[1, 2, 4, 4]).expect("sized");
+        let w = Tensor::from_vec(wv, &[3, 2, 3, 3]).expect("sized");
+        let lhs = conv2d(&x.add(&y).unwrap(), &w, None, &spec).unwrap();
+        let rhs = conv2d(&x, &w, None, &spec)
+            .unwrap()
+            .add(&conv2d(&y, &w, None, &spec).unwrap())
+            .unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    /// Adjoint identity: <conv(x), g> == <x, conv_backward_input(g)>.
+    #[test]
+    fn conv_backward_is_adjoint(
+        xv in proptest::collection::vec(-2.0f32..2.0, 2 * 4 * 4),
+        gv in proptest::collection::vec(-2.0f32..2.0, 3 * 4 * 4),
+        wv in proptest::collection::vec(-1.0f32..1.0, 3 * 2 * 9),
+    ) {
+        let spec = Conv2dSpec::new(2, 3, 3, 1, 1);
+        let x = Tensor::from_vec(xv, &[1, 2, 4, 4]).expect("sized");
+        let g = Tensor::from_vec(gv, &[1, 3, 4, 4]).expect("sized");
+        let w = Tensor::from_vec(wv, &[3, 2, 3, 3]).expect("sized");
+        let y = conv2d(&x, &w, None, &spec).unwrap();
+        let xt = conv2d_backward_input(&g, &w, &spec, (4, 4)).unwrap();
+        let lhs: f32 = y.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter().zip(xt.as_slice()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    /// Max pooling output is bounded by input extrema and backward conserves
+    /// gradient mass.
+    #[test]
+    fn max_pool_bounds_and_mass(
+        xv in proptest::collection::vec(-5.0f32..5.0, 16),
+        gv in proptest::collection::vec(-1.0f32..1.0, 4),
+    ) {
+        let x = Tensor::from_vec(xv, &[1, 1, 4, 4]).expect("sized");
+        let spec = Pool2dSpec::new(2, 2);
+        let (y, arg) = max_pool2d(&x, &spec).unwrap();
+        prop_assert!(y.max() <= x.max() + 1e-6);
+        prop_assert!(y.min() >= x.min() - 1e-6);
+        let g = Tensor::from_vec(gv, &[1, 1, 2, 2]).expect("sized");
+        let gin = max_pool2d_backward(&g, &arg, &[1, 1, 4, 4]).unwrap();
+        prop_assert!((gin.sum() - g.sum()).abs() < 1e-5);
+    }
+
+    /// Average pooling preserves the mean; its backward conserves mass.
+    #[test]
+    fn avg_pool_mean_and_mass(xv in proptest::collection::vec(-5.0f32..5.0, 16)) {
+        let x = Tensor::from_vec(xv, &[1, 1, 4, 4]).expect("sized");
+        let spec = Pool2dSpec::new(2, 2);
+        let y = avg_pool2d(&x, &spec).unwrap();
+        prop_assert!((y.mean() - x.mean()).abs() < 1e-4);
+        let g = Tensor::full(&[1, 1, 2, 2], 1.0);
+        let gin = avg_pool2d_backward(&g, &spec, &[1, 1, 4, 4]).unwrap();
+        prop_assert!((gin.sum() - g.sum()).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end pipeline on the CIFAR-10 stand-in: CAT training → conversion
+//! → 5-bit logarithmic weight quantization → event-driven SNN evaluation →
+//! processor energy/throughput estimate for the *full-size* VGG-16 the
+//! paper deploys, using the sparsity measured on the scaled model.
+//!
+//! Run: `cargo run --release --example cifar_pipeline`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ttfs_snn::data::{DatasetSpec, SyntheticDataset};
+use ttfs_snn::hw::{vgg16_geometry, Processor, ProcessorConfig, WorkloadProfile};
+use ttfs_snn::logquant::{LogBase, LogQuantizer};
+use ttfs_snn::nn::{
+    ActivationLayer, BatchNorm2d, Conv2dLayer, DenseLayer, Flatten, Layer, MaxPool2dLayer, Relu,
+    Sequential,
+};
+use ttfs_snn::sim::EventSnn;
+use ttfs_snn::tensor::Conv2dSpec;
+use ttfs_snn::ttfs::{
+    convert, normalize_output_layer, train_with_cat, Base2Kernel, CatComponents, CatSchedule,
+    PhiTtfs, SnnLayer,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let spec = DatasetSpec::cifar10_like()
+        .with_samples(200, 100)
+        .with_geometry(3, 8, 8);
+    let data = SyntheticDataset::generate(&spec, 5);
+
+    let mut net = Sequential::new(vec![
+        Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(3, 8, 3, 1, 1), &mut rng)),
+        Layer::BatchNorm2d(BatchNorm2d::new(8)),
+        Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+        Layer::MaxPool2d(MaxPool2dLayer::new(2, 2)),
+        Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(8, 16, 3, 1, 1), &mut rng)),
+        Layer::BatchNorm2d(BatchNorm2d::new(16)),
+        Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+        Layer::MaxPool2d(MaxPool2dLayer::new(2, 2)),
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(DenseLayer::new(16 * 2 * 2, 10, &mut rng)),
+    ]);
+
+    // CAT training with the paper's hardware kernel (T=24, tau=4).
+    let phi = PhiTtfs::new(Base2Kernel::paper_default(), 24);
+    let schedule = CatSchedule::paper_scaled(20, phi, CatComponents::full());
+    let log = train_with_cat(
+        &mut net,
+        &schedule,
+        data.train_images(),
+        data.train_labels(),
+        data.test_images(),
+        data.test_labels(),
+        32,
+        &mut rng,
+    )?;
+
+    let mut model = convert(&net, Base2Kernel::paper_default(), 24)?;
+    normalize_output_layer(&mut model, data.train_images())?;
+    let fp_acc = model.accuracy(data.test_images(), data.test_labels())?;
+
+    // 5-bit logarithmic quantization, a_w = 2^(-1/2) (the paper's pick).
+    for layer in model.layers_mut() {
+        if let SnnLayer::Conv { weight, .. } | SnnLayer::Dense { weight, .. } = layer {
+            let q = LogQuantizer::fit(LogBase::inv_sqrt2(), 5, weight.as_slice())?;
+            *weight = q.quantize_tensor(weight);
+        }
+    }
+    let q_acc = model.accuracy(data.test_images(), data.test_labels())?;
+    println!(
+        "ANN {:.1} % -> SNN fp32 {:.1} % -> SNN 5-bit log {:.1} %",
+        log.final_test_accuracy() * 100.0,
+        fp_acc * 100.0,
+        q_acc * 100.0
+    );
+
+    // Measure event sparsity on the quantized model.
+    let sim = EventSnn::new(&model);
+    let (_, stats) = sim.run(data.test_images())?;
+    let input_sparsity = stats.layers[0].input_spikes as f32
+        / (data.test_images().len() as f32);
+    // The final readout layer has no fire phase, so its "sparsity" is 0 —
+    // exclude it from the profile.
+    let mut layer_sparsity: Vec<f32> = stats.layers.iter().map(|l| l.output_sparsity()).collect();
+    layer_sparsity.pop();
+    println!(
+        "measured sparsity: input {:.2}, layers {:?}",
+        input_sparsity,
+        layer_sparsity
+            .iter()
+            .map(|s| (s * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+
+    // Project onto the paper's deployment: VGG-16 on the SNN processor.
+    let profile = WorkloadProfile::from_measurements(input_sparsity, layer_sparsity);
+    let processor = Processor::new(ProcessorConfig::proposed());
+    let report = processor.run_network(&vgg16_geometry(32, 32, 10), &profile);
+    println!(
+        "VGG-16 on the processor with measured sparsity: {:.1} uJ/image, {:.0} fps, {:.0}% PE utilization",
+        report.energy_per_image_uj,
+        report.fps,
+        report.utilization * 100.0
+    );
+    println!("(paper Table 4: 486.7 uJ, 327 fps)");
+    Ok(())
+}

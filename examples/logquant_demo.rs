@@ -1,0 +1,52 @@
+//! Demonstrates the multiplication-free arithmetic of §3.2: 5-bit
+//! logarithmic weights, the eq. 16/18 co-design constraints, and the
+//! LUT+shift product of eq. 17 matching an exact multiply.
+//!
+//! Run: `cargo run --release --example logquant_demo`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ttfs_snn::logquant::{LinearPe, LogBase, LogPe, LogQuantizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(3);
+    let weights: Vec<f32> = (0..64).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+
+    // Quantize to 5-bit log weights, a_w = 2^(-1/2) (the paper's pick).
+    let q = LogQuantizer::fit(LogBase::inv_sqrt2(), 5, &weights)?;
+    println!(
+        "5-bit log quantizer: {} magnitude levels, FSR 2^{:.1}, mean rel. error {:.2} %",
+        q.levels(),
+        q.fsr_log2(),
+        q.mean_relative_error(&weights) * 100.0
+    );
+
+    // The co-design constraint: tau must satisfy log2(tau) = 2^z (eq. 18),
+    // so the product exponent lands on a tiny fractional grid.
+    for tau in [3.0f32, 4.0, 8.0] {
+        match LogPe::for_kernel(tau, LogBase::inv_sqrt2()) {
+            Ok(pe) => println!(
+                "tau = {tau}: OK — LUT needs only {} entries (no multiplier)",
+                pe.lut_entries()
+            ),
+            Err(e) => println!("tau = {tau}: rejected — {e}"),
+        }
+    }
+
+    // Eq. 17 in action: LUT + shift vs exact multiply for every spike time.
+    let pe = LogPe::for_kernel(4.0, LogBase::inv_sqrt2())?.with_fsr_log2(q.fsr_log2());
+    let linear = LinearPe::new();
+    let mut worst = 0.0f32;
+    for &w in weights.iter().take(8) {
+        let code = q.code(w);
+        let wq = q.decode(code);
+        for t in [0u32, 3, 7, 12, 24] {
+            let exact = linear.multiply(wq, 4.0, t);
+            let approx = pe.multiply(code, t)?;
+            worst = worst.max((approx - exact).abs());
+        }
+    }
+    println!("worst |LUT+shift - multiplier| over samples: {worst:.2e}");
+    println!("(the log PE replaces every synaptic multiply in the processor — Fig. 6 'I+II')");
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Quickstart: train a small ANN with conversion-aware training (CAT),
+//! convert it to a TTFS spiking network, and check that the event-driven
+//! SNN matches the ANN — the paper's "zero conversion loss".
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ttfs_snn::data::{DatasetSpec, SyntheticDataset};
+use ttfs_snn::nn::{
+    ActivationLayer, BatchNorm2d, Conv2dLayer, DenseLayer, Flatten, Layer, MaxPool2dLayer, Relu,
+    Sequential,
+};
+use ttfs_snn::sim::EventSnn;
+use ttfs_snn::tensor::Conv2dSpec;
+use ttfs_snn::ttfs::{
+    convert, normalize_output_layer, train_with_cat, Base2Kernel, CatComponents, CatSchedule,
+    PhiTtfs,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. A small synthetic 10-class dataset (CIFAR-10 stand-in).
+    let spec = DatasetSpec::cifar10_like()
+        .with_samples(160, 80)
+        .with_geometry(3, 8, 8);
+    let data = SyntheticDataset::generate(&spec, 42);
+
+    // 2. A VGG-style CNN: conv-BN-act, pool, then a dense classifier.
+    let mut net = Sequential::new(vec![
+        Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(3, 8, 3, 1, 1), &mut rng)),
+        Layer::BatchNorm2d(BatchNorm2d::new(8)),
+        Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+        Layer::MaxPool2d(MaxPool2dLayer::new(2, 2)),
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(DenseLayer::new(8 * 4 * 4, 10, &mut rng)),
+    ]);
+
+    // 3. CAT: ReLU warm-up -> phi_Clip bulk -> phi_TTFS after the LR decays
+    //    (T = 24, tau = 4, theta0 = 1 — the paper's hardware parameters).
+    let phi = PhiTtfs::new(Base2Kernel::paper_default(), 24);
+    let schedule = CatSchedule::paper_scaled(15, phi, CatComponents::full());
+    let log = train_with_cat(
+        &mut net,
+        &schedule,
+        data.train_images(),
+        data.train_labels(),
+        data.test_images(),
+        data.test_labels(),
+        32,
+        &mut rng,
+    )?;
+    println!(
+        "ANN after CAT: test accuracy {:.1} % (phases: {:?} -> ttfs)",
+        log.final_test_accuracy() * 100.0,
+        log.epochs.first().map(|e| e.phase)
+    );
+
+    // 4. Convert: BN fusion + output-layer weight normalization.
+    let mut model = convert(&net, Base2Kernel::paper_default(), 24)?;
+    normalize_output_layer(&mut model, data.train_images())?;
+    println!(
+        "converted SNN: {} weighted layers, latency {} timesteps",
+        model.weighted_layers(),
+        model.latency_timesteps()
+    );
+
+    // 5. Run the event-driven SNN and compare with the ANN.
+    let sim = EventSnn::new(&model);
+    let snn_acc = sim.accuracy(data.test_images(), data.test_labels())?;
+    let ann_acc = log.final_test_accuracy();
+    let (_, stats) = sim.run(data.test_images())?;
+    println!(
+        "SNN: test accuracy {:.1} % | conversion loss {:+.2} pts",
+        snn_acc * 100.0,
+        (snn_acc - ann_acc) * 100.0
+    );
+    println!(
+        "events: {} spikes, {} synaptic ops, mean sparsity {:.2}",
+        stats.total_spikes(),
+        stats.total_synaptic_ops(),
+        stats.mean_sparsity()
+    );
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! # ttfs-snn — facade crate
+//!
+//! One-stop re-export of the TTFS-CAT reproduction workspace: conversion-aware
+//! training and time-to-first-spike coding for an energy-efficient deep SNN
+//! processor (Lew, Lee, Park — DAC 2022).
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`tensor`] | `snn-tensor` | ND f32 tensors, GEMM, conv, pooling |
+//! | [`nn`] | `snn-nn` | layers, backprop, SGD, LR schedules |
+//! | [`data`] | `snn-data` | synthetic CIFAR-like dataset generators |
+//! | [`ttfs`] | `ttfs-core` | kernels, φ_Clip/φ_TTFS, CAT, conversion |
+//! | [`sim`] | `snn-sim` | event-driven TTFS SNN simulator |
+//! | [`logquant`] | `snn-logquant` | 5-bit log quantization, LUT+shift PEs |
+//! | [`hw`] | `snn-hw` | processor simulator + area/power/energy model |
+//!
+//! See `examples/quickstart.rs` for the end-to-end pipeline.
+
+pub use snn_data as data;
+pub use snn_hw as hw;
+pub use snn_logquant as logquant;
+pub use snn_nn as nn;
+pub use snn_sim as sim;
+pub use snn_tensor as tensor;
+pub use ttfs_core as ttfs;

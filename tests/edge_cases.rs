@@ -1,0 +1,139 @@
+//! Failure-injection and edge-case tests across the whole stack.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ttfs_snn::hw::{LayerGeometry, Processor, ProcessorConfig, WorkloadProfile};
+use ttfs_snn::logquant::{LogBase, LogQuantizer, QatTrainer};
+use ttfs_snn::nn::{
+    ActivationFn, ActivationLayer, DenseLayer, DropoutLayer, Flatten, Layer, Relu, Sequential,
+    Sgd, TrainConfig,
+};
+use ttfs_snn::sim::EventSnn;
+use ttfs_snn::tensor::Tensor;
+use ttfs_snn::ttfs::{convert, normalize_output_layer, Base2Kernel, PhiTtfs, TtfsKernel};
+
+/// An input of all-zeros produces no spikes anywhere, and the SNN output is
+/// pure bias propagation — the degenerate path must not panic or diverge.
+#[test]
+fn all_zero_input_is_handled() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = Sequential::new(vec![
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(DenseLayer::new(9, 4, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+        Layer::Dense(DenseLayer::new(4, 2, &mut rng)),
+    ]);
+    let model = convert(&net, Base2Kernel::paper_default(), 24).unwrap();
+    let sim = EventSnn::new(&model);
+    let x = Tensor::zeros(&[1, 1, 3, 3]);
+    let (logits, stats) = sim.run(&x).unwrap();
+    assert_eq!(stats.layers[0].input_spikes, 0);
+    assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+}
+
+/// Saturated inputs (all ≥ θ₀) all fire at t=0 and stay exact.
+#[test]
+fn saturated_input_fires_immediately() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let net = Sequential::new(vec![
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(DenseLayer::new(4, 3, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+        Layer::Dense(DenseLayer::new(3, 2, &mut rng)),
+    ]);
+    let model = convert(&net, Base2Kernel::paper_default(), 24).unwrap();
+    let sim = EventSnn::new(&model);
+    let x = Tensor::full(&[1, 1, 2, 2], 5.0);
+    let (_, trace) = sim.run_traced(&x).unwrap();
+    assert!(trace[0].iter().all(|&(_, t)| t == 0));
+    let reference = model.reference_forward(&x).unwrap();
+    let (logits, _) = sim.run(&x).unwrap();
+    assert!(logits.allclose(&reference, 1e-4));
+}
+
+/// Normalizing the output layer when the calibration produces all-zero
+/// logits must be a no-op, not a division by zero.
+#[test]
+fn output_normalization_zero_calibration() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut net = Sequential::new(vec![
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(DenseLayer::new(4, 2, &mut rng)),
+    ]);
+    // Zero the classifier so logits vanish.
+    net.visit_params(&mut |p, _| p.map_inplace(|_| 0.0));
+    let mut model = convert(&net, Base2Kernel::paper_default(), 24).unwrap();
+    let calib = Tensor::full(&[2, 1, 2, 2], 0.5);
+    let scale = normalize_output_layer(&mut model, &calib).unwrap();
+    assert_eq!(scale, 1.0);
+}
+
+/// NaN-free training under dropout + QAT together (the harshest stack).
+#[test]
+fn dropout_qat_training_stays_finite() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut net = Sequential::new(vec![
+        Layer::Dense(DenseLayer::new(4, 16, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+        Layer::Dropout(DropoutLayer::new(0.5, 7)),
+        Layer::Dense(DenseLayer::new(16, 3, &mut rng)),
+    ]);
+    let trainer = QatTrainer::new(LogBase::inv_sqrt2(), 5);
+    let mut opt = Sgd::new(0.05, 0.9, 5e-4);
+    let images = ttfs_snn::tensor::uniform(&[24, 4], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..24).map(|i| i % 3).collect();
+    let config = TrainConfig {
+        batch_size: 8,
+        shuffle: true,
+    };
+    for _ in 0..5 {
+        let stats = trainer
+            .train_epoch(&mut net, &mut opt, &images, &labels, &config, &mut rng)
+            .unwrap();
+        assert!(stats.loss.is_finite());
+    }
+    let mut max_abs = 0.0f32;
+    net.visit_params(&mut |p, _| max_abs = max_abs.max(p.abs_max()));
+    assert!(max_abs.is_finite());
+}
+
+/// A workload profile with zero density yields zero SOPs but still finite,
+/// positive cycle counts (control overhead never disappears).
+#[test]
+fn processor_with_silent_network() {
+    let p = Processor::new(ProcessorConfig::proposed());
+    let layers = vec![LayerGeometry::conv("c", 3, 8, 3, 8, 8)];
+    let r = p.run_network(&layers, &WorkloadProfile::uniform(0.0));
+    assert_eq!(r.total_sops, 0);
+    assert!(r.cycles > 0);
+    assert!(r.energy_per_image_uj > 0.0); // static + weight streaming remain
+}
+
+/// Quantizer on a constant weight population: every value maps to the FSR.
+#[test]
+fn quantizer_constant_population() {
+    let q = LogQuantizer::fit(LogBase::inv_sqrt2(), 5, &[0.25; 16]).unwrap();
+    for _ in 0..4 {
+        assert_eq!(q.quantize(0.25), 0.25);
+    }
+}
+
+/// Kernel windows of zero: only inputs at/above θ₀ are representable.
+#[test]
+fn zero_window_kernel() {
+    let k = Base2Kernel::paper_default();
+    assert_eq!(k.encode(1.0, 0), Some(0));
+    assert_eq!(k.encode(0.5, 0), None);
+    let phi = PhiTtfs::new(k, 0);
+    assert_eq!(phi.value(0.9), 0.0);
+    assert_eq!(phi.value(1.1), 1.0);
+}
+
+/// Conversion must reject a network whose only weighted layer is pooling-
+/// wrapped conv (no dense readout).
+#[test]
+fn conversion_structure_errors_are_reported() {
+    let net = Sequential::new(vec![Layer::Flatten(Flatten::new())]);
+    let err = convert(&net, Base2Kernel::paper_default(), 24).unwrap_err();
+    assert!(err.to_string().contains("no weighted layers"));
+}

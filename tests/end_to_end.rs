@@ -1,0 +1,213 @@
+//! Cross-crate integration tests: the full CAT → conversion → event-SNN →
+//! quantization → hardware pipeline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ttfs_snn::data::{DatasetSpec, SyntheticDataset};
+use ttfs_snn::hw::{vgg16_geometry, Processor, ProcessorConfig, WorkloadProfile};
+use ttfs_snn::logquant::{LogBase, LogQuantizer};
+use ttfs_snn::nn::{
+    ActivationLayer, BatchNorm2d, Conv2dLayer, DenseLayer, Flatten, Layer, MaxPool2dLayer, Relu,
+    Sequential,
+};
+use ttfs_snn::sim::EventSnn;
+use ttfs_snn::tensor::Conv2dSpec;
+use ttfs_snn::ttfs::{
+    convert, normalize_output_layer, train_with_cat, Base2Kernel, CatComponents, CatSchedule,
+    PhiTtfs, SnnLayer,
+};
+
+fn tiny_net(rng: &mut StdRng) -> Sequential {
+    Sequential::new(vec![
+        Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(3, 6, 3, 1, 1), rng)),
+        Layer::BatchNorm2d(BatchNorm2d::new(6)),
+        Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+        Layer::MaxPool2d(MaxPool2dLayer::new(2, 2)),
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(DenseLayer::new(6 * 4 * 4, 10, rng)),
+    ])
+}
+
+fn tiny_data() -> SyntheticDataset {
+    let spec = DatasetSpec::cifar10_like()
+        .with_samples(120, 60)
+        .with_geometry(3, 8, 8);
+    SyntheticDataset::generate(&spec, 9)
+}
+
+/// The central claim: after full CAT (I+II+III), the event-driven SNN has
+/// exactly the ANN's accuracy (zero conversion loss).
+#[test]
+fn conversion_is_lossless_after_full_cat() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = tiny_data();
+    let mut net = tiny_net(&mut rng);
+    let phi = PhiTtfs::new(Base2Kernel::paper_default(), 24);
+    let schedule = CatSchedule::paper_scaled(12, phi, CatComponents::full());
+    let log = train_with_cat(
+        &mut net,
+        &schedule,
+        data.train_images(),
+        data.train_labels(),
+        data.test_images(),
+        data.test_labels(),
+        32,
+        &mut rng,
+    )
+    .expect("training");
+    assert!(log.final_test_accuracy() > 0.5, "model must learn");
+
+    let mut model = convert(&net, Base2Kernel::paper_default(), 24).expect("conversion");
+    normalize_output_layer(&mut model, data.train_images()).expect("normalization");
+    let snn_acc = model
+        .accuracy(data.test_images(), data.test_labels())
+        .expect("snn eval");
+    let loss = snn_acc - log.final_test_accuracy();
+    assert!(
+        loss.abs() < 0.02,
+        "conversion loss should be ~0 after I+II+III, got {loss}"
+    );
+}
+
+/// The event-driven simulator agrees with the analytic reference forward
+/// pass on a trained, converted model (not just random weights).
+#[test]
+fn event_sim_equals_reference_on_trained_model() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let data = tiny_data();
+    let mut net = tiny_net(&mut rng);
+    let phi = PhiTtfs::new(Base2Kernel::paper_default(), 24);
+    let schedule = CatSchedule::paper_scaled(6, phi, CatComponents::full());
+    train_with_cat(
+        &mut net,
+        &schedule,
+        data.train_images(),
+        data.train_labels(),
+        data.test_images(),
+        data.test_labels(),
+        32,
+        &mut rng,
+    )
+    .expect("training");
+    let model = convert(&net, Base2Kernel::paper_default(), 24).expect("conversion");
+    let sim = EventSnn::new(&model);
+    let (event_logits, stats) = sim.run(data.test_images()).expect("event run");
+    let reference = model.reference_forward(data.test_images()).expect("reference");
+    let tol = 1e-3 * (1.0 + reference.abs_max());
+    assert!(event_logits.allclose(&reference, tol));
+    // TTFS discipline: no layer can spike more than once per neuron.
+    for layer in &stats.layers {
+        assert!(layer.output_spikes <= layer.neurons);
+    }
+}
+
+/// Log quantization at the paper's 5-bit / a_w = 2^(-1/2) keeps accuracy
+/// close to fp32; 2 bits destroys it.
+#[test]
+fn quantization_bits_tradeoff_on_trained_model() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let data = tiny_data();
+    let mut net = tiny_net(&mut rng);
+    let phi = PhiTtfs::new(Base2Kernel::paper_default(), 24);
+    let schedule = CatSchedule::paper_scaled(12, phi, CatComponents::full());
+    train_with_cat(
+        &mut net,
+        &schedule,
+        data.train_images(),
+        data.train_labels(),
+        data.test_images(),
+        data.test_labels(),
+        32,
+        &mut rng,
+    )
+    .expect("training");
+    let mut model = convert(&net, Base2Kernel::paper_default(), 24).expect("conversion");
+    normalize_output_layer(&mut model, data.train_images()).expect("normalization");
+    let fp = model
+        .accuracy(data.test_images(), data.test_labels())
+        .expect("fp32 eval");
+
+    let quantized = |model: &ttfs_snn::ttfs::SnnModel, bits: u8| {
+        let mut q = model.clone();
+        for layer in q.layers_mut() {
+            if let SnnLayer::Conv { weight, .. } | SnnLayer::Dense { weight, .. } = layer {
+                let quant = LogQuantizer::fit(LogBase::inv_sqrt2(), bits, weight.as_slice())
+                    .expect("fit");
+                *weight = quant.quantize_tensor(weight);
+            }
+        }
+        q.accuracy(data.test_images(), data.test_labels()).expect("eval")
+    };
+    let q5 = quantized(&model, 5);
+    let q2 = quantized(&model, 2);
+    assert!(
+        q5 >= fp - 0.10,
+        "5-bit log quantization must stay near fp32: {q5} vs {fp}"
+    );
+    assert!(q2 <= q5, "2-bit must not beat 5-bit: {q2} vs {q5}");
+}
+
+/// Sparsity measured by the event simulator drives the hardware model:
+/// end-to-end energy is finite, positive and SNN beats the dense TPU model.
+#[test]
+fn measured_sparsity_feeds_hardware_model() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let data = tiny_data();
+    let mut net = tiny_net(&mut rng);
+    let phi = PhiTtfs::new(Base2Kernel::paper_default(), 24);
+    let schedule = CatSchedule::paper_scaled(6, phi, CatComponents::full());
+    train_with_cat(
+        &mut net,
+        &schedule,
+        data.train_images(),
+        data.train_labels(),
+        data.test_images(),
+        data.test_labels(),
+        32,
+        &mut rng,
+    )
+    .expect("training");
+    let model = convert(&net, Base2Kernel::paper_default(), 24).expect("conversion");
+    let sim = EventSnn::new(&model);
+    let (_, stats) = sim.run(data.test_images()).expect("event run");
+
+    let input_sparsity =
+        stats.layers[0].input_spikes as f32 / data.test_images().len() as f32;
+    let layer_sparsity: Vec<f32> = stats.layers.iter().map(|l| l.output_sparsity()).collect();
+    let profile = WorkloadProfile::from_measurements(input_sparsity, layer_sparsity);
+
+    let processor = Processor::new(ProcessorConfig::proposed());
+    let layers = vgg16_geometry(32, 32, 10);
+    let snn = processor.run_network(&layers, &profile);
+    let tpu = ttfs_snn::hw::TpuModel::redesigned_16x16().run_network(&layers);
+    assert!(snn.energy_per_image_uj > 0.0);
+    assert!(
+        snn.energy_per_image_uj < tpu.energy_per_image_uj,
+        "SNN ({}) must beat dense TPU ({}) on energy",
+        snn.energy_per_image_uj,
+        tpu.energy_per_image_uj
+    );
+    assert!(snn.fps > tpu.fps, "SNN must beat TPU on fps");
+}
+
+/// The latency model matches Table 2's formula on the real VGG-16 shape:
+/// 16 weighted layers, T=24 → 408 timesteps.
+#[test]
+fn table2_latency_formula() {
+    let mut rng = StdRng::seed_from_u64(5);
+    // Build a 16-weighted-layer network cheaply: 15 tiny dense + classifier.
+    let mut layers = vec![Layer::Flatten(Flatten::new())];
+    let mut width = 12usize;
+    for _ in 0..15 {
+        layers.push(Layer::Dense(DenseLayer::new(width, 12, &mut rng)));
+        layers.push(Layer::Activation(ActivationLayer::new(Box::new(Relu))));
+        width = 12;
+    }
+    layers.push(Layer::Dense(DenseLayer::new(width, 10, &mut rng)));
+    let net = Sequential::new(layers);
+    let model24 = convert(&net, Base2Kernel::new(4.0, 1.0), 24).expect("conversion");
+    assert_eq!(model24.weighted_layers(), 16);
+    assert_eq!(model24.latency_timesteps(), 408); // Table 2
+    let model48 = convert(&net, Base2Kernel::new(8.0, 1.0), 48).expect("conversion");
+    assert_eq!(model48.latency_timesteps(), 816); // Table 2
+}

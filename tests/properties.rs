@@ -1,0 +1,103 @@
+//! Cross-crate property-based tests on the paper's core invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ttfs_snn::logquant::{LinearPe, LogBase, LogPe, LogQuantizer};
+use ttfs_snn::nn::{ActivationFn, ActivationLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
+use ttfs_snn::sim::EventSnn;
+use ttfs_snn::tensor::Tensor;
+use ttfs_snn::ttfs::{convert, Base2Kernel, PhiTtfs, TtfsKernel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// φ_TTFS(x) equals decode(encode(x)) for every x — the activation is
+    /// exactly the SNN's data representation (the heart of CAT).
+    #[test]
+    fn phi_ttfs_equals_snn_coding(x in -0.5f32..2.0) {
+        let kernel = Base2Kernel::paper_default();
+        let phi = PhiTtfs::new(kernel, 24);
+        let snn = match kernel.encode(x, 24) {
+            Some(t) => kernel.decode(t),
+            None => 0.0,
+        };
+        prop_assert_eq!(phi.value(x), snn);
+    }
+
+    /// Encoding is monotone: a larger membrane voltage never fires later.
+    #[test]
+    fn larger_voltage_fires_no_later(a in 0.001f32..1.5, b in 0.001f32..1.5) {
+        let kernel = Base2Kernel::paper_default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        if let (Some(t_lo), Some(t_hi)) = (kernel.encode(lo, 24), kernel.encode(hi, 24)) {
+            prop_assert!(t_hi <= t_lo, "u={hi} fired at {t_hi}, u={lo} at {t_lo}");
+        }
+    }
+
+    /// Quantization onto the kernel grid is idempotent and non-increasing.
+    #[test]
+    fn phi_ttfs_idempotent_and_bounded(x in 0.0f32..1.5) {
+        let phi = PhiTtfs::paper_default();
+        let y = phi.value(x);
+        prop_assert!((phi.value(y) - y).abs() < 1e-6);
+        prop_assert!(y <= x.max(1.0) + 1e-6);
+        prop_assert!(y >= 0.0);
+    }
+
+    /// The LUT+shift product of eq. 17 equals the multiplier result for
+    /// every representable weight code and spike time.
+    #[test]
+    fn log_pe_equals_multiplier(w in -1.0f32..1.0, t in 0u32..25) {
+        prop_assume!(w.abs() > 1e-3);
+        let q = LogQuantizer::with_fsr(LogBase::inv_sqrt2(), 5, 0.0).unwrap();
+        let pe = LogPe::for_kernel(4.0, LogBase::inv_sqrt2()).unwrap().with_fsr_log2(0.0);
+        let code = q.code(w);
+        let wq = q.decode(code);
+        let exact = LinearPe::new().multiply(wq, 4.0, t);
+        let approx = pe.multiply(code, t).unwrap();
+        prop_assert!((approx - exact).abs() <= 1e-4 * (1.0 + exact.abs()));
+    }
+
+    /// Log quantization preserves sign and never increases magnitude above
+    /// the full-scale range.
+    #[test]
+    fn quantization_sign_and_range(w in -2.0f32..2.0) {
+        let q = LogQuantizer::with_fsr(LogBase::inv_sqrt2(), 5, 0.0).unwrap();
+        let wq = q.quantize(w);
+        prop_assert!(wq.abs() <= 1.0 + 1e-6);
+        if wq != 0.0 {
+            prop_assert_eq!(wq.is_sign_negative(), w.is_sign_negative());
+        }
+    }
+
+    /// Event simulation equals the reference forward pass for random dense
+    /// networks and random inputs in [0, 1].
+    #[test]
+    fn event_sim_matches_reference(seed in 0u64..32, xs in proptest::collection::vec(0.0f32..1.0, 12)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Sequential::new(vec![
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(12, 6, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::Dense(DenseLayer::new(6, 3, &mut rng)),
+        ]);
+        let model = convert(&net, Base2Kernel::paper_default(), 24).unwrap();
+        let x = Tensor::from_vec(xs, &[1, 1, 3, 4]).unwrap();
+        let sim = EventSnn::new(&model);
+        let (event, _) = sim.run(&x).unwrap();
+        let reference = model.reference_forward(&x).unwrap();
+        let tol = 1e-4 * (1.0 + reference.abs_max());
+        prop_assert!(event.allclose(&reference, tol));
+    }
+
+    /// The clip activation brackets φ_TTFS: clip(x) ≥ φ_TTFS(x) on [0, θ₀]
+    /// (quantization only rounds down within the band).
+    #[test]
+    fn clip_dominates_ttfs(x in 0.0f32..1.0) {
+        use ttfs_snn::ttfs::PhiClip;
+        let clip = PhiClip::new(1.0);
+        let phi = PhiTtfs::paper_default();
+        prop_assert!(clip.value(x) >= phi.value(x) - 1e-6);
+    }
+}

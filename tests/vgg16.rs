@@ -1,0 +1,42 @@
+//! The paper's deployment network: VGG-16 must be constructible,
+//! CAT-switchable and convertible, with Table 2's latency.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ttfs_snn::nn::models::vgg16;
+use ttfs_snn::ttfs::{convert, Base2Kernel, CatComponents, CatSchedule, PhiTtfs};
+
+#[test]
+fn vgg16_converts_with_table2_latency() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut net = vgg16(32, 10, &mut rng);
+
+    // CAT can switch all 15 hidden activations.
+    let phi = PhiTtfs::new(Base2Kernel::paper_default(), 24);
+    let schedule = CatSchedule::paper_scaled(200, phi, CatComponents::full());
+    schedule.apply(&mut net, 199);
+    assert!(net.activation_names().iter().all(|&n| n == "ttfs"));
+
+    // Conversion fuses 13 BN layers and yields 16 weighted layers.
+    let model = convert(&net, Base2Kernel::paper_default(), 24).expect("vgg16 conversion");
+    assert_eq!(model.weighted_layers(), 16);
+    assert_eq!(model.latency_timesteps(), 408); // Table 2, T=24
+
+    let model48 = convert(&net, Base2Kernel::new(8.0, 1.0), 48).expect("vgg16 conversion");
+    assert_eq!(model48.latency_timesteps(), 816); // Table 2, T=48
+}
+
+#[test]
+fn vgg16_tiny_imagenet_converts() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let net = vgg16(64, 200, &mut rng);
+    let model = convert(&net, Base2Kernel::paper_default(), 24).expect("conversion");
+    assert_eq!(model.weighted_layers(), 16);
+    // Readout width matches Tiny-ImageNet's 200 classes.
+    match model.layers().iter().rev().find(|l| l.is_weighted()) {
+        Some(ttfs_snn::ttfs::SnnLayer::Dense { weight, .. }) => {
+            assert_eq!(weight.dims()[0], 200);
+        }
+        other => panic!("unexpected readout {other:?}"),
+    }
+}
