@@ -16,7 +16,6 @@ fn bench_units(c: &mut Criterion) {
         .map(|s| {
             (0..64)
                 .map(|i| (s * 64 + i, ((i * 7 + s) % 25) as u32))
-                .map(|(n, t)| (n, t))
                 .collect::<Vec<_>>()
         })
         .map(|mut v: Vec<(usize, u32)>| {

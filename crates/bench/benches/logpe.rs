@@ -21,7 +21,9 @@ fn bench_pe(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0f32;
             for (i, &code) in codes.iter().enumerate() {
-                acc += pe.multiply(black_box(code), (i % 25) as u32).expect("in range");
+                acc += pe
+                    .multiply(black_box(code), (i % 25) as u32)
+                    .expect("in range");
             }
             acc
         })

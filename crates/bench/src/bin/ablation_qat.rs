@@ -24,8 +24,14 @@ fn main() {
     let epochs = scale.epochs();
 
     println!("# Ablation: post-training quantization (PTQ) vs quantization-aware training (QAT)");
-    println!("# CIFAR100-like stand-in, {} epochs, log base 2^-1/2", epochs);
-    println!("{:>6} {:>10} {:>10} {:>10}", "bits", "fp32 %", "PTQ %", "QAT %");
+    println!(
+        "# CIFAR100-like stand-in, {} epochs, log base 2^-1/2",
+        epochs
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "bits", "fp32 %", "PTQ %", "QAT %"
+    );
 
     // Shared fp32 baseline.
     let mut rng = StdRng::seed_from_u64(1);
@@ -42,8 +48,8 @@ fn main() {
         )
         .expect("fp training");
     }
-    let fp_acc = evaluate(&mut fp_net, data.test_images(), data.test_labels(), 32)
-        .expect("fp eval");
+    let fp_acc =
+        evaluate(&mut fp_net, data.test_images(), data.test_labels(), 32).expect("fp eval");
 
     for bits in [3u8, 4, 5] {
         let trainer = QatTrainer::new(LogBase::inv_sqrt2(), bits);
@@ -51,8 +57,8 @@ fn main() {
         // PTQ: quantize the trained fp32 network.
         let mut ptq_net = fp_net.clone();
         trainer.finalize(&mut ptq_net).expect("ptq finalize");
-        let ptq_acc = evaluate(&mut ptq_net, data.test_images(), data.test_labels(), 32)
-            .expect("ptq eval");
+        let ptq_acc =
+            evaluate(&mut ptq_net, data.test_images(), data.test_labels(), 32).expect("ptq eval");
 
         // QAT: fine-tune the fp32 model with fake quantization (the usual
         // QAT recipe — start from the converged full-precision weights).
@@ -72,8 +78,8 @@ fn main() {
                 .expect("qat training");
         }
         trainer.finalize(&mut qat_net).expect("qat finalize");
-        let qat_acc = evaluate(&mut qat_net, data.test_images(), data.test_labels(), 32)
-            .expect("qat eval");
+        let qat_acc =
+            evaluate(&mut qat_net, data.test_images(), data.test_labels(), 32).expect("qat eval");
 
         println!(
             "{:>6} {:>10.2} {:>10.2} {:>10.2}",

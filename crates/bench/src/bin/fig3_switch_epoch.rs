@@ -45,7 +45,11 @@ fn main() {
             )
             .expect("scaled switch epochs are ordered");
             let mut rng = StdRng::seed_from_u64(7);
-            let mut net = scaled_deep_cnn(scale.image_side(), scale.classes_for(spec.classes), &mut rng);
+            let mut net = scaled_deep_cnn(
+                scale.image_side(),
+                scale.classes_for(spec.classes),
+                &mut rng,
+            );
             let log = train_with_cat(
                 &mut net,
                 &schedule,

@@ -34,13 +34,24 @@ fn quantize_model(model: &SnnModel, base: LogBase, bits: u8) -> SnnModel {
 fn main() {
     let scale = Scale::from_env();
     let spec = DatasetSpec::cifar100_like();
-    let bases = [LogBase::pow2(), LogBase::inv_sqrt2(), LogBase::inv_4th_root2()];
+    let bases = [
+        LogBase::pow2(),
+        LogBase::inv_sqrt2(),
+        LogBase::inv_4th_root2(),
+    ];
 
     for (window, tau) in [(24u32, 4.0f32), (48, 8.0)] {
         println!("# Figure 4: accuracy vs weight bit width (T={window}, tau={tau}, CIFAR100-like)");
         let data = scaled_dataset(&spec, scale, 404);
-        let r = run_pipeline(&data, CatComponents::full(), window, tau, scale.epochs(), 99)
-            .expect("pipeline");
+        let r = run_pipeline(
+            &data,
+            CatComponents::full(),
+            window,
+            tau,
+            scale.epochs(),
+            99,
+        )
+        .expect("pipeline");
         let fp32 = r.snn_accuracy * 100.0;
         println!("# fp32 reference: {fp32:.2} %");
         print!("{:>6}", "bits");

@@ -29,7 +29,10 @@ fn main() {
     ];
 
     println!("# Table 1: accuracies (conversion losses) of CAT");
-    println!("# scaled reproduction: synthetic datasets, scaled CNN, {} epochs", scale.epochs());
+    println!(
+        "# scaled reproduction: synthetic datasets, scaled CNN, {} epochs",
+        scale.epochs()
+    );
     println!(
         "{:>9} {:>7} {:>18} {:>18} {:>18}",
         "method", "T/tau", datasets[0].name, datasets[1].name, datasets[2].name
@@ -56,5 +59,7 @@ fn main() {
         }
     }
     println!();
-    println!("# paper shape: loss(I) > loss(I+II) > loss(I+II+III) ~ 0; loss grows as T/tau shrink");
+    println!(
+        "# paper shape: loss(I) > loss(I+II) > loss(I+II+III) ~ 0; loss grows as T/tau shrink"
+    );
 }

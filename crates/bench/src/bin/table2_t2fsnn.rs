@@ -28,7 +28,14 @@ fn main() {
     println!("# Table 2: comparison with T2FSNN (scaled reproduction)");
     println!(
         "{:>22} {:>5} {:>4} {:>5} {:>8} {:>12} {:>12} {:>12}",
-        "method", "base", "T", "tau", "latency", datasets[0].name, datasets[1].name, datasets[2].name
+        "method",
+        "base",
+        "T",
+        "tau",
+        "latency",
+        datasets[0].name,
+        datasets[1].name,
+        datasets[2].name
     );
 
     // --- T2FSNN rows (base e, T=80, tau=20, early firing) ---
@@ -37,7 +44,14 @@ fn main() {
     for (di, spec) in datasets.iter().enumerate() {
         let data = scaled_dataset(spec, scale, 200 + di as u64);
         // Plain (non-conversion-aware) training ~ component I only.
-        match run_pipeline(&data, CatComponents::clip_only(), 80, 11.54, scale.epochs(), 17) {
+        match run_pipeline(
+            &data,
+            CatComponents::clip_only(),
+            80,
+            11.54,
+            scale.epochs(),
+            17,
+        ) {
             Ok(r) => {
                 let mut t2 = T2fsnnModel::new(&r.model, ExpKernel::t2fsnn_default(), 80);
                 // Post-conversion kernel tuning on a training slice.
@@ -76,7 +90,14 @@ fn main() {
         let mut latency = 0u32;
         for (di, spec) in datasets.iter().enumerate() {
             let data = scaled_dataset(spec, scale, 200 + di as u64);
-            match run_pipeline(&data, CatComponents::full(), window, tau, scale.epochs(), 17) {
+            match run_pipeline(
+                &data,
+                CatComponents::full(),
+                window,
+                tau,
+                scale.epochs(),
+                17,
+            ) {
                 Ok(r) => {
                     latency = r.model.latency_timesteps();
                     accs.push(r.snn_accuracy * 100.0);

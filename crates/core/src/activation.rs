@@ -220,8 +220,7 @@ mod tests {
         for i in 1..=120 {
             let x = i as f32 / 100.0;
             // What the SNN represents after encode/decode:
-            let snn = match kernel.encode(clip.value(x).min(phi.value(x).max(clip.value(x))), 24)
-            {
+            let snn = match kernel.encode(clip.value(x).min(phi.value(x).max(clip.value(x))), 24) {
                 Some(k) => kernel.decode(k),
                 None => 0.0,
             };

@@ -1,7 +1,5 @@
 use rand::Rng;
-use snn_nn::{
-    evaluate, train_epoch, ActivationFn, LrSchedule, Relu, Sequential, Sgd, TrainConfig,
-};
+use snn_nn::{evaluate, train_epoch, ActivationFn, LrSchedule, Relu, Sequential, Sgd, TrainConfig};
 use snn_tensor::Tensor;
 
 use crate::{ConvertError, PhiClip, PhiTtfs, TtfsKernel};
@@ -243,6 +241,7 @@ impl CatTrainLog {
 /// # Errors
 ///
 /// Propagates substrate errors (shape mismatches, bad labels).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's training signature
 pub fn train_with_cat(
     net: &mut Sequential,
     schedule: &CatSchedule,
@@ -409,18 +408,15 @@ mod tests {
         ]);
         let s = schedule(CatComponents::full());
         let log = train_with_cat(
-            &mut net,
-            &s,
-            &images,
-            &labels,
-            &images,
-            &labels,
-            16,
-            &mut rng,
+            &mut net, &s, &images, &labels, &images, &labels, 16, &mut rng,
         )
         .unwrap();
         assert_eq!(log.epochs.len(), 20);
-        assert!(log.final_test_accuracy() > 0.9, "{:?}", log.final_test_accuracy());
+        assert!(
+            log.final_test_accuracy() > 0.9,
+            "{:?}",
+            log.final_test_accuracy()
+        );
         assert_eq!(net.activation_names(), vec!["ttfs"]);
     }
 }

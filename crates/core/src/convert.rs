@@ -49,6 +49,86 @@ impl SnnLayer {
     pub fn is_weighted(&self) -> bool {
         matches!(self, SnnLayer::Conv { .. } | SnnLayer::Dense { .. })
     }
+
+    /// The fused weight tensor of a weighted layer (`[out_c, in_c, k, k]`
+    /// for conv, `[out, in]` for dense), `None` for structural layers.
+    pub fn weight(&self) -> Option<&Tensor> {
+        match self {
+            SnnLayer::Conv { weight, .. } | SnnLayer::Dense { weight, .. } => Some(weight),
+            _ => None,
+        }
+    }
+
+    /// The fused bias tensor of a weighted layer, `None` for structural
+    /// layers.
+    pub fn bias(&self) -> Option<&Tensor> {
+        match self {
+            SnnLayer::Conv { bias, .. } | SnnLayer::Dense { bias, .. } => Some(bias),
+            _ => None,
+        }
+    }
+
+    /// Output neuron-grid dims for an input grid of `in_dims` (per-sample
+    /// dims, no batch axis: `[C, H, W]` spatial or `[features]` flat).
+    ///
+    /// This is the single source of truth external engines (CSR export in
+    /// `snn-runtime`, hardware geometry) use to propagate shapes without
+    /// re-deriving layer semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::Structure`] if `in_dims` does not match the
+    /// layer's expectations.
+    pub fn out_dims(&self, in_dims: &[usize]) -> Result<Vec<usize>, ConvertError> {
+        match self {
+            SnnLayer::Conv { spec, .. } => {
+                if in_dims.len() != 3 || in_dims[0] != spec.in_channels {
+                    return Err(ConvertError::Structure(format!(
+                        "conv expects [{}, H, W] input, got {:?}",
+                        spec.in_channels, in_dims
+                    )));
+                }
+                let (h, w) = (in_dims[1], in_dims[2]);
+                if h + 2 * spec.padding < spec.kernel || w + 2 * spec.padding < spec.kernel {
+                    return Err(ConvertError::Structure(format!(
+                        "conv kernel {} does not fit a {h}x{w} input with padding {}",
+                        spec.kernel, spec.padding
+                    )));
+                }
+                let (oh, ow) = spec.output_hw(h, w);
+                Ok(vec![spec.out_channels, oh, ow])
+            }
+            SnnLayer::Dense { weight, .. } => {
+                let in_f = weight.dims()[1];
+                let flat: usize = in_dims.iter().product();
+                if flat != in_f {
+                    return Err(ConvertError::Structure(format!(
+                        "dense expects {in_f} input features, got {:?}",
+                        in_dims
+                    )));
+                }
+                Ok(vec![weight.dims()[0]])
+            }
+            SnnLayer::MaxPool { spec } | SnnLayer::AvgPool { spec } => {
+                if in_dims.len() != 3 {
+                    return Err(ConvertError::Structure(format!(
+                        "pool expects [C, H, W] input, got {:?}",
+                        in_dims
+                    )));
+                }
+                if in_dims[1] < spec.window || in_dims[2] < spec.window {
+                    return Err(ConvertError::Structure(format!(
+                        "pool window {} does not fit a {}x{} input",
+                        spec.window, in_dims[1], in_dims[2]
+                    )));
+                }
+                let oh = (in_dims[1] - spec.window) / spec.stride + 1;
+                let ow = (in_dims[2] - spec.window) / spec.stride + 1;
+                Ok(vec![in_dims[0], oh, ow])
+            }
+            SnnLayer::Flatten => Ok(vec![in_dims.iter().product()]),
+        }
+    }
 }
 
 /// A converted SNN model: fused weights plus the single shared TTFS kernel.
@@ -106,6 +186,25 @@ impl SnnModel {
         self.window * (self.weighted_layers() as u32 + 1)
     }
 
+    /// Propagates per-sample input dims (`[C, H, W]`) through every layer,
+    /// returning the neuron-grid dims at each layer boundary: entry `0` is
+    /// the input grid, entry `i + 1` the output of layer `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::Structure`] if the input does not fit the
+    /// model geometry.
+    pub fn shape_trace(&self, input_dims: &[usize]) -> Result<Vec<Vec<usize>>, ConvertError> {
+        let mut trace = Vec::with_capacity(self.layers.len() + 1);
+        trace.push(input_dims.to_vec());
+        let mut cur = input_dims.to_vec();
+        for layer in &self.layers {
+            cur = layer.out_dims(&cur)?;
+            trace.push(cur.clone());
+        }
+        Ok(trace)
+    }
+
     /// Exact activation-domain forward pass of the converted SNN: the input
     /// is spike-encoded (`φ_TTFS`), every hidden weighted layer is followed
     /// by encode→decode quantization, and the final layer reads the raw
@@ -126,7 +225,8 @@ impl SnnModel {
             cur = match layer {
                 SnnLayer::Conv { spec, weight, bias } => {
                     seen += 1;
-                    let y = conv2d(&cur, weight, Some(bias), spec).map_err(snn_nn::NnError::from)?;
+                    let y =
+                        conv2d(&cur, weight, Some(bias), spec).map_err(snn_nn::NnError::from)?;
                     if seen < weighted {
                         y.map(|v| phi.value(v))
                     } else {
@@ -135,8 +235,8 @@ impl SnnModel {
                 }
                 SnnLayer::Dense { weight, bias } => {
                     seen += 1;
-                    let mut y =
-                        gemm(&cur, Transpose::No, weight, Transpose::Yes).map_err(snn_nn::NnError::from)?;
+                    let mut y = gemm(&cur, Transpose::No, weight, Transpose::Yes)
+                        .map_err(snn_nn::NnError::from)?;
                     let (n, out) = (y.dims()[0], y.dims()[1]);
                     let data = y.as_mut_slice();
                     for s in 0..n {
@@ -343,9 +443,7 @@ pub fn normalize_output_layer(
             bias.map_inplace(|v| v * scale);
         }
         _ => {
-            return Err(ConvertError::Structure(
-                "output layer is not dense".into(),
-            ));
+            return Err(ConvertError::Structure("output layer is not dense".into()));
         }
     }
     Ok(scale)
@@ -398,7 +496,11 @@ mod tests {
         let mut it = 0;
         bn.visit_params(&mut |p, _| {
             for (i, v) in p.as_mut_slice().iter_mut().enumerate() {
-                *v = if it == 0 { 1.0 + 0.3 * i as f32 } else { 0.1 * i as f32 };
+                *v = if it == 0 {
+                    1.0 + 0.3 * i as f32
+                } else {
+                    0.1 * i as f32
+                };
             }
             it += 1;
         });
@@ -465,6 +567,30 @@ mod tests {
             };
             assert_eq!(am(row_b), am(row_a));
         }
+    }
+
+    #[test]
+    fn out_dims_rejects_undersized_grids() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = tiny_cnn(&mut rng);
+        let model = convert(&net, Base2Kernel::paper_default(), 24).unwrap();
+        // Pool window 2 cannot fit a 1x1 grid; conv 3x3 (pad 1) cannot fit
+        // a 0x0 grid — both must error, not underflow.
+        let pool = model
+            .layers()
+            .iter()
+            .find(|l| matches!(l, SnnLayer::MaxPool { .. }));
+        assert!(matches!(
+            pool.unwrap().out_dims(&[4, 1, 1]),
+            Err(ConvertError::Structure(_))
+        ));
+        let conv = &model.layers()[0];
+        assert!(matches!(
+            conv.out_dims(&[1, 0, 0]),
+            Err(ConvertError::Structure(_))
+        ));
+        assert!(model.shape_trace(&[1, 1, 1]).is_err());
+        assert_eq!(model.shape_trace(&[1, 8, 8]).unwrap().len(), 5);
     }
 
     #[test]

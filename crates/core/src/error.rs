@@ -46,7 +46,9 @@ mod tests {
 
     #[test]
     fn displays_variants() {
-        assert!(ConvertError::Structure("x".into()).to_string().contains("x"));
+        assert!(ConvertError::Structure("x".into())
+            .to_string()
+            .contains("x"));
         assert!(ConvertError::Schedule("y".into()).to_string().contains("y"));
     }
 }

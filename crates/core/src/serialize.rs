@@ -15,8 +15,7 @@ impl SnnModel {
     /// Returns [`ConvertError::Structure`] if serialization fails (should
     /// not happen for well-formed models).
     pub fn to_json(&self) -> Result<String, ConvertError> {
-        serde_json::to_string(self)
-            .map_err(|e| ConvertError::Structure(format!("serialize: {e}")))
+        serde_json::to_string(self).map_err(|e| ConvertError::Structure(format!("serialize: {e}")))
     }
 
     /// Deserializes a model from a JSON string produced by
@@ -26,8 +25,7 @@ impl SnnModel {
     ///
     /// Returns [`ConvertError::Structure`] on malformed input.
     pub fn from_json(json: &str) -> Result<Self, ConvertError> {
-        serde_json::from_str(json)
-            .map_err(|e| ConvertError::Structure(format!("deserialize: {e}")))
+        serde_json::from_str(json).map_err(|e| ConvertError::Structure(format!("deserialize: {e}")))
     }
 
     /// Writes the model to a file.

@@ -180,8 +180,8 @@ impl T2fsnnModel {
                 }
             }
             SnnLayer::Dense { weight, bias } => {
-                let mut y =
-                    gemm(cur, Transpose::No, weight, Transpose::Yes).map_err(snn_nn::NnError::from)?;
+                let mut y = gemm(cur, Transpose::No, weight, Transpose::Yes)
+                    .map_err(snn_nn::NnError::from)?;
                 let (n, out_f) = (y.dims()[0], y.dims()[1]);
                 let data = y.as_mut_slice();
                 for s in 0..n {
@@ -250,7 +250,10 @@ mod tests {
 
     fn tiny_model(rng: &mut StdRng) -> SnnModel {
         let net = Sequential::new(vec![
-            Layer::Conv2d(snn_nn::Conv2dLayer::new(Conv2dSpec::new(1, 3, 3, 1, 1), rng)),
+            Layer::Conv2d(snn_nn::Conv2dLayer::new(
+                Conv2dSpec::new(1, 3, 3, 1, 1),
+                rng,
+            )),
             Layer::Activation(ActivationLayer::new(Box::new(Relu))),
             Layer::Flatten(Flatten::new()),
             Layer::Dense(DenseLayer::new(3 * 6 * 6, 4, rng)),

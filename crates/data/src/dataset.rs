@@ -114,8 +114,7 @@ impl SyntheticDataset {
                             // Box-Muller on two uniforms.
                             let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
                             let u2: f32 = rng.gen_range(0.0..1.0);
-                            (-2.0 * u1.ln()).sqrt()
-                                * (std::f32::consts::TAU * u2).cos()
+                            (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
                         };
                         let v = spec.prototype_strength * signal
                             + spec.distractors * distract
@@ -239,7 +238,10 @@ mod tests {
             }
         }
         let acc = correct as f32 / d.test_labels().len() as f32;
-        assert!(acc > 0.5, "nearest-mean accuracy {acc} should beat chance (0.1)");
+        assert!(
+            acc > 0.5,
+            "nearest-mean accuracy {acc} should beat chance (0.1)"
+        );
     }
 
     /// Empirical difficulty must follow the paper's ordering under the same

@@ -205,9 +205,20 @@ mod tests {
         let base = m.area(&ProcessorConfig::baseline()).total();
         let cat = m.area(&ProcessorConfig::with_cat()).total();
         let full = m.area(&ProcessorConfig::proposed()).total();
-        assert!((base - 1.0).abs() < 1e-3, "baseline normalizes to 1: {base}");
-        assert!(((base - cat) - 0.127).abs() < 2e-3, "CAT saves 12.7%: {}", base - cat);
-        assert!(((cat - full) - 0.081).abs() < 2e-3, "log PE saves 8.1%: {}", cat - full);
+        assert!(
+            (base - 1.0).abs() < 1e-3,
+            "baseline normalizes to 1: {base}"
+        );
+        assert!(
+            ((base - cat) - 0.127).abs() < 2e-3,
+            "CAT saves 12.7%: {}",
+            base - cat
+        );
+        assert!(
+            ((cat - full) - 0.081).abs() < 2e-3,
+            "log PE saves 8.1%: {}",
+            cat - full
+        );
     }
 
     #[test]
@@ -225,7 +236,10 @@ mod tests {
     fn absolute_area_power_near_table4() {
         let m = AreaPowerModel::cmos28();
         let area = m.chip_area_mm2(&ProcessorConfig::proposed());
-        assert!((area - 0.9102).abs() < 0.1, "chip area {area} vs 0.9102 mm2");
+        assert!(
+            (area - 0.9102).abs() < 0.1,
+            "chip area {area} vs 0.9102 mm2"
+        );
         let power = m.chip_power_mw(&ProcessorConfig::proposed());
         assert!((power - 67.3).abs() < 5.0, "chip power {power} vs 67.3 mW");
     }

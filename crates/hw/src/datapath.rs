@@ -56,8 +56,7 @@ impl PeDatapath {
             PeKind::Log => {
                 let base = LogBase::inv_sqrt2();
                 let pe = LogPe::for_kernel(config.kernel_tau, base)?.with_fsr_log2(0.0);
-                let quantizer =
-                    LogQuantizer::with_fsr(base, config.weight_bits as u8, 0.0)?;
+                let quantizer = LogQuantizer::with_fsr(base, config.weight_bits as u8, 0.0)?;
                 Ok(PeDatapath::Log { pe, quantizer })
             }
         }
@@ -127,6 +126,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::approx_constant)] // weights on the 2^(-1/2) grid
     fn log_and_linear_agree_on_quantized_weights() {
         let log = PeDatapath::for_config(&ProcessorConfig::proposed()).unwrap();
         let lin = PeDatapath::for_config(&ProcessorConfig::with_cat()).unwrap();

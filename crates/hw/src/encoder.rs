@@ -14,7 +14,10 @@ impl ThresholdLut {
     ///
     /// Panics if `tau` or `theta0` is not strictly positive.
     pub fn base2(tau: f32, theta0: f32, window: u32) -> Self {
-        assert!(tau > 0.0 && theta0 > 0.0, "kernel parameters must be positive");
+        assert!(
+            tau > 0.0 && theta0 > 0.0,
+            "kernel parameters must be positive"
+        );
         Self {
             values: (0..=window)
                 .map(|t| theta0 * (-(t as f32) / tau).exp2())
@@ -80,9 +83,7 @@ impl SpikeEncoder {
             // Priority encoder: one crossing serialized per cycle.
             loop {
                 cycles += 1; // comparator + priority-encode step
-                let hit = buf
-                    .iter()
-                    .position(|&v| v > 0.0 && v >= threshold);
+                let hit = buf.iter().position(|&v| v > 0.0 && v >= threshold);
                 match hit {
                     Some(neuron) => {
                         spikes.push((neuron, t));

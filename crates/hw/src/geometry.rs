@@ -120,10 +120,7 @@ mod tests {
     fn cifar_macs_near_known_value() {
         let macs: usize = vgg16_geometry(32, 32, 10).iter().map(|l| l.macs).sum();
         // The commonly quoted figure for VGG-16 at 32x32 is ~313 M MACs.
-        assert!(
-            (300_000_000..340_000_000).contains(&macs),
-            "macs = {macs}"
-        );
+        assert!((300_000_000..340_000_000).contains(&macs), "macs = {macs}");
     }
 
     #[test]

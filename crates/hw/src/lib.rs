@@ -51,5 +51,5 @@ pub use encoder::{SpikeEncoder, ThresholdLut};
 pub use geometry::{vgg16_geometry, LayerGeometry, LayerKind};
 pub use minfind::MinFindUnit;
 pub use processor::{LayerReport, NetworkReport, Processor, WorkloadProfile};
-pub use report::{ComparisonRow, ComparisonTable};
+pub use report::{ComparisonRow, ComparisonTable, DatasetRow};
 pub use tpu::TpuModel;

@@ -1,8 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    AreaPowerModel, EnergyModel, LayerGeometry, MinFindUnit, ProcessorConfig,
-};
+use crate::{AreaPowerModel, EnergyModel, LayerGeometry, MinFindUnit, ProcessorConfig};
 
 /// Event-rate profile of a workload: what fraction of neurons spike at each
 /// layer boundary. TTFS coding caps this at 1 spike/neuron; the paper's
@@ -146,7 +144,12 @@ impl Processor {
     }
 
     /// Runs one layer of the workload.
-    pub fn run_layer(&self, geom: &LayerGeometry, density_in: f32, density_out: f32) -> LayerReport {
+    pub fn run_layer(
+        &self,
+        geom: &LayerGeometry,
+        density_in: f32,
+        density_out: f32,
+    ) -> LayerReport {
         let cfg = &self.config;
         let input_spikes = (geom.in_neurons as f64 * density_in as f64).round() as u64;
         let output_spikes = (geom.out_neurons as f64 * density_out as f64).round() as u64;
@@ -156,7 +159,8 @@ impl Processor {
         // spike is broadcast, each PE applies its weight — one SOP per PE
         // per cycle at full occupancy.
         let passes = geom.out_neurons.div_ceil(cfg.pe_count) as u64;
-        let integration_cycles = sops.div_ceil(cfg.pe_count as u64) + passes * 8; // pipeline fill per pass
+        // The `passes * 8` term is the pipeline fill per pass.
+        let integration_cycles = sops.div_ceil(cfg.pe_count as u64) + passes * 8;
         // Sorting overlaps integration (SpinalFlow double-buffers); the
         // phase takes the slower of the two.
         let sort_cycles = self.minfind.cycles_for(input_spikes as usize);
@@ -205,7 +209,11 @@ impl Processor {
     }
 
     /// Runs a full network (one image) and aggregates the report.
-    pub fn run_network(&self, layers: &[LayerGeometry], profile: &WorkloadProfile) -> NetworkReport {
+    pub fn run_network(
+        &self,
+        layers: &[LayerGeometry],
+        profile: &WorkloadProfile,
+    ) -> NetworkReport {
         let mut reports = Vec::with_capacity(layers.len());
         for (i, geom) in layers.iter().enumerate() {
             let density_in = profile.density_into(i);

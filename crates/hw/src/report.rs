@@ -22,10 +22,13 @@ pub struct ComparisonRow {
     pub peak_gops: f32,
     /// Power, mW.
     pub power_mw: f32,
-    /// Per-dataset results: (dataset, accuracy %, energy µJ, fps). `None`
-    /// entries render as "-" (Tianjic reports CIFAR-10 only).
-    pub datasets: Vec<(String, Option<f32>, Option<f64>, Option<f64>)>,
+    /// Per-dataset results. `None` entries render as "-" (Tianjic reports
+    /// CIFAR-10 only).
+    pub datasets: Vec<DatasetRow>,
 }
+
+/// One dataset's result row: (dataset, accuracy %, energy µJ, fps).
+pub type DatasetRow = (String, Option<f32>, Option<f64>, Option<f64>);
 
 /// A renderable Table 4.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -71,8 +74,11 @@ impl fmt::Display for ComparisonTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let fmt_opt_f32 = |v: Option<f32>| v.map_or("-".to_string(), |x| format!("{x:.1}"));
         let fmt_opt_f64 = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.1}"));
-        writeln!(f, "{:<24} {:>8} {:>10} {:>8} {:>6} {:>10} {:>10} {:>9}",
-            "Design", "Type", "Area mm2", "MHz", "PEs", "GOP/s", "Power mW", "Voltage")?;
+        writeln!(
+            f,
+            "{:<24} {:>8} {:>10} {:>8} {:>6} {:>10} {:>10} {:>9}",
+            "Design", "Type", "Area mm2", "MHz", "PEs", "GOP/s", "Power mW", "Voltage"
+        )?;
         for row in &self.rows {
             writeln!(
                 f,

@@ -73,9 +73,8 @@ impl TpuModel {
             (total_macs as f64 / (self.macs as f64 * self.utilization as f64)).ceil() as u64;
         let seconds = cycles as f64 / (self.frequency_mhz as f64 * 1e6);
         let core_uj = self.power_mw as f64 * 1e-3 * seconds * 1e6;
-        let dram_uj = (weights * self.weight_bits as u64) as f64
-            * self.dram_pj_per_bit as f64
-            * 1e-6;
+        let dram_uj =
+            (weights * self.weight_bits as u64) as f64 * self.dram_pj_per_bit as f64 * 1e-6;
         TpuReport {
             cycles,
             energy_per_image_uj: core_uj + dram_uj,

@@ -4,6 +4,10 @@
 //! resulting spikes must match what the TTFS math predicts — i.e. the
 //! hardware units compose into exactly the layer the algorithm specifies.
 
+// Test weights intentionally sit on the a_w = 2^(-1/2) quantization grid,
+// which clippy mistakes for a sloppy FRAC_1_SQRT_2.
+#![allow(clippy::approx_constant)]
+
 use snn_hw::{MinFindUnit, PeDatapath, ProcessorConfig, SpikeEncoder, ThresholdLut};
 
 /// One dense SNN layer executed entirely with the functional hardware
@@ -35,11 +39,7 @@ fn run_layer_on_hardware(
 fn hardware_units_compose_into_a_ttfs_layer() {
     let config = ProcessorConfig::proposed(); // log PEs, tau=4, T=24
     let datapath = PeDatapath::for_config(&config).expect("valid co-design");
-    let encoder = SpikeEncoder::new(ThresholdLut::base2(
-        config.kernel_tau,
-        1.0,
-        config.window,
-    ));
+    let encoder = SpikeEncoder::new(ThresholdLut::base2(config.kernel_tau, 1.0, config.window));
     let minfind = MinFindUnit::new(16);
 
     // Weights already on the a_w = 2^(-1/2) grid (deployment stores codes).
@@ -78,7 +78,10 @@ fn hardware_units_compose_into_a_ttfs_layer() {
 
     for (o, exp) in expected.iter().enumerate() {
         let got = hw_spikes.iter().find(|s| s.0 == o).map(|s| s.1);
-        assert_eq!(got, *exp, "output neuron {o}: hw {got:?} vs expected {exp:?}");
+        assert_eq!(
+            got, *exp,
+            "output neuron {o}: hw {got:?} vs expected {exp:?}"
+        );
     }
 }
 

@@ -111,16 +111,16 @@ impl LogPe {
             return Ok(0.0);
         }
         // p̂ numerator on the common grid: log2|w| − t/τ.
-        let w_num = self.fsr_num
-            - code.steps as i64 * (self.grid / self.base.denominator()) as i64;
+        let w_num = self.fsr_num - code.steps as i64 * (self.grid / self.base.denominator()) as i64;
         let x_num = -(t as i64) * (self.grid / self.tau as u32) as i64;
         let p_num = w_num + x_num;
         // Split into integer shift and LUT index (Euclidean division keeps
         // the fraction non-negative).
         let int = p_num.div_euclid(self.grid as i64);
         let frac = p_num.rem_euclid(self.grid as i64) as usize;
-        let mantissa = self.lut[frac]; // 2^frac in Q(LUT_FRAC_BITS)
-        // value = mantissa · 2^(int − LUT_FRAC_BITS)
+        // mantissa is 2^frac in Q(LUT_FRAC_BITS);
+        // value = mantissa · 2^(int − LUT_FRAC_BITS).
+        let mantissa = self.lut[frac];
         let exp = int - i64::from(LUT_FRAC_BITS);
         let magnitude = mantissa as f64 * (exp as f64).exp2();
         let signed = if code.negative { -magnitude } else { magnitude };
@@ -195,11 +195,15 @@ mod tests {
         assert!(LogPe::for_kernel(8.0, LogBase::inv_sqrt2()).is_err()); // log2=3, not 2^z
         assert!(LogPe::for_kernel(0.5, LogBase::inv_sqrt2()).is_err());
         for tau in [1.0f32, 2.0, 4.0, 16.0] {
-            assert!(LogPe::for_kernel(tau, LogBase::inv_sqrt2()).is_ok(), "{tau}");
+            assert!(
+                LogPe::for_kernel(tau, LogBase::inv_sqrt2()).is_ok(),
+                "{tau}"
+            );
         }
     }
 
     #[test]
+    #[allow(clippy::approx_constant)] // 0.7071 sits on the 2^(-1/2) grid
     fn log_pe_matches_float_product() {
         let weights = [0.9f32, -0.5, 0.31, -0.044, 0.7071];
         let q = LogQuantizer::fit(LogBase::inv_sqrt2(), 5, &weights).unwrap();

@@ -88,9 +88,7 @@ impl QatTrainer {
     pub fn restore(&self, net: &mut Sequential, shadows: Vec<Tensor>) {
         let mut iter = shadows.into_iter();
         net.visit_params(&mut |p, _| {
-            *p = iter
-                .next()
-                .expect("shadow count matches parameter count");
+            *p = iter.next().expect("shadow count matches parameter count");
         });
         assert!(
             iter.next().is_none(),

@@ -239,12 +239,22 @@ mod tests {
 
     #[test]
     fn error_shrinks_with_bits_and_finer_base() {
-        let pop: Vec<f32> = (1..200).map(|i| (i as f32 * 0.005) * if i % 3 == 0 { -1.0 } else { 1.0 }).collect();
-        let e4 = LogQuantizer::fit(LogBase::inv_sqrt2(), 4, &pop).unwrap().mean_relative_error(&pop);
-        let e6 = LogQuantizer::fit(LogBase::inv_sqrt2(), 6, &pop).unwrap().mean_relative_error(&pop);
+        let pop: Vec<f32> = (1..200)
+            .map(|i| (i as f32 * 0.005) * if i % 3 == 0 { -1.0 } else { 1.0 })
+            .collect();
+        let e4 = LogQuantizer::fit(LogBase::inv_sqrt2(), 4, &pop)
+            .unwrap()
+            .mean_relative_error(&pop);
+        let e6 = LogQuantizer::fit(LogBase::inv_sqrt2(), 6, &pop)
+            .unwrap()
+            .mean_relative_error(&pop);
         assert!(e6 < e4, "more bits must reduce error: {e6} vs {e4}");
-        let coarse = LogQuantizer::fit(LogBase::pow2(), 6, &pop).unwrap().mean_relative_error(&pop);
-        let fine = LogQuantizer::fit(LogBase::inv_4th_root2(), 6, &pop).unwrap().mean_relative_error(&pop);
+        let coarse = LogQuantizer::fit(LogBase::pow2(), 6, &pop)
+            .unwrap()
+            .mean_relative_error(&pop);
+        let fine = LogQuantizer::fit(LogBase::inv_4th_root2(), 6, &pop)
+            .unwrap()
+            .mean_relative_error(&pop);
         assert!(fine < coarse, "finer base must reduce error at ample bits");
     }
 

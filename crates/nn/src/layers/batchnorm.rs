@@ -216,8 +216,7 @@ impl BatchNorm2d {
             for s in 0..n {
                 let base = (s * c + ci) * plane;
                 for i in 0..plane {
-                    gin[base + i] =
-                        gamma * istd * (g[base + i] - mean_g - xh[base + i] * mean_gx);
+                    gin[base + i] = gamma * istd * (g[base + i] - mean_g - xh[base + i] * mean_gx);
                 }
             }
         }

@@ -36,7 +36,12 @@ impl Conv2dLayer {
     /// Creates a convolution layer with Kaiming-normal weights, zero bias.
     pub fn new(spec: Conv2dSpec, rng: &mut impl Rng) -> Self {
         let fan_in = spec.col_rows();
-        let dims = [spec.out_channels, spec.in_channels, spec.kernel, spec.kernel];
+        let dims = [
+            spec.out_channels,
+            spec.in_channels,
+            spec.kernel,
+            spec.kernel,
+        ];
         Self {
             spec,
             weight: kaiming_normal(&dims, fan_in, rng),
@@ -53,7 +58,12 @@ impl Conv2dLayer {
     ///
     /// Returns [`NnError::Config`] if parameter shapes disagree with `spec`.
     pub fn from_params(spec: Conv2dSpec, weight: Tensor, bias: Tensor) -> Result<Self, NnError> {
-        let expect = [spec.out_channels, spec.in_channels, spec.kernel, spec.kernel];
+        let expect = [
+            spec.out_channels,
+            spec.in_channels,
+            spec.kernel,
+            spec.kernel,
+        ];
         if weight.dims() != expect {
             return Err(NnError::Config(format!(
                 "conv weight {:?} vs spec {:?}",
@@ -130,7 +140,12 @@ impl Conv2dLayer {
         self.grad_weight.axpy(1.0, &gw)?;
         self.grad_bias.axpy(1.0, &gb)?;
         let hw = (x.dims()[2], x.dims()[3]);
-        Ok(conv2d_backward_input(grad_out, &self.weight, &self.spec, hw)?)
+        Ok(conv2d_backward_input(
+            grad_out,
+            &self.weight,
+            &self.spec,
+            hw,
+        )?)
     }
 
     /// Visits `(param, grad)` pairs, weight first.
@@ -179,9 +194,13 @@ mod tests {
     #[test]
     fn from_params_validates_shapes() {
         let spec = Conv2dSpec::new(1, 2, 3, 1, 1);
-        assert!(Conv2dLayer::from_params(spec, Tensor::zeros(&[2, 1, 3, 3]), Tensor::zeros(&[2]))
-            .is_ok());
-        assert!(Conv2dLayer::from_params(spec, Tensor::zeros(&[2, 2, 3, 3]), Tensor::zeros(&[2]))
-            .is_err());
+        assert!(
+            Conv2dLayer::from_params(spec, Tensor::zeros(&[2, 1, 3, 3]), Tensor::zeros(&[2]))
+                .is_ok()
+        );
+        assert!(
+            Conv2dLayer::from_params(spec, Tensor::zeros(&[2, 2, 3, 3]), Tensor::zeros(&[2]))
+                .is_err()
+        );
     }
 }

@@ -173,10 +173,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut layer = DenseLayer::new(3, 2, &mut rng);
         let g = Tensor::zeros(&[1, 2]);
-        assert_eq!(
-            layer.backward(&g),
-            Err(NnError::MissingForward("dense"))
-        );
+        assert_eq!(layer.backward(&g), Err(NnError::MissingForward("dense")));
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl DropoutLayer {
     ///
     /// Panics unless `0 ≤ p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         Self {
             p,
             rng: StdRng::seed_from_u64(seed),
@@ -115,7 +118,10 @@ mod tests {
         let x = Tensor::full(&[1, 10_000], 1.0);
         let y = d.forward(&x, true).unwrap();
         let mean = y.mean();
-        assert!((mean - 1.0).abs() < 0.05, "inverted dropout keeps E[x]: {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.05,
+            "inverted dropout keeps E[x]: {mean}"
+        );
     }
 
     #[test]

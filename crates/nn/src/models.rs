@@ -33,15 +33,39 @@ use crate::{
 /// assert!(net.len() > 40);
 /// ```
 pub fn vgg16(input_side: usize, classes: usize, rng: &mut impl Rng) -> Sequential {
+    vgg16_scaled(input_side, classes, 1, rng)
+}
+
+/// Width-scaled VGG-16: the exact layer stack of [`vgg16`] (13 conv + 3
+/// dense, five 2×2-pooled stages) with every channel/feature count divided
+/// by `width_div` (floored at 4). `width_div = 1` is the paper's network.
+///
+/// Benchmarks use this to run true VGG-16 *geometry* — depth, pooling
+/// pyramid, layer kinds — at a memory/time budget that fits a CI machine:
+/// MACs scale with `1 / width_div²`.
+///
+/// # Panics
+///
+/// Panics if `input_side` is not divisible by 32 (five 2× poolings) or
+/// `width_div` is zero.
+pub fn vgg16_scaled(
+    input_side: usize,
+    classes: usize,
+    width_div: usize,
+    rng: &mut impl Rng,
+) -> Sequential {
     assert!(
-        input_side % 32 == 0,
+        input_side.is_multiple_of(32),
         "vgg16 needs the input side divisible by 32"
     );
+    assert!(width_div > 0, "width_div must be positive");
+    let w = |c: usize| (c / width_div).max(4);
     let stages: &[(usize, usize)] = &[(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
     let mut layers = Vec::new();
     let mut in_c = 3usize;
     let mut side = input_side;
     for &(out_c, convs) in stages {
+        let out_c = w(out_c);
         for _ in 0..convs {
             layers.push(Layer::Conv2d(Conv2dLayer::new(
                 Conv2dSpec::new(in_c, out_c, 3, 1, 1),
@@ -56,11 +80,12 @@ pub fn vgg16(input_side: usize, classes: usize, rng: &mut impl Rng) -> Sequentia
     }
     layers.push(Layer::Flatten(Flatten::new()));
     let flat = in_c * side * side;
-    layers.push(Layer::Dense(DenseLayer::new(flat, 512, rng)));
+    let fc = w(512);
+    layers.push(Layer::Dense(DenseLayer::new(flat, fc, rng)));
     layers.push(Layer::Activation(ActivationLayer::new(Box::new(Relu))));
-    layers.push(Layer::Dense(DenseLayer::new(512, 512, rng)));
+    layers.push(Layer::Dense(DenseLayer::new(fc, fc, rng)));
     layers.push(Layer::Activation(ActivationLayer::new(Box::new(Relu))));
-    layers.push(Layer::Dense(DenseLayer::new(512, classes, rng)));
+    layers.push(Layer::Dense(DenseLayer::new(fc, classes, rng)));
     Sequential::new(layers)
 }
 
@@ -107,5 +132,25 @@ mod tests {
     fn vgg16_rejects_bad_input_side() {
         let mut rng = StdRng::seed_from_u64(0);
         let _ = vgg16(20, 10, &mut rng);
+    }
+
+    #[test]
+    fn vgg16_scaled_keeps_structure_and_shrinks_params() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut scaled = vgg16_scaled(32, 10, 8, &mut rng);
+        let weighted = scaled
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv2d(_) | Layer::Dense(_)))
+            .count();
+        assert_eq!(weighted, 16, "same 13 conv + 3 dense stack");
+        assert!(
+            scaled.param_count() < 17_500_000 / 32,
+            "width/8 shrinks params >32x"
+        );
+        // Forward pass composes at 32x32.
+        let x = snn_tensor::Tensor::zeros(&[1, 3, 32, 32]);
+        let y = scaled.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 10]);
     }
 }

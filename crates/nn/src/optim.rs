@@ -105,7 +105,10 @@ mod tests {
             net.backward(&g).unwrap();
             opt.step(&mut net);
             let loss = err * err;
-            assert!(loss <= last + 1e-4, "loss should not increase: {loss} > {last}");
+            assert!(
+                loss <= last + 1e-4,
+                "loss should not increase: {loss} > {last}"
+            );
             last = loss;
         }
         assert!(last < 1e-3);

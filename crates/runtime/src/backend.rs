@@ -1,0 +1,44 @@
+//! The pluggable backend abstraction.
+//!
+//! A backend executes a converted [`SnnModel`] over a `[N, C, H, W]` batch
+//! and reports logits plus the shared [`RunStats`] event counters. The
+//! reference implementation is `snn_sim`'s [`EventSnn`]; the fast path is
+//! [`crate::CsrEngine`]. Both are driven identically by the
+//! [`crate::InferenceServer`] worker pool, and both feed the same event
+//! statistics into the `snn-hw` energy model.
+
+use snn_sim::{EventSnn, RunStats};
+use snn_tensor::Tensor;
+use ttfs_core::{ConvertError, SnnModel};
+
+/// A batch-capable inference engine over a converted SNN.
+pub trait InferenceBackend: Send + Sync {
+    /// Short backend identifier (`"event"`, `"csr"`, ...) used in reports.
+    fn name(&self) -> &'static str;
+
+    /// The converted model this backend executes.
+    fn model(&self) -> &SnnModel;
+
+    /// Runs a `[N, C, H, W]` batch, returning decoded logits
+    /// `[N, classes]` and accumulated event statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError`] if the batch does not match the model
+    /// geometry.
+    fn run_batch(&self, images: &Tensor) -> Result<(Tensor, RunStats), ConvertError>;
+}
+
+impl InferenceBackend for EventSnn {
+    fn name(&self) -> &'static str {
+        "event"
+    }
+
+    fn model(&self) -> &SnnModel {
+        EventSnn::model(self)
+    }
+
+    fn run_batch(&self, images: &Tensor) -> Result<(Tensor, RunStats), ConvertError> {
+        self.run(images)
+    }
+}

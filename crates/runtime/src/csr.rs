@@ -1,0 +1,380 @@
+//! CSR compilation of a converted [`SnnModel`].
+//!
+//! The reference backend re-derives every spike's receptive field from conv
+//! geometry on each integration step — branchy index arithmetic in the
+//! innermost loop. Compilation walks the model once per deployment and
+//! materializes, for every weighted layer, the **outgoing synapse list of
+//! each input neuron** in CSR form (`row_ptr` / `col` / `weight`): the
+//! integration phase then reduces to one contiguous edge scan per spike.
+//! Structurally zero weights are dropped at compile time, so weight
+//! sparsity translates directly into fewer edges.
+//!
+//! Pooling and flatten layers stay event-domain operations (max pooling is
+//! not linear, so it cannot be folded into synapse weights); they reuse the
+//! exact `snn_sim::phase` primitives so the fast path cannot diverge from
+//! the reference semantics.
+
+use snn_tensor::Tensor;
+use ttfs_core::{ConvertError, SnnLayer, SnnModel};
+
+/// Per-input-neuron adjacency of one weighted layer, in compressed sparse
+/// row form.
+#[derive(Debug, Clone)]
+pub struct CsrSynapses {
+    /// `row_ptr[j]..row_ptr[j + 1]` indexes the edges of input neuron `j`.
+    row_ptr: Vec<u32>,
+    /// Target (output-neuron) index per edge.
+    col: Vec<u32>,
+    /// Synapse weight per edge.
+    weight: Vec<f32>,
+}
+
+impl CsrSynapses {
+    /// Number of input neurons (rows).
+    pub fn in_neurons(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of stored (non-zero) synapses.
+    pub fn edges(&self) -> usize {
+        self.col.len()
+    }
+
+    /// The `(target, weight)` edge list of input neuron `j`.
+    #[inline]
+    pub fn edges_of(&self, j: u32) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let lo = self.row_ptr[j as usize] as usize;
+        let hi = self.row_ptr[j as usize + 1] as usize;
+        self.col[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weight[lo..hi].iter().copied())
+    }
+
+    /// Edge count of input neuron `j`.
+    #[inline]
+    pub fn degree(&self, j: u32) -> usize {
+        (self.row_ptr[j as usize + 1] - self.row_ptr[j as usize]) as usize
+    }
+
+    fn from_rows(rows: Vec<Vec<(u32, f32)>>) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let total: usize = rows.iter().map(Vec::len).sum();
+        let mut col = Vec::with_capacity(total);
+        let mut weight = Vec::with_capacity(total);
+        row_ptr.push(0u32);
+        for row in rows {
+            for (c, w) in row {
+                col.push(c);
+                weight.push(w);
+            }
+            row_ptr.push(col.len() as u32);
+        }
+        Self {
+            row_ptr,
+            col,
+            weight,
+        }
+    }
+}
+
+/// One compiled stage of the CSR pipeline.
+#[derive(Debug, Clone)]
+pub enum CsrStage {
+    /// A weighted layer: CSR synapses + per-output bias, followed by a fire
+    /// phase unless it is the readout. Integration accumulates in `f64`
+    /// and rounds once to `f32` before the f32 bias add — the exact
+    /// summation discipline of the reference GEMM, so membrane voltages
+    /// (and therefore spike times) match `reference_forward` bit-for-bit.
+    Weighted {
+        /// Synapse adjacency.
+        syn: CsrSynapses,
+        /// Per-output-neuron bias (broadcast over spatial positions for
+        /// conv).
+        bias: Vec<f32>,
+    },
+    /// Event-domain max pooling (not linear — cannot be CSR-folded).
+    MaxPool {
+        /// Pool window.
+        win: usize,
+        /// Pool stride.
+        stride: usize,
+        /// Input grid dims `[C, H, W]`.
+        in_dims: Vec<usize>,
+    },
+    /// Event-domain average pooling.
+    AvgPool {
+        /// Pool window.
+        win: usize,
+        /// Pool stride.
+        stride: usize,
+        /// Input grid dims `[C, H, W]`.
+        in_dims: Vec<usize>,
+    },
+    /// Flatten: identity on flat neuron indices.
+    Flatten,
+}
+
+/// The compiled model: stages in execution order, for one fixed input
+/// geometry.
+#[derive(Debug, Clone)]
+pub struct CsrModel {
+    /// Compiled stages.
+    pub stages: Vec<CsrStage>,
+    /// Per-sample input dims the model was compiled for.
+    pub input_dims: Vec<usize>,
+    /// Total stored synapses across weighted stages.
+    pub total_edges: usize,
+}
+
+fn compile_dense(weight: &Tensor) -> CsrSynapses {
+    let out_f = weight.dims()[0];
+    let in_f = weight.dims()[1];
+    let wd = weight.as_slice();
+    let mut rows: Vec<Vec<(u32, f32)>> = vec![Vec::new(); in_f];
+    // Row-major [out, in]: walk outputs outer so each row's edge list ends
+    // up sorted by target.
+    for o in 0..out_f {
+        for (j, row) in rows.iter_mut().enumerate() {
+            let w = wd[o * in_f + j];
+            if w != 0.0 {
+                row.push((o as u32, w));
+            }
+        }
+    }
+    CsrSynapses::from_rows(rows)
+}
+
+fn compile_conv(spec: &snn_tensor::Conv2dSpec, weight: &Tensor, h: usize, w: usize) -> CsrSynapses {
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let wd = weight.as_slice();
+    let mut rows: Vec<Vec<(u32, f32)>> = vec![Vec::new(); spec.in_channels * h * w];
+    for ci in 0..spec.in_channels {
+        for iy in 0..h {
+            for ix in 0..w {
+                let row = &mut rows[(ci * h + iy) * w + ix];
+                // Same traversal as the reference integration loop, so each
+                // (input, output) pair resolves to the same unique weight.
+                for ki in 0..k {
+                    let oy_num = iy as isize + spec.padding as isize - ki as isize;
+                    if oy_num < 0 || oy_num % spec.stride as isize != 0 {
+                        continue;
+                    }
+                    let oy = (oy_num / spec.stride as isize) as usize;
+                    if oy >= oh {
+                        continue;
+                    }
+                    for kj in 0..k {
+                        let ox_num = ix as isize + spec.padding as isize - kj as isize;
+                        if ox_num < 0 || ox_num % spec.stride as isize != 0 {
+                            continue;
+                        }
+                        let ox = (ox_num / spec.stride as isize) as usize;
+                        if ox >= ow {
+                            continue;
+                        }
+                        for oc in 0..spec.out_channels {
+                            let widx = ((oc * spec.in_channels + ci) * k + ki) * k + kj;
+                            let wv = wd[widx];
+                            if wv != 0.0 {
+                                row.push(((oc * oh + oy) as u32 * ow as u32 + ox as u32, wv));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    CsrSynapses::from_rows(rows)
+}
+
+fn check_u32_bound(edge_bound: usize, kind: &str) -> Result<(), ConvertError> {
+    if edge_bound > u32::MAX as usize {
+        return Err(ConvertError::Structure(format!(
+            "{kind} layer needs up to {edge_bound} CSR edges, beyond u32 \
+             indexing; shard the model (see ROADMAP: sharded weight buffers)"
+        )));
+    }
+    Ok(())
+}
+
+impl CsrModel {
+    /// Compiles `model` for per-sample input dims (`[C, H, W]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::Structure`] if `input_dims` does not fit the
+    /// model geometry.
+    pub fn compile(model: &SnnModel, input_dims: &[usize]) -> Result<Self, ConvertError> {
+        // Validates geometry up front and gives the dims at each boundary.
+        let trace = model.shape_trace(input_dims)?;
+        let mut stages = Vec::with_capacity(model.layers().len());
+        let mut total_edges = 0usize;
+        for (i, layer) in model.layers().iter().enumerate() {
+            let in_dims = &trace[i];
+            let out_dims = &trace[i + 1];
+            match layer {
+                SnnLayer::Conv { spec, weight, bias } => {
+                    // CSR indices are u32; refuse models whose edge count
+                    // would overflow them (full-width ImageNet-scale conv
+                    // layers) instead of silently truncating row_ptr. The
+                    // upper bound is the dense MAC count of the layer.
+                    let bound = in_dims.iter().product::<usize>()
+                        * spec.kernel
+                        * spec.kernel
+                        * spec.out_channels;
+                    check_u32_bound(bound, "conv")?;
+                    let syn = compile_conv(spec, weight, in_dims[1], in_dims[2]);
+                    total_edges += syn.edges();
+                    let spatial = out_dims[1] * out_dims[2];
+                    // Broadcast per-channel bias over spatial positions.
+                    let mut full_bias = vec![0.0f32; out_dims.iter().product()];
+                    for (oc, &b) in bias.as_slice().iter().enumerate() {
+                        for v in &mut full_bias[oc * spatial..(oc + 1) * spatial] {
+                            *v = b;
+                        }
+                    }
+                    stages.push(CsrStage::Weighted {
+                        syn,
+                        bias: full_bias,
+                    });
+                }
+                SnnLayer::Dense { weight, bias } => {
+                    check_u32_bound(weight.len(), "dense")?;
+                    let syn = compile_dense(weight);
+                    total_edges += syn.edges();
+                    stages.push(CsrStage::Weighted {
+                        syn,
+                        bias: bias.as_slice().to_vec(),
+                    });
+                }
+                SnnLayer::MaxPool { spec } => stages.push(CsrStage::MaxPool {
+                    win: spec.window,
+                    stride: spec.stride,
+                    in_dims: in_dims.clone(),
+                }),
+                SnnLayer::AvgPool { spec } => stages.push(CsrStage::AvgPool {
+                    win: spec.window,
+                    stride: spec.stride,
+                    in_dims: in_dims.clone(),
+                }),
+                SnnLayer::Flatten => stages.push(CsrStage::Flatten),
+            }
+        }
+        Ok(Self {
+            stages,
+            input_dims: input_dims.to_vec(),
+            total_edges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_nn::{ActivationLayer, Conv2dLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
+    use snn_tensor::Conv2dSpec;
+    use ttfs_core::{convert, Base2Kernel, TtfsKernel};
+
+    fn model() -> SnnModel {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = Sequential::new(vec![
+            Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(2, 3, 3, 1, 1), &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(3 * 4 * 4, 5, &mut rng)),
+        ]);
+        convert(&net, Base2Kernel::paper_default(), 24).unwrap()
+    }
+
+    #[test]
+    fn dense_csr_matches_weight_matrix() {
+        let m = model();
+        let csr = CsrModel::compile(&m, &[2, 4, 4]).unwrap();
+        let CsrStage::Weighted { syn, .. } = &csr.stages[2] else {
+            panic!("stage 2 should be the dense layer");
+        };
+        let dense_w = m.layers()[2].weight().unwrap();
+        let in_f = dense_w.dims()[1];
+        assert_eq!(syn.in_neurons(), in_f);
+        for j in 0..in_f as u32 {
+            for (o, w) in syn.edges_of(j) {
+                let expect = dense_w.as_slice()[o as usize * in_f + j as usize];
+                assert_eq!(w, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_csr_reproduces_dense_matvec() {
+        // CSR gather must equal the conv applied to a one-hot input.
+        let m = model();
+        let csr = CsrModel::compile(&m, &[2, 4, 4]).unwrap();
+        let CsrStage::Weighted { syn, bias, .. } = &csr.stages[0] else {
+            panic!("stage 0 should be conv");
+        };
+        let SnnLayer::Conv {
+            spec,
+            weight,
+            bias: cb,
+        } = &m.layers()[0]
+        else {
+            panic!()
+        };
+        let kernel = m.kernel();
+        let psp = kernel.decode(3);
+        for j in [0u32, 5, 17, 31] {
+            let mut via_csr = [0.0f32; 3 * 4 * 4];
+            for (o, w) in syn.edges_of(j) {
+                via_csr[o as usize] += w * psp;
+            }
+            for (v, b) in via_csr.iter_mut().zip(bias.iter()) {
+                *v += b;
+            }
+            let mut one_hot = vec![0.0f32; 2 * 4 * 4];
+            one_hot[j as usize] = psp;
+            let x = Tensor::from_vec(one_hot, &[1, 2, 4, 4]).unwrap();
+            let y = snn_tensor::conv2d(&x, weight, Some(cb), spec).unwrap();
+            for (a, b) in via_csr.iter().zip(y.as_slice()) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_matches_macs_for_dense_weights() {
+        let m = model();
+        let csr = CsrModel::compile(&m, &[2, 4, 4]).unwrap();
+        // No exactly-zero weights in random init: edges == macs.
+        let conv_macs = 3 * 4 * 4 * 2 * 9
+            - /* border cut by padding: count separately */ missing_border_edges();
+        let dense_macs = 3 * 4 * 4 * 5;
+        assert_eq!(csr.total_edges, conv_macs + dense_macs);
+    }
+
+    fn missing_border_edges() -> usize {
+        // 3x3 same-padding conv on 4x4: an interior input reaches 9 outputs,
+        // edges reach 6, corners 4.
+        let full = 16 * 9;
+        let actual: usize = (0..4usize)
+            .flat_map(|y| {
+                (0..4usize).map(move |x| {
+                    let ry = 3 - (y == 0 || y == 3) as usize;
+                    let rx = 3 - (x == 0 || x == 3) as usize;
+                    ry * rx
+                })
+            })
+            .sum();
+        (full - actual) * 2 * 3
+    }
+
+    #[test]
+    fn compile_rejects_bad_geometry() {
+        let m = model();
+        assert!(CsrModel::compile(&m, &[3, 4, 4]).is_err());
+        assert!(CsrModel::compile(&m, &[2, 9, 9]).is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! The CSR fast-path inference engine.
+//!
+//! [`CsrEngine`] executes the same integrate/fire physics as
+//! [`snn_sim::EventSnn`] but over the compiled [`CsrModel`]: the
+//! integration phase is a contiguous edge scan per spike (no per-spike
+//! geometry arithmetic) and inter-layer spike hand-off goes through the
+//! O(1) [`TimeWheel`] instead of a comparison sort. Spike processing order
+//! — ascending time, then ascending neuron — matches the reference
+//! backend, so float accumulation order and therefore logits match it
+//! bit-for-bit on weighted layers.
+
+use snn_sim::{phase, RunStats};
+use snn_tensor::Tensor;
+use ttfs_core::{ConvertError, SnnModel, TtfsKernel};
+
+use crate::csr::{CsrModel, CsrStage};
+use crate::wheel::TimeWheel;
+use crate::InferenceBackend;
+
+/// Batched CSR + time-wheel executor for a converted [`SnnModel`].
+#[derive(Debug, Clone)]
+pub struct CsrEngine {
+    model: SnnModel,
+    compiled: CsrModel,
+}
+
+impl CsrEngine {
+    /// Compiles `model` for per-sample input dims (`[C, H, W]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::Structure`] if `input_dims` does not fit the
+    /// model geometry.
+    pub fn compile(model: &SnnModel, input_dims: &[usize]) -> Result<Self, ConvertError> {
+        Ok(Self {
+            model: model.clone(),
+            compiled: CsrModel::compile(model, input_dims)?,
+        })
+    }
+
+    /// The compiled CSR representation.
+    pub fn compiled(&self) -> &CsrModel {
+        &self.compiled
+    }
+
+    /// Total stored synapses across weighted layers.
+    pub fn total_edges(&self) -> usize {
+        self.compiled.total_edges
+    }
+
+    fn encode_input_wheel(&self, sample: &[f32]) -> TimeWheel {
+        let kernel = self.model.kernel();
+        let window = self.model.window();
+        let mut wheel = TimeWheel::new(window);
+        for (i, &v) in sample.iter().enumerate() {
+            if let Some(t) = kernel.encode(v, window) {
+                wheel.push(t, i as u32, 1.0);
+            }
+        }
+        wheel
+    }
+
+    /// Fire phase directly out of membrane voltages into a fresh wheel
+    /// (identical semantics to [`phase::fire_phase`], minus the sort the
+    /// wheel makes unnecessary).
+    fn fire_into_wheel(&self, vmem: &[f32], stats: &mut snn_sim::LayerStats) -> TimeWheel {
+        let kernel = self.model.kernel();
+        let window = self.model.window();
+        let mut wheel = TimeWheel::new(window);
+        let mut latest: u32 = 0;
+        let mut all_fired = true;
+        for (i, &u) in vmem.iter().enumerate() {
+            match kernel.encode(u, window) {
+                Some(t) => {
+                    latest = latest.max(t);
+                    wheel.push(t, i as u32, 1.0);
+                }
+                None => all_fired = false,
+            }
+        }
+        stats.output_spikes += wheel.len();
+        stats.encoder_iterations += phase::encoder_iteration_count(window, latest, all_fired);
+        wheel
+    }
+
+    fn run_sample(&self, sample: &[f32], stats: &mut RunStats) -> Result<Vec<f32>, ConvertError> {
+        let kernel = *self.model.kernel();
+        let weighted = self.model.weighted_layers();
+        let mut wheel = self.encode_input_wheel(sample);
+        let mut seen = 0usize;
+        let mut logits: Option<Vec<f32>> = None;
+
+        for stage in &self.compiled.stages {
+            match stage {
+                CsrStage::Weighted { syn, bias } => {
+                    // f64 accumulate -> one f32 rounding -> f32 bias add:
+                    // identical to the reference GEMM discipline, so the
+                    // fire-phase quantizer sees the same f32 membranes.
+                    let mut acc = vec![0.0f64; bias.len()];
+                    let mut ops = 0usize;
+                    for (t, neuron, scale) in wheel.iter_ordered() {
+                        let psp = kernel.decode(t) * scale;
+                        ops += syn.degree(neuron);
+                        for (target, w) in syn.edges_of(neuron) {
+                            acc[target as usize] += w as f64 * psp as f64;
+                        }
+                    }
+                    let mut vmem: Vec<f32> = acc.into_iter().map(|v| v as f32).collect();
+                    for (v, b) in vmem.iter_mut().zip(bias.iter()) {
+                        *v += b;
+                    }
+                    let layer_stats = &mut stats.layers[seen];
+                    layer_stats.input_spikes += wheel.len();
+                    layer_stats.synaptic_ops += ops;
+                    layer_stats.neurons += vmem.len();
+                    seen += 1;
+                    if seen < weighted {
+                        wheel = self.fire_into_wheel(&vmem, layer_stats);
+                    } else {
+                        logits = Some(vmem);
+                    }
+                }
+                CsrStage::MaxPool {
+                    win,
+                    stride,
+                    in_dims,
+                } => {
+                    let train = wheel.to_train(in_dims.clone());
+                    let pooled =
+                        phase::max_pool_spikes(self.model.kernel(), &train, *win, *stride)?;
+                    wheel = TimeWheel::from_train(&pooled);
+                }
+                CsrStage::AvgPool {
+                    win,
+                    stride,
+                    in_dims,
+                } => {
+                    let train = wheel.to_train(in_dims.clone());
+                    let pooled = phase::avg_pool_spikes(&train, *win, *stride)?;
+                    wheel = TimeWheel::from_train(&pooled);
+                }
+                CsrStage::Flatten => {} // flat indices already
+            }
+        }
+        logits.ok_or_else(|| ConvertError::Structure("model produced no readout".into()))
+    }
+}
+
+impl InferenceBackend for CsrEngine {
+    fn name(&self) -> &'static str {
+        "csr"
+    }
+
+    fn model(&self) -> &SnnModel {
+        &self.model
+    }
+
+    fn run_batch(&self, images: &Tensor) -> Result<(Tensor, RunStats), ConvertError> {
+        let dims = images.dims();
+        if dims.len() < 2 {
+            return Err(ConvertError::Structure(format!(
+                "expected batched input, got {:?}",
+                dims
+            )));
+        }
+        if dims[1..] != self.compiled.input_dims[..] {
+            return Err(ConvertError::Structure(format!(
+                "batch sample dims {:?} do not match compiled dims {:?}",
+                &dims[1..],
+                self.compiled.input_dims
+            )));
+        }
+        let n = dims[0];
+        let sample_len: usize = self.compiled.input_dims.iter().product();
+        let mut stats = phase::new_run_stats(&self.model, n);
+        let mut rows = Vec::with_capacity(n);
+        for s in 0..n {
+            let sample = &images.as_slice()[s * sample_len..(s + 1) * sample_len];
+            rows.push(self.run_sample(sample, &mut stats)?);
+        }
+        let logits = phase::logits_tensor(rows)?;
+        Ok((logits, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_nn::{
+        ActivationLayer, AvgPool2dLayer, Conv2dLayer, DenseLayer, Flatten, Layer, MaxPool2dLayer,
+        Relu, Sequential,
+    };
+    use snn_sim::EventSnn;
+    use snn_tensor::Conv2dSpec;
+    use ttfs_core::{convert, Base2Kernel};
+
+    fn cnn_model(seed: u64) -> SnnModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Sequential::new(vec![
+            Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(1, 4, 3, 1, 1), &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::MaxPool2d(MaxPool2dLayer::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(4 * 4 * 4, 5, &mut rng)),
+        ]);
+        convert(&net, Base2Kernel::paper_default(), 24).unwrap()
+    }
+
+    #[test]
+    fn matches_event_backend_bit_for_bit() {
+        let model = cnn_model(11);
+        let mut rng = StdRng::seed_from_u64(99);
+        let x = snn_tensor::uniform(&[3, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let event = EventSnn::new(&model);
+        let csr = CsrEngine::compile(&model, &[1, 8, 8]).unwrap();
+        let (a, sa) = event.run_batch(&x).unwrap();
+        let (b, sb) = csr.run_batch(&x).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice(), "same accumulation order");
+        assert_eq!(sa, sb, "identical event statistics");
+    }
+
+    #[test]
+    fn matches_reference_forward() {
+        let model = cnn_model(12);
+        let mut rng = StdRng::seed_from_u64(100);
+        let x = snn_tensor::uniform(&[4, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let csr = CsrEngine::compile(&model, &[1, 8, 8]).unwrap();
+        let (logits, _) = csr.run_batch(&x).unwrap();
+        let reference = model.reference_forward(&x).unwrap();
+        assert!(logits.allclose(&reference, 1e-4 * (1.0 + reference.abs_max())));
+    }
+
+    #[test]
+    fn avg_pool_path_matches_event() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let net = Sequential::new(vec![
+            Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(2, 3, 3, 1, 1), &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::AvgPool2d(AvgPool2dLayer::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(3 * 3 * 3, 4, &mut rng)),
+        ]);
+        let model = convert(&net, Base2Kernel::paper_default(), 24).unwrap();
+        let x = snn_tensor::uniform(&[2, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let event = EventSnn::new(&model);
+        let csr = CsrEngine::compile(&model, &[2, 6, 6]).unwrap();
+        let (a, _) = event.run_batch(&x).unwrap();
+        let (b, _) = csr.run_batch(&x).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn zero_input_yields_bias_logits() {
+        let model = cnn_model(14);
+        let csr = CsrEngine::compile(&model, &[1, 8, 8]).unwrap();
+        let x = Tensor::zeros(&[1, 1, 8, 8]);
+        let (logits, stats) = csr.run_batch(&x).unwrap();
+        assert_eq!(stats.layers[0].input_spikes, 0);
+        let reference = model.reference_forward(&x).unwrap();
+        assert!(logits.allclose(&reference, 1e-4));
+    }
+
+    #[test]
+    fn rejects_mismatched_batch_dims() {
+        let model = cnn_model(15);
+        let csr = CsrEngine::compile(&model, &[1, 8, 8]).unwrap();
+        let x = Tensor::zeros(&[1, 1, 6, 6]);
+        assert!(csr.run_batch(&x).is_err());
+        let flat = Tensor::zeros(&[4]);
+        assert!(csr.run_batch(&flat).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! # snn-runtime — batched, multi-threaded sparse inference engine
+//!
+//! The paper (Lew, Lee, Park — DAC 2022) is about inference *throughput
+//! and energy*; this crate turns the workspace's reproduction into a
+//! serving-shaped runtime:
+//!
+//! * [`InferenceBackend`] — the pluggable engine abstraction. Two
+//!   implementations ship: the reference event simulator
+//!   ([`snn_sim::EventSnn`]) and the [`CsrEngine`] fast path.
+//! * [`CsrModel`] / [`CsrEngine`] — ahead-of-time compilation of a
+//!   converted [`ttfs_core::SnnModel`] into CSR synapse lists plus a
+//!   [`TimeWheel`] O(1) spike queue; integration becomes a contiguous edge
+//!   scan per spike. Logits match the reference backend bit-for-bit (same
+//!   float accumulation order) and `reference_forward` within tolerance.
+//! * [`InferenceServer`] / [`WorkerPool`] — batch requests fan out over a
+//!   `std::thread` pool with a submission queue; per-request latency is
+//!   recorded and summarized as p50/p99 + images/sec
+//!   ([`ThroughputMetrics`]).
+//! * [`energy`] — feeds measured event counts into the
+//!   [`snn_hw::Processor`] cycle/energy model, so hardware reports work
+//!   unchanged on the fast path.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rand::SeedableRng;
+//! use snn_nn::{ActivationLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
+//! use snn_runtime::{CsrEngine, InferenceServer, ServerConfig};
+//! use snn_tensor::Tensor;
+//! use ttfs_core::{convert, Base2Kernel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let net = Sequential::new(vec![
+//!     Layer::Flatten(Flatten::new()),
+//!     Layer::Dense(DenseLayer::new(16, 8, &mut rng)),
+//!     Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+//!     Layer::Dense(DenseLayer::new(8, 2, &mut rng)),
+//! ]);
+//! let model = convert(&net, Base2Kernel::paper_default(), 24)?;
+//! let engine = Arc::new(CsrEngine::compile(&model, &[1, 4, 4])?);
+//! let server = InferenceServer::new(engine, ServerConfig { threads: 2, chunk_size: 4 });
+//! let report = server.run(&Tensor::full(&[8, 1, 4, 4], 0.5))?;
+//! assert_eq!(report.logits.dims(), &[8, 2]);
+//! assert!(report.metrics.images_per_sec > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod backend;
+mod csr;
+pub mod energy;
+mod engine;
+mod metrics;
+mod server;
+mod wheel;
+mod workers;
+
+pub use backend::InferenceBackend;
+pub use csr::{CsrModel, CsrStage, CsrSynapses};
+pub use engine::CsrEngine;
+pub use metrics::{LatencyRecorder, ThroughputMetrics};
+pub use server::{BatchReport, InferenceServer, ServerConfig};
+pub use wheel::{TimeWheel, WheelSpike};
+pub use workers::WorkerPool;

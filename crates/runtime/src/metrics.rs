@@ -1,0 +1,137 @@
+//! Per-request latency and throughput accounting.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Collects per-request latencies and computes order statistics.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_us: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request latency.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples_us.push(latency.as_secs_f64() * 1e6);
+    }
+
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) in microseconds, by nearest-rank on the
+    /// sorted samples; 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank =
+            ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Mean latency in microseconds; 0 when empty.
+    pub fn mean_us(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        self.samples_us.iter().sum::<f64>() / self.samples_us.len() as f64
+    }
+
+    /// Snapshots the recorder into a serializable summary.
+    pub fn summarize(&self, images: usize, wall: Duration) -> ThroughputMetrics {
+        let wall_s = wall.as_secs_f64();
+        ThroughputMetrics {
+            requests: self.len() as u64,
+            images: images as u64,
+            wall_ms: wall_s * 1e3,
+            images_per_sec: if wall_s > 0.0 {
+                images as f64 / wall_s
+            } else {
+                0.0
+            },
+            latency_mean_us: self.mean_us(),
+            latency_p50_us: self.quantile_us(0.50),
+            latency_p99_us: self.quantile_us(0.99),
+        }
+    }
+}
+
+/// Serializable throughput/latency summary of one batched run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputMetrics {
+    /// Requests (batch chunks) executed.
+    pub requests: u64,
+    /// Images inferred.
+    pub images: u64,
+    /// End-to-end wall-clock time, milliseconds.
+    pub wall_ms: f64,
+    /// Sustained throughput, images per second.
+    pub images_per_sec: f64,
+    /// Mean per-request latency, microseconds.
+    pub latency_mean_us: f64,
+    /// Median per-request latency, microseconds.
+    pub latency_p50_us: f64,
+    /// 99th-percentile per-request latency, microseconds.
+    pub latency_p99_us: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let mut r = LatencyRecorder::new();
+        for ms in 1..=100u64 {
+            r.record(Duration::from_millis(ms));
+        }
+        assert_eq!(r.len(), 100);
+        assert!((r.quantile_us(0.50) - 50_000.0).abs() < 1.0);
+        assert!((r.quantile_us(0.99) - 99_000.0).abs() < 1.0);
+        assert!((r.quantile_us(1.0) - 100_000.0).abs() < 1.0);
+        assert!((r.mean_us() - 50_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_recorder_is_zero() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.quantile_us(0.5), 0.0);
+        assert_eq!(r.mean_us(), 0.0);
+        let m = r.summarize(0, Duration::ZERO);
+        assert_eq!(m.images_per_sec, 0.0);
+        assert_eq!(m.requests, 0);
+    }
+
+    #[test]
+    fn summary_computes_throughput() {
+        let mut r = LatencyRecorder::new();
+        r.record(Duration::from_millis(10));
+        let m = r.summarize(200, Duration::from_secs(2));
+        assert!((m.images_per_sec - 100.0).abs() < 1e-9);
+        assert!((m.wall_ms - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_serialize_to_json() {
+        let mut r = LatencyRecorder::new();
+        r.record(Duration::from_micros(1500));
+        let m = r.summarize(4, Duration::from_millis(3));
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ThroughputMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,295 @@
+//! The batched inference server: splits incoming batches into chunk
+//! requests, fans them out over the [`WorkerPool`] submission queue, and
+//! reassembles ordered logits, merged [`RunStats`] and per-request latency
+//! metrics.
+
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use snn_sim::RunStats;
+use snn_tensor::Tensor;
+use ttfs_core::ConvertError;
+
+use crate::metrics::{LatencyRecorder, ThroughputMetrics};
+use crate::workers::WorkerPool;
+use crate::InferenceBackend;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+    /// Images per request chunk (0 = clamp to 1).
+    pub chunk_size: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            chunk_size: 8,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }
+    }
+}
+
+/// Result of one batched run through the server.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Decoded logits `[N, classes]`, in submission order.
+    pub logits: Tensor,
+    /// Event statistics merged over all chunks.
+    pub stats: RunStats,
+    /// Latency/throughput metrics over the chunk requests.
+    pub metrics: ThroughputMetrics,
+}
+
+/// Multi-threaded batched inference front-end over any
+/// [`InferenceBackend`].
+pub struct InferenceServer {
+    backend: Arc<dyn InferenceBackend>,
+    pool: WorkerPool,
+    chunk_size: usize,
+}
+
+impl InferenceServer {
+    /// Builds a server around `backend`.
+    pub fn new(backend: Arc<dyn InferenceBackend>, config: ServerConfig) -> Self {
+        let threads = config.resolved_threads();
+        Self {
+            backend,
+            pool: WorkerPool::new(threads),
+            chunk_size: config.chunk_size.max(1),
+        }
+    }
+
+    /// The wrapped backend's identifier.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Runs a `[N, C, H, W]` batch across the worker pool.
+    ///
+    /// The batch is split into `chunk_size` requests; each request is one
+    /// submission-queue job and one latency sample. Logits come back in
+    /// submission order regardless of completion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first chunk error if any request fails (remaining
+    /// results are drained and discarded).
+    pub fn run(&self, images: &Tensor) -> Result<BatchReport, ConvertError> {
+        let dims = images.dims();
+        if dims.len() < 2 {
+            return Err(ConvertError::Structure(format!(
+                "expected batched input, got {:?}",
+                dims
+            )));
+        }
+        let n = dims[0];
+        let sample_dims = dims[1..].to_vec();
+        let sample_len: usize = sample_dims.iter().product();
+        let start_all = Instant::now();
+
+        // Split into chunk requests up front (cheap copies of input slices;
+        // inference dominates by orders of magnitude).
+        let mut chunks: Vec<Tensor> = Vec::new();
+        let mut begin = 0usize;
+        while begin < n {
+            let end = (begin + self.chunk_size).min(n);
+            let mut chunk_dims = vec![end - begin];
+            chunk_dims.extend_from_slice(&sample_dims);
+            let chunk = Tensor::from_vec(
+                images.as_slice()[begin * sample_len..end * sample_len].to_vec(),
+                &chunk_dims,
+            )
+            .map_err(|e| ConvertError::Structure(e.to_string()))?;
+            chunks.push(chunk);
+            begin = end;
+        }
+
+        let (tx, rx) = channel::<(usize, Duration, Result<(Tensor, RunStats), ConvertError>)>();
+        let requests = chunks.len();
+        for (idx, chunk) in chunks.into_iter().enumerate() {
+            let backend = Arc::clone(&self.backend);
+            let tx = tx.clone();
+            self.pool.execute(move || {
+                let start = Instant::now();
+                let result = backend.run_batch(&chunk);
+                // A closed channel means the caller gave up; nothing to do.
+                let _ = tx.send((idx, start.elapsed(), result));
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<(Tensor, RunStats)>> = (0..requests).map(|_| None).collect();
+        let mut recorder = LatencyRecorder::new();
+        let mut first_error: Option<ConvertError> = None;
+        for _ in 0..requests {
+            let Ok((idx, latency, result)) = rx.recv() else {
+                return Err(ConvertError::Structure(
+                    "worker pool dropped a request (worker panicked?)".into(),
+                ));
+            };
+            recorder.record(latency);
+            match result {
+                Ok(ok) => slots[idx] = Some(ok),
+                Err(e) => first_error = first_error.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+
+        // Reassemble in submission order.
+        let mut merged_stats: Option<RunStats> = None;
+        let mut logits_data: Vec<f32> = Vec::new();
+        let mut classes = 0usize;
+        for slot in slots {
+            let (logits, stats) = slot.expect("all request slots filled");
+            classes = logits.dims()[1];
+            logits_data.extend_from_slice(logits.as_slice());
+            match &mut merged_stats {
+                None => merged_stats = Some(stats),
+                Some(m) => m.absorb(&stats),
+            }
+        }
+        let logits = Tensor::from_vec(logits_data, &[n, classes])
+            .map_err(|e| ConvertError::Structure(e.to_string()))?;
+        let metrics = recorder.summarize(n, start_all.elapsed());
+        Ok(BatchReport {
+            logits,
+            stats: merged_stats.unwrap_or_default(),
+            metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrEngine;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_nn::{ActivationLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
+    use snn_sim::EventSnn;
+    use ttfs_core::{convert, Base2Kernel, SnnModel};
+
+    fn dense_model() -> SnnModel {
+        let mut rng = StdRng::seed_from_u64(31);
+        let net = Sequential::new(vec![
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(12, 8, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::Dense(DenseLayer::new(8, 3, &mut rng)),
+        ]);
+        convert(&net, Base2Kernel::paper_default(), 24).unwrap()
+    }
+
+    #[test]
+    fn pooled_run_matches_single_thread_order() {
+        let model = dense_model();
+        let mut rng = StdRng::seed_from_u64(32);
+        let x = snn_tensor::uniform(&[13, 1, 3, 4], 0.0, 1.0, &mut rng);
+        let single = EventSnn::new(&model).run(&x).unwrap().0;
+
+        let backend = Arc::new(CsrEngine::compile(&model, &[1, 3, 4]).unwrap());
+        let server = InferenceServer::new(
+            backend,
+            ServerConfig {
+                threads: 4,
+                chunk_size: 3, // uneven last chunk on purpose
+            },
+        );
+        let report = server.run(&x).unwrap();
+        assert_eq!(report.logits.dims(), &[13, 3]);
+        assert_eq!(report.logits.as_slice(), single.as_slice());
+        assert_eq!(report.stats.batch, 13);
+        assert_eq!(report.metrics.requests, 5);
+        assert_eq!(report.metrics.images, 13);
+        assert!(report.metrics.images_per_sec > 0.0);
+        assert!(report.metrics.latency_p99_us >= report.metrics.latency_p50_us);
+    }
+
+    #[test]
+    fn stats_merge_across_chunks() {
+        let model = dense_model();
+        let mut rng = StdRng::seed_from_u64(33);
+        let x = snn_tensor::uniform(&[8, 1, 3, 4], 0.0, 1.0, &mut rng);
+        let reference_stats = EventSnn::new(&model).run(&x).unwrap().1;
+
+        let backend = Arc::new(EventSnn::new(&model));
+        let server = InferenceServer::new(
+            backend,
+            ServerConfig {
+                threads: 2,
+                chunk_size: 2,
+            },
+        );
+        let report = server.run(&x).unwrap();
+        assert_eq!(report.stats, reference_stats);
+    }
+
+    struct PanickingBackend(SnnModel);
+
+    impl crate::InferenceBackend for PanickingBackend {
+        fn name(&self) -> &'static str {
+            "panic"
+        }
+        fn model(&self) -> &SnnModel {
+            &self.0
+        }
+        fn run_batch(&self, _images: &Tensor) -> Result<(Tensor, RunStats), ConvertError> {
+            panic!("backend exploded mid-request");
+        }
+    }
+
+    #[test]
+    fn backend_panic_surfaces_as_error_and_pool_survives() {
+        let model = dense_model();
+        let server = InferenceServer::new(
+            Arc::new(PanickingBackend(model.clone())),
+            ServerConfig {
+                threads: 2,
+                chunk_size: 2,
+            },
+        );
+        let x = Tensor::zeros(&[4, 1, 3, 4]);
+        let err = server.run(&x).unwrap_err();
+        assert!(
+            format!("{err:?}").contains("dropped a request"),
+            "structured error, got {err:?}"
+        );
+        // The pool must survive the panicking jobs for later requests.
+        let err2 = server.run(&x).unwrap_err();
+        assert!(format!("{err2:?}").contains("dropped a request"));
+    }
+
+    #[test]
+    fn geometry_error_propagates() {
+        let model = dense_model();
+        let backend = Arc::new(CsrEngine::compile(&model, &[1, 3, 4]).unwrap());
+        let server = InferenceServer::new(backend, ServerConfig::default());
+        let bad = Tensor::zeros(&[4, 1, 5, 5]);
+        assert!(server.run(&bad).is_err());
+        let scalarish = Tensor::zeros(&[4]);
+        assert!(server.run(&scalarish).is_err());
+    }
+}

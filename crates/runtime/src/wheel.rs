@@ -1,0 +1,148 @@
+//! O(1) time-wheel spike queue.
+//!
+//! TTFS spike times live in the closed window `[0, T]`, so a spike queue
+//! does not need a comparison sort: a wheel with `T + 1` slots gives O(1)
+//! insertion and O(T + n) time-ordered drain (the idiom of event-driven SNN
+//! frameworks such as `embed`'s `TemporalWheel`). Within a slot, insertion
+//! order is preserved — callers that insert in ascending neuron order get
+//! exactly the `(t, neuron)` order `SpikeTrain::sort_by_time` produces,
+//! which keeps float accumulation order identical to the reference backend.
+
+use snn_sim::{Spike, SpikeTrain};
+
+/// A spike event as stored in the wheel: `(neuron, scale)` bucketed by its
+/// timestep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WheelSpike {
+    /// Flat neuron index in the emitting layer.
+    pub neuron: u32,
+    /// Linear scale attached by pooling (1.0 for ordinary spikes).
+    pub scale: f32,
+}
+
+/// Time-indexed spike buckets for one layer boundary.
+#[derive(Debug, Clone)]
+pub struct TimeWheel {
+    slots: Vec<Vec<WheelSpike>>,
+    len: usize,
+}
+
+impl TimeWheel {
+    /// Creates an empty wheel for spike times in `[0, window]`.
+    pub fn new(window: u32) -> Self {
+        Self {
+            slots: vec![Vec::new(); window as usize + 1],
+            len: 0,
+        }
+    }
+
+    /// The window `T` (slot count minus one).
+    pub fn window(&self) -> u32 {
+        (self.slots.len() - 1) as u32
+    }
+
+    /// Number of queued spikes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wheel holds no spikes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// O(1) insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` exceeds the window — that is an engine bug, not a
+    /// caller error.
+    pub fn push(&mut self, t: u32, neuron: u32, scale: f32) {
+        self.slots[t as usize].push(WheelSpike { neuron, scale });
+        self.len += 1;
+    }
+
+    /// Iterates `(t, neuron, scale)` in ascending time order (insertion
+    /// order within a slot).
+    pub fn iter_ordered(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .flat_map(|(t, slot)| slot.iter().map(move |s| (t as u32, s.neuron, s.scale)))
+    }
+
+    /// Converts to a time-sorted [`SpikeTrain`] over a neuron grid of
+    /// `dims` (bridge to the shared event-domain pooling primitives).
+    pub fn to_train(&self, dims: Vec<usize>) -> SpikeTrain {
+        let mut train = SpikeTrain::new(dims, self.window());
+        for (t, neuron, scale) in self.iter_ordered() {
+            train.push(Spike {
+                neuron: neuron as usize,
+                t,
+                scale,
+            });
+        }
+        train
+    }
+
+    /// Builds a wheel from a time-sorted [`SpikeTrain`].
+    pub fn from_train(train: &SpikeTrain) -> Self {
+        let mut wheel = Self::new(train.window());
+        for s in train.spikes() {
+            wheel.push(s.t, s.neuron as u32, s.scale);
+        }
+        wheel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_time_order() {
+        let mut w = TimeWheel::new(10);
+        w.push(7, 1, 1.0);
+        w.push(2, 5, 0.5);
+        w.push(7, 0, 1.0);
+        w.push(0, 3, 1.0);
+        let order: Vec<(u32, u32)> = w.iter_ordered().map(|(t, n, _)| (t, n)).collect();
+        assert_eq!(order, vec![(0, 3), (2, 5), (7, 1), (7, 0)]);
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn train_roundtrip_preserves_order_and_scale() {
+        let mut train = SpikeTrain::new(vec![2, 3], 8);
+        train.push(Spike {
+            neuron: 4,
+            t: 3,
+            scale: 0.25,
+        });
+        train.push(Spike {
+            neuron: 1,
+            t: 0,
+            scale: 1.0,
+        });
+        train.sort_by_time();
+        let wheel = TimeWheel::from_train(&train);
+        assert_eq!(wheel.len(), 2);
+        let back = wheel.to_train(vec![2, 3]);
+        assert_eq!(back.spikes(), train.spikes());
+        assert_eq!(back.window(), 8);
+    }
+
+    #[test]
+    fn boundary_time_is_valid() {
+        let mut w = TimeWheel::new(5);
+        w.push(5, 0, 1.0);
+        assert_eq!(w.iter_ordered().next(), Some((5, 0, 1.0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_time_beyond_window() {
+        let mut w = TimeWheel::new(5);
+        w.push(6, 0, 1.0);
+    }
+}

@@ -43,11 +43,12 @@
 //! ```
 
 mod network;
+pub mod phase;
 mod schedule;
 mod spike;
 mod stats;
 
 pub use network::EventSnn;
 pub use schedule::PipelineSchedule;
-pub use spike::{Spike, SpikeTrain};
+pub use spike::{Spike, SpikeRaster, SpikeTrain};
 pub use stats::{LayerStats, RunStats};

@@ -1,7 +1,7 @@
 use snn_tensor::Tensor;
 use ttfs_core::{ConvertError, SnnLayer, SnnModel, TtfsKernel};
 
-use crate::{LayerStats, RunStats, Spike, SpikeTrain};
+use crate::{LayerStats, RunStats, SpikeTrain};
 
 /// Event-driven executor for a converted [`SnnModel`].
 ///
@@ -49,13 +49,7 @@ impl EventSnn {
         let n = dims[0];
         let sample_dims: Vec<usize> = dims[1..].to_vec();
         let sample_len: usize = sample_dims.iter().product();
-        let weighted = self.model.weighted_layers();
-
-        let mut stats = RunStats {
-            batch: n,
-            layers: vec![LayerStats::default(); weighted],
-            latency_timesteps: self.model.latency_timesteps(),
-        };
+        let mut stats = crate::phase::new_run_stats(&self.model, n);
         let mut logits_data: Vec<f32> = Vec::new();
         let mut classes = 0usize;
 
@@ -65,8 +59,7 @@ impl EventSnn {
             classes = out.len();
             logits_data.extend_from_slice(&out);
         }
-        let logits =
-            Tensor::from_vec(logits_data, &[n, classes]).map_err(snn_nn::NnError::from)?;
+        let logits = Tensor::from_vec(logits_data, &[n, classes]).map_err(snn_nn::NnError::from)?;
         Ok((logits, stats))
     }
 
@@ -79,10 +72,7 @@ impl EventSnn {
     ///
     /// Returns [`ConvertError`] if `image` does not match the model
     /// geometry.
-    pub fn run_traced(
-        &self,
-        image: &Tensor,
-    ) -> Result<(Tensor, Vec<Vec<(usize, u32)>>), ConvertError> {
+    pub fn run_traced(&self, image: &Tensor) -> Result<(Tensor, crate::SpikeRaster), ConvertError> {
         let dims = image.dims();
         if dims.is_empty() || dims[0] != 1 {
             return Err(ConvertError::Structure(format!(
@@ -90,29 +80,21 @@ impl EventSnn {
                 dims
             )));
         }
-        let schedule = crate::PipelineSchedule::new(
-            self.model.weighted_layers() as u32,
-            self.model.window(),
-        );
-        let mut trace: Vec<Vec<(usize, u32)>> = Vec::new();
+        let schedule =
+            crate::PipelineSchedule::new(self.model.weighted_layers() as u32, self.model.window());
+        let mut trace: crate::SpikeRaster = Vec::new();
         let sample_dims: Vec<usize> = dims[1..].to_vec();
         let input = self.encode_input(image.as_slice(), &sample_dims);
         // Input coding occupies the first window (layer-0 integration).
-        trace.push(
-            input
-                .spikes()
-                .iter()
-                .map(|s| (s.neuron, s.t))
-                .collect(),
-        );
-        let mut stats = RunStats {
-            batch: 1,
-            layers: vec![LayerStats::default(); self.model.weighted_layers()],
-            latency_timesteps: self.model.latency_timesteps(),
-        };
+        trace.push(input.spikes().iter().map(|s| (s.neuron, s.t)).collect());
+        let mut stats = crate::phase::new_run_stats(&self.model, 1);
         let mut hidden_trains: Vec<SpikeTrain> = Vec::new();
-        let logits =
-            self.run_sample(image.as_slice(), &sample_dims, &mut stats, Some(&mut hidden_trains))?;
+        let logits = self.run_sample(
+            image.as_slice(),
+            &sample_dims,
+            &mut stats,
+            Some(&mut hidden_trains),
+        )?;
         for (layer_idx, train) in hidden_trains.iter().enumerate() {
             trace.push(schedule.globalize_train(layer_idx as u32, train));
         }
@@ -147,16 +129,7 @@ impl EventSnn {
     }
 
     fn encode_input(&self, sample: &[f32], dims: &[usize]) -> SpikeTrain {
-        let kernel = self.model.kernel();
-        let window = self.model.window();
-        let mut train = SpikeTrain::new(dims.to_vec(), window);
-        for (i, &v) in sample.iter().enumerate() {
-            if let Some(t) = kernel.encode(v, window) {
-                train.push(Spike::new(i, t));
-            }
-        }
-        train.sort_by_time();
-        train
+        crate::phase::encode_input(self.model.kernel(), self.model.window(), sample, dims)
     }
 
     fn run_sample(
@@ -167,7 +140,6 @@ impl EventSnn {
         mut fire_tap: Option<&mut Vec<SpikeTrain>>,
     ) -> Result<Vec<f32>, ConvertError> {
         let kernel = *self.model.kernel();
-        let window = self.model.window();
         let weighted = self.model.weighted_layers();
         let mut train = self.encode_input(sample, dims);
         let mut seen = 0usize;
@@ -185,7 +157,11 @@ impl EventSnn {
                     }
                     let (h, w) = (d[1], d[2]);
                     let (oh, ow) = spec.output_hw(h, w);
-                    let mut vmem = vec![0.0f32; spec.out_channels * oh * ow];
+                    // f64 accumulation with one final f32 rounding: the
+                    // same discipline as the reference GEMM, so membrane
+                    // voltages match `reference_forward` bit-for-bit and
+                    // the fire-phase quantizer sees identical inputs.
+                    let mut acc = vec![0.0f64; spec.out_channels * oh * ow];
                     let wd = weight.as_slice();
                     let k = spec.kernel;
                     let mut ops = 0usize;
@@ -214,12 +190,13 @@ impl EventSnn {
                                 }
                                 for oc in 0..spec.out_channels {
                                     let widx = ((oc * spec.in_channels + ci) * k + ki) * k + kj;
-                                    vmem[(oc * oh + oy) * ow + ox] += wd[widx] * psp;
+                                    acc[(oc * oh + oy) * ow + ox] += wd[widx] as f64 * psp as f64;
                                     ops += 1;
                                 }
                             }
                         }
                     }
+                    let mut vmem: Vec<f32> = acc.into_iter().map(|v| v as f32).collect();
                     for oc in 0..spec.out_channels {
                         let b = bias.as_slice()[oc];
                         for v in &mut vmem[oc * oh * ow..(oc + 1) * oh * ow] {
@@ -232,11 +209,8 @@ impl EventSnn {
                     layer_stats.neurons += vmem.len();
                     seen += 1;
                     if seen < weighted {
-                        train = self.fire_phase(
-                            &vmem,
-                            vec![spec.out_channels, oh, ow],
-                            layer_stats,
-                        );
+                        train =
+                            self.fire_phase(&vmem, vec![spec.out_channels, oh, ow], layer_stats);
                         if let Some(tap) = fire_tap.as_deref_mut() {
                             tap.push(train.clone());
                         }
@@ -253,15 +227,21 @@ impl EventSnn {
                             train.neuron_count()
                         )));
                     }
-                    let mut vmem = bias.as_slice().to_vec();
+                    let mut acc = vec![0.0f64; out_f];
                     let wd = weight.as_slice();
                     let mut ops = 0usize;
                     for spike in train.spikes() {
                         let psp = kernel.decode(spike.t) * spike.scale;
-                        for (o, v) in vmem.iter_mut().enumerate() {
-                            *v += wd[o * in_f + spike.neuron] * psp;
+                        for (o, v) in acc.iter_mut().enumerate() {
+                            *v += wd[o * in_f + spike.neuron] as f64 * psp as f64;
                         }
                         ops += out_f;
+                    }
+                    // Round once, then add the bias in f32 — the exact
+                    // order of the reference dense path (GEMM then bias).
+                    let mut vmem: Vec<f32> = acc.into_iter().map(|v| v as f32).collect();
+                    for (v, &b) in vmem.iter_mut().zip(bias.as_slice()) {
+                        *v += b;
                     }
                     let layer_stats = &mut stats.layers[seen];
                     layer_stats.input_spikes += train.len();
@@ -284,149 +264,35 @@ impl EventSnn {
                     train = self.avg_pool_spikes(&train, spec.window, spec.stride)?;
                 }
                 SnnLayer::Flatten => {
-                    let flat = train.neuron_count();
-                    let mut t = SpikeTrain::new(vec![flat], window);
-                    for s in train.spikes() {
-                        t.push(*s);
-                    }
-                    train = t;
+                    train = crate::phase::flatten_spikes(&train);
                 }
             }
         }
         logits.ok_or_else(|| ConvertError::Structure("model produced no readout".into()))
     }
 
-    /// Fire (encoding) phase: membranes race the falling threshold; each
-    /// neuron emits at most one spike at its first crossing. Also models
-    /// the encoder's iteration count (it steps the threshold until every
-    /// membrane has fired/reset or the window ends).
+    /// Fire (encoding) phase — delegates to the shared
+    /// [`crate::phase::fire_phase`] primitive.
     fn fire_phase(&self, vmem: &[f32], dims: Vec<usize>, stats: &mut LayerStats) -> SpikeTrain {
-        let kernel = self.model.kernel();
-        let window = self.model.window();
-        let mut train = SpikeTrain::new(dims, window);
-        let mut latest: u32 = 0;
-        let mut all_fired = true;
-        for (i, &u) in vmem.iter().enumerate() {
-            match kernel.encode(u, window) {
-                Some(t) => {
-                    latest = latest.max(t);
-                    train.push(Spike::new(i, t));
-                }
-                None => all_fired = false,
-            }
-        }
-        stats.output_spikes += train.len();
-        stats.encoder_iterations += if all_fired {
-            latest as usize + 1
-        } else {
-            window as usize + 1
-        };
-        train.sort_by_time();
-        train
+        crate::phase::fire_phase(self.model.kernel(), self.model.window(), vmem, dims, stats)
     }
 
-    /// Exact max pooling in the event domain: within each window the spike
-    /// with the largest decoded value wins — under TTFS that is the
-    /// earliest spike (scale ties broken by value).
     fn max_pool_spikes(
         &self,
         train: &SpikeTrain,
         win: usize,
         stride: usize,
     ) -> Result<SpikeTrain, ConvertError> {
-        let d = train.dims();
-        if d.len() != 3 {
-            return Err(ConvertError::Structure(format!(
-                "max pool expects [C, H, W] spikes, got {:?}",
-                d
-            )));
-        }
-        let (c, h, w) = (d[0], d[1], d[2]);
-        let oh = (h - win) / stride + 1;
-        let ow = (w - win) / stride + 1;
-        let kernel = self.model.kernel();
-        // Per-neuron lookup (TTFS: at most one spike each).
-        let mut by_neuron: Vec<Option<Spike>> = vec![None; train.neuron_count()];
-        for s in train.spikes() {
-            by_neuron[s.neuron] = Some(*s);
-        }
-        let mut out = SpikeTrain::new(vec![c, oh, ow], train.window());
-        for ci in 0..c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best: Option<Spike> = None;
-                    let mut best_val = f32::NEG_INFINITY;
-                    for ky in 0..win {
-                        for kx in 0..win {
-                            let iy = oy * stride + ky;
-                            let ix = ox * stride + kx;
-                            if let Some(sp) = by_neuron[(ci * h + iy) * w + ix] {
-                                let val = kernel.decode(sp.t) * sp.scale;
-                                if val > best_val {
-                                    best_val = val;
-                                    best = Some(sp);
-                                }
-                            }
-                        }
-                    }
-                    if let Some(sp) = best {
-                        out.push(Spike {
-                            neuron: (ci * oh + oy) * ow + ox,
-                            t: sp.t,
-                            scale: sp.scale,
-                        });
-                    }
-                }
-            }
-        }
-        out.sort_by_time();
-        Ok(out)
+        crate::phase::max_pool_spikes(self.model.kernel(), train, win, stride)
     }
 
-    /// Average pooling in the event domain: every input spike is re-emitted
-    /// at its output position with `scale / win²` — integration downstream
-    /// is linear, so this is exact.
     fn avg_pool_spikes(
         &self,
         train: &SpikeTrain,
         win: usize,
         stride: usize,
     ) -> Result<SpikeTrain, ConvertError> {
-        let d = train.dims();
-        if d.len() != 3 {
-            return Err(ConvertError::Structure(format!(
-                "avg pool expects [C, H, W] spikes, got {:?}",
-                d
-            )));
-        }
-        let (c, h, w) = (d[0], d[1], d[2]);
-        let oh = (h - win) / stride + 1;
-        let ow = (w - win) / stride + 1;
-        let norm = 1.0 / (win * win) as f32;
-        let mut out = SpikeTrain::new(vec![c, oh, ow], train.window());
-        for sp in train.spikes() {
-            let ci = sp.neuron / (h * w);
-            let rem = sp.neuron % (h * w);
-            let (iy, ix) = (rem / w, rem % w);
-            // A spike can belong to several overlapping windows.
-            for oy in 0..oh {
-                if oy * stride > iy || iy >= oy * stride + win {
-                    continue;
-                }
-                for ox in 0..ow {
-                    if ox * stride > ix || ix >= ox * stride + win {
-                        continue;
-                    }
-                    out.push(Spike {
-                        neuron: (ci * oh + oy) * ow + ox,
-                        t: sp.t,
-                        scale: sp.scale * norm,
-                    });
-                }
-            }
-        }
-        out.sort_by_time();
-        Ok(out)
+        crate::phase::avg_pool_spikes(train, win, stride)
     }
 }
 

@@ -1,0 +1,267 @@
+//! The TTFS phase primitives shared by every inference backend.
+//!
+//! An inference backend walks a converted [`ttfs_core::SnnModel`] layer by
+//! layer; what differs between backends is *how the integration phase is
+//! executed* (dense per-spike broadcast in [`crate::EventSnn`], CSR
+//! edge-list traversal in `snn-runtime`). Everything else — input spike
+//! coding, the fire/encode phase, exact event-domain pooling and the
+//! [`crate::RunStats`] bookkeeping — is identical physics and lives here so
+//! the backends cannot drift apart.
+
+use snn_tensor::Tensor;
+use ttfs_core::{Base2Kernel, ConvertError, SnnModel, TtfsKernel};
+
+use crate::{LayerStats, RunStats, Spike, SpikeTrain};
+
+/// Encodes a flat input sample into its TTFS spike train (the input-coding
+/// window of the pipeline).
+pub fn encode_input(
+    kernel: &Base2Kernel,
+    window: u32,
+    sample: &[f32],
+    dims: &[usize],
+) -> SpikeTrain {
+    let mut train = SpikeTrain::new(dims.to_vec(), window);
+    for (i, &v) in sample.iter().enumerate() {
+        if let Some(t) = kernel.encode(v, window) {
+            train.push(Spike::new(i, t));
+        }
+    }
+    train.sort_by_time();
+    train
+}
+
+/// Fire (encoding) phase: membranes race the falling threshold; each neuron
+/// emits at most one spike at its first crossing. Also models the encoder's
+/// iteration count (it steps the threshold until every membrane has
+/// fired/reset or the window ends).
+pub fn fire_phase(
+    kernel: &Base2Kernel,
+    window: u32,
+    vmem: &[f32],
+    dims: Vec<usize>,
+    stats: &mut LayerStats,
+) -> SpikeTrain {
+    let mut train = SpikeTrain::new(dims, window);
+    let mut latest: u32 = 0;
+    let mut all_fired = true;
+    for (i, &u) in vmem.iter().enumerate() {
+        match kernel.encode(u, window) {
+            Some(t) => {
+                latest = latest.max(t);
+                train.push(Spike::new(i, t));
+            }
+            None => all_fired = false,
+        }
+    }
+    stats.output_spikes += train.len();
+    stats.encoder_iterations += encoder_iteration_count(window, latest, all_fired);
+    train.sort_by_time();
+    train
+}
+
+/// Threshold-walk iteration count of the hardware spike encoder for one
+/// fire phase: it stops early once every membrane has fired, otherwise it
+/// walks the whole window. Shared so every backend charges encoder cycles
+/// identically.
+pub fn encoder_iteration_count(window: u32, latest_spike_t: u32, all_fired: bool) -> usize {
+    if all_fired {
+        latest_spike_t as usize + 1
+    } else {
+        window as usize + 1
+    }
+}
+
+/// Exact max pooling in the event domain: within each window the spike with
+/// the largest decoded value wins — under TTFS that is the earliest spike
+/// (scale ties broken by value).
+///
+/// # Errors
+///
+/// Returns [`ConvertError::Structure`] if the train is not `[C, H, W]`.
+pub fn max_pool_spikes(
+    kernel: &Base2Kernel,
+    train: &SpikeTrain,
+    win: usize,
+    stride: usize,
+) -> Result<SpikeTrain, ConvertError> {
+    let d = train.dims();
+    if d.len() != 3 {
+        return Err(ConvertError::Structure(format!(
+            "max pool expects [C, H, W] spikes, got {:?}",
+            d
+        )));
+    }
+    let (c, h, w) = (d[0], d[1], d[2]);
+    let oh = (h - win) / stride + 1;
+    let ow = (w - win) / stride + 1;
+    // Per-neuron lookup (TTFS: at most one spike each).
+    let mut by_neuron: Vec<Option<Spike>> = vec![None; train.neuron_count()];
+    for s in train.spikes() {
+        by_neuron[s.neuron] = Some(*s);
+    }
+    let mut out = SpikeTrain::new(vec![c, oh, ow], train.window());
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best: Option<Spike> = None;
+                let mut best_val = f32::NEG_INFINITY;
+                for ky in 0..win {
+                    for kx in 0..win {
+                        let iy = oy * stride + ky;
+                        let ix = ox * stride + kx;
+                        if let Some(sp) = by_neuron[(ci * h + iy) * w + ix] {
+                            let val = kernel.decode(sp.t) * sp.scale;
+                            if val > best_val {
+                                best_val = val;
+                                best = Some(sp);
+                            }
+                        }
+                    }
+                }
+                if let Some(sp) = best {
+                    out.push(Spike {
+                        neuron: (ci * oh + oy) * ow + ox,
+                        t: sp.t,
+                        scale: sp.scale,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by_time();
+    Ok(out)
+}
+
+/// Average pooling in the event domain: every input spike is re-emitted at
+/// its output position with `scale / win²` — integration downstream is
+/// linear, so this is exact.
+///
+/// # Errors
+///
+/// Returns [`ConvertError::Structure`] if the train is not `[C, H, W]`.
+pub fn avg_pool_spikes(
+    train: &SpikeTrain,
+    win: usize,
+    stride: usize,
+) -> Result<SpikeTrain, ConvertError> {
+    let d = train.dims();
+    if d.len() != 3 {
+        return Err(ConvertError::Structure(format!(
+            "avg pool expects [C, H, W] spikes, got {:?}",
+            d
+        )));
+    }
+    let (c, h, w) = (d[0], d[1], d[2]);
+    let oh = (h - win) / stride + 1;
+    let ow = (w - win) / stride + 1;
+    let norm = 1.0 / (win * win) as f32;
+    let mut out = SpikeTrain::new(vec![c, oh, ow], train.window());
+    for sp in train.spikes() {
+        let ci = sp.neuron / (h * w);
+        let rem = sp.neuron % (h * w);
+        let (iy, ix) = (rem / w, rem % w);
+        // A spike can belong to several overlapping windows.
+        for oy in 0..oh {
+            if oy * stride > iy || iy >= oy * stride + win {
+                continue;
+            }
+            for ox in 0..ow {
+                if ox * stride > ix || ix >= ox * stride + win {
+                    continue;
+                }
+                out.push(Spike {
+                    neuron: (ci * oh + oy) * ow + ox,
+                    t: sp.t,
+                    scale: sp.scale * norm,
+                });
+            }
+        }
+    }
+    out.sort_by_time();
+    Ok(out)
+}
+
+/// Flatten in the event domain: spikes keep their flat neuron index, only
+/// the grid geometry collapses.
+pub fn flatten_spikes(train: &SpikeTrain) -> SpikeTrain {
+    let flat = train.neuron_count();
+    let mut t = SpikeTrain::new(vec![flat], train.window());
+    for s in train.spikes() {
+        t.push(*s);
+    }
+    t
+}
+
+/// Allocates the zeroed [`RunStats`] for a run of `model` over `batch`
+/// samples — one [`LayerStats`] slot per weighted layer, latency from the
+/// pipeline schedule. Every backend starts from this.
+pub fn new_run_stats(model: &SnnModel, batch: usize) -> RunStats {
+    RunStats {
+        batch,
+        layers: vec![LayerStats::default(); model.weighted_layers()],
+        latency_timesteps: model.latency_timesteps(),
+    }
+}
+
+/// Assembles per-sample logit rows into the `[N, classes]` output tensor.
+///
+/// # Errors
+///
+/// Returns [`ConvertError::Structure`] if rows are ragged.
+pub fn logits_tensor(rows: Vec<Vec<f32>>) -> Result<Tensor, ConvertError> {
+    let n = rows.len();
+    let classes = rows.first().map(Vec::len).unwrap_or(0);
+    let mut data = Vec::with_capacity(n * classes);
+    for row in &rows {
+        if row.len() != classes {
+            return Err(ConvertError::Structure(format!(
+                "ragged logit rows: {} vs {}",
+                row.len(),
+                classes
+            )));
+        }
+        data.extend_from_slice(row);
+    }
+    Tensor::from_vec(data, &[n, classes]).map_err(|e| ConvertError::Structure(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_input_skips_nonpositive() {
+        let k = Base2Kernel::paper_default();
+        let train = encode_input(&k, 24, &[0.0, -1.0, 1.0, 0.5], &[4]);
+        assert_eq!(train.len(), 2);
+        assert!(train.is_ttfs());
+    }
+
+    #[test]
+    fn fire_phase_counts_iterations() {
+        let k = Base2Kernel::paper_default();
+        let mut stats = LayerStats::default();
+        let train = fire_phase(&k, 24, &[1.0, 0.5, -0.2], vec![3], &mut stats);
+        assert_eq!(train.len(), 2);
+        assert_eq!(stats.output_spikes, 2);
+        // One membrane never fires -> encoder walks the full window.
+        assert_eq!(stats.encoder_iterations, 25);
+    }
+
+    #[test]
+    fn flatten_preserves_spikes() {
+        let mut t = SpikeTrain::new(vec![2, 2, 2], 10);
+        t.push(Spike::new(5, 3));
+        let f = flatten_spikes(&t);
+        assert_eq!(f.dims(), &[8]);
+        assert_eq!(f.spikes()[0].neuron, 5);
+    }
+
+    #[test]
+    fn logits_tensor_rejects_ragged_rows() {
+        assert!(logits_tensor(vec![vec![1.0, 2.0], vec![3.0]]).is_err());
+        let t = logits_tensor(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(t.dims(), &[2, 2]);
+    }
+}

@@ -51,10 +51,7 @@ impl PipelineSchedule {
 
     /// Global timestep range `[start, end)` of layer `l`'s fire phase.
     pub fn fire_window(&self, layer: u32) -> (u32, u32) {
-        (
-            (layer + 1) * self.window,
-            (layer + 2) * self.window,
-        )
+        ((layer + 1) * self.window, (layer + 2) * self.window)
     }
 
     /// End-to-end latency in timesteps: `T × (L + 1)` (Table 2).

@@ -1,5 +1,10 @@
 use serde::{Deserialize, Serialize};
 
+/// A spike raster over layer boundaries: for each boundary, the
+/// `(neuron, global_timestep)` events (input coding first, then one entry
+/// per hidden weighted layer).
+pub type SpikeRaster = Vec<Vec<(usize, u32)>>;
+
 /// A single spike event in a layer-local time window.
 ///
 /// TTFS coding emits at most one spike per neuron; `scale` carries the

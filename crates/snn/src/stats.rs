@@ -23,6 +23,15 @@ impl LayerStats {
     pub fn output_sparsity(&self) -> f32 {
         self.output_spikes as f32 / self.neurons.max(1) as f32
     }
+
+    /// Accumulates another run's counters into this one.
+    pub fn absorb(&mut self, other: &LayerStats) {
+        self.input_spikes += other.input_spikes;
+        self.output_spikes += other.output_spikes;
+        self.neurons += other.neurons;
+        self.synaptic_ops += other.synaptic_ops;
+        self.encoder_iterations += other.encoder_iterations;
+    }
 }
 
 /// Event statistics of a full inference run (one batch).
@@ -39,16 +48,28 @@ pub struct RunStats {
 impl RunStats {
     /// Total spikes across all layer boundaries (including input coding).
     pub fn total_spikes(&self) -> usize {
-        self.layers
-            .iter()
-            .map(|l| l.output_spikes)
-            .sum::<usize>()
+        self.layers.iter().map(|l| l.output_spikes).sum::<usize>()
             + self.layers.first().map(|l| l.input_spikes).unwrap_or(0)
     }
 
     /// Total synaptic operations.
     pub fn total_synaptic_ops(&self) -> usize {
         self.layers.iter().map(|l| l.synaptic_ops).sum()
+    }
+
+    /// Merges the statistics of another (sub-)batch run over the same
+    /// model — used by the runtime's worker pool to combine per-chunk
+    /// stats back into one report.
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.batch += other.batch;
+        if self.layers.len() < other.layers.len() {
+            self.layers
+                .resize(other.layers.len(), LayerStats::default());
+        }
+        for (mine, theirs) in self.layers.iter_mut().zip(&other.layers) {
+            mine.absorb(theirs);
+        }
+        self.latency_timesteps = self.latency_timesteps.max(other.latency_timesteps);
     }
 
     /// Mean output sparsity over layers.

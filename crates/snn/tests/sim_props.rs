@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use snn_nn::{
-    ActivationLayer, AvgPool2dLayer, Conv2dLayer, DenseLayer, Flatten, Layer, MaxPool2dLayer,
-    Relu, Sequential,
+    ActivationLayer, AvgPool2dLayer, Conv2dLayer, DenseLayer, Flatten, Layer, MaxPool2dLayer, Relu,
+    Sequential,
 };
 use snn_sim::EventSnn;
 use snn_tensor::{Conv2dSpec, Tensor};

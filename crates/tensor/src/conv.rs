@@ -74,11 +74,7 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor, ShapeError> {
     if dims.len() != 3 || dims[0] != spec.in_channels {
         return Err(ShapeError::new(
             "im2col",
-            format!(
-                "expected [{}, H, W], got {:?}",
-                spec.in_channels,
-                dims
-            ),
+            format!("expected [{}, H, W], got {:?}", spec.in_channels, dims),
         ));
     }
     let (c, h, w) = (dims[0], dims[1], dims[2]);
@@ -179,7 +175,14 @@ pub fn conv2d(
         ));
     }
     let wdims = weight.dims();
-    if wdims != [spec.out_channels, spec.in_channels, spec.kernel, spec.kernel] {
+    if wdims
+        != [
+            spec.out_channels,
+            spec.in_channels,
+            spec.kernel,
+            spec.kernel,
+        ]
+    {
         return Err(ShapeError::new(
             "conv2d",
             format!("weight {:?} vs spec {:?}", wdims, spec),
@@ -241,7 +244,10 @@ pub fn conv2d_backward_input(
     if gdims.len() != 4 || gdims[1] != spec.out_channels || gdims[2] != oh || gdims[3] != ow {
         return Err(ShapeError::new(
             "conv2d_backward_input",
-            format!("grad {:?} vs expected [N, {}, {oh}, {ow}]", gdims, spec.out_channels),
+            format!(
+                "grad {:?} vs expected [N, {}, {oh}, {ow}]",
+                gdims, spec.out_channels
+            ),
         ));
     }
     let n = gdims[0];
@@ -309,7 +315,12 @@ pub fn conv2d_backward_weight(
         }
     }
     Ok((
-        gw.reshape(&[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel])?,
+        gw.reshape(&[
+            spec.out_channels,
+            spec.in_channels,
+            spec.kernel,
+            spec.kernel,
+        ])?,
         gb,
     ))
 }
@@ -335,16 +346,14 @@ mod tests {
                         for ci in 0..c {
                             for ki in 0..spec.kernel {
                                 for kj in 0..spec.kernel {
-                                    let iy = (oy * spec.stride + ki) as isize
-                                        - spec.padding as isize;
-                                    let ix = (ox * spec.stride + kj) as isize
-                                        - spec.padding as isize;
+                                    let iy =
+                                        (oy * spec.stride + ki) as isize - spec.padding as isize;
+                                    let ix =
+                                        (ox * spec.stride + kj) as isize - spec.padding as isize;
                                     if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                         continue;
                                     }
-                                    acc += input
-                                        .at(&[s, ci, iy as usize, ix as usize])
-                                        .unwrap()
+                                    acc += input.at(&[s, ci, iy as usize, ix as usize]).unwrap()
                                         * weight.at(&[oc, ci, ki, kj]).unwrap();
                                 }
                             }

@@ -65,9 +65,17 @@ mod tests {
         let fan_in = 64;
         let t = kaiming_normal(&[4096], fan_in, &mut rng);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|&x| (x - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean).powi(2))
+            .sum::<f32>()
+            / t.len() as f32;
         let expected = 2.0 / fan_in as f32;
-        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.2,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

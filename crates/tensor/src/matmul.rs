@@ -14,6 +14,11 @@ pub enum Transpose {
 ///
 /// Inner loops are written cache-friendly (ikj order) for the `No`/`No`
 /// case, which dominates the training workload via im2col convolution.
+/// Accumulation is in `f64` with a single final rounding to `f32`: the
+/// result is then independent of summation order (to f32 precision), which
+/// the SNN backends rely on — their per-spike accumulation must reproduce
+/// this GEMM bit-for-bit so that kernel-grid quantization never flips a
+/// spike time between backends.
 ///
 /// # Errors
 ///
@@ -33,12 +38,7 @@ pub enum Transpose {
 /// # Ok(())
 /// # }
 /// ```
-pub fn gemm(
-    a: &Tensor,
-    ta: Transpose,
-    b: &Tensor,
-    tb: Transpose,
-) -> Result<Tensor, ShapeError> {
+pub fn gemm(a: &Tensor, ta: Transpose, b: &Tensor, tb: Transpose) -> Result<Tensor, ShapeError> {
     if a.shape().rank() != 2 || b.shape().rank() != 2 {
         return Err(ShapeError::new(
             "matmul",
@@ -66,7 +66,7 @@ pub fn gemm(
         ));
     }
     let k = k1;
-    let mut out = vec![0.0f32; m * n];
+    let mut out = vec![0.0f64; m * n];
     let ad = a.as_slice();
     let bd = b.as_slice();
 
@@ -81,7 +81,7 @@ pub fn gemm(
                     }
                     let brow = &bd[p * n..(p + 1) * n];
                     for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                        *o += av * bv;
+                        *o += av as f64 * bv as f64;
                     }
                 }
             }
@@ -91,9 +91,9 @@ pub fn gemm(
                 let arow = &ad[i * k..(i + 1) * k];
                 for j in 0..n {
                     let brow = &bd[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
+                    let mut acc = 0.0f64;
                     for (&av, &bv) in arow.iter().zip(brow.iter()) {
-                        acc += av * bv;
+                        acc += av as f64 * bv as f64;
                     }
                     out[i * n + j] = acc;
                 }
@@ -110,7 +110,7 @@ pub fn gemm(
                     }
                     let orow = &mut out[i * n..(i + 1) * n];
                     for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                        *o += av * bv;
+                        *o += av as f64 * bv as f64;
                     }
                 }
             }
@@ -118,16 +118,16 @@ pub fn gemm(
         (Transpose::Yes, Transpose::Yes) => {
             for i in 0..m {
                 for j in 0..n {
-                    let mut acc = 0.0f32;
+                    let mut acc = 0.0f64;
                     for p in 0..k {
-                        acc += ad[p * m + i] * bd[j * k + p];
+                        acc += ad[p * m + i] as f64 * bd[j * k + p] as f64;
                     }
                     out[i * n + j] = acc;
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[m, n])
+    Tensor::from_vec(out.into_iter().map(|v| v as f32).collect(), &[m, n])
 }
 
 #[cfg(test)]

@@ -25,10 +25,16 @@ impl Pool2dSpec {
     }
 }
 
-fn check_input(op: &'static str, input: &Tensor) -> Result<(usize, usize, usize, usize), ShapeError> {
+fn check_input(
+    op: &'static str,
+    input: &Tensor,
+) -> Result<(usize, usize, usize, usize), ShapeError> {
     let d = input.dims();
     if d.len() != 4 {
-        return Err(ShapeError::new(op, format!("expected NCHW input, got {:?}", d)));
+        return Err(ShapeError::new(
+            op,
+            format!("expected NCHW input, got {:?}", d),
+        ));
     }
     Ok((d[0], d[1], d[2], d[3]))
 }
@@ -180,7 +186,10 @@ mod tests {
     #[test]
     fn max_pool_picks_window_max() {
         let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -191,11 +200,7 @@ mod tests {
 
     #[test]
     fn max_pool_backward_routes_to_argmax() {
-        let input = Tensor::from_vec(
-            (1..=16).map(|i| i as f32).collect(),
-            &[1, 1, 4, 4],
-        )
-        .unwrap();
+        let input = Tensor::from_vec((1..=16).map(|i| i as f32).collect(), &[1, 1, 4, 4]).unwrap();
         let spec = Pool2dSpec::new(2, 2);
         let (_, arg) = max_pool2d(&input, &spec).unwrap();
         let g = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();

@@ -77,8 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Measure event sparsity on the quantized model.
     let sim = EventSnn::new(&model);
     let (_, stats) = sim.run(data.test_images())?;
-    let input_sparsity = stats.layers[0].input_spikes as f32
-        / (data.test_images().len() as f32);
+    let input_sparsity = stats.layers[0].input_spikes as f32 / (data.test_images().len() as f32);
     // The final readout layer has no fire phase, so its "sparsity" is 0 —
     // exclude it from the profile.
     let mut layer_sparsity: Vec<f32> = stats.layers.iter().map(|l| l.output_sparsity()).collect();

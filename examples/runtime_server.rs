@@ -1,0 +1,65 @@
+//! Batched inference runtime: convert a CAT-style network, compile it to
+//! the CSR fast path, serve a batch through the multi-threaded inference
+//! server, and price the measured event traffic on the paper's processor
+//! model.
+//!
+//! Run: `cargo run --release --example runtime_server`
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ttfs_snn::hw::{Processor, ProcessorConfig};
+use ttfs_snn::nn::models::vgg16_scaled;
+use ttfs_snn::runtime::{energy, CsrEngine, InferenceServer, ServerConfig};
+use ttfs_snn::sim::EventSnn;
+use ttfs_snn::ttfs::{convert, Base2Kernel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let side = 32;
+    let batch = 16;
+
+    // A VGG-16-shaped network at 1/16 width: real geometry, laptop budget.
+    let net = vgg16_scaled(side, 10, 16, &mut rng);
+    let model = convert(&net, Base2Kernel::paper_default(), 24)?;
+    println!(
+        "model: {} weighted layers, latency {} timesteps",
+        model.weighted_layers(),
+        model.latency_timesteps()
+    );
+
+    // Compile the CSR fast path for the deployment geometry.
+    let input_dims = [3, side, side];
+    let engine = CsrEngine::compile(&model, &input_dims)?;
+    println!("csr: {} synapse edges materialized", engine.total_edges());
+
+    // Serve a batch across the worker pool.
+    let server = InferenceServer::new(Arc::new(engine), ServerConfig::default());
+    let x = ttfs_snn::tensor::uniform(&[batch, 3, side, side], 0.0, 1.0, &mut rng);
+    let report = server.run(&x)?;
+    println!(
+        "served {} images on {} threads: {:.1} images/sec, p50 {:.0} µs, p99 {:.0} µs",
+        report.metrics.images,
+        server.threads(),
+        report.metrics.images_per_sec,
+        report.metrics.latency_p50_us,
+        report.metrics.latency_p99_us,
+    );
+
+    // The fast path matches the reference event simulator exactly.
+    let (reference_logits, _) = EventSnn::new(&model).run(&x)?;
+    assert_eq!(report.logits.as_slice(), reference_logits.as_slice());
+    println!("logits match the reference event simulator bit-for-bit");
+
+    // Hardware energy report from the measured event counts.
+    let processor = Processor::new(ProcessorConfig::proposed());
+    let hw = energy::energy_report(&processor, &model, &report.stats, &input_dims)?;
+    println!(
+        "hardware model: {:.1} µJ/image, {:.0} fps at {} MHz",
+        hw.energy_per_image_uj,
+        hw.fps,
+        processor.config().frequency_mhz
+    );
+    Ok(())
+}

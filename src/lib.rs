@@ -13,13 +13,16 @@
 //! | [`sim`] | `snn-sim` | event-driven TTFS SNN simulator |
 //! | [`logquant`] | `snn-logquant` | 5-bit log quantization, LUT+shift PEs |
 //! | [`hw`] | `snn-hw` | processor simulator + area/power/energy model |
+//! | [`runtime`] | `snn-runtime` | batched multi-threaded CSR inference engine |
 //!
-//! See `examples/quickstart.rs` for the end-to-end pipeline.
+//! See `examples/quickstart.rs` for the end-to-end pipeline and
+//! `examples/runtime_server.rs` for the batched inference runtime.
 
 pub use snn_data as data;
 pub use snn_hw as hw;
 pub use snn_logquant as logquant;
 pub use snn_nn as nn;
+pub use snn_runtime as runtime;
 pub use snn_sim as sim;
 pub use snn_tensor as tensor;
 pub use ttfs_core as ttfs;

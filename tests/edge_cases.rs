@@ -5,8 +5,8 @@ use rand::SeedableRng;
 use ttfs_snn::hw::{LayerGeometry, Processor, ProcessorConfig, WorkloadProfile};
 use ttfs_snn::logquant::{LogBase, LogQuantizer, QatTrainer};
 use ttfs_snn::nn::{
-    ActivationFn, ActivationLayer, DenseLayer, DropoutLayer, Flatten, Layer, Relu, Sequential,
-    Sgd, TrainConfig,
+    ActivationFn, ActivationLayer, DenseLayer, DropoutLayer, Flatten, Layer, Relu, Sequential, Sgd,
+    TrainConfig,
 };
 use ttfs_snn::sim::EventSnn;
 use ttfs_snn::tensor::Tensor;

@@ -92,7 +92,9 @@ fn event_sim_equals_reference_on_trained_model() {
     let model = convert(&net, Base2Kernel::paper_default(), 24).expect("conversion");
     let sim = EventSnn::new(&model);
     let (event_logits, stats) = sim.run(data.test_images()).expect("event run");
-    let reference = model.reference_forward(data.test_images()).expect("reference");
+    let reference = model
+        .reference_forward(data.test_images())
+        .expect("reference");
     let tol = 1e-3 * (1.0 + reference.abs_max());
     assert!(event_logits.allclose(&reference, tol));
     // TTFS discipline: no layer can spike more than once per neuron.
@@ -131,12 +133,13 @@ fn quantization_bits_tradeoff_on_trained_model() {
         let mut q = model.clone();
         for layer in q.layers_mut() {
             if let SnnLayer::Conv { weight, .. } | SnnLayer::Dense { weight, .. } = layer {
-                let quant = LogQuantizer::fit(LogBase::inv_sqrt2(), bits, weight.as_slice())
-                    .expect("fit");
+                let quant =
+                    LogQuantizer::fit(LogBase::inv_sqrt2(), bits, weight.as_slice()).expect("fit");
                 *weight = quant.quantize_tensor(weight);
             }
         }
-        q.accuracy(data.test_images(), data.test_labels()).expect("eval")
+        q.accuracy(data.test_images(), data.test_labels())
+            .expect("eval")
     };
     let q5 = quantized(&model, 5);
     let q2 = quantized(&model, 2);
@@ -171,8 +174,7 @@ fn measured_sparsity_feeds_hardware_model() {
     let sim = EventSnn::new(&model);
     let (_, stats) = sim.run(data.test_images()).expect("event run");
 
-    let input_sparsity =
-        stats.layers[0].input_spikes as f32 / data.test_images().len() as f32;
+    let input_sparsity = stats.layers[0].input_spikes as f32 / data.test_images().len() as f32;
     let layer_sparsity: Vec<f32> = stats.layers.iter().map(|l| l.output_sparsity()).collect();
     let profile = WorkloadProfile::from_measurements(input_sparsity, layer_sparsity);
 

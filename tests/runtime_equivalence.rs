@@ -1,0 +1,182 @@
+//! Backend-equivalence property tests: for random networks, random inputs
+//! and random batch sizes, the CSR fast path, the reference event
+//! simulator and the analytic `reference_forward` must produce the same
+//! logits — `CsrEngine == EventSnn` bit-for-bit (same accumulation
+//! discipline), and both equal to `reference_forward` within 1e-4.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ttfs_snn::nn::{
+    ActivationLayer, AvgPool2dLayer, Conv2dLayer, DenseLayer, Flatten, Layer, MaxPool2dLayer, Relu,
+    Sequential,
+};
+use ttfs_snn::runtime::{CsrEngine, InferenceBackend, InferenceServer, ServerConfig};
+use ttfs_snn::sim::EventSnn;
+use ttfs_snn::tensor::{Conv2dSpec, Tensor};
+use ttfs_snn::ttfs::{convert, Base2Kernel, SnnModel};
+
+fn check_backends(model: &SnnModel, x: &Tensor, input_dims: &[usize]) -> Result<(), TestCaseError> {
+    let event = EventSnn::new(model);
+    let csr = CsrEngine::compile(model, input_dims).expect("csr compile");
+    let (event_logits, event_stats) = event.run(x).expect("event run");
+    let (csr_logits, csr_stats) = csr.run_batch(x).expect("csr run");
+    let reference = model.reference_forward(x).expect("reference");
+
+    prop_assert_eq!(
+        event_logits.as_slice(),
+        csr_logits.as_slice(),
+        "CSR and event backends share one accumulation discipline"
+    );
+    prop_assert_eq!(event_stats, csr_stats, "identical event statistics");
+    let max_diff = csr_logits
+        .as_slice()
+        .iter()
+        .zip(reference.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    prop_assert!(
+        max_diff <= 1e-4,
+        "csr vs reference max |diff| = {max_diff:e}"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conv + max-pool networks across random batch sizes.
+    #[test]
+    fn conv_maxpool_backends_agree(
+        seed in 0u64..256,
+        batch in 1usize..5,
+        xs in proptest::collection::vec(0.0f32..1.0, 4 * 2 * 36),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Sequential::new(vec![
+            Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(2, 4, 3, 1, 1), &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::MaxPool2d(MaxPool2dLayer::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(4 * 3 * 3, 3, &mut rng)),
+        ]);
+        let model = convert(&net, Base2Kernel::paper_default(), 24).expect("conversion");
+        let x = Tensor::from_vec(xs[..batch * 2 * 36].to_vec(), &[batch, 2, 6, 6]).expect("sized");
+        check_backends(&model, &x, &[2, 6, 6])?;
+    }
+
+    /// Average pooling (scaled virtual spikes) and strided conv.
+    #[test]
+    fn avgpool_strided_backends_agree(
+        seed in 0u64..256,
+        xs in proptest::collection::vec(0.0f32..1.0, 2 * 49),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Sequential::new(vec![
+            Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(1, 3, 3, 2, 0), &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::AvgPool2d(AvgPool2dLayer::new(3, 3)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(3, 2, &mut rng)),
+        ]);
+        let model = convert(&net, Base2Kernel::paper_default(), 24).expect("conversion");
+        let x = Tensor::from_vec(xs, &[2, 1, 7, 7]).expect("sized");
+        check_backends(&model, &x, &[1, 7, 7])?;
+    }
+
+    /// Deep dense stacks (quantization compounds with depth).
+    #[test]
+    fn deep_dense_backends_agree(
+        seed in 0u64..256,
+        batch in 1usize..7,
+        xs in proptest::collection::vec(0.0f32..1.0, 6 * 10),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = vec![Layer::Flatten(Flatten::new())];
+        let mut width = 10usize;
+        for _ in 0..4 {
+            layers.push(Layer::Dense(DenseLayer::new(width, 9, &mut rng)));
+            layers.push(Layer::Activation(ActivationLayer::new(Box::new(Relu))));
+            width = 9;
+        }
+        layers.push(Layer::Dense(DenseLayer::new(width, 4, &mut rng)));
+        let model = convert(&Sequential::new(layers), Base2Kernel::paper_default(), 24)
+            .expect("conversion");
+        let x = Tensor::from_vec(xs[..batch * 10].to_vec(), &[batch, 1, 2, 5]).expect("sized");
+        check_backends(&model, &x, &[1, 2, 5])?;
+    }
+
+    /// The worker-pool server returns the same logits as any single-thread
+    /// backend run, for every thread/chunk configuration.
+    #[test]
+    fn server_is_order_preserving(
+        seed in 0u64..64,
+        threads in 1usize..5,
+        chunk in 1usize..6,
+        xs in proptest::collection::vec(0.0f32..1.0, 9 * 8),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Sequential::new(vec![
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(8, 6, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::Dense(DenseLayer::new(6, 3, &mut rng)),
+        ]);
+        let model = convert(&net, Base2Kernel::paper_default(), 24).expect("conversion");
+        let x = Tensor::from_vec(xs, &[9, 1, 2, 4]).expect("sized");
+        let single = EventSnn::new(&model).run(&x).expect("single").0;
+        let server = InferenceServer::new(
+            Arc::new(CsrEngine::compile(&model, &[1, 2, 4]).expect("compile")),
+            ServerConfig { threads, chunk_size: chunk },
+        );
+        let report = server.run(&x).expect("pooled run");
+        prop_assert_eq!(report.logits.as_slice(), single.as_slice());
+        prop_assert_eq!(report.stats.batch, 9);
+        prop_assert_eq!(
+            report.metrics.requests as usize,
+            9usize.div_ceil(chunk)
+        );
+    }
+}
+
+/// The degenerate all-zero input: no spikes anywhere, logits are pure bias
+/// propagation, and every backend agrees with the reference exactly.
+#[test]
+fn all_zero_input_equivalence() {
+    let mut rng = StdRng::seed_from_u64(123);
+    let net = Sequential::new(vec![
+        Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(1, 3, 3, 1, 1), &mut rng)),
+        Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+        Layer::MaxPool2d(MaxPool2dLayer::new(2, 2)),
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(DenseLayer::new(3 * 3 * 3, 4, &mut rng)),
+    ]);
+    let model = convert(&net, Base2Kernel::paper_default(), 24).unwrap();
+    let x = Tensor::zeros(&[3, 1, 6, 6]);
+
+    let (event_logits, event_stats) = EventSnn::new(&model).run(&x).unwrap();
+    let csr = CsrEngine::compile(&model, &[1, 6, 6]).unwrap();
+    let (csr_logits, csr_stats) = csr.run_batch(&x).unwrap();
+    let reference = model.reference_forward(&x).unwrap();
+
+    assert_eq!(csr_stats.layers[0].input_spikes, 0, "no input spikes");
+    assert_eq!(event_stats, csr_stats);
+    assert_eq!(event_logits.as_slice(), csr_logits.as_slice());
+    assert!(
+        csr_logits.allclose(&reference, 1e-6),
+        "pure bias propagation"
+    );
+
+    // And through the server.
+    let server = InferenceServer::new(
+        Arc::new(csr),
+        ServerConfig {
+            threads: 2,
+            chunk_size: 1,
+        },
+    );
+    let report = server.run(&x).unwrap();
+    assert_eq!(report.logits.as_slice(), csr_logits.as_slice());
+}

@@ -1,0 +1,225 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Benchmarks run with `harness = false`; `criterion_group!` /
+//! `criterion_main!` build a plain `main` that times each registered
+//! function with `std::time::Instant` and prints mean/min wall-clock time
+//! per iteration. No statistics engine, no HTML reports — enough to compare
+//! relative cost of the paper's kernels locally and in CI.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark configuration and sink (shim).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(600),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for warm-up.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.clone();
+        run_benchmark(&config, id, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        let config = self.criterion.clone();
+        run_benchmark(&config, &full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// workload.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    min_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher<'_> {
+    /// Times the closure: warm-up, then samples until the measurement
+    /// budget or sample count is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also calibrating iterations per sample.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        // iters/ns from warm-up, scaled to one sample's share of the
+        // measurement budget.
+        let rate = warm_iters as f64 / self.config.warm_up_time.as_nanos().max(1) as f64;
+        let sample_budget_ns =
+            self.config.measurement_time.as_nanos() as f64 / self.config.sample_size.max(1) as f64;
+        let per_sample = ((rate * sample_budget_ns) as u64).max(1);
+
+        let deadline = Instant::now() + self.config.measurement_time;
+        let mut total_ns: f64 = 0.0;
+        let mut total_iters: u64 = 0;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64;
+            total_ns += ns;
+            total_iters += per_sample;
+            min_ns = min_ns.min(ns / per_sample as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.mean_ns = total_ns / total_iters.max(1) as f64;
+        self.min_ns = min_ns;
+        self.iterations = total_iters;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(config: &Criterion, id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        config,
+        mean_ns: 0.0,
+        min_ns: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    eprintln!(
+        "bench {id:<40} mean {:>12}  min {:>12}  ({} iters)",
+        format_ns(bencher.mean_ns),
+        format_ns(bencher.min_ns),
+        bencher.iterations
+    );
+}
+
+/// Registers a group of benchmark target functions (both upstream forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Builds `main` from registered groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,245 @@
+//! Distributions: [`Standard`], [`Uniform`] and the range-sampling glue
+//! behind `Rng::gen_range`.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: unit-interval floats, full-range
+/// integers, fair booleans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 mantissa bits -> uniform on [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform distribution over `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: Copy> Uniform<T> {
+    /// Creates a uniform distribution over `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        Self { lo, hi }
+    }
+}
+
+impl Distribution<f32> for Uniform<f32> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        sample_f32(rng, self.lo, self.hi)
+    }
+}
+
+impl Distribution<f64> for Uniform<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        sample_f64(rng, self.lo, self.hi)
+    }
+}
+
+impl Distribution<usize> for Uniform<usize> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        sample_u64(rng, self.lo as u64, self.hi as u64) as usize
+    }
+}
+
+fn sample_f32<R: RngCore + ?Sized>(rng: &mut R, lo: f32, hi: f32) -> f32 {
+    let u = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+    lo + u * (hi - lo)
+}
+
+fn sample_f64<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    lo + u * (hi - lo)
+}
+
+/// Unbiased integer sampling on `[lo, hi)` via rejection of the biased tail.
+fn sample_u64<R: RngCore + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi, "gen_range called with empty range");
+    let span = hi - lo;
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return lo + v % span;
+        }
+    }
+}
+
+fn sample_i64<R: RngCore + ?Sized>(rng: &mut R, lo: i64, hi: i64) -> i64 {
+    assert!(lo < hi, "gen_range called with empty range");
+    let span = (hi as i128 - lo as i128) as u64;
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return (lo as i128 + (v % span) as i128) as i64;
+        }
+    }
+}
+
+/// Types `Rng::gen_range` can sample uniformly. Mirrors upstream rand's
+/// `SampleUniform` so that `Range<{float literal}>` unifies with the
+/// expected output type during inference.
+pub trait SampleUniform: Sized {
+    /// Uniform sample on `[lo, hi)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform sample on `[lo, hi]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        sample_f32(rng, lo, hi)
+    }
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        sample_f32(rng, lo, hi) // closed/open indistinguishable for floats here
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        sample_f64(rng, lo, hi)
+    }
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        sample_f64(rng, lo, hi)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                sample_i64(rng, lo as i64, hi as i64) as $t
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                sample_i64(rng, lo as i64, hi as i64 + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(i8, i16, i32, u8, u16, u32);
+
+impl SampleUniform for usize {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        sample_u64(rng, lo as u64, hi as u64) as usize
+    }
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        sample_u64(rng, lo as u64, hi as u64 + 1) as usize
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        sample_u64(rng, lo, hi)
+    }
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        sample_u64(rng, lo, hi + 1)
+    }
+}
+
+impl SampleUniform for i64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        sample_i64(rng, lo, hi)
+    }
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        sample_i64(rng, lo, hi + 1)
+    }
+}
+
+/// Ranges that `Rng::gen_range` can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let f = r.gen_range(-0.3..0.3f32);
+            assert!((-0.3..0.3).contains(&f));
+            let u = r.gen_range(0usize..7);
+            assert!(u < 7);
+            let i = r.gen_range(0u32..25);
+            assert!(i < 25);
+            let k = r.gen_range(1usize..=6);
+            assert!((1..=6).contains(&k));
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_covers_range() {
+        let mut r = StdRng::seed_from_u64(2);
+        let d = Uniform::new(-1.0f32, 1.0);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1000 {
+            let v = d.sample(&mut r);
+            assert!((-1.0..1.0).contains(&v));
+            lo_seen |= v < -0.5;
+            hi_seen |= v > 0.5;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

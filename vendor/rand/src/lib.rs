@@ -1,0 +1,72 @@
+//! Offline shim for the subset of `rand` 0.8 this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small, deterministic implementation of the APIs the seed code
+//! calls: [`rngs::StdRng`] (xoshiro256++ seeded via splitmix64),
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen`] / [`Rng::gen_range`],
+//! [`distributions::Uniform`] and [`seq::SliceRandom::shuffle`].
+//!
+//! Stream values differ from upstream `rand` (a different PRNG), but every
+//! consumer in this workspace only relies on determinism per seed, never on
+//! specific values.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::{Distribution, SampleRange, Standard};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit word (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`] distribution (`f32`/`f64` in
+    /// `[0, 1)`, full-range integers, fair `bool`).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Fair coin with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.gen::<f64>()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction from seeds. Only `seed_from_u64` is used in this workspace.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}

@@ -1,0 +1,470 @@
+//! Hand-rolled derive macros for the vendored serde shim.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` available
+//! offline) and emits `impl serde::Serialize` / `impl serde::Deserialize`
+//! lowering to the shim's `Content` tree. Supported shapes — everything this
+//! workspace derives on:
+//!
+//! * structs with named fields, tuple structs, unit structs
+//! * enums with unit, struct and tuple variants (externally tagged, like
+//!   upstream serde)
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported;
+//! hitting one panics at compile time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips `#[...]` / `#![...]` attribute tokens starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Punct(p2)) = tokens.get(i) {
+                    if p2.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                // The bracketed attribute body.
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Counts top-level comma-separated segments of a token list, ignoring
+/// commas nested inside `<...>`.
+fn count_top_level_segments(tokens: &[TokenTree]) -> usize {
+    let mut segments = 0usize;
+    let mut in_segment = false;
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if in_segment {
+                    segments += 1;
+                }
+                in_segment = false;
+            }
+            _ => in_segment = true,
+        }
+    }
+    if in_segment {
+        segments += 1;
+    }
+    segments
+}
+
+/// Parses named fields out of a brace group body.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        i = skip_vis(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, found {other}"),
+        };
+        fields.push(name);
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after field, found {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_fields_after_name(tokens: &[TokenTree], i: usize) -> Fields {
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Fields::Named(parse_named_fields(&body))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Fields::Tuple(count_top_level_segments(&body))
+        }
+        _ => Fields::Unit,
+    }
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = parse_fields_after_name(tokens, i);
+        if !matches!(fields, Fields::Unit) {
+            i += 1;
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                panic!("serde_derive shim: explicit discriminants are unsupported");
+            }
+        }
+        // Trailing comma between variants.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    // Skip attributes/visibility before the item keyword.
+    loop {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    break;
+                }
+                i += 1; // e.g. stray modifiers
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive shim: no struct/enum found"),
+        }
+    }
+    let kw = tokens[i].to_string();
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are unsupported (type `{name}`)");
+        }
+    }
+    if kw == "struct" {
+        Item::Struct {
+            name,
+            fields: parse_fields_after_name(&tokens, i),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::Enum {
+                    name,
+                    variants: parse_variants(&body),
+                }
+            }
+            other => panic!("serde_derive shim: expected enum body, found {other:?}"),
+        }
+    }
+}
+
+fn serialize_fields_expr(prefix: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&{prefix}{f}))")
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_content(&{prefix}{k})"))
+                .collect();
+            if *n == 1 {
+                entries.into_iter().next().unwrap()
+            } else {
+                format!("::serde::Content::Seq(vec![{}])", entries.join(", "))
+            }
+        }
+        Fields::Unit => "::serde::Content::Null".to_string(),
+    }
+}
+
+fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = serialize_fields_expr("self.", fields);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_named_fields(ty: &str, names: &[String], map_expr: &str) -> String {
+    let inits: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_content(::serde::field({map_expr}, \"{f}\")?)?"
+            )
+        })
+        .collect();
+    format!("{ty} {{ {} }}", inits.join(", "))
+}
+
+fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let init = deserialize_named_fields(name, names, "m");
+            format!(
+                "let m = content.as_map().ok_or_else(|| ::serde::Error::msg(\
+                     \"expected map for struct {name}\"))?;\n\
+                 Ok({init})"
+            )
+        }
+        Fields::Tuple(n) if *n == 1 => {
+            format!("Ok({name}(::serde::Deserialize::from_content(content)?))")
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| {
+                    format!(
+                        "::serde::Deserialize::from_content(s.get({k}).ok_or_else(|| \
+                         ::serde::Error::msg(\"tuple struct too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let s = content.as_seq().ok_or_else(|| ::serde::Error::msg(\
+                     \"expected seq for struct {name}\"))?;\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Fields::Unit => format!("let _ = content; Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => arms.push(format!(
+                "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),"
+            )),
+            Fields::Named(names) => {
+                let pat: Vec<String> = names.iter().map(|f| f.to_string()).collect();
+                let entries: Vec<String> = names
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_content({f}))"))
+                    .collect();
+                arms.push(format!(
+                    "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![(\
+                         \"{vn}\".to_string(), ::serde::Content::Map(vec![{}]))]),",
+                    pat.join(", "),
+                    entries.join(", ")
+                ));
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_content(f0)".to_string()
+                } else {
+                    let entries: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_content({b})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", entries.join(", "))
+                };
+                arms.push(format!(
+                    "{name}::{vn}({}) => ::serde::Content::Map(vec![(\
+                         \"{vn}\".to_string(), {inner})]),",
+                    binds.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{\n{}\n}}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as plain strings.
+    let mut str_arms = Vec::new();
+    for v in variants {
+        if matches!(v.fields, Fields::Unit) {
+            let vn = &v.name;
+            str_arms.push(format!("\"{vn}\" => return Ok({name}::{vn}),"));
+        }
+    }
+    // Data variants arrive as single-entry maps {"Variant": payload}.
+    let mut map_arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => map_arms.push(format!(
+                "\"{vn}\" => {{ let _ = payload; return Ok({name}::{vn}); }}"
+            )),
+            Fields::Named(names) => {
+                let init = deserialize_named_fields(&format!("{name}::{vn}"), names, "inner");
+                map_arms.push(format!(
+                    "\"{vn}\" => {{\n\
+                         let inner = payload.as_map().ok_or_else(|| ::serde::Error::msg(\
+                             \"expected map payload for variant {vn}\"))?;\n\
+                         return Ok({init});\n\
+                     }}"
+                ));
+            }
+            Fields::Tuple(n) if *n == 1 => map_arms.push(format!(
+                "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_content(payload)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|k| {
+                        format!(
+                            "::serde::Deserialize::from_content(s.get({k}).ok_or_else(|| \
+                             ::serde::Error::msg(\"variant payload too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                map_arms.push(format!(
+                    "\"{vn}\" => {{\n\
+                         let s = payload.as_seq().ok_or_else(|| ::serde::Error::msg(\
+                             \"expected seq payload for variant {vn}\"))?;\n\
+                         return Ok({name}::{vn}({}));\n\
+                     }}",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                 if let Some(s) = content.as_str() {{\n\
+                     match s {{\n{str_arms}\n_ => {{}}\n}}\n\
+                 }}\n\
+                 if let Some(m) = content.as_map() {{\n\
+                     if let Some((tag, payload)) = m.first().map(|(k, v)| (k.as_str(), v)) {{\n\
+                         match tag {{\n{map_arms}\n_ => {{}}\n}}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::Error::msg(\"no matching variant of {name}\"))\n\
+             }}\n\
+         }}",
+        str_arms = str_arms.join("\n"),
+        map_arms = map_arms.join("\n")
+    )
+}
+
+/// Derives `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => gen_struct_serialize(&name, &fields),
+        Item::Enum { name, variants } => gen_enum_serialize(&name, &variants),
+    };
+    code.parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (shim data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => gen_struct_deserialize(&name, &fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(&name, &variants),
+    };
+    code.parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}

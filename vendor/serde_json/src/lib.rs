@@ -1,0 +1,431 @@
+//! Offline shim for the subset of `serde_json` this workspace uses:
+//! [`to_string`], [`to_string_pretty`] and [`from_str`] over the vendored
+//! serde shim's `Content` data model.
+//!
+//! Floats are printed with Rust's shortest-round-trip `Display`, so an
+//! `f32 -> f64 -> text -> f64 -> f32` round trip is bit-exact — the model
+//! persistence tests rely on that.
+
+use serde::{Content, Deserialize, Serialize};
+
+/// Serialization/parse error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Returns an error if the value contains a non-finite float.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, None, 0)?;
+    Ok(out)
+}
+
+/// Serializes a value to two-space-indented JSON.
+///
+/// # Errors
+///
+/// Returns an error if the value contains a non-finite float.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let content = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(T::from_content(&content)?)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+}
+
+fn write_content(
+    c: &Content,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if !v.is_finite() {
+                return Err(Error("non-finite float is not valid JSON".into()));
+            }
+            // Keep integral floats distinguishable from integers ("1.0").
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                out.push_str(&format!("{v:.1}"));
+            } else {
+                out.push_str(&v.to_string());
+            }
+        }
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_content(item, out, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(v, out, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Content::Null),
+            Some(b't') => self.parse_keyword("true", Content::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Content::Bool(false)),
+            Some(b'"') => Ok(Content::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error("unterminated string".into()));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error("unterminated escape".into()));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{08}'),
+                        b'f' => s.push('\u{0c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("invalid \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("invalid \\u escape".into()))?;
+                            self.pos += 4;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid \\u codepoint".into()))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| Error("truncated UTF-8".into()))?;
+                    let text =
+                        std::str::from_utf8(chunk).map_err(|_| Error("invalid UTF-8".into()))?;
+                    s.push_str(text);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Content::I64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&3u32).unwrap(), "3");
+        assert_eq!(from_str::<u32>("3").unwrap(), 3);
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"a\"b\n".to_string()).unwrap(), "\"a\\\"b\\n\"");
+        assert_eq!(from_str::<String>("\"a\\\"b\\n\"").unwrap(), "a\"b\n");
+    }
+
+    #[test]
+    fn f32_roundtrip_is_bit_exact() {
+        for v in [0.1f32, -1.5e-8, 3.0, f32::MIN_POSITIVE, 123456.78] {
+            let json = to_string(&v).unwrap();
+            let back: f32 = from_str(&json).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} -> {json} -> {back}");
+        }
+    }
+
+    #[test]
+    fn vec_and_nested_roundtrip() {
+        let v = vec![vec![1.0f32, 2.5], vec![-3.25]];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[1.0,2.5],[-3.25]]");
+        assert_eq!(from_str::<Vec<Vec<f32>>>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(from_str::<u32>("{not json").is_err());
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("3 4").is_err());
+        assert!(from_str::<Vec<u32>>("[1,2").is_err());
+        assert!(from_str::<String>("\"abc").is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_parseable() {
+        let v = vec![(1u32, 2u32)];
+        let json = to_string_pretty(&v).unwrap();
+        assert!(json.contains('\n'));
+        assert_eq!(from_str::<Vec<(u32, u32)>>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let s = "héllo ∀x — ok".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        assert_eq!(from_str::<String>("\"\\u00e9\"").unwrap(), "é");
+    }
+}
