@@ -1,9 +1,13 @@
 //! Runtime throughput benchmark: single-thread reference `EventSnn` versus
-//! the `snn-runtime` CSR engine, solo and behind the multi-threaded
-//! inference server, on a batched VGG-16-geometry workload (the paper's 13
-//! conv + 3 dense stack, width-scaled to a CI-sized budget).
+//! the `snn-runtime` CSR engine, solo, behind the multi-threaded closed
+//! batch inference server, and behind the streaming deadline batcher under
+//! a closed-loop load generator, on a batched VGG-16-geometry workload
+//! (the paper's 13 conv + 3 dense stack, width-scaled to a CI-sized
+//! budget).
 //!
-//! Emits `BENCH_runtime.json` with images/sec, per-request p50/p99 latency,
+//! Emits `BENCH_runtime.json` with images/sec, per-request p50/p99 latency
+//! (closed path), streaming end-to-end latency percentiles with the
+//! queue-wait/execution split and batch-occupancy histogram,
 //! logits-equivalence versus `SnnModel::reference_forward`, and the
 //! hardware energy report driven by the fast path's event counts.
 //!
@@ -11,7 +15,7 @@
 //! Scale with `SNN_BENCH_SCALE=quick|default|full`.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,8 +23,12 @@ use serde::Serialize;
 use snn_bench::Scale;
 use snn_hw::{Processor, ProcessorConfig};
 use snn_nn::models::vgg16_scaled;
-use snn_runtime::{energy, CsrEngine, InferenceBackend, InferenceServer, ServerConfig};
+use snn_runtime::{
+    energy, CsrEngine, InferenceBackend, InferenceServer, ServerConfig, StreamingConfig,
+    StreamingMetrics, StreamingServer,
+};
 use snn_sim::EventSnn;
+use snn_tensor::Tensor;
 use ttfs_core::{convert, normalize_output_layer, Base2Kernel};
 
 #[derive(Debug, Serialize)]
@@ -37,6 +45,24 @@ struct PooledResult {
     latency_p50_us: f64,
     latency_p99_us: f64,
     latency_mean_us: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct StreamingResult {
+    /// Closed-loop clients (each submits, waits, submits again).
+    clients: usize,
+    /// Most requests any one client issued (clients owning fewer images
+    /// when `clients` does not divide `batch` issue one round less).
+    requests_per_client: usize,
+    /// Batcher count-flush threshold.
+    max_batch: usize,
+    /// Batcher deadline, microseconds.
+    max_delay_us: u64,
+    /// Streamed logits bit-identical to the single-thread CSR rows.
+    matches_batched: bool,
+    /// Full streaming metrics (e2e/queue-wait/exec percentiles,
+    /// queue-wait share, batch-occupancy histogram).
+    metrics: StreamingMetrics,
 }
 
 #[derive(Debug, Serialize)]
@@ -59,6 +85,7 @@ struct RuntimeBenchReport {
     event_single: BackendResult,
     csr_single: BackendResult,
     csr_pooled: PooledResult,
+    streaming: StreamingResult,
     speedup_csr_single: f64,
     speedup_csr_pooled: f64,
     max_abs_logit_diff_vs_reference: f32,
@@ -114,7 +141,7 @@ fn main() {
     let event_wall = t0.elapsed();
 
     // CSR engine, single thread.
-    let csr = CsrEngine::compile(&model, &input_dims).expect("csr compile");
+    let csr = Arc::new(CsrEngine::compile(&model, &input_dims).expect("csr compile"));
     let csr_edges = csr.total_edges();
     let t0 = Instant::now();
     let (csr_logits, csr_stats) = csr.run_batch(&x).expect("csr run");
@@ -126,13 +153,38 @@ fn main() {
         .unwrap_or(4);
     let chunk_size = (batch / (threads * 2)).max(1);
     let server = InferenceServer::new(
-        Arc::new(csr),
+        Arc::clone(&csr) as Arc<dyn InferenceBackend>,
         ServerConfig {
             threads,
             chunk_size,
         },
     );
     let report = server.run(&x).expect("pooled run");
+
+    // CSR engine behind the streaming deadline batcher, driven by a
+    // closed-loop load generator (each client submits one image, waits for
+    // its ticket, then submits the next — classic closed-loop offered
+    // load, so concurrency == clients).
+    let passes = match scale {
+        Scale::Quick => 2usize,
+        Scale::Default => 3,
+        Scale::Full => 4,
+    };
+    // More clients than workers, so the batcher sees genuine queueing
+    // pressure and forms multi-image batches even on small machines.
+    let streaming = closed_loop_streaming(
+        Arc::clone(&csr) as Arc<dyn InferenceBackend>,
+        &x,
+        &csr_logits,
+        threads * 4,
+        passes,
+        chunk_size.max(2),
+        Duration::from_millis(2),
+    );
+    assert!(
+        streaming.matches_batched,
+        "streamed logits must equal single-thread CSR logits"
+    );
 
     // Equivalence versus the analytic reference.
     let reference = model.reference_forward(&x).expect("reference forward");
@@ -184,6 +236,7 @@ fn main() {
             latency_p99_us: report.metrics.latency_p99_us,
             latency_mean_us: report.metrics.latency_mean_us,
         },
+        streaming,
         speedup_csr_single: event_wall.as_secs_f64() / csr_wall.as_secs_f64(),
         speedup_csr_pooled: event_wall.as_secs_f64() / (report.metrics.wall_ms / 1e3),
         max_abs_logit_diff_vs_reference: max_diff,
@@ -210,4 +263,88 @@ fn main() {
         out.csr_pooled.latency_p99_us,
         out.max_abs_logit_diff_vs_reference,
     );
+    eprintln!(
+        "stream({}c) {:.1} img/s | e2e p50 {:.0} µs p99 {:.0} µs | queue share {:.0}% | occupancy mean {:.1} max {}",
+        out.streaming.clients,
+        out.streaming.metrics.images_per_sec,
+        out.streaming.metrics.e2e_p50_us,
+        out.streaming.metrics.e2e_p99_us,
+        out.streaming.metrics.queue_wait_share * 100.0,
+        out.streaming.metrics.mean_batch_occupancy,
+        out.streaming.metrics.max_batch_occupancy,
+    );
+}
+
+/// Drives the streaming server with `clients` closed-loop threads: client
+/// `c` owns image indices `c, c + clients, …` and re-submits each of them
+/// `passes` times, always waiting for the previous ticket before the next
+/// submit. Checks every streamed row bit-for-bit against the single-thread
+/// CSR logits.
+fn closed_loop_streaming(
+    backend: Arc<dyn InferenceBackend>,
+    x: &Tensor,
+    expected_logits: &Tensor,
+    clients: usize,
+    passes: usize,
+    max_batch: usize,
+    max_delay: Duration,
+) -> StreamingResult {
+    let batch = x.dims()[0];
+    let sample_dims = x.dims()[1..].to_vec();
+    let sample_len: usize = sample_dims.iter().product();
+    let classes = expected_logits.dims()[1];
+    let clients = clients.clamp(1, batch);
+    let server = StreamingServer::new(
+        backend,
+        StreamingConfig {
+            threads: 0, // one worker per core
+            max_batch,
+            max_delay,
+        },
+    );
+
+    let all_match = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let server = &server;
+                let sample_dims = &sample_dims;
+                scope.spawn(move || {
+                    let mut matches = true;
+                    for _ in 0..passes {
+                        for i in (c..batch).step_by(clients) {
+                            let image = Tensor::from_vec(
+                                x.as_slice()[i * sample_len..(i + 1) * sample_len].to_vec(),
+                                sample_dims,
+                            )
+                            .expect("sample slice");
+                            let response = server
+                                .submit(&image)
+                                .expect("submit")
+                                .wait()
+                                .expect("streamed result");
+                            matches &= response.logits.as_slice()
+                                == &expected_logits.as_slice()[i * classes..(i + 1) * classes];
+                        }
+                    }
+                    matches
+                })
+            })
+            .collect();
+        let mut all = true;
+        for handle in handles {
+            all &= handle.join().expect("client thread");
+        }
+        all
+    });
+    // Client 0 owns the most images when clients does not divide batch.
+    let requests_per_client = passes * batch.div_ceil(clients);
+    let metrics = server.shutdown();
+    StreamingResult {
+        clients,
+        requests_per_client,
+        max_batch,
+        max_delay_us: max_delay.as_micros() as u64,
+        matches_batched: all_match,
+        metrics,
+    }
 }

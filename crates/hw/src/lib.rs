@@ -9,7 +9,8 @@
 //! Since the original is a 28 nm silicon implementation measured with
 //! Synopsys tools, this crate substitutes an **analytical component model**:
 //!
-//! * [`cost`] — area/power constants per component, calibrated so the
+//! * `cost` (private module) — area/power constants per component,
+//!   calibrated so the
 //!   *baseline* configuration (per-layer SRAM kernel decoders + multiplier
 //!   PEs, i.e. T2FSNN-on-SpinalFlow) matches the paper's Fig. 6 split. The
 //!   CAT and log-PE savings then *emerge* from swapping components.

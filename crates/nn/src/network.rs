@@ -106,7 +106,8 @@ impl Sequential {
         n
     }
 
-    /// Replaces the function of every hidden [`ActivationLayer`] using
+    /// Replaces the function of every hidden
+    /// [`ActivationLayer`](crate::ActivationLayer) using
     /// `make`, which is invoked once per activation layer with its index.
     ///
     /// This is the CAT switching hook: at each switch epoch the schedule

@@ -1,0 +1,291 @@
+//! Adaptive deadline batching for the streaming front-end.
+//!
+//! Requests arrive one at a time; the TTFS engine amortizes per-spike work
+//! best over batches. [`DeadlineBatcher`] is the flush policy that mediates
+//! between the two: admit requests into a pending window and flush when
+//! either the window holds [`max_batch`](DeadlineBatcher::new) requests or
+//! the **oldest** pending request has waited `max_delay` — whichever comes
+//! first. Count flushes keep throughput high under load; deadline flushes
+//! bound the latency a lonely request can be held hostage for.
+//!
+//! The policy is a pure state machine over caller-supplied [`Instant`]s
+//! (no threads, no clocks of its own), so it is deterministic and unit
+//! testable. The thread that drives it — and the [`Ticket`] handed to each
+//! submitter — live with [`crate::StreamingServer`] in the server module.
+
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::time::{Duration, Instant};
+
+use snn_sim::RunStats;
+use snn_tensor::Tensor;
+use ttfs_core::ConvertError;
+
+/// Configuration for the [`crate::StreamingServer`].
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// Worker threads executing formed batches (0 = one per core).
+    pub threads: usize,
+    /// Flush a pending batch as soon as it holds this many requests
+    /// (0 = clamp to 1).
+    pub max_batch: usize,
+    /// Flush when the oldest pending request has waited this long.
+    /// `Duration::ZERO` degenerates to one batch per wakeup — lowest
+    /// latency, least amortization.
+    pub max_delay: Duration,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// The adaptive flush policy: batch by count or by deadline, whichever
+/// trips first.
+///
+/// Generic over the queued item so the policy can be exercised without
+/// spinning up a server. All methods take `now` explicitly; the batcher
+/// never reads the clock.
+#[derive(Debug)]
+pub struct DeadlineBatcher<T> {
+    pending: Vec<T>,
+    oldest: Option<Instant>,
+    max_batch: usize,
+    max_delay: Duration,
+}
+
+impl<T> DeadlineBatcher<T> {
+    /// Creates an empty batcher (`max_batch` is clamped to at least 1).
+    pub fn new(max_batch: usize, max_delay: Duration) -> Self {
+        Self {
+            pending: Vec::new(),
+            oldest: None,
+            max_batch: max_batch.max(1),
+            max_delay,
+        }
+    }
+
+    /// Pending (not yet flushed) requests.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Admits one item arriving at `now`; returns the formed batch if this
+    /// arrival filled it to `max_batch`.
+    pub fn push(&mut self, now: Instant, item: T) -> Option<Vec<T>> {
+        if self.pending.is_empty() {
+            self.oldest = Some(now);
+        }
+        self.pending.push(item);
+        if self.pending.len() >= self.max_batch {
+            Some(self.take_all())
+        } else {
+            None
+        }
+    }
+
+    /// The instant the current pending window must flush (oldest arrival
+    /// plus `max_delay`); `None` when nothing is pending.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.oldest.map(|t| t + self.max_delay)
+    }
+
+    /// Flushes the whole pending window if its deadline is at or before
+    /// `now`; `None` if nothing is pending or the deadline is still ahead.
+    pub fn poll_expired(&mut self, now: Instant) -> Option<Vec<T>> {
+        match self.deadline() {
+            Some(deadline) if now >= deadline => Some(self.take_all()),
+            _ => None,
+        }
+    }
+
+    /// Unconditionally drains everything pending, oldest first (the
+    /// shutdown path).
+    pub fn drain(&mut self) -> Vec<T> {
+        self.take_all()
+    }
+
+    fn take_all(&mut self) -> Vec<T> {
+        self.oldest = None;
+        std::mem::take(&mut self.pending)
+    }
+}
+
+/// The outcome of one streamed request.
+#[derive(Debug, Clone)]
+pub struct StreamedResponse {
+    /// Decoded logits of this image, shape `[classes]`.
+    pub logits: Tensor,
+    /// Event statistics of the whole formed batch this request rode in
+    /// (per-request attribution is not separable after integration).
+    pub batch_stats: RunStats,
+    /// Time from `submit` until a worker began executing the batch.
+    pub queue_wait: Duration,
+    /// Backend execution time of the formed batch.
+    pub exec_time: Duration,
+    /// Images in the formed batch (1 ..= `max_batch`).
+    pub batch_size: usize,
+}
+
+/// Handle to one in-flight streaming request, returned by
+/// [`crate::StreamingServer::submit`].
+///
+/// Exactly one response arrives per ticket; consume it with a blocking
+/// [`wait`](Self::wait) or poll with [`try_wait`](Self::try_wait).
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    rx: Receiver<Result<StreamedResponse, ConvertError>>,
+}
+
+impl Ticket {
+    pub(crate) fn new(id: u64, rx: Receiver<Result<StreamedResponse, ConvertError>>) -> Self {
+        Self { id, rx }
+    }
+
+    /// Monotone submission id (submission order across the server).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the request's batch has executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's error if the formed batch failed, or a
+    /// [`ConvertError::Structure`] if the server dropped the request
+    /// (e.g. a worker panicked mid-batch).
+    pub fn wait(self) -> Result<StreamedResponse, ConvertError> {
+        self.rx.recv().unwrap_or_else(|_| Err(dropped_error()))
+    }
+
+    /// Non-blocking poll: `Ok(None)` while the request is still queued or
+    /// executing, `Ok(Some(_))` exactly once when the result lands.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`wait`](Self::wait).
+    pub fn try_wait(&mut self) -> Result<Option<StreamedResponse>, ConvertError> {
+        match self.rx.try_recv() {
+            Ok(Ok(response)) => Ok(Some(response)),
+            Ok(Err(e)) => Err(e),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(dropped_error()),
+        }
+    }
+}
+
+fn dropped_error() -> ConvertError {
+    ConvertError::Structure(
+        "streaming server dropped the request (worker panicked or server torn down mid-flight)"
+            .into(),
+    )
+}
+
+/// One queued streaming request as it travels batcher → worker.
+pub(crate) struct PendingRequest {
+    /// Flat sample data (dims validated at submit).
+    pub image: Vec<f32>,
+    /// Per-sample dims, identical across the server's lifetime.
+    pub sample_dims: Vec<usize>,
+    /// Submission instant (starts the end-to-end latency clock).
+    pub enqueued: Instant,
+    /// Where the worker delivers the per-request slice of the batch result.
+    pub reply: Sender<Result<StreamedResponse, ConvertError>>,
+}
+
+/// Control messages from submitters to the batcher thread.
+pub(crate) enum BatcherMsg {
+    /// A new request to admit into the pending window.
+    Request(PendingRequest),
+    /// Flush everything pending and exit (graceful shutdown).
+    Shutdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(base: Instant, ms: u64) -> Instant {
+        base + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn count_flush_at_max_batch() {
+        let base = Instant::now();
+        let mut b = DeadlineBatcher::new(3, Duration::from_millis(100));
+        assert!(b.push(at(base, 0), "a").is_none());
+        assert!(b.push(at(base, 1), "b").is_none());
+        let batch = b.push(at(base, 2), "c").expect("third fill flushes");
+        assert_eq!(batch, vec!["a", "b", "c"]);
+        assert!(b.is_empty());
+        assert_eq!(b.deadline(), None);
+    }
+
+    #[test]
+    fn deadline_tracks_oldest_pending_request() {
+        let base = Instant::now();
+        let mut b = DeadlineBatcher::new(10, Duration::from_millis(5));
+        assert_eq!(b.deadline(), None);
+        b.push(at(base, 0), 1u32);
+        b.push(at(base, 3), 2u32);
+        // Deadline anchors to the FIRST arrival, not the latest.
+        assert_eq!(b.deadline(), Some(at(base, 5)));
+        assert!(b.poll_expired(at(base, 4)).is_none(), "not yet expired");
+        let batch = b
+            .poll_expired(at(base, 5))
+            .expect("expired exactly at deadline");
+        assert_eq!(batch, vec![1, 2]);
+        // The next window re-anchors to its own first arrival.
+        b.push(at(base, 9), 3u32);
+        assert_eq!(b.deadline(), Some(at(base, 14)));
+    }
+
+    #[test]
+    fn zero_delay_expires_immediately() {
+        let base = Instant::now();
+        let mut b = DeadlineBatcher::new(8, Duration::ZERO);
+        b.push(base, "only");
+        assert_eq!(b.poll_expired(base), Some(vec!["only"]));
+    }
+
+    #[test]
+    fn count_flush_wins_even_with_expired_deadline() {
+        // max_batch reached with zero remaining deadline: the count flush
+        // fires from push itself; nothing is double-flushed afterwards.
+        let base = Instant::now();
+        let mut b = DeadlineBatcher::new(2, Duration::ZERO);
+        assert!(b.push(base, 1u8).is_none());
+        let batch = b.push(base, 2u8).expect("count flush");
+        assert_eq!(batch, vec![1, 2]);
+        assert!(b.poll_expired(base).is_none(), "window already flushed");
+    }
+
+    #[test]
+    fn max_batch_zero_clamps_to_one() {
+        let base = Instant::now();
+        let mut b = DeadlineBatcher::new(0, Duration::from_millis(1));
+        assert_eq!(b.push(base, "x"), Some(vec!["x"]));
+    }
+
+    #[test]
+    fn drain_empties_in_arrival_order() {
+        let base = Instant::now();
+        let mut b = DeadlineBatcher::new(10, Duration::from_secs(1));
+        b.push(at(base, 0), 1u32);
+        b.push(at(base, 1), 2u32);
+        b.push(at(base, 2), 3u32);
+        assert_eq!(b.drain(), vec![1, 2, 3]);
+        assert!(b.is_empty());
+        assert_eq!(b.drain(), Vec::<u32>::new());
+    }
+}

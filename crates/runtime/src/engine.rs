@@ -27,6 +27,35 @@ pub struct CsrEngine {
 impl CsrEngine {
     /// Compiles `model` for per-sample input dims (`[C, H, W]`).
     ///
+    /// Compilation walks the model once and materializes every weighted
+    /// layer's synapses in CSR form (structural zeros dropped), so each
+    /// later inference is a contiguous edge scan per spike.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rand::SeedableRng;
+    /// use snn_nn::{DenseLayer, Flatten, Layer, Sequential};
+    /// use snn_runtime::{CsrEngine, InferenceBackend};
+    /// use snn_tensor::Tensor;
+    /// use ttfs_core::{convert, Base2Kernel};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    /// let net = Sequential::new(vec![
+    ///     Layer::Flatten(Flatten::new()),
+    ///     Layer::Dense(DenseLayer::new(9, 4, &mut rng)),
+    /// ]);
+    /// let model = convert(&net, Base2Kernel::paper_default(), 16)?;
+    /// let engine = CsrEngine::compile(&model, &[1, 3, 3])?;
+    /// assert_eq!(engine.total_edges(), 9 * 4); // dense 9→4, no zero weights
+    /// let (logits, stats) = engine.run_batch(&Tensor::full(&[2, 1, 3, 3], 0.5))?;
+    /// assert_eq!(logits.dims(), &[2, 4]);
+    /// assert_eq!(stats.batch, 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`ConvertError::Structure`] if `input_dims` does not fit the

@@ -16,6 +16,13 @@
 //!   `std::thread` pool with a submission queue; per-request latency is
 //!   recorded and summarized as p50/p99 + images/sec
 //!   ([`ThroughputMetrics`]).
+//! * [`StreamingServer`] / [`DeadlineBatcher`] — the open-traffic path:
+//!   requests arrive one at a time (`submit(image) -> Ticket`), an
+//!   adaptive batcher flushes the pending window at `max_batch` or on the
+//!   oldest request's deadline, and [`StreamingMetrics`] splits queue-wait
+//!   from execution time and histograms batch occupancy. Streamed logits
+//!   are bit-identical to a closed [`InferenceServer::run`] over the same
+//!   images regardless of arrival interleaving.
 //! * [`energy`] — feeds measured event counts into the
 //!   [`snn_hw::Processor`] cycle/energy model, so hardware reports work
 //!   unchanged on the fast path.
@@ -48,7 +55,10 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+
 mod backend;
+mod batcher;
 mod csr;
 pub mod energy;
 mod engine;
@@ -58,9 +68,12 @@ mod wheel;
 mod workers;
 
 pub use backend::InferenceBackend;
+pub use batcher::{DeadlineBatcher, StreamedResponse, StreamingConfig, Ticket};
 pub use csr::{CsrModel, CsrStage, CsrSynapses};
 pub use engine::CsrEngine;
-pub use metrics::{LatencyRecorder, ThroughputMetrics};
-pub use server::{BatchReport, InferenceServer, ServerConfig};
+pub use metrics::{
+    LatencyRecorder, OccupancyBucket, StreamingMetrics, StreamingRecorder, ThroughputMetrics,
+};
+pub use server::{BatchReport, InferenceServer, ServerConfig, StreamingServer};
 pub use wheel::{TimeWheel, WheelSpike};
-pub use workers::WorkerPool;
+pub use workers::{PoolClosed, WorkerPool};

@@ -1,12 +1,23 @@
-//! Per-request latency and throughput accounting.
+//! Per-request latency and throughput accounting, for both serving paths:
+//! the closed-batch [`crate::InferenceServer`] ([`ThroughputMetrics`]) and
+//! the streaming [`crate::StreamingServer`] ([`StreamingMetrics`], which
+//! additionally splits queue-wait from execution time and histograms the
+//! sizes of the batches the deadline batcher formed).
 
 use serde::{Deserialize, Serialize};
-use std::time::Duration;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 /// Collects per-request latencies and computes order statistics.
+///
+/// Samples are kept unsorted while recording; the first quantile query
+/// after a record sorts **in place, once** — repeated queries (and
+/// [`summarize`](Self::summarize), which asks for several quantiles) reuse
+/// the sorted order instead of cloning and re-sorting per call.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyRecorder {
     samples_us: Vec<f64>,
+    sorted: bool,
 }
 
 impl LatencyRecorder {
@@ -18,6 +29,7 @@ impl LatencyRecorder {
     /// Records one request latency.
     pub fn record(&mut self, latency: Duration) {
         self.samples_us.push(latency.as_secs_f64() * 1e6);
+        self.sorted = false;
     }
 
     /// Number of recorded requests.
@@ -30,17 +42,26 @@ impl LatencyRecorder {
         self.samples_us.is_empty()
     }
 
+    /// Total recorded time in microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.samples_us.iter().sum()
+    }
+
+    fn sorted_samples(&mut self) -> &[f64] {
+        if !self.sorted {
+            self.samples_us.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+        &self.samples_us
+    }
+
     /// The `q`-quantile (0 ≤ q ≤ 1) in microseconds, by nearest-rank on the
     /// sorted samples; 0 when empty.
-    pub fn quantile_us(&self, q: f64) -> f64 {
+    pub fn quantile_us(&mut self, q: f64) -> f64 {
         if self.samples_us.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.samples_us.clone();
-        sorted.sort_by(f64::total_cmp);
-        let rank =
-            ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
+        quantile_from_sorted(self.sorted_samples(), q)
     }
 
     /// Mean latency in microseconds; 0 when empty.
@@ -48,11 +69,14 @@ impl LatencyRecorder {
         if self.samples_us.is_empty() {
             return 0.0;
         }
-        self.samples_us.iter().sum::<f64>() / self.samples_us.len() as f64
+        self.total_us() / self.samples_us.len() as f64
     }
 
     /// Snapshots the recorder into a serializable summary.
-    pub fn summarize(&self, images: usize, wall: Duration) -> ThroughputMetrics {
+    ///
+    /// Sorts the samples at most once no matter how many quantiles the
+    /// summary contains.
+    pub fn summarize(&mut self, images: usize, wall: Duration) -> ThroughputMetrics {
         let wall_s = wall.as_secs_f64();
         ThroughputMetrics {
             requests: self.len() as u64,
@@ -68,6 +92,15 @@ impl LatencyRecorder {
             latency_p99_us: self.quantile_us(0.99),
         }
     }
+}
+
+/// Nearest-rank quantile over an already-sorted slice; 0 when empty.
+fn quantile_from_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 /// Serializable throughput/latency summary of one batched run.
@@ -89,6 +122,154 @@ pub struct ThroughputMetrics {
     pub latency_p99_us: f64,
 }
 
+/// One bucket of the batch-occupancy histogram: how many formed batches
+/// flushed holding exactly `size` requests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccupancyBucket {
+    /// Images in the formed batch.
+    pub size: u64,
+    /// Batches that flushed at this size.
+    pub batches: u64,
+}
+
+/// Serializable summary of a streaming-serving window: per-request
+/// end-to-end latency percentiles, the queue-wait versus execution-time
+/// split, and the batch-occupancy distribution the adaptive batcher
+/// produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingMetrics {
+    /// Streamed requests completed (one image each).
+    pub requests: u64,
+    /// Batches the deadline batcher formed and executed.
+    pub batches: u64,
+    /// Wall-clock time from recorder creation to this summary, ms.
+    pub wall_ms: f64,
+    /// Completed requests per second of wall-clock time.
+    pub images_per_sec: f64,
+    /// Mean end-to-end (submit → result) latency, microseconds.
+    pub e2e_mean_us: f64,
+    /// Median end-to-end latency, microseconds.
+    pub e2e_p50_us: f64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub e2e_p99_us: f64,
+    /// Mean time a request waited before its batch started executing, µs.
+    pub queue_wait_mean_us: f64,
+    /// Median queue wait, microseconds.
+    pub queue_wait_p50_us: f64,
+    /// 99th-percentile queue wait, microseconds.
+    pub queue_wait_p99_us: f64,
+    /// Mean backend execution time of a formed batch, microseconds.
+    pub exec_mean_us: f64,
+    /// Median batch execution time, microseconds.
+    pub exec_p50_us: f64,
+    /// 99th-percentile batch execution time, microseconds.
+    pub exec_p99_us: f64,
+    /// Fraction of total end-to-end time spent queue-waiting (0..=1);
+    /// high values mean batching delay, not inference, dominates latency.
+    pub queue_wait_share: f64,
+    /// Mean images per formed batch.
+    pub mean_batch_occupancy: f64,
+    /// Largest formed batch.
+    pub max_batch_occupancy: u64,
+    /// Distribution of formed-batch sizes, ascending by size.
+    pub occupancy_histogram: Vec<OccupancyBucket>,
+}
+
+/// Accumulates streaming measurements: one [`record_batch`] per formed
+/// batch plus one [`record_request`] per request that rode in it.
+///
+/// [`record_batch`]: Self::record_batch
+/// [`record_request`]: Self::record_request
+#[derive(Debug, Clone)]
+pub struct StreamingRecorder {
+    started: Instant,
+    e2e: LatencyRecorder,
+    queue_wait: LatencyRecorder,
+    exec: LatencyRecorder,
+    batch_sizes: BTreeMap<u64, u64>,
+}
+
+impl StreamingRecorder {
+    /// Creates a recorder; the wall clock starts now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            e2e: LatencyRecorder::new(),
+            queue_wait: LatencyRecorder::new(),
+            exec: LatencyRecorder::new(),
+            batch_sizes: BTreeMap::new(),
+        }
+    }
+
+    /// Records one executed batch: its size and backend execution time.
+    pub fn record_batch(&mut self, size: usize, exec: Duration) {
+        *self.batch_sizes.entry(size as u64).or_insert(0) += 1;
+        self.exec.record(exec);
+    }
+
+    /// Records one completed request: end-to-end latency and the share of
+    /// it spent waiting for the batch to form and reach a worker.
+    pub fn record_request(&mut self, e2e: Duration, queue_wait: Duration) {
+        self.e2e.record(e2e);
+        self.queue_wait.record(queue_wait);
+    }
+
+    /// Completed requests so far.
+    pub fn requests(&self) -> u64 {
+        self.e2e.len() as u64
+    }
+
+    /// Snapshots everything recorded so far into a [`StreamingMetrics`].
+    pub fn summarize(&mut self) -> StreamingMetrics {
+        let wall_s = self.started.elapsed().as_secs_f64();
+        let requests = self.e2e.len() as u64;
+        let batches: u64 = self.batch_sizes.values().sum();
+        let images: u64 = self.batch_sizes.iter().map(|(size, n)| size * n).sum();
+        let e2e_total = self.e2e.total_us();
+        StreamingMetrics {
+            requests,
+            batches,
+            wall_ms: wall_s * 1e3,
+            images_per_sec: if wall_s > 0.0 {
+                requests as f64 / wall_s
+            } else {
+                0.0
+            },
+            e2e_mean_us: self.e2e.mean_us(),
+            e2e_p50_us: self.e2e.quantile_us(0.50),
+            e2e_p99_us: self.e2e.quantile_us(0.99),
+            queue_wait_mean_us: self.queue_wait.mean_us(),
+            queue_wait_p50_us: self.queue_wait.quantile_us(0.50),
+            queue_wait_p99_us: self.queue_wait.quantile_us(0.99),
+            exec_mean_us: self.exec.mean_us(),
+            exec_p50_us: self.exec.quantile_us(0.50),
+            exec_p99_us: self.exec.quantile_us(0.99),
+            queue_wait_share: if e2e_total > 0.0 {
+                self.queue_wait.total_us() / e2e_total
+            } else {
+                0.0
+            },
+            mean_batch_occupancy: if batches > 0 {
+                images as f64 / batches as f64
+            } else {
+                0.0
+            },
+            max_batch_occupancy: self.batch_sizes.keys().next_back().copied().unwrap_or(0),
+            occupancy_histogram: self
+                .batch_sizes
+                .iter()
+                .map(|(&size, &batches)| OccupancyBucket { size, batches })
+                .collect(),
+        }
+    }
+}
+
+impl Default for StreamingRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,8 +288,21 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_stay_correct_across_interleaved_records() {
+        // The sort-once cache must invalidate when new samples arrive.
+        let mut r = LatencyRecorder::new();
+        r.record(Duration::from_millis(30));
+        r.record(Duration::from_millis(10));
+        assert!((r.quantile_us(1.0) - 30_000.0).abs() < 1.0);
+        r.record(Duration::from_millis(50));
+        r.record(Duration::from_millis(20));
+        assert!((r.quantile_us(1.0) - 50_000.0).abs() < 1.0);
+        assert!((r.quantile_us(0.5) - 20_000.0).abs() < 1.0);
+    }
+
+    #[test]
     fn empty_recorder_is_zero() {
-        let r = LatencyRecorder::new();
+        let mut r = LatencyRecorder::new();
         assert_eq!(r.quantile_us(0.5), 0.0);
         assert_eq!(r.mean_us(), 0.0);
         let m = r.summarize(0, Duration::ZERO);
@@ -132,6 +326,63 @@ mod tests {
         let m = r.summarize(4, Duration::from_millis(3));
         let json = serde_json::to_string(&m).unwrap();
         let back: ThroughputMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn streaming_recorder_splits_queue_and_exec() {
+        let mut r = StreamingRecorder::new();
+        // Two batches: sizes 3 and 1.
+        r.record_batch(3, Duration::from_millis(6));
+        r.record_batch(1, Duration::from_millis(2));
+        for _ in 0..3 {
+            r.record_request(Duration::from_millis(10), Duration::from_millis(4));
+        }
+        r.record_request(Duration::from_millis(3), Duration::from_millis(1));
+        let m = r.summarize();
+        assert_eq!(m.requests, 4);
+        assert_eq!(m.batches, 2);
+        assert!((m.mean_batch_occupancy - 2.0).abs() < 1e-9);
+        assert_eq!(m.max_batch_occupancy, 3);
+        assert_eq!(
+            m.occupancy_histogram,
+            vec![
+                OccupancyBucket {
+                    size: 1,
+                    batches: 1
+                },
+                OccupancyBucket {
+                    size: 3,
+                    batches: 1
+                },
+            ]
+        );
+        // queue share = (3*4 + 1) / (3*10 + 3) = 13/33.
+        assert!((m.queue_wait_share - 13.0 / 33.0).abs() < 1e-9);
+        assert!((m.e2e_p99_us - 10_000.0).abs() < 1.0);
+        assert!((m.exec_p50_us - 2_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_streaming_recorder_summarizes_to_zeros() {
+        let mut r = StreamingRecorder::new();
+        let m = r.summarize();
+        assert_eq!(m.requests, 0);
+        assert_eq!(m.batches, 0);
+        assert_eq!(m.queue_wait_share, 0.0);
+        assert_eq!(m.mean_batch_occupancy, 0.0);
+        assert!(m.occupancy_histogram.is_empty());
+    }
+
+    #[test]
+    fn streaming_metrics_roundtrip_json() {
+        let mut r = StreamingRecorder::new();
+        r.record_batch(2, Duration::from_millis(1));
+        r.record_request(Duration::from_millis(2), Duration::from_millis(1));
+        r.record_request(Duration::from_millis(2), Duration::from_millis(1));
+        let m = r.summarize();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: StreamingMetrics = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);
     }
 }

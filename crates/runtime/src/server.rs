@@ -1,19 +1,29 @@
-//! The batched inference server: splits incoming batches into chunk
-//! requests, fans them out over the [`WorkerPool`] submission queue, and
-//! reassembles ordered logits, merged [`RunStats`] and per-request latency
-//! metrics.
+//! The two serving front-ends over the [`WorkerPool`]:
+//!
+//! * [`InferenceServer`] — closed batches: splits an incoming `[N, …]`
+//!   batch into chunk requests, fans them out over the submission queue,
+//!   and reassembles ordered logits, merged [`RunStats`] and per-request
+//!   latency metrics.
+//! * [`StreamingServer`] — open traffic: requests arrive one at a time via
+//!   [`StreamingServer::submit`], an adaptive [`DeadlineBatcher`] groups
+//!   them (flush at `max_batch` or when the oldest request's deadline
+//!   expires, whichever comes first), and results come back through
+//!   per-request [`Ticket`]s.
 
-use std::sync::mpsc::channel;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use snn_sim::RunStats;
 use snn_tensor::Tensor;
 use ttfs_core::ConvertError;
 
-use crate::metrics::{LatencyRecorder, ThroughputMetrics};
+use crate::batcher::{BatcherMsg, DeadlineBatcher, PendingRequest, StreamingConfig, Ticket};
+use crate::metrics::{LatencyRecorder, StreamingMetrics, StreamingRecorder, ThroughputMetrics};
 use crate::workers::WorkerPool;
-use crate::InferenceBackend;
+use crate::{InferenceBackend, StreamedResponse};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -58,6 +68,32 @@ pub struct BatchReport {
 
 /// Multi-threaded batched inference front-end over any
 /// [`InferenceBackend`].
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use rand::SeedableRng;
+/// use snn_nn::{DenseLayer, Flatten, Layer, Sequential};
+/// use snn_runtime::{CsrEngine, InferenceServer, ServerConfig};
+/// use snn_tensor::Tensor;
+/// use ttfs_core::{convert, Base2Kernel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let net = Sequential::new(vec![
+///     Layer::Flatten(Flatten::new()),
+///     Layer::Dense(DenseLayer::new(9, 2, &mut rng)),
+/// ]);
+/// let model = convert(&net, Base2Kernel::paper_default(), 16)?;
+/// let engine = Arc::new(CsrEngine::compile(&model, &[1, 3, 3])?);
+/// let server = InferenceServer::new(engine, ServerConfig { threads: 2, chunk_size: 2 });
+/// let report = server.run(&Tensor::full(&[5, 1, 3, 3], 0.5))?;
+/// assert_eq!(report.logits.dims(), &[5, 2]);
+/// assert_eq!(report.metrics.requests, 3); // ceil(5 / chunk_size)
+/// # Ok(())
+/// # }
+/// ```
 pub struct InferenceServer {
     backend: Arc<dyn InferenceBackend>,
     pool: WorkerPool,
@@ -180,6 +216,340 @@ impl InferenceServer {
             metrics,
         })
     }
+}
+
+/// Streaming inference front-end: one-at-a-time submission, adaptive
+/// deadline batching, per-request [`Ticket`] delivery.
+///
+/// Requests admitted by [`submit`](Self::submit) enter the
+/// [`DeadlineBatcher`]'s pending window; a dedicated batcher thread flushes
+/// the window to the [`WorkerPool`] when it reaches
+/// [`max_batch`](StreamingConfig::max_batch) requests **or** the oldest
+/// pending request has waited [`max_delay`](StreamingConfig::max_delay),
+/// whichever comes first. Because every backend processes batch samples
+/// independently, streamed logits are bit-identical to a closed
+/// [`InferenceServer::run`] over the same images, no matter how arrivals
+/// interleave into batches (enforced by property test in
+/// `tests/runtime_equivalence.rs`).
+///
+/// [`shutdown`](Self::shutdown) (also run on drop) is graceful: it flushes
+/// the pending window, drains every batch already on the worker queue, and
+/// only then returns — no admitted ticket is left unresolved.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use rand::SeedableRng;
+/// use snn_nn::{DenseLayer, Flatten, Layer, Sequential};
+/// use snn_runtime::{CsrEngine, StreamingConfig, StreamingServer};
+/// use snn_tensor::Tensor;
+/// use ttfs_core::{convert, Base2Kernel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let net = Sequential::new(vec![
+///     Layer::Flatten(Flatten::new()),
+///     Layer::Dense(DenseLayer::new(9, 2, &mut rng)),
+/// ]);
+/// let model = convert(&net, Base2Kernel::paper_default(), 16)?;
+/// let engine = Arc::new(CsrEngine::compile(&model, &[1, 3, 3])?);
+/// let server = StreamingServer::new(
+///     engine,
+///     StreamingConfig { threads: 2, max_batch: 4, max_delay: Duration::from_millis(1) },
+/// );
+///
+/// // Requests arrive one at a time; each gets a ticket.
+/// let tickets: Vec<_> = (0..3)
+///     .map(|_| server.submit(&Tensor::full(&[1, 3, 3], 0.5)))
+///     .collect::<Result<_, _>>()?;
+/// for ticket in tickets {
+///     let response = ticket.wait()?;
+///     assert_eq!(response.logits.dims(), &[2]);
+///     assert!(response.batch_size >= 1);
+/// }
+///
+/// let metrics = server.shutdown();
+/// assert_eq!(metrics.requests, 3);
+/// # Ok(())
+/// # }
+/// ```
+pub struct StreamingServer {
+    backend: Arc<dyn InferenceBackend>,
+    /// `None` once shut down; doubles as the closed flag so a submit can
+    /// never race a shutdown (both serialize on this lock, and `Shutdown`
+    /// is guaranteed to be the channel's last message).
+    submit_tx: Mutex<Option<Sender<BatcherMsg>>>,
+    batcher: Mutex<Option<JoinHandle<()>>>,
+    pool: Mutex<Option<Arc<WorkerPool>>>,
+    recorder: Arc<Mutex<StreamingRecorder>>,
+    /// Sample dims are fixed by the first submission; later submissions
+    /// must match so any pending window forms a rectangular batch.
+    sample_dims: Mutex<Option<Vec<usize>>>,
+    next_id: AtomicU64,
+    threads: usize,
+    max_batch: usize,
+}
+
+impl StreamingServer {
+    /// Builds a streaming server around `backend` and starts its batcher
+    /// thread and worker pool.
+    pub fn new(backend: Arc<dyn InferenceBackend>, config: StreamingConfig) -> Self {
+        let threads = ServerConfig {
+            threads: config.threads,
+            chunk_size: 1,
+        }
+        .resolved_threads();
+        let max_batch = config.max_batch.max(1);
+        let pool = Arc::new(WorkerPool::new(threads));
+        let recorder = Arc::new(Mutex::new(StreamingRecorder::new()));
+        let (tx, rx) = channel::<BatcherMsg>();
+        let handle = {
+            let backend = Arc::clone(&backend);
+            let pool = Arc::clone(&pool);
+            let recorder = Arc::clone(&recorder);
+            let max_delay = config.max_delay;
+            std::thread::Builder::new()
+                .name("snn-runtime-batcher".into())
+                .spawn(move || batcher_loop(rx, backend, pool, recorder, max_batch, max_delay))
+                .expect("failed to spawn batcher thread")
+        };
+        Self {
+            backend,
+            submit_tx: Mutex::new(Some(tx)),
+            batcher: Mutex::new(Some(handle)),
+            pool: Mutex::new(Some(pool)),
+            recorder,
+            sample_dims: Mutex::new(None),
+            next_id: AtomicU64::new(0),
+            threads,
+            max_batch,
+        }
+    }
+
+    /// The wrapped backend's identifier.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Worker thread count (excluding the batcher thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The count-flush threshold.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Submits one image (per-sample dims, e.g. `[C, H, W]`) and returns
+    /// the [`Ticket`] its result will arrive on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::Structure`] if the server has shut down, if
+    /// `image` is empty, or if its dims differ from the first submission's
+    /// (all streamed samples must share one geometry).
+    pub fn submit(&self, image: &Tensor) -> Result<Ticket, ConvertError> {
+        if image.dims().is_empty() || image.as_slice().is_empty() {
+            return Err(ConvertError::Structure(
+                "streamed sample must be a non-empty per-sample tensor".into(),
+            ));
+        }
+        {
+            let mut dims = self.sample_dims.lock().expect("sample_dims poisoned");
+            match dims.as_ref() {
+                None => *dims = Some(image.dims().to_vec()),
+                Some(expected) if expected == image.dims() => {}
+                Some(expected) => {
+                    return Err(ConvertError::Structure(format!(
+                        "streamed sample dims {:?} do not match the stream's dims {:?}",
+                        image.dims(),
+                        expected
+                    )));
+                }
+            }
+        }
+        let (reply, rx) = channel();
+        let request = PendingRequest {
+            image: image.as_slice().to_vec(),
+            sample_dims: image.dims().to_vec(),
+            enqueued: Instant::now(),
+            reply,
+        };
+        let guard = self.submit_tx.lock().expect("submit_tx poisoned");
+        let Some(tx) = guard.as_ref() else {
+            return Err(ConvertError::Structure(
+                "streaming server is shut down; submissions are closed".into(),
+            ));
+        };
+        tx.send(BatcherMsg::Request(request))
+            .map_err(|_| ConvertError::Structure("batcher thread is gone".into()))?;
+        Ok(Ticket::new(
+            self.next_id.fetch_add(1, Ordering::Relaxed),
+            rx,
+        ))
+    }
+
+    /// Snapshot of the streaming metrics accumulated so far.
+    pub fn metrics(&self) -> StreamingMetrics {
+        self.recorder.lock().expect("recorder poisoned").summarize()
+    }
+
+    /// Gracefully shuts down: closes submissions, flushes the pending
+    /// window, waits for every dispatched batch to finish (resolving all
+    /// outstanding tickets), and returns the final metrics. Idempotent;
+    /// also invoked by [`Drop`].
+    pub fn shutdown(&self) -> StreamingMetrics {
+        if let Some(tx) = self.submit_tx.lock().expect("submit_tx poisoned").take() {
+            // The batcher may already be gone (panic); ignore send failure.
+            let _ = tx.send(BatcherMsg::Shutdown);
+        }
+        if let Some(handle) = self.batcher.lock().expect("batcher poisoned").take() {
+            let _ = handle.join();
+        }
+        // The batcher thread has exited, so its pool Arc is dropped: taking
+        // ours makes this the last reference and drop joins the workers
+        // after the queued batches drain.
+        if let Some(pool) = self.pool.lock().expect("pool poisoned").take() {
+            drop(pool);
+        }
+        self.metrics()
+    }
+}
+
+impl Drop for StreamingServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The batcher thread: admits requests into the [`DeadlineBatcher`],
+/// sleeps until the earliest of (next message, oldest deadline), and
+/// dispatches formed batches to the worker pool. On shutdown or channel
+/// disconnect it flushes the remaining window in `max_batch`-sized chunks.
+fn batcher_loop(
+    rx: Receiver<BatcherMsg>,
+    backend: Arc<dyn InferenceBackend>,
+    pool: Arc<WorkerPool>,
+    recorder: Arc<Mutex<StreamingRecorder>>,
+    max_batch: usize,
+    max_delay: Duration,
+) {
+    let mut batcher: DeadlineBatcher<PendingRequest> = DeadlineBatcher::new(max_batch, max_delay);
+    loop {
+        let msg = if batcher.is_empty() {
+            // Nothing pending: nothing can expire, block indefinitely.
+            match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            }
+        } else {
+            let deadline = batcher.deadline().expect("non-empty window has a deadline");
+            let now = Instant::now();
+            if let Some(batch) = batcher.poll_expired(now) {
+                dispatch_batch(&backend, &pool, &recorder, batch);
+                continue;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(batch) = batcher.poll_expired(Instant::now()) {
+                        dispatch_batch(&backend, &pool, &recorder, batch);
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        };
+        match msg {
+            BatcherMsg::Request(request) => {
+                if let Some(batch) = batcher.push(Instant::now(), request) {
+                    dispatch_batch(&backend, &pool, &recorder, batch);
+                }
+            }
+            BatcherMsg::Shutdown => break,
+        }
+    }
+    // Graceful drain: flush whatever is still pending, respecting
+    // max_batch so shutdown batches look like steady-state ones.
+    let mut rest = batcher.drain();
+    while !rest.is_empty() {
+        let tail = if rest.len() > max_batch {
+            rest.split_off(max_batch)
+        } else {
+            Vec::new()
+        };
+        dispatch_batch(
+            &backend,
+            &pool,
+            &recorder,
+            std::mem::replace(&mut rest, tail),
+        );
+    }
+}
+
+/// Concatenates a formed batch into one `[k, …sample_dims]` tensor, runs it
+/// on the pool, and fans the per-row logits back out to each request's
+/// ticket, recording queue-wait / execution / end-to-end splits.
+fn dispatch_batch(
+    backend: &Arc<dyn InferenceBackend>,
+    pool: &Arc<WorkerPool>,
+    recorder: &Arc<Mutex<StreamingRecorder>>,
+    batch: Vec<PendingRequest>,
+) {
+    debug_assert!(!batch.is_empty(), "never dispatch an empty batch");
+    let backend = Arc::clone(backend);
+    let recorder = Arc::clone(recorder);
+    let run = move || {
+        let exec_start = Instant::now();
+        let k = batch.len();
+        let sample_dims = batch[0].sample_dims.clone();
+        let sample_len: usize = sample_dims.iter().product();
+        let mut data = Vec::with_capacity(k * sample_len);
+        for request in &batch {
+            data.extend_from_slice(&request.image);
+        }
+        let mut batch_dims = vec![k];
+        batch_dims.extend_from_slice(&sample_dims);
+        let result = Tensor::from_vec(data, &batch_dims)
+            .map_err(|e| ConvertError::Structure(e.to_string()))
+            .and_then(|images| backend.run_batch(&images));
+        let exec_time = exec_start.elapsed();
+        match result {
+            Ok((logits, stats)) => {
+                let classes = logits.dims()[1];
+                // One lock for the whole batch, not one per request.
+                let mut rec = recorder.lock().expect("recorder poisoned");
+                rec.record_batch(k, exec_time);
+                for (i, request) in batch.into_iter().enumerate() {
+                    let row = Tensor::from_vec(
+                        logits.as_slice()[i * classes..(i + 1) * classes].to_vec(),
+                        &[classes],
+                    )
+                    .expect("row slice matches classes");
+                    let queue_wait = exec_start.saturating_duration_since(request.enqueued);
+                    rec.record_request(request.enqueued.elapsed(), queue_wait);
+                    let _ = request.reply.send(Ok(StreamedResponse {
+                        logits: row,
+                        batch_stats: stats.clone(),
+                        queue_wait,
+                        exec_time,
+                        batch_size: k,
+                    }));
+                }
+            }
+            Err(e) => {
+                for request in batch {
+                    let _ = request.reply.send(Err(e.clone()));
+                }
+            }
+        }
+    };
+    // A closed pool means shutdown already ran; fail the batch gracefully
+    // by dropping it — every reply sender drops and tickets see the error.
+    let _ = pool.try_execute(run);
 }
 
 #[cfg(test)]

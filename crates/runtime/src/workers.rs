@@ -60,21 +60,56 @@ impl WorkerPool {
     }
 
     /// Enqueues a job; some worker will run it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool has already been shut down; use
+    /// [`try_execute`](Self::try_execute) where shutdown can race
+    /// submission.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        self.sender
-            .as_ref()
-            .expect("pool already shut down")
-            .send(Box::new(job))
-            .expect("worker queue closed");
+        self.try_execute(job).expect("worker queue closed");
     }
-}
 
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        drop(self.sender.take()); // close the queue
+    /// Enqueues a job, reporting a closed queue instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolClosed`] if the pool has shut down; the job is
+    /// dropped, so any response channels it held close on the caller's
+    /// side.
+    pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolClosed> {
+        let Some(sender) = self.sender.as_ref() else {
+            return Err(PoolClosed);
+        };
+        sender.send(Box::new(job)).map_err(|_| PoolClosed)
+    }
+
+    /// Closes the queue and joins every worker after it drains; idempotent.
+    /// [`Drop`] calls this, but an explicit call lets shutdown sequencing
+    /// be observable (all previously queued jobs have finished on return).
+    pub fn shutdown(&mut self) {
+        drop(self.sender.take());
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+    }
+}
+
+/// The pool's queue is closed: jobs can no longer be submitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl std::fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker pool already shut down")
+    }
+}
+
+impl std::error::Error for PoolClosed {}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -117,6 +152,15 @@ mod tests {
             // Drop waits for queue drain + join.
         }
         assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn try_execute_reports_closed_pool() {
+        let mut pool = WorkerPool::new(1);
+        assert!(pool.try_execute(|| {}).is_ok());
+        pool.shutdown();
+        assert_eq!(pool.try_execute(|| {}).unwrap_err(), PoolClosed);
+        pool.shutdown(); // idempotent
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Edge-case coverage for the streaming front-end: deadline-only flushes,
+//! count flushes with no deadline slack, graceful shutdown with work still
+//! queued, submissions after shutdown, and ticket polling.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_nn::{ActivationLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
+use snn_runtime::{CsrEngine, InferenceBackend, StreamingConfig, StreamingServer, Ticket};
+use snn_sim::RunStats;
+use snn_tensor::Tensor;
+use ttfs_core::{convert, Base2Kernel, ConvertError, SnnModel};
+
+fn dense_model(seed: u64) -> SnnModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = Sequential::new(vec![
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(DenseLayer::new(12, 8, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+        Layer::Dense(DenseLayer::new(8, 3, &mut rng)),
+    ]);
+    convert(&net, Base2Kernel::paper_default(), 24).unwrap()
+}
+
+fn engine(seed: u64) -> Arc<CsrEngine> {
+    Arc::new(CsrEngine::compile(&dense_model(seed), &[1, 3, 4]).unwrap())
+}
+
+fn sample(value: f32) -> Tensor {
+    Tensor::full(&[1, 3, 4], value)
+}
+
+/// A backend that sleeps before delegating, so shutdown reliably finds
+/// requests still queued behind a busy worker.
+struct SlowBackend {
+    inner: CsrEngine,
+    delay: Duration,
+}
+
+impl InferenceBackend for SlowBackend {
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+    fn model(&self) -> &SnnModel {
+        InferenceBackend::model(&self.inner)
+    }
+    fn run_batch(&self, images: &Tensor) -> Result<(Tensor, RunStats), ConvertError> {
+        std::thread::sleep(self.delay);
+        self.inner.run_batch(images)
+    }
+}
+
+#[test]
+fn single_request_flushes_on_deadline_alone() {
+    // max_batch is far from reached: only the deadline can flush.
+    let server = StreamingServer::new(
+        engine(1),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 64,
+            max_delay: Duration::from_millis(5),
+        },
+    );
+    let response = server.submit(&sample(0.5)).unwrap().wait().unwrap();
+    assert_eq!(response.batch_size, 1, "flushed alone, by deadline");
+    assert_eq!(response.logits.dims(), &[3]);
+    // The request waited out (at least) its deadline before executing.
+    assert!(response.queue_wait >= Duration::from_millis(5));
+    let metrics = server.shutdown();
+    assert_eq!(metrics.requests, 1);
+    assert_eq!(metrics.batches, 1);
+    assert_eq!(metrics.max_batch_occupancy, 1);
+}
+
+#[test]
+fn count_flush_fills_to_max_batch_before_deadline() {
+    // Deadline is far away: only the count flush can trigger, so every
+    // batch holds exactly max_batch requests.
+    let server = StreamingServer::new(
+        engine(2),
+        StreamingConfig {
+            threads: 2,
+            max_batch: 4,
+            max_delay: Duration::from_secs(30),
+        },
+    );
+    let tickets: Vec<Ticket> = (0..8)
+        .map(|i| server.submit(&sample(i as f32 / 8.0)).unwrap())
+        .collect();
+    for ticket in tickets {
+        let response = ticket.wait().unwrap();
+        assert_eq!(response.batch_size, 4, "count flush at max_batch");
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.requests, 8);
+    assert_eq!(metrics.batches, 2);
+    assert!((metrics.mean_batch_occupancy - 4.0).abs() < 1e-9);
+}
+
+#[test]
+fn max_batch_flush_with_zero_remaining_deadline() {
+    // max_delay == 0: every pending window is already expired the moment
+    // it forms. Count and deadline flushes race; every request must still
+    // be answered exactly once and no batch may exceed max_batch.
+    let server = StreamingServer::new(
+        engine(3),
+        StreamingConfig {
+            threads: 2,
+            max_batch: 4,
+            max_delay: Duration::ZERO,
+        },
+    );
+    let tickets: Vec<Ticket> = (0..16)
+        .map(|i| server.submit(&sample(i as f32 / 16.0)).unwrap())
+        .collect();
+    for ticket in tickets {
+        let response = ticket.wait().unwrap();
+        assert!(response.batch_size >= 1 && response.batch_size <= 4);
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.requests, 16);
+    let histogram_total: u64 = metrics
+        .occupancy_histogram
+        .iter()
+        .map(|bucket| bucket.size * bucket.batches)
+        .sum();
+    assert_eq!(histogram_total, 16, "histogram accounts for every request");
+}
+
+#[test]
+fn shutdown_drains_queued_requests() {
+    // One slow worker, per-request batches: most submissions are still on
+    // the worker queue when shutdown starts. Every ticket must resolve.
+    let server = StreamingServer::new(
+        Arc::new(SlowBackend {
+            inner: CsrEngine::compile(&dense_model(4), &[1, 3, 4]).unwrap(),
+            delay: Duration::from_millis(20),
+        }),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+        },
+    );
+    let tickets: Vec<Ticket> = (0..5)
+        .map(|i| server.submit(&sample(i as f32 / 5.0)).unwrap())
+        .collect();
+    let metrics = server.shutdown();
+    assert_eq!(metrics.requests, 5, "shutdown drained every request");
+    for ticket in tickets {
+        let response = ticket.wait().expect("drained, not dropped");
+        assert_eq!(response.batch_size, 1);
+    }
+}
+
+#[test]
+fn submit_after_shutdown_returns_error() {
+    let server = StreamingServer::new(
+        engine(5),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 2,
+            max_delay: Duration::from_millis(1),
+        },
+    );
+    server.submit(&sample(0.3)).unwrap().wait().unwrap();
+    server.shutdown();
+    let err = server.submit(&sample(0.3)).unwrap_err();
+    assert!(
+        err.to_string().contains("shut down"),
+        "structured shutdown error, got: {err}"
+    );
+    // Shutdown stays idempotent and keeps reporting the drained state.
+    assert_eq!(server.shutdown().requests, 1);
+}
+
+#[test]
+fn try_wait_polls_until_the_result_lands() {
+    let server = StreamingServer::new(
+        Arc::new(SlowBackend {
+            inner: CsrEngine::compile(&dense_model(6), &[1, 3, 4]).unwrap(),
+            delay: Duration::from_millis(30),
+        }),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+        },
+    );
+    let mut ticket = server.submit(&sample(0.7)).unwrap();
+    // The backend sleeps 30 ms, so early polls come back `Ok(None)`; no
+    // assertion on the first poll, since a descheduled test thread could
+    // legitimately see the result already landed.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let response = loop {
+        if let Some(response) = ticket.try_wait().unwrap() {
+            break response;
+        }
+        assert!(std::time::Instant::now() < deadline, "result never landed");
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert_eq!(response.logits.dims(), &[3]);
+}
+
+#[test]
+fn mismatched_sample_dims_are_rejected() {
+    let server = StreamingServer::new(engine(7), StreamingConfig::default());
+    server.submit(&sample(0.5)).unwrap();
+    let err = server.submit(&Tensor::full(&[1, 4, 4], 0.5)).unwrap_err();
+    assert!(err.to_string().contains("do not match"), "got: {err}");
+    let err = server
+        .submit(&Tensor::from_vec(vec![], &[0]).unwrap())
+        .unwrap_err();
+    assert!(err.to_string().contains("non-empty"), "got: {err}");
+}
+
+struct PanickingBackend(SnnModel);
+
+impl InferenceBackend for PanickingBackend {
+    fn name(&self) -> &'static str {
+        "panic"
+    }
+    fn model(&self) -> &SnnModel {
+        &self.0
+    }
+    fn run_batch(&self, _images: &Tensor) -> Result<(Tensor, RunStats), ConvertError> {
+        panic!("backend exploded mid-batch");
+    }
+}
+
+#[test]
+fn worker_panic_surfaces_as_ticket_error() {
+    let server = StreamingServer::new(
+        Arc::new(PanickingBackend(dense_model(8))),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 2,
+            max_delay: Duration::from_millis(1),
+        },
+    );
+    let ticket = server.submit(&sample(0.5)).unwrap();
+    let err = ticket.wait().unwrap_err();
+    assert!(err.to_string().contains("dropped"), "got: {err}");
+    // The server survives the panic for later (failing) traffic.
+    let err2 = server.submit(&sample(0.5)).unwrap().wait().unwrap_err();
+    assert!(err2.to_string().contains("dropped"), "got: {err2}");
+}

@@ -1,18 +1,22 @@
 //! Batched inference runtime: convert a CAT-style network, compile it to
 //! the CSR fast path, serve a batch through the multi-threaded inference
-//! server, and price the measured event traffic on the paper's processor
-//! model.
+//! server, stream the same images through the adaptive deadline batcher,
+//! and price the measured event traffic on the paper's processor model.
 //!
 //! Run: `cargo run --release --example runtime_server`
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ttfs_snn::hw::{Processor, ProcessorConfig};
 use ttfs_snn::nn::models::vgg16_scaled;
-use ttfs_snn::runtime::{energy, CsrEngine, InferenceServer, ServerConfig};
+use ttfs_snn::runtime::{
+    energy, CsrEngine, InferenceServer, ServerConfig, StreamingConfig, StreamingServer,
+};
 use ttfs_snn::sim::EventSnn;
+use ttfs_snn::tensor::Tensor;
 use ttfs_snn::ttfs::{convert, Base2Kernel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -51,6 +55,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (reference_logits, _) = EventSnn::new(&model).run(&x)?;
     assert_eq!(report.logits.as_slice(), reference_logits.as_slice());
     println!("logits match the reference event simulator bit-for-bit");
+
+    // Streaming path: the same images arrive one at a time; the adaptive
+    // batcher groups them by deadline and each submit gets a ticket.
+    let streaming = StreamingServer::new(
+        Arc::new(CsrEngine::compile(&model, &input_dims)?),
+        StreamingConfig {
+            threads: 0,
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+        },
+    );
+    let sample_len: usize = input_dims.iter().product();
+    let tickets: Vec<_> = (0..batch)
+        .map(|i| {
+            let image = Tensor::from_vec(
+                x.as_slice()[i * sample_len..(i + 1) * sample_len].to_vec(),
+                &input_dims,
+            )
+            .expect("sample slice matches input dims");
+            streaming.submit(&image)
+        })
+        .collect::<Result<_, _>>()?;
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let response = ticket.wait()?;
+        assert_eq!(
+            response.logits.as_slice(),
+            &report.logits.as_slice()[i * 10..(i + 1) * 10],
+            "streamed logits are bit-identical to the closed batch"
+        );
+    }
+    let stream_metrics = streaming.shutdown();
+    println!(
+        "streamed {} images in {} batches: e2e p99 {:.0} µs, queue-wait share {:.0}%, mean occupancy {:.1}",
+        stream_metrics.requests,
+        stream_metrics.batches,
+        stream_metrics.e2e_p99_us,
+        stream_metrics.queue_wait_share * 100.0,
+        stream_metrics.mean_batch_occupancy,
+    );
 
     // Hardware energy report from the measured event counts.
     let processor = Processor::new(ProcessorConfig::proposed());

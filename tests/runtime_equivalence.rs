@@ -2,18 +2,25 @@
 //! and random batch sizes, the CSR fast path, the reference event
 //! simulator and the analytic `reference_forward` must produce the same
 //! logits — `CsrEngine == EventSnn` bit-for-bit (same accumulation
-//! discipline), and both equal to `reference_forward` within 1e-4.
+//! discipline), and both equal to `reference_forward` within 1e-4. The
+//! streaming front-end must preserve that guarantee under arbitrary
+//! arrival order, arrival timing and batcher configuration.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use ttfs_snn::nn::{
     ActivationLayer, AvgPool2dLayer, Conv2dLayer, DenseLayer, Flatten, Layer, MaxPool2dLayer, Relu,
     Sequential,
 };
-use ttfs_snn::runtime::{CsrEngine, InferenceBackend, InferenceServer, ServerConfig};
+use ttfs_snn::runtime::{
+    CsrEngine, InferenceBackend, InferenceServer, ServerConfig, StreamingConfig, StreamingServer,
+    Ticket,
+};
 use ttfs_snn::sim::EventSnn;
 use ttfs_snn::tensor::{Conv2dSpec, Tensor};
 use ttfs_snn::ttfs::{convert, Base2Kernel, SnnModel};
@@ -138,6 +145,88 @@ proptest! {
             report.metrics.requests as usize,
             9usize.div_ceil(chunk)
         );
+    }
+}
+
+proptest! {
+    // Fewer cases: each one spins up real threads and sleeps between
+    // submissions to randomize how arrivals land in batching windows.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Streamed logits are bit-identical to the closed-batch server's on
+    /// the same images, for every arrival order, inter-arrival gap, thread
+    /// count and batcher configuration — the batcher may group requests
+    /// however the clock falls, but grouping must never change results.
+    #[test]
+    fn streaming_matches_closed_batches(
+        seed in 0u64..256,
+        threads in 1usize..4,
+        max_batch in 1usize..7,
+        delay_us in 0u64..2_000,
+        gap_us in 0u64..300,
+        xs in proptest::collection::vec(0.0f32..1.0, 10 * 8),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Sequential::new(vec![
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(8, 6, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::Dense(DenseLayer::new(6, 3, &mut rng)),
+        ]);
+        let model = convert(&net, Base2Kernel::paper_default(), 24).expect("conversion");
+        let n = 10usize;
+        let x = Tensor::from_vec(xs, &[n, 1, 2, 4]).expect("sized");
+
+        // Closed-batch ground truth through the batched server.
+        let closed = InferenceServer::new(
+            Arc::new(CsrEngine::compile(&model, &[1, 2, 4]).expect("compile")),
+            ServerConfig { threads: 2, chunk_size: 4 },
+        )
+        .run(&x)
+        .expect("closed run")
+        .logits;
+
+        // Stream the same images one at a time, in a random order, with
+        // random inter-arrival gaps.
+        let server = StreamingServer::new(
+            Arc::new(CsrEngine::compile(&model, &[1, 2, 4]).expect("compile")),
+            StreamingConfig {
+                threads,
+                max_batch,
+                max_delay: Duration::from_micros(delay_us),
+            },
+        );
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let sample_len = 8usize;
+        let mut tickets: Vec<(usize, Ticket)> = Vec::with_capacity(n);
+        for &i in &order {
+            let image = Tensor::from_vec(
+                x.as_slice()[i * sample_len..(i + 1) * sample_len].to_vec(),
+                &[1, 2, 4],
+            )
+            .expect("sample");
+            tickets.push((i, server.submit(&image).expect("submit")));
+            if gap_us > 0 {
+                std::thread::sleep(Duration::from_micros(gap_us));
+            }
+        }
+        let mut rows: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        for (i, ticket) in tickets {
+            rows[i] = Some(ticket.wait().expect("streamed result").logits);
+        }
+        let metrics = server.shutdown();
+        prop_assert_eq!(metrics.requests, n as u64);
+        prop_assert!(metrics.max_batch_occupancy as usize <= max_batch);
+        for (i, row) in rows.into_iter().enumerate() {
+            let row = row.expect("every index answered");
+            prop_assert_eq!(
+                row.as_slice(),
+                &closed.as_slice()[i * 3..(i + 1) * 3],
+                "streamed row {} must be bit-identical to the closed batch",
+                i
+            );
+        }
     }
 }
 
