@@ -1,15 +1,18 @@
 //! Runtime throughput benchmark: single-thread reference `EventSnn` versus
-//! the `snn-runtime` CSR engine, solo, behind the multi-threaded closed
-//! batch inference server, and behind the streaming deadline batcher under
-//! a closed-loop load generator, on a batched VGG-16-geometry workload
-//! (the paper's 13 conv + 3 dense stack, width-scaled to a CI-sized
-//! budget).
+//! the `snn-runtime` CSR engine — sample-at-a-time (`csr_single`, one
+//! lane), edge-major batched (`batched`, default lane count), behind the
+//! multi-threaded closed batch inference server, and behind the streaming
+//! deadline batcher under a closed-loop load generator — on a batched
+//! VGG-16-geometry workload (the paper's 13 conv + 3 dense stack,
+//! width-scaled to a CI-sized budget).
 //!
 //! Emits `BENCH_runtime.json` with images/sec, per-request p50/p99 latency
 //! (closed path), streaming end-to-end latency percentiles with the
-//! queue-wait/execution split and batch-occupancy histogram,
-//! logits-equivalence versus `SnnModel::reference_forward`, and the
-//! hardware energy report driven by the fast path's event counts.
+//! queue-wait/execution split and batch-occupancy histogram, the compiled
+//! CSR memory footprint before/after conv pattern deduplication
+//! (`csr_memory`), logits-equivalence versus
+//! `SnnModel::reference_forward`, and the hardware energy report driven by
+//! the fast path's event counts.
 //!
 //! Run: `cargo run -p snn-bench --bin runtime_throughput --release`
 //! Scale with `SNN_BENCH_SCALE=quick|default|full`.
@@ -35,6 +38,40 @@ use ttfs_core::{convert, normalize_output_layer, Base2Kernel};
 struct BackendResult {
     images_per_sec: f64,
     wall_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BatchedResult {
+    /// Samples integrated together as lanes of one edge-major traversal
+    /// (the engine's cache-budgeted default).
+    max_lanes: usize,
+    images_per_sec: f64,
+    wall_ms: f64,
+    /// Batched versus the one-lane walk of the same engine.
+    speedup_vs_csr_single: f64,
+    /// Streamed logits bit-identical to the one-lane walk's.
+    matches_csr_single: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct CsrMemoryResult {
+    /// Edges the integration loop traverses (flat-equivalent count).
+    logical_edges: usize,
+    /// Edges physically stored after conv pattern deduplication.
+    stored_edges: usize,
+    /// Bytes of all synapse storage (patterns, offsets, row maps).
+    stored_bytes: usize,
+    /// Bytes a flat per-pixel CSR of the same model would occupy.
+    flat_bytes: usize,
+    /// Conv-only edge counts (the deduplicated stages).
+    conv_logical_edges: usize,
+    conv_stored_edges: usize,
+    /// Canonical (channel, border-class) patterns across conv stages.
+    patterns: usize,
+    /// conv_logical_edges / conv_stored_edges.
+    conv_dedup_edge_ratio: f64,
+    /// flat_bytes / stored_bytes.
+    bytes_dedup_ratio: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -82,11 +119,14 @@ struct RuntimeBenchReport {
     threads: usize,
     chunk_size: usize,
     csr_edges: usize,
+    csr_memory: CsrMemoryResult,
     event_single: BackendResult,
     csr_single: BackendResult,
+    batched: BatchedResult,
     csr_pooled: PooledResult,
     streaming: StreamingResult,
     speedup_csr_single: f64,
+    speedup_batched: f64,
     speedup_csr_pooled: f64,
     max_abs_logit_diff_vs_reference: f32,
     logits_within_1e4: bool,
@@ -134,18 +174,43 @@ fn main() {
         width_div
     );
 
+    // One read-only copy of the converted model, shared by every engine
+    // and server below.
+    let model = Arc::new(model);
+
     // Reference backend, single thread.
     let event = EventSnn::new(&model);
     let t0 = Instant::now();
     let (event_logits, event_stats) = event.run(&x).expect("event run");
     let event_wall = t0.elapsed();
 
-    // CSR engine, single thread.
-    let csr = Arc::new(CsrEngine::compile(&model, &input_dims).expect("csr compile"));
+    // CSR engine over the pattern-deduplicated synapse tables. `csr` keeps
+    // the engine's cache-budgeted default lane count (edge-major batched
+    // integration); the one-lane clone is the classic sample-at-a-time
+    // walk for comparison. Both share the same Arc'd model + compiled CSR.
+    let csr =
+        Arc::new(CsrEngine::compile_shared(Arc::clone(&model), &input_dims).expect("csr compile"));
     let csr_edges = csr.total_edges();
+    let footprint = csr.compiled().footprint();
+    let csr_one_lane = csr.as_ref().clone().with_max_lanes(1);
+    // One untimed pass per engine first: the freshly compiled tables pay
+    // page-in/first-touch and scratch-allocation costs on their first
+    // traversal, which would otherwise bias whichever path runs first.
+    let _ = csr_one_lane.run_batch(&x).expect("csr warm-up");
+    let _ = csr.run_batch(&x).expect("batched warm-up");
     let t0 = Instant::now();
-    let (csr_logits, csr_stats) = csr.run_batch(&x).expect("csr run");
+    let (csr_logits, csr_stats) = csr_one_lane.run_batch(&x).expect("csr single run");
     let csr_wall = t0.elapsed();
+
+    // Edge-major batched integration (the engine default).
+    let t0 = Instant::now();
+    let (batched_logits, batched_stats) = csr.run_batch(&x).expect("batched run");
+    let batched_wall = t0.elapsed();
+    let batched_matches = batched_logits.as_slice() == csr_logits.as_slice();
+    assert!(
+        batched_matches && batched_stats == csr_stats,
+        "batched path must be bit-identical to the one-lane walk"
+    );
 
     // CSR engine behind the worker pool.
     let threads = std::thread::available_parallelism()
@@ -220,6 +285,17 @@ fn main() {
         threads,
         chunk_size,
         csr_edges,
+        csr_memory: CsrMemoryResult {
+            logical_edges: footprint.logical_edges,
+            stored_edges: footprint.stored_edges,
+            stored_bytes: footprint.stored_bytes,
+            flat_bytes: footprint.flat_bytes,
+            conv_logical_edges: footprint.conv_logical_edges,
+            conv_stored_edges: footprint.conv_stored_edges,
+            patterns: footprint.patterns,
+            conv_dedup_edge_ratio: footprint.conv_dedup_ratio(),
+            bytes_dedup_ratio: footprint.flat_bytes as f64 / footprint.stored_bytes.max(1) as f64,
+        },
         event_single: BackendResult {
             images_per_sec: per_sec(batch, event_wall),
             wall_ms: event_wall.as_secs_f64() * 1e3,
@@ -227,6 +303,13 @@ fn main() {
         csr_single: BackendResult {
             images_per_sec: per_sec(batch, csr_wall),
             wall_ms: csr_wall.as_secs_f64() * 1e3,
+        },
+        batched: BatchedResult {
+            max_lanes: csr.max_lanes(),
+            images_per_sec: per_sec(batch, batched_wall),
+            wall_ms: batched_wall.as_secs_f64() * 1e3,
+            speedup_vs_csr_single: csr_wall.as_secs_f64() / batched_wall.as_secs_f64(),
+            matches_csr_single: batched_matches,
         },
         csr_pooled: PooledResult {
             images_per_sec: report.metrics.images_per_sec,
@@ -238,10 +321,11 @@ fn main() {
         },
         streaming,
         speedup_csr_single: event_wall.as_secs_f64() / csr_wall.as_secs_f64(),
+        speedup_batched: event_wall.as_secs_f64() / batched_wall.as_secs_f64(),
         speedup_csr_pooled: event_wall.as_secs_f64() / (report.metrics.wall_ms / 1e3),
         max_abs_logit_diff_vs_reference: max_diff,
         logits_within_1e4: max_diff <= 1e-4,
-        stats_match_reference_backend: csr_stats == event_stats,
+        stats_match_reference_backend: csr_stats == event_stats && batched_stats == event_stats,
         energy_fast_path: EnergySummary {
             energy_per_image_uj: hw.energy_per_image_uj,
             model_fps: hw.fps,
@@ -254,14 +338,26 @@ fn main() {
 
     println!("{json}");
     eprintln!(
-        "event {:.1} img/s | csr x1 {:.1} img/s ({:.2}x) | csr pool({threads}t) {:.1} img/s ({:.2}x) | p99 {:.0} µs | max|Δlogit| {:.2e}",
+        "event {:.1} img/s | csr x1 {:.1} img/s ({:.2}x) | batched({} lanes) {:.1} img/s ({:.2}x) | csr pool({threads}t) {:.1} img/s ({:.2}x) | p99 {:.0} µs | max|Δlogit| {:.2e}",
         out.event_single.images_per_sec,
         out.csr_single.images_per_sec,
         out.speedup_csr_single,
+        out.batched.max_lanes,
+        out.batched.images_per_sec,
+        out.speedup_batched,
         out.csr_pooled.images_per_sec,
         out.speedup_csr_pooled,
         out.csr_pooled.latency_p99_us,
         out.max_abs_logit_diff_vs_reference,
+    );
+    eprintln!(
+        "csr memory: {} logical edges -> {} stored ({} patterns) | conv dedup {:.0}x edges | {:.2} MB -> {:.3} MB",
+        out.csr_memory.logical_edges,
+        out.csr_memory.stored_edges,
+        out.csr_memory.patterns,
+        out.csr_memory.conv_dedup_edge_ratio,
+        out.csr_memory.flat_bytes as f64 / 1e6,
+        out.csr_memory.stored_bytes as f64 / 1e6,
     );
     eprintln!(
         "stream({}c) {:.1} img/s | e2e p50 {:.0} µs p99 {:.0} µs | queue share {:.0}% | occupancy mean {:.1} max {}",

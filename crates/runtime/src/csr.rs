@@ -4,10 +4,26 @@
 //! geometry on each integration step — branchy index arithmetic in the
 //! innermost loop. Compilation walks the model once per deployment and
 //! materializes, for every weighted layer, the **outgoing synapse list of
-//! each input neuron** in CSR form (`row_ptr` / `col` / `weight`): the
-//! integration phase then reduces to one contiguous edge scan per spike.
-//! Structurally zero weights are dropped at compile time, so weight
-//! sparsity translates directly into fewer edges.
+//! each input neuron** (`row_ptr` / `col` / `weight`): the integration
+//! phase then reduces to one contiguous edge scan per spike. Exact-zero
+//! weights are kept in both layer kinds — the reference backend charges
+//! synaptic ops for every surviving tap regardless of weight value, so
+//! dropping them would skew `RunStats` (and the energy model) for pruned
+//! models, and a `+= 0·psp` is bit-neutral on the accumulator.
+//!
+//! Conv layers do **not** store one edge list per input pixel. A pixel's
+//! outgoing synapse *structure* is fully determined by its spatial
+//! *border class* — which kernel taps survive clipping against the padded
+//! input boundary and the stride grid — and is the same for every input
+//! channel; only the targets shift by a per-pixel base and the weights by
+//! a per-channel base. The compiler therefore emits one canonical tap
+//! pattern per border class plus one repacked copy of the layer's weights
+//! ([`ConvPatterns`]) and a per-pixel `(pattern_id, target_base,
+//! weight_base)` map, cutting conv CSR storage roughly `C·H·W`-fold (the
+//! shared weight-buffer idea of the paper's PE clusters: one resident
+//! copy of the kernel weights serves every spatial position). Dense layers
+//! keep the flat per-neuron CSR ([`CsrSynapses`]); [`SynapseTable`]
+//! unifies the two behind one row-oriented API.
 //!
 //! Pooling and flatten layers stay event-domain operations (max pooling is
 //! not linear, so it cannot be folded into synapse weights); they reuse the
@@ -18,7 +34,7 @@ use snn_tensor::Tensor;
 use ttfs_core::{ConvertError, SnnLayer, SnnModel};
 
 /// Per-input-neuron adjacency of one weighted layer, in compressed sparse
-/// row form.
+/// row form (used for dense layers, where every row is genuinely unique).
 #[derive(Debug, Clone)]
 pub struct CsrSynapses {
     /// `row_ptr[j]..row_ptr[j + 1]` indexes the edges of input neuron `j`.
@@ -27,6 +43,10 @@ pub struct CsrSynapses {
     col: Vec<u32>,
     /// Synapse weight per edge.
     weight: Vec<f32>,
+    /// Every row's targets are exactly `0..degree` in order (true for a
+    /// dense layer with no structural zeros): the integration loop can
+    /// walk the weight slice directly and skip the per-edge target loads.
+    full_rows: bool,
 }
 
 impl CsrSynapses {
@@ -42,13 +62,21 @@ impl CsrSynapses {
 
     /// The `(target, weight)` edge list of input neuron `j`.
     #[inline]
-    pub fn edges_of(&self, j: u32) -> impl Iterator<Item = (u32, f32)> + '_ {
+    pub fn edges_of(&self, j: u32) -> EdgeIter<'_> {
+        let (col, weight) = self.row_slices(j);
+        EdgeIter::Flat {
+            col: col.iter(),
+            weight: weight.iter(),
+        }
+    }
+
+    /// Raw `(targets, weights)` slices of input neuron `j` for the batched
+    /// scatter loop.
+    #[inline]
+    pub fn row_slices(&self, j: u32) -> (&[u32], &[f32]) {
         let lo = self.row_ptr[j as usize] as usize;
         let hi = self.row_ptr[j as usize + 1] as usize;
-        self.col[lo..hi]
-            .iter()
-            .copied()
-            .zip(self.weight[lo..hi].iter().copied())
+        (&self.col[lo..hi], &self.weight[lo..hi])
     }
 
     /// Edge count of input neuron `j`.
@@ -57,14 +85,26 @@ impl CsrSynapses {
         (self.row_ptr[j as usize + 1] - self.row_ptr[j as usize]) as usize
     }
 
+    /// Bytes of backing storage.
+    pub fn stored_bytes(&self) -> usize {
+        self.row_ptr.len() * 4 + self.col.len() * 4 + self.weight.len() * 4
+    }
+
+    /// Whether every row's targets are exactly `0..degree` in order.
+    pub fn full_rows(&self) -> bool {
+        self.full_rows
+    }
+
     fn from_rows(rows: Vec<Vec<(u32, f32)>>) -> Self {
         let mut row_ptr = Vec::with_capacity(rows.len() + 1);
         let total: usize = rows.iter().map(Vec::len).sum();
         let mut col = Vec::with_capacity(total);
         let mut weight = Vec::with_capacity(total);
+        let mut full_rows = true;
         row_ptr.push(0u32);
         for row in rows {
-            for (c, w) in row {
+            for (i, (c, w)) in row.into_iter().enumerate() {
+                full_rows &= c as usize == i;
                 col.push(c);
                 weight.push(w);
             }
@@ -74,21 +114,289 @@ impl CsrSynapses {
             row_ptr,
             col,
             weight,
+            full_rows,
+        }
+    }
+}
+
+/// Pattern-deduplicated conv adjacency: one canonical tap pattern per
+/// spatial **border class** — shared by every input channel — plus one
+/// repacked copy of the layer's weights and a per-pixel `(pattern_id,
+/// target_base, weight_base)` map.
+///
+/// A pattern is a list of **runs**, one per surviving kernel tap
+/// `(ki, kj)`: run `r` covers all `OC` output channels at once, with
+/// targets `t_start[r] + oc·oh·ow` (absolute target additionally offset by
+/// the row's `t_base`) and weights read contiguously at
+/// `w_start[r] + oc` from the channel's slice of the repacked
+/// `[ci][ki][kj][oc]` weight array (`row_wbase = ci·k²·OC`). Nothing in a
+/// run depends on the pixel or the channel, so a layer needs only ≈
+/// (per-axis border classes)² patterns of ≤ `k²` runs each, and the
+/// weights are stored exactly once — while the integration loop walks
+/// each run without loading any per-edge index.
+///
+/// Expanded edge order (run-major, output channel inner) equals the flat
+/// per-pixel compiler's and the reference integration loop's (ascending
+/// kernel row, kernel column, then output channel). Structurally zero
+/// weights are **kept** (as in the dense compiler): channels share one
+/// tap pattern, a `+= 0·psp` is bit-neutral on the accumulator, and the
+/// reference backend charges synaptic ops for every surviving tap
+/// regardless of weight value — so retaining them keeps `RunStats`
+/// identical to `EventSnn` even for models with exact-zero weights.
+#[derive(Debug, Clone)]
+pub struct ConvPatterns {
+    /// `pat_ptr[p]..pat_ptr[p + 1]` indexes the runs of pattern `p`.
+    pat_ptr: Vec<u32>,
+    /// Relative first target of each run: `dy·ow + dx`.
+    t_start: Vec<u32>,
+    /// First weight index of each run: `(ki·k + kj)·OC`.
+    w_start: Vec<u32>,
+    /// Edges per run (`OC` — kept explicit so degree stays a table walk).
+    run_len: Vec<u32>,
+    /// Target stride between a run's consecutive edges: `oh·ow`.
+    oc_stride: u32,
+    /// Repacked weights `[ci][ki][kj][oc]` — one copy per layer, read
+    /// contiguously run by run within each channel slice.
+    weight: Vec<f32>,
+    /// Weights per channel slice (`k²·OC`).
+    ch_stride: usize,
+    /// Pattern id of each input pixel row.
+    row_pattern: Vec<u32>,
+    /// Base target (`oy₀·ow + ox₀`) of each input pixel row.
+    row_tbase: Vec<u32>,
+    /// Base weight index (`ci·k²·OC`) of each input pixel row.
+    row_wbase: Vec<u32>,
+    /// Edges per pattern (`Σ run_len` over the pattern's runs).
+    pat_degree: Vec<u32>,
+    /// Total traversed (logical) edges: `Σ_rows degree(row)`.
+    logical_edges: usize,
+}
+
+impl ConvPatterns {
+    /// Number of input neurons (rows).
+    pub fn in_neurons(&self) -> usize {
+        self.row_pattern.len()
+    }
+
+    /// Number of canonical border-class patterns (channel-independent).
+    pub fn patterns(&self) -> usize {
+        self.pat_ptr.len() - 1
+    }
+
+    /// Physically stored edge-metadata records (runs, after
+    /// deduplication).
+    pub fn stored_edges(&self) -> usize {
+        self.t_start.len()
+    }
+
+    /// Logical edges: what a flat per-pixel CSR would store, and what the
+    /// integration loop actually traverses.
+    pub fn logical_edges(&self) -> usize {
+        self.logical_edges
+    }
+
+    /// The `(target, weight)` edge list of input neuron `j` (absolute
+    /// targets; identical to the flat CSR row, with structural zeros
+    /// retained).
+    #[inline]
+    pub fn edges_of(&self, j: u32) -> EdgeIter<'_> {
+        EdgeIter::Runs {
+            row: self.row_slices(j),
+            run: 0,
+            i: 0,
+        }
+    }
+
+    /// The raw run view of input neuron `j` for the batched scatter loop.
+    #[inline]
+    pub fn row_slices(&self, j: u32) -> PatternRow<'_> {
+        let p = self.row_pattern[j as usize] as usize;
+        let lo = self.pat_ptr[p] as usize;
+        let hi = self.pat_ptr[p + 1] as usize;
+        let wbase = self.row_wbase[j as usize] as usize;
+        PatternRow {
+            t_start: &self.t_start[lo..hi],
+            w_start: &self.w_start[lo..hi],
+            run_len: &self.run_len[lo..hi],
+            oc_stride: self.oc_stride,
+            t_base: self.row_tbase[j as usize],
+            channel_weights: &self.weight[wbase..wbase + self.ch_stride],
+            degree: self.pat_degree[p] as usize,
+        }
+    }
+
+    /// Edge count of input neuron `j`.
+    #[inline]
+    pub fn degree(&self, j: u32) -> usize {
+        self.pat_degree[self.row_pattern[j as usize] as usize] as usize
+    }
+
+    /// Bytes of backing storage (pattern table, repacked weights, per-pixel
+    /// map).
+    pub fn stored_bytes(&self) -> usize {
+        (self.pat_ptr.len()
+            + self.t_start.len()
+            + self.w_start.len()
+            + self.run_len.len()
+            + self.row_pattern.len()
+            + self.row_tbase.len()
+            + self.row_wbase.len()
+            + self.pat_degree.len())
+            * 4
+            + self.weight.len() * 4
+    }
+
+    /// Bytes a flat per-pixel CSR of the same layer would occupy.
+    pub fn flat_bytes(&self) -> usize {
+        (self.in_neurons() + 1) * 4 + self.logical_edges * 8
+    }
+}
+
+/// One input pixel's view into a [`ConvPatterns`] table: the shared tap
+/// runs plus the pixel's target base and channel weight slice.
+#[derive(Debug, Clone, Copy)]
+pub struct PatternRow<'a> {
+    /// Relative first target per run.
+    pub t_start: &'a [u32],
+    /// First weight index per run, into `channel_weights`.
+    pub w_start: &'a [u32],
+    /// Edges per run.
+    pub run_len: &'a [u32],
+    /// Target stride between a run's consecutive edges.
+    pub oc_stride: u32,
+    /// Added to every relative target.
+    pub t_base: u32,
+    /// The row's channel slice of the repacked weight array.
+    pub channel_weights: &'a [f32],
+    /// Total edges of the row (`Σ run_len`).
+    pub degree: usize,
+}
+
+/// Iterator over the `(absolute_target, weight)` edges of one row of a
+/// [`SynapseTable`].
+#[derive(Debug)]
+pub enum EdgeIter<'a> {
+    /// Flat CSR row: explicit target + weight per edge.
+    Flat {
+        /// Remaining targets.
+        col: std::slice::Iter<'a, u32>,
+        /// Remaining weights.
+        weight: std::slice::Iter<'a, f32>,
+    },
+    /// Pattern row: expand the runs on the fly.
+    Runs {
+        /// The run view being expanded.
+        row: PatternRow<'a>,
+        /// Current run index.
+        run: usize,
+        /// Position within the current run.
+        i: u32,
+    },
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (u32, f32);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, f32)> {
+        match self {
+            Self::Flat { col, weight } => Some((*col.next()?, *weight.next()?)),
+            Self::Runs { row, run, i } => loop {
+                if *run >= row.run_len.len() {
+                    return None;
+                }
+                if *i < row.run_len[*run] {
+                    let t = row.t_start[*run] + *i * row.oc_stride + row.t_base;
+                    let w = row.channel_weights[(row.w_start[*run] + *i) as usize];
+                    *i += 1;
+                    return Some((t, w));
+                }
+                *run += 1;
+                *i = 0;
+            },
+        }
+    }
+}
+
+/// The synapse storage of one weighted stage: flat CSR for dense layers,
+/// pattern-deduplicated for conv layers. Both expose the same row-oriented
+/// view — `edges_of(j)` yields identical `(target, weight)` sequences either
+/// way; only the memory footprint differs.
+#[derive(Debug, Clone)]
+pub enum SynapseTable {
+    /// One explicit edge list per input neuron.
+    Flat(CsrSynapses),
+    /// Shared per-(channel, border-class) patterns + per-pixel offsets.
+    Patterned(ConvPatterns),
+}
+
+impl SynapseTable {
+    /// Number of input neurons (rows).
+    pub fn in_neurons(&self) -> usize {
+        match self {
+            Self::Flat(s) => s.in_neurons(),
+            Self::Patterned(p) => p.in_neurons(),
+        }
+    }
+
+    /// Logical (traversed) edges across all rows.
+    pub fn logical_edges(&self) -> usize {
+        match self {
+            Self::Flat(s) => s.edges(),
+            Self::Patterned(p) => p.logical_edges(),
+        }
+    }
+
+    /// Physically stored edges.
+    pub fn stored_edges(&self) -> usize {
+        match self {
+            Self::Flat(s) => s.edges(),
+            Self::Patterned(p) => p.stored_edges(),
+        }
+    }
+
+    /// Bytes of backing storage.
+    pub fn stored_bytes(&self) -> usize {
+        match self {
+            Self::Flat(s) => s.stored_bytes(),
+            Self::Patterned(p) => p.stored_bytes(),
+        }
+    }
+
+    /// The `(target, weight)` edge list of input neuron `j`.
+    #[inline]
+    pub fn edges_of(&self, j: u32) -> EdgeIter<'_> {
+        match self {
+            Self::Flat(s) => s.edges_of(j),
+            Self::Patterned(p) => p.edges_of(j),
+        }
+    }
+
+    /// Edge count of input neuron `j`.
+    #[inline]
+    pub fn degree(&self, j: u32) -> usize {
+        match self {
+            Self::Flat(s) => s.degree(j),
+            Self::Patterned(p) => p.degree(j),
         }
     }
 }
 
 /// One compiled stage of the CSR pipeline.
+// Weighted dominates the enum size, but stages are few (one per layer)
+// and always heap-backed — boxing would only add an indirection to the
+// hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum CsrStage {
-    /// A weighted layer: CSR synapses + per-output bias, followed by a fire
-    /// phase unless it is the readout. Integration accumulates in `f64`
-    /// and rounds once to `f32` before the f32 bias add — the exact
+    /// A weighted layer: synapse table + per-output bias, followed by a
+    /// fire phase unless it is the readout. Integration accumulates in
+    /// `f64` and rounds once to `f32` before the f32 bias add — the exact
     /// summation discipline of the reference GEMM, so membrane voltages
     /// (and therefore spike times) match `reference_forward` bit-for-bit.
     Weighted {
-        /// Synapse adjacency.
-        syn: CsrSynapses,
+        /// Synapse adjacency (flat or pattern-deduplicated).
+        syn: SynapseTable,
         /// Per-output-neuron bias (broadcast over spatial positions for
         /// conv).
         bias: Vec<f32>,
@@ -115,6 +423,38 @@ pub enum CsrStage {
     Flatten,
 }
 
+/// Memory accounting of a compiled [`CsrModel`]: what the deduplicated
+/// representation stores versus what a flat per-pixel CSR would.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CsrFootprint {
+    /// Edges the integration loop traverses (== flat CSR edge count).
+    pub logical_edges: usize,
+    /// Edges physically materialized after pattern deduplication.
+    pub stored_edges: usize,
+    /// Bytes of all synapse storage (patterns, offsets, row maps).
+    pub stored_bytes: usize,
+    /// Bytes a fully flat CSR of the same model would occupy.
+    pub flat_bytes: usize,
+    /// Logical edges of conv (patterned) stages only.
+    pub conv_logical_edges: usize,
+    /// Stored edges of conv (patterned) stages only.
+    pub conv_stored_edges: usize,
+    /// Canonical `(channel, border-class)` patterns across conv stages.
+    pub patterns: usize,
+}
+
+impl CsrFootprint {
+    /// Conv edge-storage reduction factor achieved by deduplication
+    /// (`conv_logical_edges / conv_stored_edges`; 1.0 when no conv stage).
+    pub fn conv_dedup_ratio(&self) -> f64 {
+        if self.conv_stored_edges == 0 {
+            1.0
+        } else {
+            self.conv_logical_edges as f64 / self.conv_stored_edges as f64
+        }
+    }
+}
+
 /// The compiled model: stages in execution order, for one fixed input
 /// geometry.
 #[derive(Debug, Clone)]
@@ -123,7 +463,8 @@ pub struct CsrModel {
     pub stages: Vec<CsrStage>,
     /// Per-sample input dims the model was compiled for.
     pub input_dims: Vec<usize>,
-    /// Total stored synapses across weighted stages.
+    /// Total traversed synapses across weighted stages (flat-equivalent
+    /// edge count; the physically stored count is in [`CsrModel::footprint`]).
     pub total_edges: usize,
 }
 
@@ -133,19 +474,158 @@ fn compile_dense(weight: &Tensor) -> CsrSynapses {
     let wd = weight.as_slice();
     let mut rows: Vec<Vec<(u32, f32)>> = vec![Vec::new(); in_f];
     // Row-major [out, in]: walk outputs outer so each row's edge list ends
-    // up sorted by target.
+    // up sorted by target. Exact-zero weights are kept, like the conv
+    // compiler: the reference backend charges `out_f` synaptic ops per
+    // spike regardless of weight value, so dropping them would skew
+    // RunStats (and thus the energy model) for pruned models — and
+    // retention makes every row full, enabling the index-free scatter.
     for o in 0..out_f {
         for (j, row) in rows.iter_mut().enumerate() {
-            let w = wd[o * in_f + j];
-            if w != 0.0 {
-                row.push((o as u32, w));
-            }
+            row.push((o as u32, wd[o * in_f + j]));
         }
     }
     CsrSynapses::from_rows(rows)
 }
 
-fn compile_conv(spec: &snn_tensor::Conv2dSpec, weight: &Tensor, h: usize, w: usize) -> CsrSynapses {
+/// Per-coordinate border class along one spatial axis: which kernel taps
+/// survive clipping for input coordinate `i`, as `(k_min, count, out_min)`
+/// — tap indices are `k_min, k_min + stride, …` (ascending, which walks
+/// output coordinates `out_min + count - 1` **down** to `out_min`, the same
+/// direction the flat compiler walks them).
+fn axis_class(i: usize, k: usize, stride: usize, padding: usize, out: usize) -> (u32, u32, u32) {
+    let a = i + padding;
+    let lo = if a + 1 > k {
+        (a + 1 - k).div_ceil(stride)
+    } else {
+        0
+    };
+    let hi = (a / stride).min(out - 1);
+    if lo > hi {
+        return (0, 0, 0); // fully clipped: no surviving taps
+    }
+    ((a - stride * hi) as u32, (hi - lo + 1) as u32, lo as u32)
+}
+
+fn compile_conv(
+    spec: &snn_tensor::Conv2dSpec,
+    weight: &Tensor,
+    h: usize,
+    w: usize,
+) -> ConvPatterns {
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let s = spec.stride;
+    let oc_n = spec.out_channels;
+    let wd = weight.as_slice();
+
+    let y_class: Vec<(u32, u32, u32)> = (0..h)
+        .map(|iy| axis_class(iy, k, s, spec.padding, oh))
+        .collect();
+    let x_class: Vec<(u32, u32, u32)> = (0..w)
+        .map(|ix| axis_class(ix, k, s, spec.padding, ow))
+        .collect();
+
+    // Repack weights `[oc][ci][ki][kj]` -> `[ci][ki][kj][oc]` so a
+    // pattern's channel-independent weight offsets read each channel's
+    // slice contiguously in edge order.
+    let ch_stride = k * k * oc_n;
+    let mut rw = vec![0.0f32; spec.in_channels * ch_stride];
+    for oc in 0..oc_n {
+        for ci in 0..spec.in_channels {
+            for ki in 0..k {
+                for kj in 0..k {
+                    rw[(ci * k * k + ki * k + kj) * oc_n + oc] =
+                        wd[((oc * spec.in_channels + ci) * k + ki) * k + kj];
+                }
+            }
+        }
+    }
+
+    // Pattern key: (y tap class, x tap class) — channels share patterns.
+    // The per-axis (k_min, count) pair pins down every (tap, relative
+    // output) pair, so equal keys guarantee identical run lists.
+    let mut ids: std::collections::HashMap<(u32, u32, u32, u32), u32> =
+        std::collections::HashMap::new();
+    let mut pat_ptr: Vec<u32> = vec![0];
+    let mut t_start: Vec<u32> = Vec::new();
+    let mut w_start: Vec<u32> = Vec::new();
+    let mut run_len: Vec<u32> = Vec::new();
+    let mut pat_degree: Vec<u32> = Vec::new();
+    let rows = spec.in_channels * h * w;
+    let mut row_pattern: Vec<u32> = Vec::with_capacity(rows);
+    let mut row_tbase: Vec<u32> = Vec::with_capacity(rows);
+    let mut row_wbase: Vec<u32> = Vec::with_capacity(rows);
+    let mut logical_edges = 0usize;
+
+    // One pass over the spatial grid resolves all patterns and the
+    // per-pixel map of channel 0; other channels reuse it with a shifted
+    // weight base.
+    let mut grid_pattern: Vec<u32> = Vec::with_capacity(h * w);
+    let mut grid_tbase: Vec<u32> = Vec::with_capacity(h * w);
+    for &(ky_min, county, oy_lo) in &y_class {
+        for &(kx_min, countx, ox_lo) in &x_class {
+            let key = (ky_min, county, kx_min, countx);
+            let pid = *ids.entry(key).or_insert_with(|| {
+                // Materialize the canonical pattern: one run per
+                // surviving tap, in the flat compiler's (and the
+                // reference loop's) traversal order — ascending kernel
+                // row, kernel column, then output channel within the run.
+                for ai in 0..county as usize {
+                    let ki = ky_min as usize + ai * s;
+                    let dy = county as usize - 1 - ai;
+                    for bi in 0..countx as usize {
+                        let kj = kx_min as usize + bi * s;
+                        let dx = countx as usize - 1 - bi;
+                        t_start.push((dy * ow + dx) as u32);
+                        w_start.push(((ki * k + kj) * oc_n) as u32);
+                        run_len.push(oc_n as u32);
+                    }
+                }
+                pat_ptr.push(t_start.len() as u32);
+                pat_degree.push(county * countx * oc_n as u32);
+                (pat_ptr.len() - 2) as u32
+            });
+            grid_pattern.push(pid);
+            grid_tbase.push(oy_lo * ow as u32 + ox_lo);
+        }
+    }
+    for ci in 0..spec.in_channels {
+        for px in 0..h * w {
+            let pid = grid_pattern[px];
+            row_pattern.push(pid);
+            row_tbase.push(grid_tbase[px]);
+            row_wbase.push((ci * ch_stride) as u32);
+            logical_edges += pat_degree[pid as usize] as usize;
+        }
+    }
+
+    ConvPatterns {
+        pat_ptr,
+        t_start,
+        w_start,
+        run_len,
+        oc_stride: (oh * ow) as u32,
+        weight: rw,
+        ch_stride,
+        row_pattern,
+        row_tbase,
+        row_wbase,
+        pat_degree,
+        logical_edges,
+    }
+}
+
+/// The flat per-pixel conv compiler the pattern table replaces — kept as
+/// the ground truth for the deduplication tests. Like the pattern
+/// compiler (and the reference integration loop, which charges synaptic
+/// ops for every surviving tap), it keeps structurally zero weights.
+#[cfg(test)]
+fn compile_conv_flat(
+    spec: &snn_tensor::Conv2dSpec,
+    weight: &Tensor,
+    h: usize,
+    w: usize,
+) -> CsrSynapses {
     let (oh, ow) = spec.output_hw(h, w);
     let k = spec.kernel;
     let wd = weight.as_slice();
@@ -176,10 +656,7 @@ fn compile_conv(spec: &snn_tensor::Conv2dSpec, weight: &Tensor, h: usize, w: usi
                         }
                         for oc in 0..spec.out_channels {
                             let widx = ((oc * spec.in_channels + ci) * k + ki) * k + kj;
-                            let wv = wd[widx];
-                            if wv != 0.0 {
-                                row.push(((oc * oh + oy) as u32 * ow as u32 + ox as u32, wv));
-                            }
+                            row.push(((oc * oh + oy) as u32 * ow as u32 + ox as u32, wd[widx]));
                         }
                     }
                 }
@@ -216,17 +693,21 @@ impl CsrModel {
             let out_dims = &trace[i + 1];
             match layer {
                 SnnLayer::Conv { spec, weight, bias } => {
-                    // CSR indices are u32; refuse models whose edge count
-                    // would overflow them (full-width ImageNet-scale conv
-                    // layers) instead of silently truncating row_ptr. The
-                    // upper bound is the dense MAC count of the layer.
-                    let bound = in_dims.iter().product::<usize>()
-                        * spec.kernel
-                        * spec.kernel
-                        * spec.out_channels;
-                    check_u32_bound(bound, "conv")?;
+                    // Targets, weight offsets and row indices are u32.
+                    // Deduplication keeps the *stored* pattern table tiny
+                    // — worst case (every pixel its own border class) it
+                    // is the flat table of ONE channel — so the old
+                    // per-pixel-times-channels MAC bound that rejected
+                    // full-width VGG-16 no longer applies.
+                    check_u32_bound(in_dims.iter().product::<usize>(), "conv input of")?;
+                    check_u32_bound(out_dims.iter().product::<usize>(), "conv output of")?;
+                    check_u32_bound(weight.len(), "conv weights of")?;
+                    check_u32_bound(
+                        in_dims[1] * in_dims[2] * spec.kernel * spec.kernel * spec.out_channels,
+                        "conv pattern table of",
+                    )?;
                     let syn = compile_conv(spec, weight, in_dims[1], in_dims[2]);
-                    total_edges += syn.edges();
+                    total_edges += syn.logical_edges();
                     let spatial = out_dims[1] * out_dims[2];
                     // Broadcast per-channel bias over spatial positions.
                     let mut full_bias = vec![0.0f32; out_dims.iter().product()];
@@ -236,7 +717,7 @@ impl CsrModel {
                         }
                     }
                     stages.push(CsrStage::Weighted {
-                        syn,
+                        syn: SynapseTable::Patterned(syn),
                         bias: full_bias,
                     });
                 }
@@ -245,7 +726,7 @@ impl CsrModel {
                     let syn = compile_dense(weight);
                     total_edges += syn.edges();
                     stages.push(CsrStage::Weighted {
-                        syn,
+                        syn: SynapseTable::Flat(syn),
                         bias: bias.as_slice().to_vec(),
                     });
                 }
@@ -267,6 +748,29 @@ impl CsrModel {
             input_dims: input_dims.to_vec(),
             total_edges,
         })
+    }
+
+    /// Memory accounting: stored versus flat-equivalent synapse storage.
+    pub fn footprint(&self) -> CsrFootprint {
+        let mut fp = CsrFootprint::default();
+        for stage in &self.stages {
+            let CsrStage::Weighted { syn, .. } = stage else {
+                continue;
+            };
+            fp.logical_edges += syn.logical_edges();
+            fp.stored_edges += syn.stored_edges();
+            fp.stored_bytes += syn.stored_bytes();
+            match syn {
+                SynapseTable::Flat(s) => fp.flat_bytes += s.stored_bytes(),
+                SynapseTable::Patterned(p) => {
+                    fp.flat_bytes += p.flat_bytes();
+                    fp.conv_logical_edges += p.logical_edges();
+                    fp.conv_stored_edges += p.stored_edges();
+                    fp.patterns += p.patterns();
+                }
+            }
+        }
+        fp
     }
 }
 
@@ -376,5 +880,107 @@ mod tests {
         let m = model();
         assert!(CsrModel::compile(&m, &[3, 4, 4]).is_err());
         assert!(CsrModel::compile(&m, &[2, 9, 9]).is_err());
+    }
+
+    /// Ground-truth check of the deduplicated compiler: every row of the
+    /// pattern table must be edge-for-edge identical (same order, same
+    /// targets, same weights) to the flat per-pixel CSR, across asymmetric
+    /// geometries — non-square inputs, stride > 1, padded borders, even
+    /// kernels, and kernels larger than the input.
+    #[test]
+    fn patterns_match_flat_csr_edge_for_edge() {
+        let cases: &[(usize, usize, usize, usize, usize, usize, usize)] = &[
+            // (in_c, out_c, k, stride, padding, h, w)
+            (2, 3, 3, 1, 1, 5, 7), // non-square, same-padding
+            (1, 4, 3, 2, 1, 7, 5), // stride 2, non-square the other way
+            (3, 2, 5, 2, 2, 9, 6), // big kernel, stride 2
+            (2, 2, 2, 2, 0, 6, 8), // even kernel, no padding
+            (1, 3, 3, 3, 1, 8, 8), // stride 3: some pixels fully clipped
+            (2, 2, 5, 1, 0, 6, 5), // big valid-only kernel: single output column
+            (1, 2, 1, 1, 0, 3, 4), // 1x1 conv: every pixel one class per channel
+        ];
+        let mut rng = StdRng::seed_from_u64(77);
+        for &(ci, co, k, s, p, h, w) in cases {
+            let spec = Conv2dSpec::new(ci, co, k, s, p);
+            let (oh, ow) = spec.output_hw(h, w);
+            assert!(oh > 0 && ow > 0, "degenerate case {spec:?} {h}x{w}");
+            let weight = snn_tensor::uniform(&[co, ci, k, k], -1.0, 1.0, &mut rng);
+            let flat = compile_conv_flat(&spec, &weight, h, w);
+            let pat = compile_conv(&spec, &weight, h, w);
+            assert_eq!(pat.in_neurons(), flat.in_neurons(), "{spec:?}");
+            assert_eq!(pat.logical_edges(), flat.edges(), "{spec:?}");
+            for j in 0..flat.in_neurons() as u32 {
+                let f: Vec<(u32, f32)> = flat.edges_of(j).collect();
+                let d: Vec<(u32, f32)> = pat.edges_of(j).collect();
+                assert_eq!(f, d, "row {j} of {spec:?} on {h}x{w}");
+                assert_eq!(pat.degree(j), f.len());
+            }
+        }
+    }
+
+    /// Structurally zero conv weights are retained (channels share one tap
+    /// pattern, and the reference backend charges synaptic ops for every
+    /// surviving tap regardless of value): edge lists still match the flat
+    /// compiler exactly, zero entries included.
+    #[test]
+    fn patterns_keep_structural_zeros_like_reference() {
+        let spec = Conv2dSpec::new(2, 3, 3, 1, 1);
+        let mut rng = StdRng::seed_from_u64(78);
+        let mut weight = snn_tensor::uniform(&[3, 2, 3, 3], -1.0, 1.0, &mut rng);
+        // Zero a scattering of taps, including a full kernel slice.
+        let wd = weight.as_mut_slice();
+        wd[0] = 0.0;
+        wd[7] = 0.0;
+        for v in &mut wd[18..27] {
+            *v = 0.0;
+        }
+        let flat = compile_conv_flat(&spec, &weight, 6, 6);
+        let pat = compile_conv(&spec, &weight, 6, 6);
+        assert_eq!(pat.logical_edges(), flat.edges());
+        let mut zeros = 0usize;
+        for j in 0..flat.in_neurons() as u32 {
+            let f: Vec<(u32, f32)> = flat.edges_of(j).collect();
+            let d: Vec<(u32, f32)> = pat.edges_of(j).collect();
+            assert_eq!(f, d, "row {j}");
+            zeros += d.iter().filter(|(_, w)| *w == 0.0).count();
+        }
+        assert!(zeros > 0, "the zeroed taps must appear as explicit edges");
+    }
+
+    /// The point of the exercise: pattern storage must shrink conv edge
+    /// memory by ~C·H·W while the logical view is unchanged.
+    #[test]
+    fn dedup_cuts_conv_storage() {
+        let spec = Conv2dSpec::new(2, 4, 3, 1, 1);
+        let mut rng = StdRng::seed_from_u64(79);
+        let weight = snn_tensor::uniform(&[4, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let pat = compile_conv(&spec, &weight, 16, 16);
+        // 3 border classes per axis, shared by both channels -> at most 9
+        // patterns.
+        assert!(pat.patterns() <= 9, "{} patterns", pat.patterns());
+        assert!(
+            pat.stored_edges() * 10 <= pat.logical_edges(),
+            "stored {} vs logical {}",
+            pat.stored_edges(),
+            pat.logical_edges()
+        );
+        assert!(pat.stored_bytes() < pat.flat_bytes() / 4);
+    }
+
+    #[test]
+    fn footprint_aggregates_stages() {
+        let m = model();
+        let csr = CsrModel::compile(&m, &[2, 4, 4]).unwrap();
+        let fp = csr.footprint();
+        assert_eq!(fp.logical_edges, csr.total_edges);
+        assert!(fp.stored_edges < fp.logical_edges);
+        assert!(fp.conv_logical_edges > 0 && fp.conv_stored_edges > 0);
+        assert!(fp.patterns > 0);
+        assert!(fp.conv_dedup_ratio() > 1.0);
+        // Dense stage is flat: logical - conv == stored - conv_stored.
+        assert_eq!(
+            fp.logical_edges - fp.conv_logical_edges,
+            fp.stored_edges - fp.conv_stored_edges
+        );
     }
 }

@@ -1,35 +1,130 @@
 //! The CSR fast-path inference engine.
 //!
 //! [`CsrEngine`] executes the same integrate/fire physics as
-//! [`snn_sim::EventSnn`] but over the compiled [`CsrModel`]: the
-//! integration phase is a contiguous edge scan per spike (no per-spike
-//! geometry arithmetic) and inter-layer spike hand-off goes through the
-//! O(1) [`TimeWheel`] instead of a comparison sort. Spike processing order
-//! — ascending time, then ascending neuron — matches the reference
-//! backend, so float accumulation order and therefore logits match it
-//! bit-for-bit on weighted layers.
+//! [`snn_sim::EventSnn`] but over the compiled [`CsrModel`], and it does so
+//! **edge-major over a chunk of samples**: instead of walking one sample's
+//! spikes at a time (which streams every CSR row from memory once per
+//! sample), the engine lines the chunk's samples up as lanes of a
+//! [`BatchWheel`], walks time slots in ascending order, groups equal
+//! neurons across lanes within a slot, and streams each synapse row **once
+//! per group** while scattering into a `[lanes, out_neurons]` f64 membrane
+//! matrix (each lane owns a contiguous membrane slice, keeping accumulator
+//! locality). Weight traffic is amortized across the whole chunk — the
+//! software analogue of the paper's weight-buffered PE clusters.
+//!
+//! Bit-exactness is preserved by construction. Per accumulator cell
+//! `(lane, target)`, additions land in exactly the reference backend's
+//! order: the outer loop is ascending `(t, neuron)` — the canonical order
+//! every spike source emits (and [`BatchWheel::seal`]'s stable sort keeps
+//! per-lane duplicates in emission order) — and within one CSR row every
+//! edge hits a distinct target, so edge-major reordering never swaps two
+//! additions to the same cell. Logits therefore match [`snn_sim::EventSnn`]
+//! bit-for-bit for every chunk size, and the shared event statistics are
+//! identical.
+//!
+//! The engine holds the converted [`SnnModel`] and compiled [`CsrModel`]
+//! behind [`Arc`], so clones (one per worker, per shard, per server) share
+//! one read-only copy of the weights. Per-run scratch (membrane matrix,
+//! wheels, group buffers) lives in an internal pool and is reused across
+//! stages and calls instead of reallocated per layer.
+
+use std::sync::{Arc, Mutex};
 
 use snn_sim::{phase, RunStats};
 use snn_tensor::Tensor;
 use ttfs_core::{ConvertError, SnnModel, TtfsKernel};
 
-use crate::csr::{CsrModel, CsrStage};
-use crate::wheel::TimeWheel;
+use crate::csr::{CsrModel, CsrStage, SynapseTable};
+use crate::wheel::BatchWheel;
 use crate::InferenceBackend;
 
-/// Batched CSR + time-wheel executor for a converted [`SnnModel`].
-#[derive(Debug, Clone)]
+/// Upper bound on the default number of sample lanes integrated together
+/// per chunk (explicit [`CsrEngine::with_max_lanes`] may exceed it).
+pub const DEFAULT_MAX_LANES: usize = 32;
+
+/// Cache budget for the `[lanes, out_neurons]` f64 membrane matrix used to
+/// pick the default lane count: enough lanes to amortize row fetches
+/// across the chunk, but never so many that the accumulator spills out of
+/// L2 and every scatter becomes a cache miss (the time-major walk revisits
+/// the whole matrix once per time slot, so its footprint — not the synapse
+/// table, which deduplication keeps cache-resident — is what bounds
+/// throughput; measured cliff on the VGG-16 bench geometry around 2 MB).
+pub const ACC_BYTES_BUDGET: usize = 256 * 1024;
+
+/// Default chunk width for a compiled model: the most lanes whose membrane
+/// matrix for the widest weighted layer stays within [`ACC_BYTES_BUDGET`],
+/// clamped to `1..=`[`DEFAULT_MAX_LANES`].
+fn default_lanes(compiled: &CsrModel) -> usize {
+    let widest = compiled
+        .stages
+        .iter()
+        .filter_map(|s| match s {
+            CsrStage::Weighted { bias, .. } => Some(bias.len()),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    (ACC_BYTES_BUDGET / (widest * std::mem::size_of::<f64>())).clamp(1, DEFAULT_MAX_LANES)
+}
+
+/// Reusable per-run buffers: the membrane matrix, the per-lane fire-phase
+/// trackers, and the two ping-pong batch wheels. Pooled on the engine so
+/// repeat calls skip every per-layer allocation.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// `[lanes, out_neurons]` f64 membrane accumulator.
+    acc: Vec<f64>,
+    /// Per-lane latest spike time of the current fire phase.
+    latest: Vec<u32>,
+    /// Per-lane "every membrane fired" flag of the current fire phase.
+    all_fired: Vec<bool>,
+    /// Spikes entering the current stage.
+    wheel_in: BatchWheel,
+    /// Spikes produced by the current stage's fire phase / pooling.
+    wheel_out: BatchWheel,
+}
+
+/// Batched edge-major CSR + time-wheel executor for a converted
+/// [`SnnModel`].
 pub struct CsrEngine {
-    model: SnnModel,
-    compiled: CsrModel,
+    model: Arc<SnnModel>,
+    compiled: Arc<CsrModel>,
+    max_lanes: usize,
+    scratch: Mutex<Vec<Scratch>>,
+}
+
+impl std::fmt::Debug for CsrEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsrEngine")
+            .field("input_dims", &self.compiled.input_dims)
+            .field("total_edges", &self.compiled.total_edges)
+            .field("max_lanes", &self.max_lanes)
+            .finish()
+    }
+}
+
+impl Clone for CsrEngine {
+    /// Cheap clone: the model and compiled CSR are shared (`Arc`), only the
+    /// scratch pool starts empty.
+    fn clone(&self) -> Self {
+        Self {
+            model: Arc::clone(&self.model),
+            compiled: Arc::clone(&self.compiled),
+            max_lanes: self.max_lanes,
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl CsrEngine {
     /// Compiles `model` for per-sample input dims (`[C, H, W]`).
     ///
     /// Compilation walks the model once and materializes every weighted
-    /// layer's synapses in CSR form (structural zeros dropped), so each
-    /// later inference is a contiguous edge scan per spike.
+    /// layer's synapses (pattern-deduplicated for conv, flat CSR for
+    /// dense), so each later inference is a contiguous edge scan per spike
+    /// group. The model is cloned once into a shared [`Arc`]; use
+    /// [`compile_shared`](Self::compile_shared) to avoid even that copy.
     ///
     /// # Example
     ///
@@ -48,7 +143,7 @@ impl CsrEngine {
     /// ]);
     /// let model = convert(&net, Base2Kernel::paper_default(), 16)?;
     /// let engine = CsrEngine::compile(&model, &[1, 3, 3])?;
-    /// assert_eq!(engine.total_edges(), 9 * 4); // dense 9→4, no zero weights
+    /// assert_eq!(engine.total_edges(), 9 * 4); // dense 9→4, one edge per weight
     /// let (logits, stats) = engine.run_batch(&Tensor::full(&[2, 1, 3, 3], 0.5))?;
     /// assert_eq!(logits.dims(), &[2, 4]);
     /// assert_eq!(stats.batch, 2);
@@ -61,10 +156,68 @@ impl CsrEngine {
     /// Returns [`ConvertError::Structure`] if `input_dims` does not fit the
     /// model geometry.
     pub fn compile(model: &SnnModel, input_dims: &[usize]) -> Result<Self, ConvertError> {
+        Self::compile_shared(Arc::new(model.clone()), input_dims)
+    }
+
+    /// Compiles an already-shared model without cloning it: the engine (and
+    /// every clone of it) holds the same read-only `Arc<SnnModel>` the
+    /// caller keeps — one copy of the weights no matter how many engines,
+    /// workers or servers reference it.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use rand::SeedableRng;
+    /// use snn_nn::{DenseLayer, Flatten, Layer, Sequential};
+    /// use snn_runtime::CsrEngine;
+    /// use ttfs_core::{convert, Base2Kernel};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    /// let net = Sequential::new(vec![
+    ///     Layer::Flatten(Flatten::new()),
+    ///     Layer::Dense(DenseLayer::new(9, 4, &mut rng)),
+    /// ]);
+    /// let model = Arc::new(convert(&net, Base2Kernel::paper_default(), 16)?);
+    /// let engine = CsrEngine::compile_shared(Arc::clone(&model), &[1, 3, 3])?;
+    /// // The engine shares the caller's copy rather than cloning it.
+    /// assert!(Arc::ptr_eq(&model, &engine.model_shared()));
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::Structure`] if `input_dims` does not fit the
+    /// model geometry.
+    pub fn compile_shared(
+        model: Arc<SnnModel>,
+        input_dims: &[usize],
+    ) -> Result<Self, ConvertError> {
+        let compiled = Arc::new(CsrModel::compile(&model, input_dims)?);
+        let max_lanes = default_lanes(&compiled);
         Ok(Self {
-            model: model.clone(),
-            compiled: CsrModel::compile(model, input_dims)?,
+            model,
+            compiled,
+            max_lanes,
+            scratch: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Sets the chunk width: how many samples are integrated together as
+    /// lanes of one batched traversal (clamped to at least 1). Lane count 1
+    /// degenerates to the classic sample-at-a-time walk; results are
+    /// bit-identical for every setting.
+    #[must_use]
+    pub fn with_max_lanes(mut self, lanes: usize) -> Self {
+        self.max_lanes = lanes.max(1);
+        self
+    }
+
+    /// The chunk width (samples integrated together).
+    pub fn max_lanes(&self) -> usize {
+        self.max_lanes
     }
 
     /// The compiled CSR representation.
@@ -72,81 +225,199 @@ impl CsrEngine {
         &self.compiled
     }
 
-    /// Total stored synapses across weighted layers.
+    /// The shared handle to the compiled CSR representation.
+    pub fn compiled_shared(&self) -> Arc<CsrModel> {
+        Arc::clone(&self.compiled)
+    }
+
+    /// The shared handle to the converted model.
+    pub fn model_shared(&self) -> Arc<SnnModel> {
+        Arc::clone(&self.model)
+    }
+
+    /// Total traversed synapses across weighted layers (flat-equivalent).
     pub fn total_edges(&self) -> usize {
         self.compiled.total_edges
     }
 
-    fn encode_input_wheel(&self, sample: &[f32]) -> TimeWheel {
-        let kernel = self.model.kernel();
-        let window = self.model.window();
-        let mut wheel = TimeWheel::new(window);
-        for (i, &v) in sample.iter().enumerate() {
-            if let Some(t) = kernel.encode(v, window) {
-                wheel.push(t, i as u32, 1.0);
-            }
-        }
-        wheel
+    fn take_scratch(&self) -> Scratch {
+        self.scratch
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
     }
 
-    /// Fire phase directly out of membrane voltages into a fresh wheel
-    /// (identical semantics to [`phase::fire_phase`], minus the sort the
-    /// wheel makes unnecessary).
-    fn fire_into_wheel(&self, vmem: &[f32], stats: &mut snn_sim::LayerStats) -> TimeWheel {
-        let kernel = self.model.kernel();
-        let window = self.model.window();
-        let mut wheel = TimeWheel::new(window);
-        let mut latest: u32 = 0;
-        let mut all_fired = true;
-        for (i, &u) in vmem.iter().enumerate() {
-            match kernel.encode(u, window) {
-                Some(t) => {
-                    latest = latest.max(t);
-                    wheel.push(t, i as u32, 1.0);
-                }
-                None => all_fired = false,
-            }
-        }
-        stats.output_spikes += wheel.len();
-        stats.encoder_iterations += phase::encoder_iteration_count(window, latest, all_fired);
-        wheel
+    fn put_scratch(&self, scratch: Scratch) {
+        self.scratch
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
     }
 
-    fn run_sample(&self, sample: &[f32], stats: &mut RunStats) -> Result<Vec<f32>, ConvertError> {
+    /// Integrates `lanes` samples (`data` is their concatenated flat
+    /// pixels) as one edge-major chunk, appending one logits row per lane.
+    fn run_chunk(
+        &self,
+        data: &[f32],
+        lanes: usize,
+        sample_len: usize,
+        stats: &mut RunStats,
+        rows: &mut Vec<Vec<f32>>,
+    ) -> Result<(), ConvertError> {
+        let mut scratch = self.take_scratch();
+        let result = self.run_chunk_inner(&mut scratch, data, lanes, sample_len, stats, rows);
+        self.put_scratch(scratch);
+        result
+    }
+
+    fn run_chunk_inner(
+        &self,
+        scratch: &mut Scratch,
+        data: &[f32],
+        lanes: usize,
+        sample_len: usize,
+        stats: &mut RunStats,
+        rows: &mut Vec<Vec<f32>>,
+    ) -> Result<(), ConvertError> {
         let kernel = *self.model.kernel();
+        let window = self.model.window();
         let weighted = self.model.weighted_layers();
-        let mut wheel = self.encode_input_wheel(sample);
-        let mut seen = 0usize;
-        let mut logits: Option<Vec<f32>> = None;
+        let Scratch {
+            acc,
+            latest,
+            all_fired,
+            wheel_in,
+            wheel_out,
+        } = scratch;
 
+        // Input coding, neuron-major with lanes inner: every slot comes out
+        // grouped by neuron with each lane's spikes in canonical ascending
+        // order, so seal() reduces to its O(n) already-sorted check.
+        wheel_in.reset(window, lanes);
+        for i in 0..sample_len {
+            for lane in 0..lanes {
+                let v = data[lane * sample_len + i];
+                if let Some(t) = kernel.encode(v, window) {
+                    wheel_in.push(t, lane as u32, i as u32, 1.0);
+                }
+            }
+        }
+        wheel_in.seal();
+
+        let mut seen = 0usize;
+        let mut produced = false;
         for stage in &self.compiled.stages {
             match stage {
                 CsrStage::Weighted { syn, bias } => {
-                    // f64 accumulate -> one f32 rounding -> f32 bias add:
-                    // identical to the reference GEMM discipline, so the
-                    // fire-phase quantizer sees the same f32 membranes.
-                    let mut acc = vec![0.0f64; bias.len()];
+                    let out_len = bias.len();
+                    acc.clear();
+                    acc.resize(out_len * lanes, 0.0);
                     let mut ops = 0usize;
-                    for (t, neuron, scale) in wheel.iter_ordered() {
-                        let psp = kernel.decode(t) * scale;
-                        ops += syn.degree(neuron);
-                        for (target, w) in syn.edges_of(neuron) {
-                            acc[target as usize] += w as f64 * psp as f64;
+                    // Edge-major integration: ascending time slots, equal
+                    // neurons grouped across lanes, one row fetch per
+                    // group. f64 accumulate -> one f32 rounding -> f32
+                    // bias add: identical to the reference GEMM
+                    // discipline, so the fire-phase quantizer sees the
+                    // same f32 membranes.
+                    for t in 0..=window {
+                        let slot = wheel_in.slot(t);
+                        if slot.is_empty() {
+                            continue;
+                        }
+                        let psp_t = kernel.decode(t);
+                        let mut i = 0usize;
+                        while i < slot.len() {
+                            let neuron = slot[i].neuron;
+                            let mut end = i + 1;
+                            while end < slot.len() && slot[end].neuron == neuron {
+                                end += 1;
+                            }
+                            let degree = match syn {
+                                SynapseTable::Flat(cs) => {
+                                    let (cols, weights) = cs.row_slices(neuron);
+                                    if cs.full_rows() {
+                                        scatter_full_row(
+                                            weights,
+                                            out_len,
+                                            psp_t,
+                                            &slot[i..end],
+                                            acc,
+                                        );
+                                    } else {
+                                        scatter_flat_row(
+                                            cols,
+                                            weights,
+                                            out_len,
+                                            psp_t,
+                                            &slot[i..end],
+                                            acc,
+                                        );
+                                    }
+                                    cols.len()
+                                }
+                                SynapseTable::Patterned(p) => {
+                                    let row = p.row_slices(neuron);
+                                    scatter_pattern_row(&row, out_len, psp_t, &slot[i..end], acc);
+                                    row.degree
+                                }
+                            };
+                            ops += degree * (end - i);
+                            i = end;
                         }
                     }
-                    let mut vmem: Vec<f32> = acc.into_iter().map(|v| v as f32).collect();
-                    for (v, b) in vmem.iter_mut().zip(bias.iter()) {
-                        *v += b;
-                    }
+
                     let layer_stats = &mut stats.layers[seen];
-                    layer_stats.input_spikes += wheel.len();
+                    layer_stats.input_spikes += wheel_in.len();
                     layer_stats.synaptic_ops += ops;
-                    layer_stats.neurons += vmem.len();
+                    layer_stats.neurons += out_len * lanes;
                     seen += 1;
+
                     if seen < weighted {
-                        wheel = self.fire_into_wheel(&vmem, layer_stats);
+                        // Fire phase straight out of the membrane matrix
+                        // (identical semantics to `phase::fire_phase`,
+                        // minus the sort the wheel makes unnecessary).
+                        // Neuron-major with lanes inner, so the produced
+                        // slots are pre-grouped like the encode wheel's.
+                        wheel_out.reset(window, lanes);
+                        latest.clear();
+                        latest.resize(lanes, 0);
+                        all_fired.clear();
+                        all_fired.resize(lanes, true);
+                        for o in 0..out_len {
+                            let b = bias[o];
+                            for lane in 0..lanes {
+                                let u = acc[lane * out_len + o] as f32 + b;
+                                match kernel.encode(u, window) {
+                                    Some(t) => {
+                                        latest[lane] = latest[lane].max(t);
+                                        wheel_out.push(t, lane as u32, o as u32, 1.0);
+                                    }
+                                    None => all_fired[lane] = false,
+                                }
+                            }
+                        }
+                        layer_stats.output_spikes += wheel_out.len();
+                        for lane in 0..lanes {
+                            layer_stats.encoder_iterations += phase::encoder_iteration_count(
+                                window,
+                                latest[lane],
+                                all_fired[lane],
+                            );
+                        }
+                        wheel_out.seal();
+                        std::mem::swap(wheel_in, wheel_out);
                     } else {
-                        logits = Some(vmem);
+                        // Readout: decode every lane's logits row.
+                        for lane in 0..lanes {
+                            let row: Vec<f32> = acc[lane * out_len..(lane + 1) * out_len]
+                                .iter()
+                                .zip(bias.iter())
+                                .map(|(&u, &b)| u as f32 + b)
+                                .collect();
+                            rows.push(row);
+                        }
+                        produced = true;
                     }
                 }
                 CsrStage::MaxPool {
@@ -154,24 +425,120 @@ impl CsrEngine {
                     stride,
                     in_dims,
                 } => {
-                    let train = wheel.to_train(in_dims.clone());
-                    let pooled =
-                        phase::max_pool_spikes(self.model.kernel(), &train, *win, *stride)?;
-                    wheel = TimeWheel::from_train(&pooled);
+                    wheel_out.reset(window, lanes);
+                    for (lane, train) in wheel_in.lane_trains(in_dims).into_iter().enumerate() {
+                        let pooled =
+                            phase::max_pool_spikes(self.model.kernel(), &train, *win, *stride)?;
+                        wheel_out.push_train(lane as u32, &pooled);
+                    }
+                    wheel_out.seal();
+                    std::mem::swap(wheel_in, wheel_out);
                 }
                 CsrStage::AvgPool {
                     win,
                     stride,
                     in_dims,
                 } => {
-                    let train = wheel.to_train(in_dims.clone());
-                    let pooled = phase::avg_pool_spikes(&train, *win, *stride)?;
-                    wheel = TimeWheel::from_train(&pooled);
+                    wheel_out.reset(window, lanes);
+                    for (lane, train) in wheel_in.lane_trains(in_dims).into_iter().enumerate() {
+                        let pooled = phase::avg_pool_spikes(&train, *win, *stride)?;
+                        wheel_out.push_train(lane as u32, &pooled);
+                    }
+                    wheel_out.seal();
+                    std::mem::swap(wheel_in, wheel_out);
                 }
                 CsrStage::Flatten => {} // flat indices already
             }
         }
-        logits.ok_or_else(|| ConvertError::Structure("model produced no readout".into()))
+        if produced {
+            Ok(())
+        } else {
+            Err(ConvertError::Structure("model produced no readout".into()))
+        }
+    }
+}
+
+/// Streams one synapse row and scatters it into the `[lanes, out]`
+/// membrane matrix for every `(lane, psp)` of the current spike group. The
+/// row (and its pattern metadata) is fetched once however many lanes share
+/// the group — this is where batch amortization of weight traffic happens
+/// — while each lane scatters into its own contiguous membrane slice, so
+/// accumulator locality matches the sample-at-a-time walk. Every edge
+/// targets a distinct output neuron and lanes own disjoint slices, so
+/// per-cell accumulation order equals the group's lane/duplicate order,
+/// matching the reference backend.
+#[inline]
+fn scatter_flat_row(
+    cols: &[u32],
+    weights: &[f32],
+    out_len: usize,
+    psp_t: f32,
+    group: &[crate::wheel::LaneSpike],
+    acc: &mut [f64],
+) {
+    for s in group {
+        // The reference computes psp = decode(t) * scale in f32, then
+        // widens to f64; replicate exactly.
+        let psp = (psp_t * s.scale) as f64;
+        let cell = &mut acc[s.lane as usize * out_len..][..out_len];
+        for (c, w) in cols.iter().zip(weights.iter()) {
+            cell[*c as usize] += *w as f64 * psp;
+        }
+    }
+}
+
+/// [`scatter_flat_row`] for a row whose targets are exactly `0..degree`
+/// (a dense layer with no structural zeros): the weight slice walks the
+/// lane's membrane slice directly — no per-edge target loads, no index
+/// arithmetic.
+#[inline]
+fn scatter_full_row(
+    weights: &[f32],
+    out_len: usize,
+    psp_t: f32,
+    group: &[crate::wheel::LaneSpike],
+    acc: &mut [f64],
+) {
+    for s in group {
+        let psp = (psp_t * s.scale) as f64;
+        let cell = &mut acc[s.lane as usize * out_len..][..out_len];
+        for (c, w) in cell[..weights.len()].iter_mut().zip(weights.iter()) {
+            *c += *w as f64 * psp;
+        }
+    }
+}
+
+/// [`scatter_flat_row`] for a deduplicated conv row: one strided sweep
+/// per tap run, reading the run's weights contiguously from the row's
+/// channel slice of the repacked weight array — no per-edge metadata at
+/// all.
+#[inline]
+fn scatter_pattern_row(
+    row: &crate::csr::PatternRow<'_>,
+    out_len: usize,
+    psp_t: f32,
+    group: &[crate::wheel::LaneSpike],
+    acc: &mut [f64],
+) {
+    let stride = row.oc_stride as usize;
+    let tbase = row.t_base as usize;
+    for s in group {
+        let psp = (psp_t * s.scale) as f64;
+        let cell = &mut acc[s.lane as usize * out_len..][..out_len];
+        for ((t0, w0), len) in row
+            .t_start
+            .iter()
+            .zip(row.w_start.iter())
+            .zip(row.run_len.iter())
+        {
+            let n = *len as usize;
+            let ws = &row.channel_weights[*w0 as usize..*w0 as usize + n];
+            let mut t = *t0 as usize + tbase;
+            for w in ws {
+                cell[t] += *w as f64 * psp;
+                t += stride;
+            }
+        }
     }
 }
 
@@ -203,9 +570,12 @@ impl InferenceBackend for CsrEngine {
         let sample_len: usize = self.compiled.input_dims.iter().product();
         let mut stats = phase::new_run_stats(&self.model, n);
         let mut rows = Vec::with_capacity(n);
-        for s in 0..n {
-            let sample = &images.as_slice()[s * sample_len..(s + 1) * sample_len];
-            rows.push(self.run_sample(sample, &mut stats)?);
+        let mut begin = 0usize;
+        while begin < n {
+            let lanes = self.max_lanes.min(n - begin);
+            let chunk = &images.as_slice()[begin * sample_len..(begin + lanes) * sample_len];
+            self.run_chunk(chunk, lanes, sample_len, &mut stats, &mut rows)?;
+            begin += lanes;
         }
         let logits = phase::logits_tensor(rows)?;
         Ok((logits, stats))
@@ -248,6 +618,89 @@ mod tests {
         let (b, sb) = csr.run_batch(&x).unwrap();
         assert_eq!(a.as_slice(), b.as_slice(), "same accumulation order");
         assert_eq!(sa, sb, "identical event statistics");
+    }
+
+    #[test]
+    fn every_chunk_width_is_bit_identical() {
+        // The whole point of the batched path: lane count is a pure
+        // performance knob. Logits AND event statistics must be invariant.
+        let model = cnn_model(17);
+        let mut rng = StdRng::seed_from_u64(101);
+        let x = snn_tensor::uniform(&[7, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let (expect_logits, expect_stats) = EventSnn::new(&model).run_batch(&x).unwrap();
+        for lanes in [1usize, 2, 3, 5, 7, 16] {
+            let csr = CsrEngine::compile(&model, &[1, 8, 8])
+                .unwrap()
+                .with_max_lanes(lanes);
+            assert_eq!(csr.max_lanes(), lanes);
+            let (logits, stats) = csr.run_batch(&x).unwrap();
+            assert_eq!(
+                logits.as_slice(),
+                expect_logits.as_slice(),
+                "chunk width {lanes}"
+            );
+            assert_eq!(stats, expect_stats, "chunk width {lanes}");
+        }
+    }
+
+    #[test]
+    fn scratch_pool_reuse_is_deterministic() {
+        // Back-to-back runs on one engine reuse pooled scratch buffers;
+        // results must not depend on buffer history.
+        let model = cnn_model(18);
+        let mut rng = StdRng::seed_from_u64(102);
+        let csr = CsrEngine::compile(&model, &[1, 8, 8]).unwrap();
+        let x1 = snn_tensor::uniform(&[5, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let x2 = snn_tensor::uniform(&[2, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let first = csr.run_batch(&x1).unwrap().0;
+        let _ = csr.run_batch(&x2).unwrap();
+        let again = csr.run_batch(&x1).unwrap().0;
+        assert_eq!(first.as_slice(), again.as_slice());
+    }
+
+    #[test]
+    fn clone_shares_model_and_compiled() {
+        let model = Arc::new(cnn_model(19));
+        let csr = CsrEngine::compile_shared(Arc::clone(&model), &[1, 8, 8]).unwrap();
+        let dup = csr.clone();
+        assert!(Arc::ptr_eq(&csr.model_shared(), &dup.model_shared()));
+        assert!(Arc::ptr_eq(&csr.compiled_shared(), &dup.compiled_shared()));
+        assert!(Arc::ptr_eq(&model, &csr.model_shared()));
+        let mut rng = StdRng::seed_from_u64(103);
+        let x = snn_tensor::uniform(&[2, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let (a, _) = csr.run_batch(&x).unwrap();
+        let (b, _) = dup.run_batch(&x).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn zeroed_weights_stay_bit_identical_to_event() {
+        // Exact-zero weights are *retained* by both compilers (conv
+        // patterns and dense rows): `+= 0·psp` is bit-neutral on the
+        // accumulator, and the reference backend charges synaptic ops for
+        // every surviving tap regardless of weight value — so both logits
+        // AND RunStats must still match for pruned models.
+        let mut model = cnn_model(16);
+        let ttfs_core::SnnLayer::Conv { weight, .. } = &mut model.layers_mut()[0] else {
+            panic!("layer 0 is conv");
+        };
+        let wd = weight.as_mut_slice();
+        wd[0] = 0.0;
+        wd[5] = 0.0;
+        wd[17] = 0.0;
+        let ttfs_core::SnnLayer::Dense { weight, .. } = &mut model.layers_mut()[3] else {
+            panic!("layer 3 is dense");
+        };
+        let wd = weight.as_mut_slice();
+        wd[3] = 0.0;
+        wd[40] = 0.0;
+        let mut rng = StdRng::seed_from_u64(104);
+        let x = snn_tensor::uniform(&[3, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let (a, sa) = EventSnn::new(&model).run_batch(&x).unwrap();
+        let csr = CsrEngine::compile(&model, &[1, 8, 8]).unwrap();
+        let (b, sb) = csr.run_batch(&x).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(sa, sb, "synaptic ops must count zero-weight taps too");
     }
 
     #[test]

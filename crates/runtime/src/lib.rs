@@ -8,10 +8,17 @@
 //!   implementations ship: the reference event simulator
 //!   ([`snn_sim::EventSnn`]) and the [`CsrEngine`] fast path.
 //! * [`CsrModel`] / [`CsrEngine`] — ahead-of-time compilation of a
-//!   converted [`ttfs_core::SnnModel`] into CSR synapse lists plus a
-//!   [`TimeWheel`] O(1) spike queue; integration becomes a contiguous edge
-//!   scan per spike. Logits match the reference backend bit-for-bit (same
-//!   float accumulation order) and `reference_forward` within tolerance.
+//!   converted [`ttfs_core::SnnModel`] into synapse tables (conv layers
+//!   pattern-deduplicated per `(channel, border-class)` — roughly
+//!   `H·W`-fold less edge storage; dense layers flat CSR) plus the
+//!   [`BatchWheel`] multi-lane O(1) spike queue. Integration is **batched
+//!   and edge-major**: a chunk of samples is walked together in ascending
+//!   `(t, neuron)` order and each synapse row is streamed once per spike
+//!   group, scattering into a `[lanes, out]` membrane matrix. Logits match
+//!   the reference backend bit-for-bit for every chunk width (same
+//!   per-cell float accumulation order) and `reference_forward` within
+//!   tolerance. Model and compiled tables sit behind `Arc`, so engine
+//!   clones and server workers share one read-only copy of the weights.
 //! * [`InferenceServer`] / [`WorkerPool`] — batch requests fan out over a
 //!   `std::thread` pool with a submission queue; per-request latency is
 //!   recorded and summarized as p50/p99 + images/sec
@@ -69,11 +76,13 @@ mod workers;
 
 pub use backend::InferenceBackend;
 pub use batcher::{DeadlineBatcher, StreamedResponse, StreamingConfig, Ticket};
-pub use csr::{CsrModel, CsrStage, CsrSynapses};
-pub use engine::CsrEngine;
+pub use csr::{
+    ConvPatterns, CsrFootprint, CsrModel, CsrStage, CsrSynapses, EdgeIter, PatternRow, SynapseTable,
+};
+pub use engine::{CsrEngine, DEFAULT_MAX_LANES};
 pub use metrics::{
     LatencyRecorder, OccupancyBucket, StreamingMetrics, StreamingRecorder, ThroughputMetrics,
 };
 pub use server::{BatchReport, InferenceServer, ServerConfig, StreamingServer};
-pub use wheel::{TimeWheel, WheelSpike};
+pub use wheel::{BatchWheel, LaneSpike, TimeWheel, WheelSpike};
 pub use workers::{PoolClosed, WorkerPool};

@@ -69,6 +69,12 @@ pub struct BatchReport {
 /// Multi-threaded batched inference front-end over any
 /// [`InferenceBackend`].
 ///
+/// The backend sits behind one `Arc` shared by every worker, and a
+/// [`CsrEngine`](crate::CsrEngine) itself holds its model and compiled
+/// synapse tables behind `Arc`s — however many servers, workers and engine
+/// clones are running, there is exactly one read-only copy of the weights
+/// in memory.
+///
 /// # Example
 ///
 /// ```
@@ -85,8 +91,9 @@ pub struct BatchReport {
 ///     Layer::Flatten(Flatten::new()),
 ///     Layer::Dense(DenseLayer::new(9, 2, &mut rng)),
 /// ]);
-/// let model = convert(&net, Base2Kernel::paper_default(), 16)?;
-/// let engine = Arc::new(CsrEngine::compile(&model, &[1, 3, 3])?);
+/// // One shared copy of the converted model for the engine + all workers.
+/// let model = Arc::new(convert(&net, Base2Kernel::paper_default(), 16)?);
+/// let engine = Arc::new(CsrEngine::compile_shared(Arc::clone(&model), &[1, 3, 3])?);
 /// let server = InferenceServer::new(engine, ServerConfig { threads: 2, chunk_size: 2 });
 /// let report = server.run(&Tensor::full(&[5, 1, 3, 3], 0.5))?;
 /// assert_eq!(report.logits.dims(), &[5, 2]);

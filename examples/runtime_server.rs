@@ -26,17 +26,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A VGG-16-shaped network at 1/16 width: real geometry, laptop budget.
     let net = vgg16_scaled(side, 10, 16, &mut rng);
-    let model = convert(&net, Base2Kernel::paper_default(), 24)?;
+    // One shared, read-only copy of the converted model: the CSR engine,
+    // every server worker, and the reference simulator below all hold the
+    // same Arc instead of cloning the weights.
+    let model = Arc::new(convert(&net, Base2Kernel::paper_default(), 24)?);
     println!(
         "model: {} weighted layers, latency {} timesteps",
         model.weighted_layers(),
         model.latency_timesteps()
     );
 
-    // Compile the CSR fast path for the deployment geometry.
+    // Compile the CSR fast path for the deployment geometry. Conv layers
+    // are pattern-deduplicated (border-class tap runs + one repacked
+    // weight copy), so the compiled footprint is a fraction of a flat
+    // per-pixel CSR; integration runs edge-major over lane chunks.
     let input_dims = [3, side, side];
-    let engine = CsrEngine::compile(&model, &input_dims)?;
-    println!("csr: {} synapse edges materialized", engine.total_edges());
+    let engine = CsrEngine::compile_shared(Arc::clone(&model), &input_dims)?;
+    let footprint = engine.compiled().footprint();
+    println!(
+        "csr: {} logical edges in {:.2} MB ({} border-class patterns; flat CSR would be {:.2} MB); {} lanes/chunk",
+        engine.total_edges(),
+        footprint.stored_bytes as f64 / 1e6,
+        footprint.patterns,
+        footprint.flat_bytes as f64 / 1e6,
+        engine.max_lanes(),
+    );
 
     // Serve a batch across the worker pool.
     let server = InferenceServer::new(Arc::new(engine), ServerConfig::default());
@@ -57,9 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("logits match the reference event simulator bit-for-bit");
 
     // Streaming path: the same images arrive one at a time; the adaptive
-    // batcher groups them by deadline and each submit gets a ticket.
+    // batcher groups them by deadline and each submit gets a ticket. The
+    // second engine shares the same Arc'd model — no weight copy.
     let streaming = StreamingServer::new(
-        Arc::new(CsrEngine::compile(&model, &input_dims)?),
+        Arc::new(CsrEngine::compile_shared(Arc::clone(&model), &input_dims)?),
         StreamingConfig {
             threads: 0,
             max_batch: 8,

@@ -25,7 +25,17 @@ use ttfs_snn::sim::EventSnn;
 use ttfs_snn::tensor::{Conv2dSpec, Tensor};
 use ttfs_snn::ttfs::{convert, Base2Kernel, SnnModel};
 
-fn check_backends(model: &SnnModel, x: &Tensor, input_dims: &[usize]) -> Result<(), TestCaseError> {
+/// Asserts `EventSnn == CsrEngine` bit-for-bit (logits AND event
+/// statistics) at the engine's default chunk width, at one lane (the
+/// classic sample-major walk), at the proptest-chosen `lanes`, and at a
+/// whole-batch-plus-one chunk — the batched edge-major interchange must be
+/// a pure performance knob — and both within 1e-4 of `reference_forward`.
+fn check_backends(
+    model: &SnnModel,
+    x: &Tensor,
+    input_dims: &[usize],
+    lanes: usize,
+) -> Result<(), TestCaseError> {
     let event = EventSnn::new(model);
     let csr = CsrEngine::compile(model, input_dims).expect("csr compile");
     let (event_logits, event_stats) = event.run(x).expect("event run");
@@ -37,7 +47,18 @@ fn check_backends(model: &SnnModel, x: &Tensor, input_dims: &[usize]) -> Result<
         csr_logits.as_slice(),
         "CSR and event backends share one accumulation discipline"
     );
-    prop_assert_eq!(event_stats, csr_stats, "identical event statistics");
+    prop_assert_eq!(&event_stats, &csr_stats, "identical event statistics");
+    for chunk in [1, lanes, x.dims()[0] + 1] {
+        let alt = csr.clone().with_max_lanes(chunk);
+        let (alt_logits, alt_stats) = alt.run_batch(x).expect("chunked run");
+        prop_assert_eq!(
+            alt_logits.as_slice(),
+            csr_logits.as_slice(),
+            "chunk width {} must not change logits",
+            chunk
+        );
+        prop_assert_eq!(&alt_stats, &csr_stats, "chunk width {} stats", chunk);
+    }
     let max_diff = csr_logits
         .as_slice()
         .iter()
@@ -54,11 +75,12 @@ fn check_backends(model: &SnnModel, x: &Tensor, input_dims: &[usize]) -> Result<
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Conv + max-pool networks across random batch sizes.
+    /// Conv + max-pool networks across random batch and chunk sizes.
     #[test]
     fn conv_maxpool_backends_agree(
         seed in 0u64..256,
         batch in 1usize..5,
+        lanes in 1usize..7,
         xs in proptest::collection::vec(0.0f32..1.0, 4 * 2 * 36),
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -71,13 +93,15 @@ proptest! {
         ]);
         let model = convert(&net, Base2Kernel::paper_default(), 24).expect("conversion");
         let x = Tensor::from_vec(xs[..batch * 2 * 36].to_vec(), &[batch, 2, 6, 6]).expect("sized");
-        check_backends(&model, &x, &[2, 6, 6])?;
+        check_backends(&model, &x, &[2, 6, 6], lanes)?;
     }
 
-    /// Average pooling (scaled virtual spikes) and strided conv.
+    /// Average pooling (scaled virtual spikes, duplicate (t, neuron)
+    /// events per lane) and strided conv, across random chunk sizes.
     #[test]
     fn avgpool_strided_backends_agree(
         seed in 0u64..256,
+        lanes in 1usize..5,
         xs in proptest::collection::vec(0.0f32..1.0, 2 * 49),
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -90,14 +114,16 @@ proptest! {
         ]);
         let model = convert(&net, Base2Kernel::paper_default(), 24).expect("conversion");
         let x = Tensor::from_vec(xs, &[2, 1, 7, 7]).expect("sized");
-        check_backends(&model, &x, &[1, 7, 7])?;
+        check_backends(&model, &x, &[1, 7, 7], lanes)?;
     }
 
-    /// Deep dense stacks (quantization compounds with depth).
+    /// Deep dense stacks (quantization compounds with depth), across
+    /// random chunk sizes.
     #[test]
     fn deep_dense_backends_agree(
         seed in 0u64..256,
         batch in 1usize..7,
+        lanes in 1usize..9,
         xs in proptest::collection::vec(0.0f32..1.0, 6 * 10),
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -112,7 +138,7 @@ proptest! {
         let model = convert(&Sequential::new(layers), Base2Kernel::paper_default(), 24)
             .expect("conversion");
         let x = Tensor::from_vec(xs[..batch * 10].to_vec(), &[batch, 1, 2, 5]).expect("sized");
-        check_backends(&model, &x, &[1, 2, 5])?;
+        check_backends(&model, &x, &[1, 2, 5], lanes)?;
     }
 
     /// The worker-pool server returns the same logits as any single-thread
