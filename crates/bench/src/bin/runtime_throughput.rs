@@ -10,9 +10,12 @@
 //! (closed path), streaming end-to-end latency percentiles with the
 //! queue-wait/execution split and batch-occupancy histogram, the compiled
 //! CSR memory footprint before/after conv pattern deduplication
-//! (`csr_memory`), logits-equivalence versus
-//! `SnnModel::reference_forward`, and the hardware energy report driven by
-//! the fast path's event counts.
+//! (`csr_memory`), the quantized serving path (`quant`: packed 5-bit
+//! log-code throughput, code bytes vs the f32 weight copy, bit-exactness
+//! vs the event simulator over quantized weights, top-1 agreement vs the
+//! f32 path, shift-add error bounds, quantized-workload energy),
+//! logits-equivalence versus `SnnModel::reference_forward`, and the
+//! hardware energy report driven by the fast path's event counts.
 //!
 //! Run: `cargo run -p snn-bench --bin runtime_throughput --release`
 //! Scale with `SNN_BENCH_SCALE=quick|default|full`.
@@ -27,8 +30,8 @@ use snn_bench::Scale;
 use snn_hw::{Processor, ProcessorConfig};
 use snn_nn::models::vgg16_scaled;
 use snn_runtime::{
-    energy, CsrEngine, InferenceBackend, InferenceServer, ServerConfig, StreamingConfig,
-    StreamingMetrics, StreamingServer,
+    energy, quantize_model, CsrEngine, DecodeMode, InferenceBackend, InferenceServer, QuantConfig,
+    QuantEngine, ServerConfig, StreamingConfig, StreamingMetrics, StreamingServer,
 };
 use snn_sim::EventSnn;
 use snn_tensor::Tensor;
@@ -61,6 +64,9 @@ struct CsrMemoryResult {
     stored_edges: usize,
     /// Bytes of all synapse storage (patterns, offsets, row maps).
     stored_bytes: usize,
+    /// Bytes of the stored f32 weight payloads alone (compare with
+    /// `quant.code_bytes`).
+    weight_bytes: usize,
     /// Bytes a flat per-pixel CSR of the same model would occupy.
     flat_bytes: usize,
     /// Conv-only edge counts (the deduplicated stages).
@@ -110,6 +116,37 @@ struct EnergySummary {
 }
 
 #[derive(Debug, Serialize)]
+struct QuantResult {
+    /// Code width (sign included) and log base label.
+    bits: u8,
+    base: String,
+    /// Batched quantized throughput (engine default lane count).
+    images_per_sec: f64,
+    wall_ms: f64,
+    /// Stored weight payload: packed codes vs the f32 repacked copy.
+    code_bytes: usize,
+    f32_weight_bytes: usize,
+    /// `f32_weight_bytes / code_bytes` (≥ 4 by construction; CI-enforced).
+    weight_bytes_ratio: f64,
+    /// Bit-exactness: quantized serving vs the reference event simulator
+    /// over `quantize_tensor`'d weights (must be 0.0; CI-enforced).
+    max_abs_logit_diff_vs_quantized_event: f32,
+    /// Event statistics identical to that quantized reference run.
+    stats_match_quantized_event: bool,
+    /// Accuracy cost of quantization vs the f32 serving path.
+    top1_agreement_vs_f32: f64,
+    max_abs_logit_diff_vs_f32: f32,
+    /// Shift-add (LogPe Q16 mantissa) datapath diagnostics.
+    shift_add_available: bool,
+    mantissa_error_bound: f32,
+    shift_add_max_rel_error: f32,
+    max_abs_logit_diff_shift_add_vs_lut: f32,
+    /// Hardware model on the measured quantized workload (proposed
+    /// log-PE processor configuration).
+    energy: EnergySummary,
+}
+
+#[derive(Debug, Serialize)]
 struct RuntimeBenchReport {
     scale: String,
     geometry: String,
@@ -125,6 +162,7 @@ struct RuntimeBenchReport {
     batched: BatchedResult,
     csr_pooled: PooledResult,
     streaming: StreamingResult,
+    quant: QuantResult,
     speedup_csr_single: f64,
     speedup_batched: f64,
     speedup_csr_pooled: f64,
@@ -251,14 +289,34 @@ fn main() {
         "streamed logits must equal single-thread CSR logits"
     );
 
+    // Quantized serving path: packed 5-bit log codes + LUT decode, from
+    // the same shared model Arc. Ground truth for bit-exactness is the
+    // reference event simulator over per-layer quantize_tensor'd weights.
+    let qconfig = QuantConfig::default();
+    let quant_engine = QuantEngine::compile_shared(Arc::clone(&model), &input_dims, qconfig)
+        .expect("quant compile");
+    let (qmodel, _) = quantize_model(&model, qconfig.base, qconfig.bits).expect("quantize model");
+    let (qevent_logits, qevent_stats) = EventSnn::new(&qmodel).run(&x).expect("quantized event");
+    let _ = quant_engine.run_batch(&x).expect("quant warm-up");
+    let t0 = Instant::now();
+    let (quant_logits, quant_stats) = quant_engine.run_batch(&x).expect("quant run");
+    let quant_wall = t0.elapsed();
+    let quant_vs_event = max_abs_diff(&quant_logits, &qevent_logits);
+    assert_eq!(
+        quant_vs_event, 0.0,
+        "quantized serving must be bit-identical to EventSnn over quantized weights"
+    );
+    // Shift-add (LogPe Q16 mantissa) datapath versus the exact LUT.
+    let shift_add = quant_engine
+        .clone()
+        .with_mode(DecodeMode::ShiftAdd)
+        .expect("paper kernel satisfies eq. 18");
+    let (sa_logits, _) = shift_add.run_batch(&x).expect("shift-add run");
+    let quant_fp = quant_engine.compiled().footprint();
+
     // Equivalence versus the analytic reference.
     let reference = model.reference_forward(&x).expect("reference forward");
-    let max_diff = csr_logits
-        .as_slice()
-        .iter()
-        .zip(reference.as_slice())
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
+    let max_diff = max_abs_diff(&csr_logits, &reference);
     let pooled_matches_csr = report.logits.as_slice() == csr_logits.as_slice();
     let event_matches_csr = event_logits.as_slice() == csr_logits.as_slice();
     assert!(
@@ -274,6 +332,8 @@ fn main() {
     let processor = Processor::new(ProcessorConfig::proposed());
     let hw = energy::energy_report(&processor, &model, &report.stats, &input_dims)
         .expect("energy report");
+    let quant_hw = energy::quant_energy_report(&processor, &quant_engine, &quant_stats)
+        .expect("quant energy report");
 
     let per_sec = |n: usize, wall: std::time::Duration| n as f64 / wall.as_secs_f64();
     let out = RuntimeBenchReport {
@@ -289,6 +349,7 @@ fn main() {
             logical_edges: footprint.logical_edges,
             stored_edges: footprint.stored_edges,
             stored_bytes: footprint.stored_bytes,
+            weight_bytes: footprint.weight_bytes,
             flat_bytes: footprint.flat_bytes,
             conv_logical_edges: footprint.conv_logical_edges,
             conv_stored_edges: footprint.conv_stored_edges,
@@ -320,6 +381,33 @@ fn main() {
             latency_mean_us: report.metrics.latency_mean_us,
         },
         streaming,
+        quant: QuantResult {
+            bits: qconfig.bits,
+            base: qconfig.base.label(),
+            images_per_sec: per_sec(batch, quant_wall),
+            wall_ms: quant_wall.as_secs_f64() * 1e3,
+            code_bytes: quant_fp.weight_bytes,
+            f32_weight_bytes: footprint.weight_bytes,
+            weight_bytes_ratio: footprint.weight_bytes as f64 / quant_fp.weight_bytes.max(1) as f64,
+            max_abs_logit_diff_vs_quantized_event: quant_vs_event,
+            stats_match_quantized_event: quant_stats == qevent_stats,
+            top1_agreement_vs_f32: top1_agreement(&quant_logits, &csr_logits),
+            max_abs_logit_diff_vs_f32: max_abs_diff(&quant_logits, &csr_logits),
+            shift_add_available: quant_engine.compiled().shift_add_available(),
+            mantissa_error_bound: quant_engine.compiled().mantissa_error_bound(),
+            shift_add_max_rel_error: quant_engine
+                .compiled()
+                .layers()
+                .iter()
+                .map(|l| l.shift_add_max_rel_error)
+                .fold(0.0, f32::max),
+            max_abs_logit_diff_shift_add_vs_lut: max_abs_diff(&sa_logits, &quant_logits),
+            energy: EnergySummary {
+                energy_per_image_uj: quant_hw.energy_per_image_uj,
+                model_fps: quant_hw.fps,
+                total_sops: quant_hw.total_sops,
+            },
+        },
         speedup_csr_single: event_wall.as_secs_f64() / csr_wall.as_secs_f64(),
         speedup_batched: event_wall.as_secs_f64() / batched_wall.as_secs_f64(),
         speedup_csr_pooled: event_wall.as_secs_f64() / (report.metrics.wall_ms / 1e3),
@@ -360,6 +448,19 @@ fn main() {
         out.csr_memory.stored_bytes as f64 / 1e6,
     );
     eprintln!(
+        "quant({}b {}) {:.1} img/s | codes {:.3} MB vs f32 {:.3} MB ({:.1}x) | vs quantized event {:.1e} | top-1 vs f32 {:.1}% | shift-add bound {:.1e} | {:.2} µJ/img",
+        out.quant.bits,
+        out.quant.base,
+        out.quant.images_per_sec,
+        out.quant.code_bytes as f64 / 1e6,
+        out.quant.f32_weight_bytes as f64 / 1e6,
+        out.quant.weight_bytes_ratio,
+        out.quant.max_abs_logit_diff_vs_quantized_event,
+        out.quant.top1_agreement_vs_f32 * 100.0,
+        out.quant.mantissa_error_bound,
+        out.quant.energy.energy_per_image_uj,
+    );
+    eprintln!(
         "stream({}c) {:.1} img/s | e2e p50 {:.0} µs p99 {:.0} µs | queue share {:.0}% | occupancy mean {:.1} max {}",
         out.streaming.clients,
         out.streaming.metrics.images_per_sec,
@@ -369,6 +470,32 @@ fn main() {
         out.streaming.metrics.mean_batch_occupancy,
         out.streaming.metrics.max_batch_occupancy,
     );
+}
+
+/// Elementwise max |a − b| over two equal-shape logit tensors.
+fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+/// Fraction of batch rows whose argmax class agrees between two `[N,
+/// classes]` logit tensors.
+fn top1_agreement(a: &Tensor, b: &Tensor) -> f64 {
+    let n = a.dims()[0];
+    let classes = a.dims()[1];
+    let argmax = |t: &Tensor, row: usize| {
+        t.as_slice()[row * classes..(row + 1) * classes]
+            .iter()
+            .enumerate()
+            .max_by(|(_, x), (_, y)| x.total_cmp(y))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    };
+    let agree = (0..n).filter(|&i| argmax(a, i) == argmax(b, i)).count();
+    agree as f64 / n.max(1) as f64
 }
 
 /// Drives the streaming server with `clients` closed-loop threads: client
@@ -396,6 +523,7 @@ fn closed_loop_streaming(
             threads: 0, // one worker per core
             max_batch,
             max_delay,
+            max_pending: 0,
         },
     );
 

@@ -62,6 +62,21 @@ impl LogQuantizer {
     /// Returns [`QuantError::BadBitWidth`] for `bits < 2` and
     /// [`QuantError::DegenerateRange`] when no weight is nonzero.
     pub fn fit(base: LogBase, bits: u8, weights: &[f32]) -> Result<Self, QuantError> {
+        Self::fit_slice(base, bits, weights)
+    }
+
+    /// Per-layer calibration helper: fits one quantizer to a layer's weight
+    /// tensor (FSR anchors at the layer's largest magnitude, as deployment
+    /// calibrates each layer independently).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LogQuantizer::fit`].
+    pub fn fit_tensor(base: LogBase, bits: u8, weights: &Tensor) -> Result<Self, QuantError> {
+        Self::fit_slice(base, bits, weights.as_slice())
+    }
+
+    fn fit_slice(base: LogBase, bits: u8, weights: &[f32]) -> Result<Self, QuantError> {
         if bits < 2 {
             return Err(QuantError::BadBitWidth(bits));
         }
@@ -155,6 +170,74 @@ impl LogQuantizer {
     /// Quantizes a weight (encode–decode round trip).
     pub fn quantize(&self, w: f32) -> f32 {
         self.decode(self.code(w))
+    }
+
+    /// Packs a code into one byte: bit 0 is the sign, the upper bits are
+    /// the magnitude index (`0` = exact zero, `m` = `steps + 1` for
+    /// `m ∈ 1..=levels()`). The magnitude space thus has `levels() + 1`
+    /// entries including the dedicated zero, and the byte doubles as a
+    /// direct index into [`decode_lut`](Self::decode_lut).
+    ///
+    /// Requires `bits ≤ 8` (the code space must fit one byte); wider
+    /// quantizers are a diagnostic configuration, not a packing target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 8`.
+    pub fn pack(&self, code: LogCode) -> u8 {
+        assert!(self.bits <= 8, "packed codes need bits <= 8");
+        if code.zero {
+            0
+        } else {
+            ((code.steps as u8 + 1) << 1) | u8::from(code.negative)
+        }
+    }
+
+    /// Inverse of [`pack`](Self::pack). The unused `packed == 1` slot
+    /// (a negative zero the encoder never emits) decodes as the zero code.
+    pub fn unpack(&self, packed: u8) -> LogCode {
+        if packed >> 1 == 0 {
+            LogCode::zeroed()
+        } else {
+            LogCode {
+                negative: packed & 1 == 1,
+                steps: (packed >> 1) as u16 - 1,
+                zero: false,
+            }
+        }
+    }
+
+    /// Encode straight to the packed byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 8` (see [`pack`](Self::pack)).
+    pub fn encode_packed(&self, w: f32) -> u8 {
+        self.pack(self.code(w))
+    }
+
+    /// Decode a packed byte back to its real value.
+    pub fn decode_packed(&self, packed: u8) -> f32 {
+        self.decode(self.unpack(packed))
+    }
+
+    /// Number of packed-code slots ([`decode_lut`](Self::decode_lut)'s
+    /// length): `2·levels() + 2` — `levels() + 1` magnitudes including
+    /// exact zero, times the sign bit.
+    pub fn packed_slots(&self) -> usize {
+        2 * self.levels() as usize + 2
+    }
+
+    /// The signed decode table indexed by packed code:
+    /// `decode_lut()[pack(c)] == decode(c)` **bit-for-bit** for every code
+    /// `c` the encoder emits (negation is exact in IEEE 754, so folding
+    /// the sign into the table loses nothing). This is the table a serving
+    /// runtime resolves stored codes through instead of multiplying or
+    /// re-deriving exponents per synaptic op.
+    pub fn decode_lut(&self) -> Vec<f32> {
+        (0..self.packed_slots())
+            .map(|p| self.decode_packed(p as u8))
+            .collect()
     }
 
     /// Quantizes every element of a tensor.
@@ -278,5 +361,64 @@ mod tests {
             assert_eq!(q.decode(code), q.quantize(w));
         }
         assert_eq!(q.decode(LogCode::zeroed()), 0.0);
+    }
+
+    #[test]
+    fn fit_tensor_matches_fit_on_the_flat_population() {
+        let data = vec![1.0f32, -0.5, 0.1, 0.0];
+        let t = Tensor::from_vec(data.clone(), &[2, 2]).unwrap();
+        let a = LogQuantizer::fit_tensor(LogBase::inv_sqrt2(), 5, &t).unwrap();
+        let b = LogQuantizer::fit(LogBase::inv_sqrt2(), 5, &data).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn packed_roundtrip_covers_every_code() {
+        let q = q5();
+        // Every reachable code: zero, and both signs of every magnitude.
+        assert_eq!(q.unpack(q.pack(LogCode::zeroed())), LogCode::zeroed());
+        for steps in 0..q.levels() {
+            for negative in [false, true] {
+                let code = LogCode {
+                    negative,
+                    steps,
+                    zero: false,
+                };
+                assert_eq!(q.unpack(q.pack(code)), code, "steps={steps}");
+            }
+        }
+        // The never-emitted negative-zero slot decodes as zero.
+        assert_eq!(q.decode_packed(1), 0.0);
+    }
+
+    #[test]
+    fn packed_bytes_match_float_roundtrip() {
+        let q = q5();
+        for &w in &[0.77f32, -0.12, 0.031, 0.0, -1.0, 1e-12] {
+            assert_eq!(q.decode_packed(q.encode_packed(w)), q.quantize(w));
+        }
+    }
+
+    #[test]
+    fn decode_lut_is_bit_exact_for_every_packed_code() {
+        for bits in [3u8, 4, 5, 8] {
+            for base in [LogBase::pow2(), LogBase::inv_sqrt2()] {
+                let q = LogQuantizer::fit(base, bits, &[0.9, -0.4, 0.02]).unwrap();
+                let lut = q.decode_lut();
+                assert_eq!(lut.len(), q.packed_slots());
+                assert_eq!(lut.len(), 2 * q.levels() as usize + 2);
+                for (p, &v) in lut.iter().enumerate() {
+                    let exact = q.decode(q.unpack(p as u8));
+                    assert_eq!(v.to_bits(), exact.to_bits(), "bits={bits} packed={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits <= 8")]
+    fn pack_rejects_wide_quantizers() {
+        let q = LogQuantizer::fit(LogBase::inv_sqrt2(), 9, &[1.0]).unwrap();
+        let _ = q.pack(q.code(0.5));
     }
 }

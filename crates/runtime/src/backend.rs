@@ -1,15 +1,24 @@
 //! The pluggable backend abstraction.
 //!
 //! A backend executes a converted [`SnnModel`] over a `[N, C, H, W]` batch
-//! and reports logits plus the shared [`RunStats`] event counters. The
-//! reference implementation is `snn_sim`'s [`EventSnn`]; the fast path is
-//! [`crate::CsrEngine`]. Both are driven identically by the
-//! [`crate::InferenceServer`] worker pool, and both feed the same event
-//! statistics into the `snn-hw` energy model.
+//! and reports logits plus the shared [`RunStats`] event counters. Three
+//! implementations ship: `snn_sim`'s reference [`EventSnn`], the
+//! [`crate::CsrEngine`] f32 fast path, and the [`crate::QuantEngine`]
+//! packed-log-code path. All are driven identically by the
+//! [`crate::InferenceServer`] worker pool, and all feed the same event
+//! statistics into the `snn-hw` energy model. [`BackendChoice`] is the
+//! engine factory: it builds any of the three from one shared `Arc`'d
+//! model, so an f32 server and a quantized server can run side by side on
+//! a single read-only weight copy.
+
+use std::sync::Arc;
 
 use snn_sim::{EventSnn, RunStats};
 use snn_tensor::Tensor;
 use ttfs_core::{ConvertError, SnnModel};
+
+use crate::quant::{QuantConfig, QuantEngine};
+use crate::CsrEngine;
 
 /// A batch-capable inference engine over a converted SNN.
 pub trait InferenceBackend: Send + Sync {
@@ -40,5 +49,84 @@ impl InferenceBackend for EventSnn {
 
     fn run_batch(&self, images: &Tensor) -> Result<(Tensor, RunStats), ConvertError> {
         self.run(images)
+    }
+}
+
+/// Which engine a server should execute — the factory both
+/// [`crate::InferenceServer`] and [`crate::StreamingServer`] builds
+/// backends through, so f32 and quantized serving are a one-line switch
+/// over the same `Arc`'d model.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use rand::SeedableRng;
+/// use snn_nn::{DenseLayer, Flatten, Layer, Sequential};
+/// use snn_runtime::{BackendChoice, InferenceServer, QuantConfig, ServerConfig};
+/// use snn_tensor::Tensor;
+/// use ttfs_core::{convert, Base2Kernel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let net = Sequential::new(vec![
+///     Layer::Flatten(Flatten::new()),
+///     Layer::Dense(DenseLayer::new(9, 2, &mut rng)),
+/// ]);
+/// let model = Arc::new(convert(&net, Base2Kernel::paper_default(), 16)?);
+/// // One weight copy, two serving modes.
+/// let config = ServerConfig { threads: 2, chunk_size: 4 };
+/// let f32_server = InferenceServer::new(
+///     BackendChoice::Csr.build(Arc::clone(&model), &[1, 3, 3])?,
+///     config.clone(),
+/// );
+/// let quant_server = InferenceServer::new(
+///     BackendChoice::Quant(QuantConfig::default()).build(Arc::clone(&model), &[1, 3, 3])?,
+///     config,
+/// );
+/// let x = Tensor::full(&[4, 1, 3, 3], 0.5);
+/// assert_eq!(f32_server.backend_name(), "csr");
+/// assert_eq!(quant_server.backend_name(), "quant");
+/// assert_eq!(quant_server.run(&x)?.logits.dims(), &[4, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum BackendChoice {
+    /// The reference event simulator (no compilation, slowest).
+    Event,
+    /// The batched edge-major f32 CSR engine.
+    #[default]
+    Csr,
+    /// The quantized engine: packed log codes + LUT decode.
+    Quant(QuantConfig),
+}
+
+impl BackendChoice {
+    /// Builds the chosen backend over a shared model. `input_dims` are the
+    /// per-sample dims the compiled engines serve (`[C, H, W]`); the event
+    /// backend ignores them beyond validation at run time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::Structure`] if `input_dims` does not fit
+    /// the model geometry or the quantized compile fails (bad bit width,
+    /// all-zero layer, shift-add without the eq. 18 kernel).
+    pub fn build(
+        &self,
+        model: Arc<SnnModel>,
+        input_dims: &[usize],
+    ) -> Result<Arc<dyn InferenceBackend>, ConvertError> {
+        Ok(match self {
+            Self::Event => {
+                // Validate geometry eagerly like the compiled engines do.
+                model.shape_trace(input_dims)?;
+                Arc::new(EventSnn::new(&model))
+            }
+            Self::Csr => Arc::new(CsrEngine::compile_shared(model, input_dims)?),
+            Self::Quant(config) => {
+                Arc::new(QuantEngine::compile_shared(model, input_dims, *config)?)
+            }
+        })
     }
 }

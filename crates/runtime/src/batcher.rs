@@ -32,6 +32,12 @@ pub struct StreamingConfig {
     /// `Duration::ZERO` degenerates to one batch per wakeup — lowest
     /// latency, least amortization.
     pub max_delay: Duration,
+    /// Backpressure: the most admitted-but-unresolved requests (pending
+    /// window + worker queue + in flight) the server holds before
+    /// [`submit`](crate::StreamingServer::submit) starts returning
+    /// [`SubmitError::QueueFull`]. `0` = unbounded (accept everything and
+    /// let the queue grow — the pre-backpressure behavior).
+    pub max_pending: usize,
 }
 
 impl Default for StreamingConfig {
@@ -40,7 +46,50 @@ impl Default for StreamingConfig {
             threads: 0,
             max_batch: 8,
             max_delay: Duration::from_millis(2),
+            max_pending: 0,
         }
+    }
+}
+
+/// Why [`crate::StreamingServer::submit`] refused a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The bounded submission queue is at
+    /// [`max_pending`](StreamingConfig::max_pending) admitted-but-
+    /// unresolved requests: shed the request now (retry, divert, or fail
+    /// upstream) instead of queueing it into ever-growing latency.
+    QueueFull {
+        /// The configured bound that was hit.
+        max_pending: usize,
+    },
+    /// The request was structurally invalid or the server is shut down.
+    Rejected(ConvertError),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QueueFull { max_pending } => write!(
+                f,
+                "submission queue full: {max_pending} requests already admitted and unresolved"
+            ),
+            Self::Rejected(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::QueueFull { .. } => None,
+            Self::Rejected(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConvertError> for SubmitError {
+    fn from(e: ConvertError) -> Self {
+        Self::Rejected(e)
     }
 }
 

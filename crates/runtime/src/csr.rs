@@ -35,21 +35,27 @@ use ttfs_core::{ConvertError, SnnLayer, SnnModel};
 
 /// Per-input-neuron adjacency of one weighted layer, in compressed sparse
 /// row form (used for dense layers, where every row is genuinely unique).
+///
+/// Generic over the stored edge scalar `W`: `f32` for the full-precision
+/// serving path, `u8` packed log codes for the quantized path
+/// ([`crate::QuantCsrModel`]) — the structure (row pointers, targets,
+/// traversal order) is identical either way, only the per-edge payload
+/// width changes.
 #[derive(Debug, Clone)]
-pub struct CsrSynapses {
+pub struct CsrSynapses<W = f32> {
     /// `row_ptr[j]..row_ptr[j + 1]` indexes the edges of input neuron `j`.
     row_ptr: Vec<u32>,
     /// Target (output-neuron) index per edge.
     col: Vec<u32>,
-    /// Synapse weight per edge.
-    weight: Vec<f32>,
+    /// Synapse weight (or packed code) per edge.
+    weight: Vec<W>,
     /// Every row's targets are exactly `0..degree` in order (true for a
     /// dense layer with no structural zeros): the integration loop can
     /// walk the weight slice directly and skip the per-edge target loads.
     full_rows: bool,
 }
 
-impl CsrSynapses {
+impl<W: Copy> CsrSynapses<W> {
     /// Number of input neurons (rows).
     pub fn in_neurons(&self) -> usize {
         self.row_ptr.len() - 1
@@ -62,7 +68,7 @@ impl CsrSynapses {
 
     /// The `(target, weight)` edge list of input neuron `j`.
     #[inline]
-    pub fn edges_of(&self, j: u32) -> EdgeIter<'_> {
+    pub fn edges_of(&self, j: u32) -> EdgeIter<'_, W> {
         let (col, weight) = self.row_slices(j);
         EdgeIter::Flat {
             col: col.iter(),
@@ -73,7 +79,7 @@ impl CsrSynapses {
     /// Raw `(targets, weights)` slices of input neuron `j` for the batched
     /// scatter loop.
     #[inline]
-    pub fn row_slices(&self, j: u32) -> (&[u32], &[f32]) {
+    pub fn row_slices(&self, j: u32) -> (&[u32], &[W]) {
         let lo = self.row_ptr[j as usize] as usize;
         let hi = self.row_ptr[j as usize + 1] as usize;
         (&self.col[lo..hi], &self.weight[lo..hi])
@@ -87,7 +93,12 @@ impl CsrSynapses {
 
     /// Bytes of backing storage.
     pub fn stored_bytes(&self) -> usize {
-        self.row_ptr.len() * 4 + self.col.len() * 4 + self.weight.len() * 4
+        self.row_ptr.len() * 4 + self.col.len() * 4 + self.weight_bytes()
+    }
+
+    /// Bytes of the per-edge weight (or packed code) array alone.
+    pub fn weight_bytes(&self) -> usize {
+        self.weight.len() * std::mem::size_of::<W>()
     }
 
     /// Whether every row's targets are exactly `0..degree` in order.
@@ -95,7 +106,19 @@ impl CsrSynapses {
         self.full_rows
     }
 
-    fn from_rows(rows: Vec<Vec<(u32, f32)>>) -> Self {
+    /// Re-stores every edge payload through `f`, preserving the structure
+    /// (row pointers, targets, edge order) exactly — the bridge from the
+    /// compiled f32 table to its packed-code twin.
+    pub fn map_weights<V: Copy>(&self, f: impl FnMut(W) -> V) -> CsrSynapses<V> {
+        CsrSynapses {
+            row_ptr: self.row_ptr.clone(),
+            col: self.col.clone(),
+            weight: self.weight.iter().copied().map(f).collect(),
+            full_rows: self.full_rows,
+        }
+    }
+
+    fn from_rows(rows: Vec<Vec<(u32, W)>>) -> Self {
         let mut row_ptr = Vec::with_capacity(rows.len() + 1);
         let total: usize = rows.iter().map(Vec::len).sum();
         let mut col = Vec::with_capacity(total);
@@ -144,7 +167,7 @@ impl CsrSynapses {
 /// regardless of weight value — so retaining them keeps `RunStats`
 /// identical to `EventSnn` even for models with exact-zero weights.
 #[derive(Debug, Clone)]
-pub struct ConvPatterns {
+pub struct ConvPatterns<W = f32> {
     /// `pat_ptr[p]..pat_ptr[p + 1]` indexes the runs of pattern `p`.
     pat_ptr: Vec<u32>,
     /// Relative first target of each run: `dy·ow + dx`.
@@ -155,9 +178,9 @@ pub struct ConvPatterns {
     run_len: Vec<u32>,
     /// Target stride between a run's consecutive edges: `oh·ow`.
     oc_stride: u32,
-    /// Repacked weights `[ci][ki][kj][oc]` — one copy per layer, read
-    /// contiguously run by run within each channel slice.
-    weight: Vec<f32>,
+    /// Repacked weights (or packed codes) `[ci][ki][kj][oc]` — one copy
+    /// per layer, read contiguously run by run within each channel slice.
+    weight: Vec<W>,
     /// Weights per channel slice (`k²·OC`).
     ch_stride: usize,
     /// Pattern id of each input pixel row.
@@ -172,7 +195,7 @@ pub struct ConvPatterns {
     logical_edges: usize,
 }
 
-impl ConvPatterns {
+impl<W: Copy> ConvPatterns<W> {
     /// Number of input neurons (rows).
     pub fn in_neurons(&self) -> usize {
         self.row_pattern.len()
@@ -199,7 +222,7 @@ impl ConvPatterns {
     /// targets; identical to the flat CSR row, with structural zeros
     /// retained).
     #[inline]
-    pub fn edges_of(&self, j: u32) -> EdgeIter<'_> {
+    pub fn edges_of(&self, j: u32) -> EdgeIter<'_, W> {
         EdgeIter::Runs {
             row: self.row_slices(j),
             run: 0,
@@ -209,7 +232,7 @@ impl ConvPatterns {
 
     /// The raw run view of input neuron `j` for the batched scatter loop.
     #[inline]
-    pub fn row_slices(&self, j: u32) -> PatternRow<'_> {
+    pub fn row_slices(&self, j: u32) -> PatternRow<'_, W> {
         let p = self.row_pattern[j as usize] as usize;
         let lo = self.pat_ptr[p] as usize;
         let hi = self.pat_ptr[p + 1] as usize;
@@ -243,19 +266,43 @@ impl ConvPatterns {
             + self.row_wbase.len()
             + self.pat_degree.len())
             * 4
-            + self.weight.len() * 4
+            + self.weight_bytes()
+    }
+
+    /// Bytes of the repacked weight (or packed code) array alone.
+    pub fn weight_bytes(&self) -> usize {
+        self.weight.len() * std::mem::size_of::<W>()
     }
 
     /// Bytes a flat per-pixel CSR of the same layer would occupy.
     pub fn flat_bytes(&self) -> usize {
         (self.in_neurons() + 1) * 4 + self.logical_edges * 8
     }
+
+    /// Re-stores the repacked weight copy through `f`, preserving the
+    /// pattern table, per-pixel map and weight-array layout exactly.
+    pub fn map_weights<V: Copy>(&self, f: impl FnMut(W) -> V) -> ConvPatterns<V> {
+        ConvPatterns {
+            pat_ptr: self.pat_ptr.clone(),
+            t_start: self.t_start.clone(),
+            w_start: self.w_start.clone(),
+            run_len: self.run_len.clone(),
+            oc_stride: self.oc_stride,
+            weight: self.weight.iter().copied().map(f).collect(),
+            ch_stride: self.ch_stride,
+            row_pattern: self.row_pattern.clone(),
+            row_tbase: self.row_tbase.clone(),
+            row_wbase: self.row_wbase.clone(),
+            pat_degree: self.pat_degree.clone(),
+            logical_edges: self.logical_edges,
+        }
+    }
 }
 
 /// One input pixel's view into a [`ConvPatterns`] table: the shared tap
 /// runs plus the pixel's target base and channel weight slice.
 #[derive(Debug, Clone, Copy)]
-pub struct PatternRow<'a> {
+pub struct PatternRow<'a, W = f32> {
     /// Relative first target per run.
     pub t_start: &'a [u32],
     /// First weight index per run, into `channel_weights`.
@@ -267,7 +314,7 @@ pub struct PatternRow<'a> {
     /// Added to every relative target.
     pub t_base: u32,
     /// The row's channel slice of the repacked weight array.
-    pub channel_weights: &'a [f32],
+    pub channel_weights: &'a [W],
     /// Total edges of the row (`Σ run_len`).
     pub degree: usize,
 }
@@ -275,18 +322,18 @@ pub struct PatternRow<'a> {
 /// Iterator over the `(absolute_target, weight)` edges of one row of a
 /// [`SynapseTable`].
 #[derive(Debug)]
-pub enum EdgeIter<'a> {
+pub enum EdgeIter<'a, W = f32> {
     /// Flat CSR row: explicit target + weight per edge.
     Flat {
         /// Remaining targets.
         col: std::slice::Iter<'a, u32>,
         /// Remaining weights.
-        weight: std::slice::Iter<'a, f32>,
+        weight: std::slice::Iter<'a, W>,
     },
     /// Pattern row: expand the runs on the fly.
     Runs {
         /// The run view being expanded.
-        row: PatternRow<'a>,
+        row: PatternRow<'a, W>,
         /// Current run index.
         run: usize,
         /// Position within the current run.
@@ -294,11 +341,11 @@ pub enum EdgeIter<'a> {
     },
 }
 
-impl Iterator for EdgeIter<'_> {
-    type Item = (u32, f32);
+impl<W: Copy> Iterator for EdgeIter<'_, W> {
+    type Item = (u32, W);
 
     #[inline]
-    fn next(&mut self) -> Option<(u32, f32)> {
+    fn next(&mut self) -> Option<(u32, W)> {
         match self {
             Self::Flat { col, weight } => Some((*col.next()?, *weight.next()?)),
             Self::Runs { row, run, i } => loop {
@@ -323,14 +370,14 @@ impl Iterator for EdgeIter<'_> {
 /// view — `edges_of(j)` yields identical `(target, weight)` sequences either
 /// way; only the memory footprint differs.
 #[derive(Debug, Clone)]
-pub enum SynapseTable {
+pub enum SynapseTable<W = f32> {
     /// One explicit edge list per input neuron.
-    Flat(CsrSynapses),
+    Flat(CsrSynapses<W>),
     /// Shared per-(channel, border-class) patterns + per-pixel offsets.
-    Patterned(ConvPatterns),
+    Patterned(ConvPatterns<W>),
 }
 
-impl SynapseTable {
+impl<W: Copy> SynapseTable<W> {
     /// Number of input neurons (rows).
     pub fn in_neurons(&self) -> usize {
         match self {
@@ -363,9 +410,17 @@ impl SynapseTable {
         }
     }
 
+    /// Bytes of the stored weight (or packed code) array alone.
+    pub fn weight_bytes(&self) -> usize {
+        match self {
+            Self::Flat(s) => s.weight_bytes(),
+            Self::Patterned(p) => p.weight_bytes(),
+        }
+    }
+
     /// The `(target, weight)` edge list of input neuron `j`.
     #[inline]
-    pub fn edges_of(&self, j: u32) -> EdgeIter<'_> {
+    pub fn edges_of(&self, j: u32) -> EdgeIter<'_, W> {
         match self {
             Self::Flat(s) => s.edges_of(j),
             Self::Patterned(p) => p.edges_of(j),
@@ -380,6 +435,15 @@ impl SynapseTable {
             Self::Patterned(p) => p.degree(j),
         }
     }
+
+    /// Re-stores every edge payload through `f`, preserving structure and
+    /// traversal order exactly (see [`CsrSynapses::map_weights`]).
+    pub fn map_weights<V: Copy>(&self, f: impl FnMut(W) -> V) -> SynapseTable<V> {
+        match self {
+            Self::Flat(s) => SynapseTable::Flat(s.map_weights(f)),
+            Self::Patterned(p) => SynapseTable::Patterned(p.map_weights(f)),
+        }
+    }
 }
 
 /// One compiled stage of the CSR pipeline.
@@ -388,7 +452,7 @@ impl SynapseTable {
 // hot path.
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
-pub enum CsrStage {
+pub enum CsrStage<W = f32> {
     /// A weighted layer: synapse table + per-output bias, followed by a
     /// fire phase unless it is the readout. Integration accumulates in
     /// `f64` and rounds once to `f32` before the f32 bias add — the exact
@@ -396,9 +460,10 @@ pub enum CsrStage {
     /// (and therefore spike times) match `reference_forward` bit-for-bit.
     Weighted {
         /// Synapse adjacency (flat or pattern-deduplicated).
-        syn: SynapseTable,
+        syn: SynapseTable<W>,
         /// Per-output-neuron bias (broadcast over spatial positions for
-        /// conv).
+        /// conv). Biases stay f32 in every serving mode: the hardware
+        /// accumulates them post-LUT, outside the log-coded datapath.
         bias: Vec<f32>,
     },
     /// Event-domain max pooling (not linear — cannot be CSR-folded).
@@ -423,6 +488,40 @@ pub enum CsrStage {
     Flatten,
 }
 
+impl<W: Copy> CsrStage<W> {
+    /// Re-stores a weighted stage's edge payloads through `f` (structural
+    /// stages are cloned unchanged) — how the quantized compiler turns the
+    /// f32 stage list into its packed-code twin without recompiling the
+    /// pattern tables.
+    pub fn map_weights<V: Copy>(&self, f: impl FnMut(W) -> V) -> CsrStage<V> {
+        match self {
+            Self::Weighted { syn, bias } => CsrStage::Weighted {
+                syn: syn.map_weights(f),
+                bias: bias.clone(),
+            },
+            Self::MaxPool {
+                win,
+                stride,
+                in_dims,
+            } => CsrStage::MaxPool {
+                win: *win,
+                stride: *stride,
+                in_dims: in_dims.clone(),
+            },
+            Self::AvgPool {
+                win,
+                stride,
+                in_dims,
+            } => CsrStage::AvgPool {
+                win: *win,
+                stride: *stride,
+                in_dims: in_dims.clone(),
+            },
+            Self::Flatten => CsrStage::Flatten,
+        }
+    }
+}
+
 /// Memory accounting of a compiled [`CsrModel`]: what the deduplicated
 /// representation stores versus what a flat per-pixel CSR would.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
@@ -433,7 +532,13 @@ pub struct CsrFootprint {
     pub stored_edges: usize,
     /// Bytes of all synapse storage (patterns, offsets, row maps).
     pub stored_bytes: usize,
-    /// Bytes a fully flat CSR of the same model would occupy.
+    /// Bytes of the stored weight payloads alone — f32 weights on the
+    /// full-precision path, packed log codes on the quantized path. This
+    /// is the number the two serving modes are compared on: the index
+    /// structure is shared, only the payload width shrinks.
+    pub weight_bytes: usize,
+    /// Bytes a fully flat (f32, per-pixel) CSR of the same model would
+    /// occupy.
     pub flat_bytes: usize,
     /// Logical edges of conv (patterned) stages only.
     pub conv_logical_edges: usize,
@@ -752,26 +857,36 @@ impl CsrModel {
 
     /// Memory accounting: stored versus flat-equivalent synapse storage.
     pub fn footprint(&self) -> CsrFootprint {
-        let mut fp = CsrFootprint::default();
-        for stage in &self.stages {
-            let CsrStage::Weighted { syn, .. } = stage else {
-                continue;
-            };
-            fp.logical_edges += syn.logical_edges();
-            fp.stored_edges += syn.stored_edges();
-            fp.stored_bytes += syn.stored_bytes();
-            match syn {
-                SynapseTable::Flat(s) => fp.flat_bytes += s.stored_bytes(),
-                SynapseTable::Patterned(p) => {
-                    fp.flat_bytes += p.flat_bytes();
-                    fp.conv_logical_edges += p.logical_edges();
-                    fp.conv_stored_edges += p.stored_edges();
-                    fp.patterns += p.patterns();
-                }
+        footprint_of(&self.stages)
+    }
+}
+
+/// Aggregates the [`CsrFootprint`] of a compiled stage list — shared by the
+/// f32 [`CsrModel`] and the packed-code [`crate::QuantCsrModel`], whose only
+/// accounting difference is the per-edge payload width (`weight_bytes`).
+pub(crate) fn footprint_of<W: Copy>(stages: &[CsrStage<W>]) -> CsrFootprint {
+    let mut fp = CsrFootprint::default();
+    for stage in stages {
+        let CsrStage::Weighted { syn, .. } = stage else {
+            continue;
+        };
+        fp.logical_edges += syn.logical_edges();
+        fp.stored_edges += syn.stored_edges();
+        fp.stored_bytes += syn.stored_bytes();
+        fp.weight_bytes += syn.weight_bytes();
+        match syn {
+            SynapseTable::Flat(s) => {
+                fp.flat_bytes += (s.in_neurons() + 1) * 4 + s.edges() * 8;
+            }
+            SynapseTable::Patterned(p) => {
+                fp.flat_bytes += p.flat_bytes();
+                fp.conv_logical_edges += p.logical_edges();
+                fp.conv_stored_edges += p.stored_edges();
+                fp.patterns += p.patterns();
             }
         }
-        fp
     }
+    fp
 }
 
 #[cfg(test)]
@@ -974,6 +1089,10 @@ mod tests {
         let fp = csr.footprint();
         assert_eq!(fp.logical_edges, csr.total_edges);
         assert!(fp.stored_edges < fp.logical_edges);
+        // f32 payloads: 4 bytes per stored weight slot, all inside
+        // stored_bytes.
+        assert_eq!(fp.weight_bytes % 4, 0);
+        assert!(fp.weight_bytes > 0 && fp.weight_bytes < fp.stored_bytes);
         assert!(fp.conv_logical_edges > 0 && fp.conv_stored_edges > 0);
         assert!(fp.patterns > 0);
         assert!(fp.conv_dedup_ratio() > 1.0);

@@ -2,10 +2,20 @@
 //! the fast path produces the same hardware energy/throughput reports as
 //! the reference simulator because both feed the same [`RunStats`]
 //! counters in.
+//!
+//! The quantized serving path rides the same bridge: a
+//! [`crate::QuantEngine`] run emits the shared counters (its synaptic-op
+//! accounting matches the reference exactly, zero codes included), so
+//! [`quant_energy_report`] prices the measured quantized workload on the
+//! processor model — pair it with [`crate::QuantCsrModel::footprint`]'s
+//! packed-code bytes and the bench's top-1 agreement for the full
+//! accuracy/energy/bytes trade-off.
 
 use snn_hw::{LayerGeometry, LayerKind, NetworkReport, Processor, WorkloadProfile};
 use snn_sim::RunStats;
 use ttfs_core::{ConvertError, SnnLayer, SnnModel};
+
+use crate::{InferenceBackend, QuantEngine};
 
 /// Derives the hardware layer geometry (neuron/weight/MAC counts) of every
 /// weighted layer of `model` for per-sample input dims.
@@ -96,6 +106,25 @@ pub fn energy_report(
     Ok(processor.run_network(&geometry, &profile))
 }
 
+/// [`energy_report`] for the quantized serving path: geometry and input
+/// dims come from the compiled [`QuantEngine`], spike densities from its
+/// measured `stats` — typically priced on the *proposed* (log-PE)
+/// processor configuration, since packed 5-bit codes are exactly the
+/// weight memory that processor buffers.
+///
+/// # Errors
+///
+/// Returns [`ConvertError::Structure`] if the engine's compiled dims do
+/// not fit its model (cannot happen for an engine built by
+/// [`QuantEngine::compile`]).
+pub fn quant_energy_report(
+    processor: &Processor,
+    engine: &QuantEngine,
+    stats: &RunStats,
+) -> Result<NetworkReport, ConvertError> {
+    energy_report(processor, engine.model(), stats, engine.input_dims())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +190,28 @@ mod tests {
         assert!(report.energy_per_image_uj > 0.0);
         assert!(report.fps > 0.0);
         assert_eq!(report.layers.len(), 2);
+    }
+
+    #[test]
+    fn quantized_path_prices_like_event_on_quantized_weights() {
+        // The quantized engine's measured counters must drive the
+        // processor model to the same report as the reference simulator
+        // over the quantize_tensor'd model — the stats are bit-identical,
+        // so the energy bridge cannot tell the two apart.
+        let m = model();
+        let config = crate::QuantConfig::default();
+        let (qm, _) = crate::quantize_model(&m, config.base, config.bits).unwrap();
+        let mut rng = StdRng::seed_from_u64(45);
+        let x = snn_tensor::uniform(&[2, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let (_, ref_stats) = EventSnn::new(&qm).run(&x).unwrap();
+        let engine = crate::QuantEngine::compile(&m, &[1, 8, 8], config).unwrap();
+        let (_, q_stats) = crate::InferenceBackend::run_batch(&engine, &x).unwrap();
+        let processor = Processor::new(ProcessorConfig::proposed());
+        let a = quant_energy_report(&processor, &engine, &q_stats).unwrap();
+        let b = energy_report(&processor, &qm, &ref_stats, &[1, 8, 8]).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert!((a.energy_per_image_uj - b.energy_per_image_uj).abs() < 1e-9);
+        assert!(a.energy_per_image_uj > 0.0 && a.fps > 0.0);
     }
 
     #[test]

@@ -51,12 +51,11 @@ pub const DEFAULT_MAX_LANES: usize = 32;
 /// throughput; measured cliff on the VGG-16 bench geometry around 2 MB).
 pub const ACC_BYTES_BUDGET: usize = 256 * 1024;
 
-/// Default chunk width for a compiled model: the most lanes whose membrane
-/// matrix for the widest weighted layer stays within [`ACC_BYTES_BUDGET`],
-/// clamped to `1..=`[`DEFAULT_MAX_LANES`].
-fn default_lanes(compiled: &CsrModel) -> usize {
-    let widest = compiled
-        .stages
+/// Default chunk width for a compiled stage list: the most lanes whose
+/// membrane matrix for the widest weighted layer stays within
+/// [`ACC_BYTES_BUDGET`], clamped to `1..=`[`DEFAULT_MAX_LANES`].
+pub(crate) fn default_lanes<W>(stages: &[CsrStage<W>]) -> usize {
+    let widest = stages
         .iter()
         .filter_map(|s| match s {
             CsrStage::Weighted { bias, .. } => Some(bias.len()),
@@ -68,11 +67,33 @@ fn default_lanes(compiled: &CsrModel) -> usize {
     (ACC_BYTES_BUDGET / (widest * std::mem::size_of::<f64>())).clamp(1, DEFAULT_MAX_LANES)
 }
 
+/// Resolves one stored edge payload to its f32 synaptic weight inside the
+/// integration loop. `f32` resolves to itself (the full-precision path);
+/// the quantized path stores packed log codes (`u8`) and resolves them
+/// through a per-layer decode LUT carried as the decode context — one
+/// indexed load per edge, no multiplier, exactly the paper's PE shape.
+pub(crate) trait EdgeWeight: Copy + Send + Sync + 'static {
+    /// Per-weighted-stage decode context (e.g. the layer's code LUT).
+    type Ctx<'a>: Copy;
+
+    /// The f32 synaptic weight this stored payload represents.
+    fn resolve(self, ctx: Self::Ctx<'_>) -> f32;
+}
+
+impl EdgeWeight for f32 {
+    type Ctx<'a> = ();
+
+    #[inline(always)]
+    fn resolve(self, _ctx: ()) -> f32 {
+        self
+    }
+}
+
 /// Reusable per-run buffers: the membrane matrix, the per-lane fire-phase
 /// trackers, and the two ping-pong batch wheels. Pooled on the engine so
 /// repeat calls skip every per-layer allocation.
 #[derive(Debug, Default)]
-struct Scratch {
+pub(crate) struct Scratch {
     /// `[lanes, out_neurons]` f64 membrane accumulator.
     acc: Vec<f64>,
     /// Per-lane latest spike time of the current fire phase.
@@ -85,13 +106,33 @@ struct Scratch {
     wheel_out: BatchWheel,
 }
 
+/// A mutex-guarded stack of [`Scratch`] buffers, shared by every engine
+/// kind: a run pops a buffer (or starts fresh), and returns it when done,
+/// so back-to-back calls skip the per-layer allocations.
+#[derive(Debug, Default)]
+pub(crate) struct ScratchPool(Mutex<Vec<Scratch>>);
+
+impl ScratchPool {
+    pub(crate) fn take(&self) -> Scratch {
+        self.0
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn put(&self, scratch: Scratch) {
+        self.0.lock().expect("scratch pool poisoned").push(scratch);
+    }
+}
+
 /// Batched edge-major CSR + time-wheel executor for a converted
 /// [`SnnModel`].
 pub struct CsrEngine {
     model: Arc<SnnModel>,
     compiled: Arc<CsrModel>,
     max_lanes: usize,
-    scratch: Mutex<Vec<Scratch>>,
+    scratch: ScratchPool,
 }
 
 impl std::fmt::Debug for CsrEngine {
@@ -112,7 +153,7 @@ impl Clone for CsrEngine {
             model: Arc::clone(&self.model),
             compiled: Arc::clone(&self.compiled),
             max_lanes: self.max_lanes,
-            scratch: Mutex::new(Vec::new()),
+            scratch: ScratchPool::default(),
         }
     }
 }
@@ -196,12 +237,12 @@ impl CsrEngine {
         input_dims: &[usize],
     ) -> Result<Self, ConvertError> {
         let compiled = Arc::new(CsrModel::compile(&model, input_dims)?);
-        let max_lanes = default_lanes(&compiled);
+        let max_lanes = default_lanes(&compiled.stages);
         Ok(Self {
             model,
             compiled,
             max_lanes,
-            scratch: Mutex::new(Vec::new()),
+            scratch: ScratchPool::default(),
         })
     }
 
@@ -240,21 +281,6 @@ impl CsrEngine {
         self.compiled.total_edges
     }
 
-    fn take_scratch(&self) -> Scratch {
-        self.scratch
-            .lock()
-            .expect("scratch pool poisoned")
-            .pop()
-            .unwrap_or_default()
-    }
-
-    fn put_scratch(&self, scratch: Scratch) {
-        self.scratch
-            .lock()
-            .expect("scratch pool poisoned")
-            .push(scratch);
-    }
-
     /// Integrates `lanes` samples (`data` is their concatenated flat
     /// pixels) as one edge-major chunk, appending one logits row per lane.
     fn run_chunk(
@@ -265,196 +291,217 @@ impl CsrEngine {
         stats: &mut RunStats,
         rows: &mut Vec<Vec<f32>>,
     ) -> Result<(), ConvertError> {
-        let mut scratch = self.take_scratch();
-        let result = self.run_chunk_inner(&mut scratch, data, lanes, sample_len, stats, rows);
-        self.put_scratch(scratch);
+        let mut scratch = self.scratch.take();
+        // The f32 path resolves weights in place: unit decode contexts.
+        let ctxs = vec![(); self.model.weighted_layers()];
+        let result = run_chunk_stages(
+            &self.model,
+            &self.compiled.stages,
+            &ctxs,
+            &mut scratch,
+            data,
+            lanes,
+            sample_len,
+            stats,
+            rows,
+        );
+        self.scratch.put(scratch);
         result
     }
+}
 
-    fn run_chunk_inner(
-        &self,
-        scratch: &mut Scratch,
-        data: &[f32],
-        lanes: usize,
-        sample_len: usize,
-        stats: &mut RunStats,
-        rows: &mut Vec<Vec<f32>>,
-    ) -> Result<(), ConvertError> {
-        let kernel = *self.model.kernel();
-        let window = self.model.window();
-        let weighted = self.model.weighted_layers();
-        let Scratch {
-            acc,
-            latest,
-            all_fired,
-            wheel_in,
-            wheel_out,
-        } = scratch;
+/// Integrates one chunk of `lanes` samples edge-major over a compiled
+/// stage list — the shared inner loop of [`CsrEngine`] and
+/// [`crate::QuantEngine`]. `ctxs` holds one [`EdgeWeight`] decode context
+/// per weighted stage (unit for f32 weights, the layer's code LUT for
+/// packed log codes); everything else — encode, slot grouping, fire
+/// phases, pooling bridges, statistics — is identical between the two
+/// serving modes, which is what keeps them bit-comparable.
+#[allow(clippy::too_many_arguments)] // one call site per engine, flat by design
+pub(crate) fn run_chunk_stages<'a, W: EdgeWeight>(
+    model: &SnnModel,
+    stages: &'a [CsrStage<W>],
+    ctxs: &[W::Ctx<'a>],
+    scratch: &mut Scratch,
+    data: &[f32],
+    lanes: usize,
+    sample_len: usize,
+    stats: &mut RunStats,
+    rows: &mut Vec<Vec<f32>>,
+) -> Result<(), ConvertError> {
+    let kernel = *model.kernel();
+    let window = model.window();
+    let weighted = model.weighted_layers();
+    let Scratch {
+        acc,
+        latest,
+        all_fired,
+        wheel_in,
+        wheel_out,
+    } = scratch;
 
-        // Input coding, neuron-major with lanes inner: every slot comes out
-        // grouped by neuron with each lane's spikes in canonical ascending
-        // order, so seal() reduces to its O(n) already-sorted check.
-        wheel_in.reset(window, lanes);
-        for i in 0..sample_len {
-            for lane in 0..lanes {
-                let v = data[lane * sample_len + i];
-                if let Some(t) = kernel.encode(v, window) {
-                    wheel_in.push(t, lane as u32, i as u32, 1.0);
-                }
+    // Input coding, neuron-major with lanes inner: every slot comes out
+    // grouped by neuron with each lane's spikes in canonical ascending
+    // order, so seal() reduces to its O(n) already-sorted check.
+    wheel_in.reset(window, lanes);
+    for i in 0..sample_len {
+        for lane in 0..lanes {
+            let v = data[lane * sample_len + i];
+            if let Some(t) = kernel.encode(v, window) {
+                wheel_in.push(t, lane as u32, i as u32, 1.0);
             }
         }
-        wheel_in.seal();
+    }
+    wheel_in.seal();
 
-        let mut seen = 0usize;
-        let mut produced = false;
-        for stage in &self.compiled.stages {
-            match stage {
-                CsrStage::Weighted { syn, bias } => {
-                    let out_len = bias.len();
-                    acc.clear();
-                    acc.resize(out_len * lanes, 0.0);
-                    let mut ops = 0usize;
-                    // Edge-major integration: ascending time slots, equal
-                    // neurons grouped across lanes, one row fetch per
-                    // group. f64 accumulate -> one f32 rounding -> f32
-                    // bias add: identical to the reference GEMM
-                    // discipline, so the fire-phase quantizer sees the
-                    // same f32 membranes.
-                    for t in 0..=window {
-                        let slot = wheel_in.slot(t);
-                        if slot.is_empty() {
-                            continue;
-                        }
-                        let psp_t = kernel.decode(t);
-                        let mut i = 0usize;
-                        while i < slot.len() {
-                            let neuron = slot[i].neuron;
-                            let mut end = i + 1;
-                            while end < slot.len() && slot[end].neuron == neuron {
-                                end += 1;
-                            }
-                            let degree = match syn {
-                                SynapseTable::Flat(cs) => {
-                                    let (cols, weights) = cs.row_slices(neuron);
-                                    if cs.full_rows() {
-                                        scatter_full_row(
-                                            weights,
-                                            out_len,
-                                            psp_t,
-                                            &slot[i..end],
-                                            acc,
-                                        );
-                                    } else {
-                                        scatter_flat_row(
-                                            cols,
-                                            weights,
-                                            out_len,
-                                            psp_t,
-                                            &slot[i..end],
-                                            acc,
-                                        );
-                                    }
-                                    cols.len()
-                                }
-                                SynapseTable::Patterned(p) => {
-                                    let row = p.row_slices(neuron);
-                                    scatter_pattern_row(&row, out_len, psp_t, &slot[i..end], acc);
-                                    row.degree
-                                }
-                            };
-                            ops += degree * (end - i);
-                            i = end;
-                        }
+    let mut seen = 0usize;
+    let mut produced = false;
+    for stage in stages {
+        match stage {
+            CsrStage::Weighted { syn, bias } => {
+                let out_len = bias.len();
+                let ctx = ctxs[seen];
+                acc.clear();
+                acc.resize(out_len * lanes, 0.0);
+                let mut ops = 0usize;
+                // Edge-major integration: ascending time slots, equal
+                // neurons grouped across lanes, one row fetch per
+                // group. f64 accumulate -> one f32 rounding -> f32
+                // bias add: identical to the reference GEMM
+                // discipline, so the fire-phase quantizer sees the
+                // same f32 membranes.
+                for t in 0..=window {
+                    let slot = wheel_in.slot(t);
+                    if slot.is_empty() {
+                        continue;
                     }
-
-                    let layer_stats = &mut stats.layers[seen];
-                    layer_stats.input_spikes += wheel_in.len();
-                    layer_stats.synaptic_ops += ops;
-                    layer_stats.neurons += out_len * lanes;
-                    seen += 1;
-
-                    if seen < weighted {
-                        // Fire phase straight out of the membrane matrix
-                        // (identical semantics to `phase::fire_phase`,
-                        // minus the sort the wheel makes unnecessary).
-                        // Neuron-major with lanes inner, so the produced
-                        // slots are pre-grouped like the encode wheel's.
-                        wheel_out.reset(window, lanes);
-                        latest.clear();
-                        latest.resize(lanes, 0);
-                        all_fired.clear();
-                        all_fired.resize(lanes, true);
-                        for o in 0..out_len {
-                            let b = bias[o];
-                            for lane in 0..lanes {
-                                let u = acc[lane * out_len + o] as f32 + b;
-                                match kernel.encode(u, window) {
-                                    Some(t) => {
-                                        latest[lane] = latest[lane].max(t);
-                                        wheel_out.push(t, lane as u32, o as u32, 1.0);
-                                    }
-                                    None => all_fired[lane] = false,
+                    let psp_t = kernel.decode(t);
+                    let mut i = 0usize;
+                    while i < slot.len() {
+                        let neuron = slot[i].neuron;
+                        let mut end = i + 1;
+                        while end < slot.len() && slot[end].neuron == neuron {
+                            end += 1;
+                        }
+                        let degree = match syn {
+                            SynapseTable::Flat(cs) => {
+                                let (cols, weights) = cs.row_slices(neuron);
+                                if cs.full_rows() {
+                                    scatter_full_row(
+                                        weights,
+                                        ctx,
+                                        out_len,
+                                        psp_t,
+                                        &slot[i..end],
+                                        acc,
+                                    );
+                                } else {
+                                    scatter_flat_row(
+                                        cols,
+                                        weights,
+                                        ctx,
+                                        out_len,
+                                        psp_t,
+                                        &slot[i..end],
+                                        acc,
+                                    );
                                 }
+                                cols.len()
                             }
-                        }
-                        layer_stats.output_spikes += wheel_out.len();
-                        for lane in 0..lanes {
-                            layer_stats.encoder_iterations += phase::encoder_iteration_count(
-                                window,
-                                latest[lane],
-                                all_fired[lane],
-                            );
-                        }
-                        wheel_out.seal();
-                        std::mem::swap(wheel_in, wheel_out);
-                    } else {
-                        // Readout: decode every lane's logits row.
-                        for lane in 0..lanes {
-                            let row: Vec<f32> = acc[lane * out_len..(lane + 1) * out_len]
-                                .iter()
-                                .zip(bias.iter())
-                                .map(|(&u, &b)| u as f32 + b)
-                                .collect();
-                            rows.push(row);
-                        }
-                        produced = true;
+                            SynapseTable::Patterned(p) => {
+                                let row = p.row_slices(neuron);
+                                scatter_pattern_row(&row, ctx, out_len, psp_t, &slot[i..end], acc);
+                                row.degree
+                            }
+                        };
+                        ops += degree * (end - i);
+                        i = end;
                     }
                 }
-                CsrStage::MaxPool {
-                    win,
-                    stride,
-                    in_dims,
-                } => {
+
+                let layer_stats = &mut stats.layers[seen];
+                layer_stats.input_spikes += wheel_in.len();
+                layer_stats.synaptic_ops += ops;
+                layer_stats.neurons += out_len * lanes;
+                seen += 1;
+
+                if seen < weighted {
+                    // Fire phase straight out of the membrane matrix
+                    // (identical semantics to `phase::fire_phase`,
+                    // minus the sort the wheel makes unnecessary).
+                    // Neuron-major with lanes inner, so the produced
+                    // slots are pre-grouped like the encode wheel's.
                     wheel_out.reset(window, lanes);
-                    for (lane, train) in wheel_in.lane_trains(in_dims).into_iter().enumerate() {
-                        let pooled =
-                            phase::max_pool_spikes(self.model.kernel(), &train, *win, *stride)?;
-                        wheel_out.push_train(lane as u32, &pooled);
+                    latest.clear();
+                    latest.resize(lanes, 0);
+                    all_fired.clear();
+                    all_fired.resize(lanes, true);
+                    for o in 0..out_len {
+                        let b = bias[o];
+                        for lane in 0..lanes {
+                            let u = acc[lane * out_len + o] as f32 + b;
+                            match kernel.encode(u, window) {
+                                Some(t) => {
+                                    latest[lane] = latest[lane].max(t);
+                                    wheel_out.push(t, lane as u32, o as u32, 1.0);
+                                }
+                                None => all_fired[lane] = false,
+                            }
+                        }
+                    }
+                    layer_stats.output_spikes += wheel_out.len();
+                    for lane in 0..lanes {
+                        layer_stats.encoder_iterations +=
+                            phase::encoder_iteration_count(window, latest[lane], all_fired[lane]);
                     }
                     wheel_out.seal();
                     std::mem::swap(wheel_in, wheel_out);
-                }
-                CsrStage::AvgPool {
-                    win,
-                    stride,
-                    in_dims,
-                } => {
-                    wheel_out.reset(window, lanes);
-                    for (lane, train) in wheel_in.lane_trains(in_dims).into_iter().enumerate() {
-                        let pooled = phase::avg_pool_spikes(&train, *win, *stride)?;
-                        wheel_out.push_train(lane as u32, &pooled);
+                } else {
+                    // Readout: decode every lane's logits row.
+                    for lane in 0..lanes {
+                        let row: Vec<f32> = acc[lane * out_len..(lane + 1) * out_len]
+                            .iter()
+                            .zip(bias.iter())
+                            .map(|(&u, &b)| u as f32 + b)
+                            .collect();
+                        rows.push(row);
                     }
-                    wheel_out.seal();
-                    std::mem::swap(wheel_in, wheel_out);
+                    produced = true;
                 }
-                CsrStage::Flatten => {} // flat indices already
             }
+            CsrStage::MaxPool {
+                win,
+                stride,
+                in_dims,
+            } => {
+                wheel_out.reset(window, lanes);
+                for (lane, train) in wheel_in.lane_trains(in_dims).into_iter().enumerate() {
+                    let pooled = phase::max_pool_spikes(&kernel, &train, *win, *stride)?;
+                    wheel_out.push_train(lane as u32, &pooled);
+                }
+                wheel_out.seal();
+                std::mem::swap(wheel_in, wheel_out);
+            }
+            CsrStage::AvgPool {
+                win,
+                stride,
+                in_dims,
+            } => {
+                wheel_out.reset(window, lanes);
+                for (lane, train) in wheel_in.lane_trains(in_dims).into_iter().enumerate() {
+                    let pooled = phase::avg_pool_spikes(&train, *win, *stride)?;
+                    wheel_out.push_train(lane as u32, &pooled);
+                }
+                wheel_out.seal();
+                std::mem::swap(wheel_in, wheel_out);
+            }
+            CsrStage::Flatten => {} // flat indices already
         }
-        if produced {
-            Ok(())
-        } else {
-            Err(ConvertError::Structure("model produced no readout".into()))
-        }
+    }
+    if produced {
+        Ok(())
+    } else {
+        Err(ConvertError::Structure("model produced no readout".into()))
     }
 }
 
@@ -468,9 +515,10 @@ impl CsrEngine {
 /// per-cell accumulation order equals the group's lane/duplicate order,
 /// matching the reference backend.
 #[inline]
-fn scatter_flat_row(
+fn scatter_flat_row<W: EdgeWeight>(
     cols: &[u32],
-    weights: &[f32],
+    weights: &[W],
+    ctx: W::Ctx<'_>,
     out_len: usize,
     psp_t: f32,
     group: &[crate::wheel::LaneSpike],
@@ -482,7 +530,7 @@ fn scatter_flat_row(
         let psp = (psp_t * s.scale) as f64;
         let cell = &mut acc[s.lane as usize * out_len..][..out_len];
         for (c, w) in cols.iter().zip(weights.iter()) {
-            cell[*c as usize] += *w as f64 * psp;
+            cell[*c as usize] += w.resolve(ctx) as f64 * psp;
         }
     }
 }
@@ -492,8 +540,9 @@ fn scatter_flat_row(
 /// lane's membrane slice directly — no per-edge target loads, no index
 /// arithmetic.
 #[inline]
-fn scatter_full_row(
-    weights: &[f32],
+fn scatter_full_row<W: EdgeWeight>(
+    weights: &[W],
+    ctx: W::Ctx<'_>,
     out_len: usize,
     psp_t: f32,
     group: &[crate::wheel::LaneSpike],
@@ -503,7 +552,7 @@ fn scatter_full_row(
         let psp = (psp_t * s.scale) as f64;
         let cell = &mut acc[s.lane as usize * out_len..][..out_len];
         for (c, w) in cell[..weights.len()].iter_mut().zip(weights.iter()) {
-            *c += *w as f64 * psp;
+            *c += w.resolve(ctx) as f64 * psp;
         }
     }
 }
@@ -513,8 +562,9 @@ fn scatter_full_row(
 /// channel slice of the repacked weight array — no per-edge metadata at
 /// all.
 #[inline]
-fn scatter_pattern_row(
-    row: &crate::csr::PatternRow<'_>,
+fn scatter_pattern_row<W: EdgeWeight>(
+    row: &crate::csr::PatternRow<'_, W>,
+    ctx: W::Ctx<'_>,
     out_len: usize,
     psp_t: f32,
     group: &[crate::wheel::LaneSpike],
@@ -535,11 +585,57 @@ fn scatter_pattern_row(
             let ws = &row.channel_weights[*w0 as usize..*w0 as usize + n];
             let mut t = *t0 as usize + tbase;
             for w in ws {
-                cell[t] += *w as f64 * psp;
+                cell[t] += w.resolve(ctx) as f64 * psp;
                 t += stride;
             }
         }
     }
+}
+
+/// Splits a `[N, …]` batch into `max_lanes`-wide chunks and drives `chunk`
+/// over each — the shared [`crate::InferenceBackend::run_batch`] shell of
+/// [`CsrEngine`] and [`crate::QuantEngine`] (dims validation, stats
+/// allocation, logits reassembly).
+pub(crate) fn run_batch_chunked(
+    model: &SnnModel,
+    input_dims: &[usize],
+    max_lanes: usize,
+    images: &Tensor,
+    mut chunk: impl FnMut(
+        &[f32],
+        usize,
+        usize,
+        &mut RunStats,
+        &mut Vec<Vec<f32>>,
+    ) -> Result<(), ConvertError>,
+) -> Result<(Tensor, RunStats), ConvertError> {
+    let dims = images.dims();
+    if dims.len() < 2 {
+        return Err(ConvertError::Structure(format!(
+            "expected batched input, got {:?}",
+            dims
+        )));
+    }
+    if dims[1..] != input_dims[..] {
+        return Err(ConvertError::Structure(format!(
+            "batch sample dims {:?} do not match compiled dims {:?}",
+            &dims[1..],
+            input_dims
+        )));
+    }
+    let n = dims[0];
+    let sample_len: usize = input_dims.iter().product();
+    let mut stats = phase::new_run_stats(model, n);
+    let mut rows = Vec::with_capacity(n);
+    let mut begin = 0usize;
+    while begin < n {
+        let lanes = max_lanes.min(n - begin);
+        let data = &images.as_slice()[begin * sample_len..(begin + lanes) * sample_len];
+        chunk(data, lanes, sample_len, &mut stats, &mut rows)?;
+        begin += lanes;
+    }
+    let logits = phase::logits_tensor(rows)?;
+    Ok((logits, stats))
 }
 
 impl InferenceBackend for CsrEngine {
@@ -552,33 +648,15 @@ impl InferenceBackend for CsrEngine {
     }
 
     fn run_batch(&self, images: &Tensor) -> Result<(Tensor, RunStats), ConvertError> {
-        let dims = images.dims();
-        if dims.len() < 2 {
-            return Err(ConvertError::Structure(format!(
-                "expected batched input, got {:?}",
-                dims
-            )));
-        }
-        if dims[1..] != self.compiled.input_dims[..] {
-            return Err(ConvertError::Structure(format!(
-                "batch sample dims {:?} do not match compiled dims {:?}",
-                &dims[1..],
-                self.compiled.input_dims
-            )));
-        }
-        let n = dims[0];
-        let sample_len: usize = self.compiled.input_dims.iter().product();
-        let mut stats = phase::new_run_stats(&self.model, n);
-        let mut rows = Vec::with_capacity(n);
-        let mut begin = 0usize;
-        while begin < n {
-            let lanes = self.max_lanes.min(n - begin);
-            let chunk = &images.as_slice()[begin * sample_len..(begin + lanes) * sample_len];
-            self.run_chunk(chunk, lanes, sample_len, &mut stats, &mut rows)?;
-            begin += lanes;
-        }
-        let logits = phase::logits_tensor(rows)?;
-        Ok((logits, stats))
+        run_batch_chunked(
+            &self.model,
+            &self.compiled.input_dims,
+            self.max_lanes,
+            images,
+            |data, lanes, sample_len, stats, rows| {
+                self.run_chunk(data, lanes, sample_len, stats, rows)
+            },
+        )
     }
 }
 

@@ -4,9 +4,11 @@
 //! and energy*; this crate turns the workspace's reproduction into a
 //! serving-shaped runtime:
 //!
-//! * [`InferenceBackend`] — the pluggable engine abstraction. Two
+//! * [`InferenceBackend`] — the pluggable engine abstraction. Three
 //!   implementations ship: the reference event simulator
-//!   ([`snn_sim::EventSnn`]) and the [`CsrEngine`] fast path.
+//!   ([`snn_sim::EventSnn`]), the [`CsrEngine`] f32 fast path, and the
+//!   [`QuantEngine`] packed-log-code path; [`BackendChoice`] is the
+//!   factory that builds any of them from one shared `Arc`'d model.
 //! * [`CsrModel`] / [`CsrEngine`] — ahead-of-time compilation of a
 //!   converted [`ttfs_core::SnnModel`] into synapse tables (conv layers
 //!   pattern-deduplicated per `(channel, border-class)` — roughly
@@ -19,6 +21,15 @@
 //!   per-cell float accumulation order) and `reference_forward` within
 //!   tolerance. Model and compiled tables sit behind `Arc`, so engine
 //!   clones and server workers share one read-only copy of the weights.
+//! * [`QuantCsrModel`] / [`QuantEngine`] — the quantized serving
+//!   subsystem: one [`snn_logquant::LogQuantizer`] calibrated per weighted
+//!   layer, packed 5-bit log codes stored in place of the repacked f32
+//!   weight copy (4× smaller stored weights), and the same edge-major
+//!   inner loop resolving each code through a per-layer decode LUT — or
+//!   the `LogPe`-style shift-add datapath with reported mantissa-error
+//!   bounds. In LUT mode, logits are **bit-identical** to the reference
+//!   simulator over [`snn_logquant::LogQuantizer::quantize_tensor`]'d
+//!   weights.
 //! * [`InferenceServer`] / [`WorkerPool`] — batch requests fan out over a
 //!   `std::thread` pool with a submission queue; per-request latency is
 //!   recorded and summarized as p50/p99 + images/sec
@@ -70,18 +81,23 @@ mod csr;
 pub mod energy;
 mod engine;
 mod metrics;
+mod quant;
 mod server;
 mod wheel;
 mod workers;
 
-pub use backend::InferenceBackend;
-pub use batcher::{DeadlineBatcher, StreamedResponse, StreamingConfig, Ticket};
+pub use backend::{BackendChoice, InferenceBackend};
+pub use batcher::{DeadlineBatcher, StreamedResponse, StreamingConfig, SubmitError, Ticket};
 pub use csr::{
     ConvPatterns, CsrFootprint, CsrModel, CsrStage, CsrSynapses, EdgeIter, PatternRow, SynapseTable,
 };
 pub use engine::{CsrEngine, DEFAULT_MAX_LANES};
 pub use metrics::{
     LatencyRecorder, OccupancyBucket, StreamingMetrics, StreamingRecorder, ThroughputMetrics,
+};
+pub use quant::{
+    fit_layer_quantizers, quantize_model, DecodeMode, QuantConfig, QuantCsrModel, QuantEngine,
+    QuantLayer,
 };
 pub use server::{BatchReport, InferenceServer, ServerConfig, StreamingServer};
 pub use wheel::{BatchWheel, LaneSpike, TimeWheel, WheelSpike};

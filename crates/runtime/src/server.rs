@@ -10,7 +10,7 @@
 //!   expires, whichever comes first), and results come back through
 //!   per-request [`Ticket`]s.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -20,7 +20,9 @@ use snn_sim::RunStats;
 use snn_tensor::Tensor;
 use ttfs_core::ConvertError;
 
-use crate::batcher::{BatcherMsg, DeadlineBatcher, PendingRequest, StreamingConfig, Ticket};
+use crate::batcher::{
+    BatcherMsg, DeadlineBatcher, PendingRequest, StreamingConfig, SubmitError, Ticket,
+};
 use crate::metrics::{LatencyRecorder, StreamingMetrics, StreamingRecorder, ThroughputMetrics};
 use crate::workers::WorkerPool;
 use crate::{InferenceBackend, StreamedResponse};
@@ -264,7 +266,7 @@ impl InferenceServer {
 /// let engine = Arc::new(CsrEngine::compile(&model, &[1, 3, 3])?);
 /// let server = StreamingServer::new(
 ///     engine,
-///     StreamingConfig { threads: 2, max_batch: 4, max_delay: Duration::from_millis(1) },
+///     StreamingConfig { threads: 2, max_batch: 4, max_delay: Duration::from_millis(1), max_pending: 0 },
 /// );
 ///
 /// // Requests arrive one at a time; each gets a ticket.
@@ -295,8 +297,12 @@ pub struct StreamingServer {
     /// must match so any pending window forms a rectangular batch.
     sample_dims: Mutex<Option<Vec<usize>>>,
     next_id: AtomicU64,
+    /// Admitted-but-unresolved requests (pending window + worker queue +
+    /// in flight); bounded by `max_pending` when nonzero.
+    in_flight: Arc<AtomicUsize>,
     threads: usize,
     max_batch: usize,
+    max_pending: usize,
 }
 
 impl StreamingServer {
@@ -311,15 +317,19 @@ impl StreamingServer {
         let max_batch = config.max_batch.max(1);
         let pool = Arc::new(WorkerPool::new(threads));
         let recorder = Arc::new(Mutex::new(StreamingRecorder::new()));
+        let in_flight = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = channel::<BatcherMsg>();
         let handle = {
             let backend = Arc::clone(&backend);
             let pool = Arc::clone(&pool);
             let recorder = Arc::clone(&recorder);
+            let in_flight = Arc::clone(&in_flight);
             let max_delay = config.max_delay;
             std::thread::Builder::new()
                 .name("snn-runtime-batcher".into())
-                .spawn(move || batcher_loop(rx, backend, pool, recorder, max_batch, max_delay))
+                .spawn(move || {
+                    batcher_loop(rx, backend, pool, recorder, in_flight, max_batch, max_delay)
+                })
                 .expect("failed to spawn batcher thread")
         };
         Self {
@@ -330,8 +340,10 @@ impl StreamingServer {
             recorder,
             sample_dims: Mutex::new(None),
             next_id: AtomicU64::new(0),
+            in_flight,
             threads,
             max_batch,
+            max_pending: config.max_pending,
         }
     }
 
@@ -350,31 +362,63 @@ impl StreamingServer {
         self.max_batch
     }
 
+    /// The backpressure bound (0 = unbounded).
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+
+    /// Admitted-but-unresolved requests right now (pending window + worker
+    /// queue + in flight).
+    pub fn pending(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
     /// Submits one image (per-sample dims, e.g. `[C, H, W]`) and returns
     /// the [`Ticket`] its result will arrive on.
     ///
     /// # Errors
     ///
-    /// Returns [`ConvertError::Structure`] if the server has shut down, if
-    /// `image` is empty, or if its dims differ from the first submission's
-    /// (all streamed samples must share one geometry).
-    pub fn submit(&self, image: &Tensor) -> Result<Ticket, ConvertError> {
+    /// Returns [`SubmitError::QueueFull`] when
+    /// [`max_pending`](StreamingConfig::max_pending) requests are already
+    /// admitted and unresolved (backpressure: shed now rather than queue
+    /// into unbounded latency), or [`SubmitError::Rejected`] if the server
+    /// has shut down, `image` is empty, or its dims differ from the first
+    /// submission's (all streamed samples must share one geometry).
+    pub fn submit(&self, image: &Tensor) -> Result<Ticket, SubmitError> {
         if image.dims().is_empty() || image.as_slice().is_empty() {
-            return Err(ConvertError::Structure(
+            return Err(SubmitError::Rejected(ConvertError::Structure(
                 "streamed sample must be a non-empty per-sample tensor".into(),
-            ));
+            )));
         }
+        // Backpressure admission: optimistically claim a slot, back out if
+        // that overshot the bound (atomic, so concurrent submitters can
+        // never jointly exceed it). Unbounded servers still count, so
+        // `pending()` stays observable. This runs BEFORE the stream's
+        // sample dims are pinned: a shed request must be side-effect free.
+        let admitted = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if self.max_pending > 0 && admitted >= self.max_pending {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            return Err(SubmitError::QueueFull {
+                max_pending: self.max_pending,
+            });
+        }
+        let release_slot = || {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        };
         {
             let mut dims = self.sample_dims.lock().expect("sample_dims poisoned");
             match dims.as_ref() {
                 None => *dims = Some(image.dims().to_vec()),
                 Some(expected) if expected == image.dims() => {}
                 Some(expected) => {
-                    return Err(ConvertError::Structure(format!(
+                    let expected = expected.clone();
+                    drop(dims);
+                    release_slot();
+                    return Err(SubmitError::Rejected(ConvertError::Structure(format!(
                         "streamed sample dims {:?} do not match the stream's dims {:?}",
                         image.dims(),
                         expected
-                    )));
+                    ))));
                 }
             }
         }
@@ -387,12 +431,15 @@ impl StreamingServer {
         };
         let guard = self.submit_tx.lock().expect("submit_tx poisoned");
         let Some(tx) = guard.as_ref() else {
-            return Err(ConvertError::Structure(
+            release_slot();
+            return Err(SubmitError::Rejected(ConvertError::Structure(
                 "streaming server is shut down; submissions are closed".into(),
-            ));
+            )));
         };
-        tx.send(BatcherMsg::Request(request))
-            .map_err(|_| ConvertError::Structure("batcher thread is gone".into()))?;
+        tx.send(BatcherMsg::Request(request)).map_err(|_| {
+            release_slot();
+            SubmitError::Rejected(ConvertError::Structure("batcher thread is gone".into()))
+        })?;
         Ok(Ticket::new(
             self.next_id.fetch_add(1, Ordering::Relaxed),
             rx,
@@ -441,6 +488,7 @@ fn batcher_loop(
     backend: Arc<dyn InferenceBackend>,
     pool: Arc<WorkerPool>,
     recorder: Arc<Mutex<StreamingRecorder>>,
+    in_flight: Arc<AtomicUsize>,
     max_batch: usize,
     max_delay: Duration,
 ) {
@@ -456,14 +504,14 @@ fn batcher_loop(
             let deadline = batcher.deadline().expect("non-empty window has a deadline");
             let now = Instant::now();
             if let Some(batch) = batcher.poll_expired(now) {
-                dispatch_batch(&backend, &pool, &recorder, batch);
+                dispatch_batch(&backend, &pool, &recorder, &in_flight, batch);
                 continue;
             }
             match rx.recv_timeout(deadline - now) {
                 Ok(msg) => msg,
                 Err(RecvTimeoutError::Timeout) => {
                     if let Some(batch) = batcher.poll_expired(Instant::now()) {
-                        dispatch_batch(&backend, &pool, &recorder, batch);
+                        dispatch_batch(&backend, &pool, &recorder, &in_flight, batch);
                     }
                     continue;
                 }
@@ -473,7 +521,7 @@ fn batcher_loop(
         match msg {
             BatcherMsg::Request(request) => {
                 if let Some(batch) = batcher.push(Instant::now(), request) {
-                    dispatch_batch(&backend, &pool, &recorder, batch);
+                    dispatch_batch(&backend, &pool, &recorder, &in_flight, batch);
                 }
             }
             BatcherMsg::Shutdown => break,
@@ -492,6 +540,7 @@ fn batcher_loop(
             &backend,
             &pool,
             &recorder,
+            &in_flight,
             std::mem::replace(&mut rest, tail),
         );
     }
@@ -500,16 +549,40 @@ fn batcher_loop(
 /// Concatenates a formed batch into one `[k, …sample_dims]` tensor, runs it
 /// on the pool, and fans the per-row logits back out to each request's
 /// ticket, recording queue-wait / execution / end-to-end splits.
+/// Releases a batch's backpressure slots on drop, so the release also
+/// happens when the worker closure unwinds (a panicking backend must not
+/// wedge a bounded server by leaking admissions) or when a closed pool
+/// drops the closure unexecuted.
+struct SlotRelease {
+    in_flight: Arc<AtomicUsize>,
+    slots: usize,
+}
+
+impl Drop for SlotRelease {
+    fn drop(&mut self) {
+        self.in_flight.fetch_sub(self.slots, Ordering::AcqRel);
+    }
+}
+
 fn dispatch_batch(
     backend: &Arc<dyn InferenceBackend>,
     pool: &Arc<WorkerPool>,
     recorder: &Arc<Mutex<StreamingRecorder>>,
+    in_flight: &Arc<AtomicUsize>,
     batch: Vec<PendingRequest>,
 ) {
     debug_assert!(!batch.is_empty(), "never dispatch an empty batch");
     let backend = Arc::clone(backend);
     let recorder = Arc::clone(recorder);
+    // Moved into the closure: every path that resolves (or abandons) the
+    // batch — normal completion, backend error, backend panic, pool
+    // already closed — releases its slots exactly once.
+    let slot_release = SlotRelease {
+        in_flight: Arc::clone(in_flight),
+        slots: batch.len(),
+    };
     let run = move || {
+        let _slot_release = slot_release;
         let exec_start = Instant::now();
         let k = batch.len();
         let sample_dims = batch[0].sample_dims.clone();
@@ -555,7 +628,8 @@ fn dispatch_batch(
         }
     };
     // A closed pool means shutdown already ran; fail the batch gracefully
-    // by dropping it — every reply sender drops and tickets see the error.
+    // by dropping it — every reply sender drops (tickets see the error)
+    // and the dropped SlotRelease returns the batch's admissions.
     let _ = pool.try_execute(run);
 }
 

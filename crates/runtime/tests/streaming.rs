@@ -8,7 +8,9 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use snn_nn::{ActivationLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
-use snn_runtime::{CsrEngine, InferenceBackend, StreamingConfig, StreamingServer, Ticket};
+use snn_runtime::{
+    CsrEngine, InferenceBackend, StreamingConfig, StreamingServer, SubmitError, Ticket,
+};
 use snn_sim::RunStats;
 use snn_tensor::Tensor;
 use ttfs_core::{convert, Base2Kernel, ConvertError, SnnModel};
@@ -61,6 +63,7 @@ fn single_request_flushes_on_deadline_alone() {
             threads: 1,
             max_batch: 64,
             max_delay: Duration::from_millis(5),
+            max_pending: 0,
         },
     );
     let response = server.submit(&sample(0.5)).unwrap().wait().unwrap();
@@ -84,6 +87,7 @@ fn count_flush_fills_to_max_batch_before_deadline() {
             threads: 2,
             max_batch: 4,
             max_delay: Duration::from_secs(30),
+            max_pending: 0,
         },
     );
     let tickets: Vec<Ticket> = (0..8)
@@ -110,6 +114,7 @@ fn max_batch_flush_with_zero_remaining_deadline() {
             threads: 2,
             max_batch: 4,
             max_delay: Duration::ZERO,
+            max_pending: 0,
         },
     );
     let tickets: Vec<Ticket> = (0..16)
@@ -142,6 +147,7 @@ fn shutdown_drains_queued_requests() {
             threads: 1,
             max_batch: 1,
             max_delay: Duration::ZERO,
+            max_pending: 0,
         },
     );
     let tickets: Vec<Ticket> = (0..5)
@@ -163,6 +169,7 @@ fn submit_after_shutdown_returns_error() {
             threads: 1,
             max_batch: 2,
             max_delay: Duration::from_millis(1),
+            max_pending: 0,
         },
     );
     server.submit(&sample(0.3)).unwrap().wait().unwrap();
@@ -187,6 +194,7 @@ fn try_wait_polls_until_the_result_lands() {
             threads: 1,
             max_batch: 1,
             max_delay: Duration::ZERO,
+            max_pending: 0,
         },
     );
     let mut ticket = server.submit(&sample(0.7)).unwrap();
@@ -216,6 +224,66 @@ fn mismatched_sample_dims_are_rejected() {
     assert!(err.to_string().contains("non-empty"), "got: {err}");
 }
 
+#[test]
+fn bounded_queue_rejects_with_queue_full_and_recovers() {
+    // One slow worker, per-request batches, a bound of 2: the first two
+    // submissions are admitted (one executing, one queued), the third must
+    // be shed with QueueFull instead of growing the queue. Once the
+    // admitted work resolves, capacity frees and submission succeeds again.
+    let server = StreamingServer::new(
+        Arc::new(SlowBackend {
+            inner: CsrEngine::compile(&dense_model(9), &[1, 3, 4]).unwrap(),
+            delay: Duration::from_millis(100),
+        }),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+            max_pending: 2,
+        },
+    );
+    assert_eq!(server.max_pending(), 2);
+    let first = server.submit(&sample(0.1)).expect("slot 1 admitted");
+    let second = server.submit(&sample(0.2)).expect("slot 2 admitted");
+    let err = server.submit(&sample(0.3)).expect_err("bound reached");
+    assert_eq!(err, SubmitError::QueueFull { max_pending: 2 });
+    assert!(err.to_string().contains("full"), "got: {err}");
+    assert_eq!(server.pending(), 2);
+
+    // Resolving the admitted requests releases their slots.
+    first.wait().expect("admitted request resolves");
+    second.wait().expect("admitted request resolves");
+    let third = server
+        .submit(&sample(0.3))
+        .expect("capacity freed after completion");
+    third.wait().expect("recovered request resolves");
+    let metrics = server.shutdown();
+    assert_eq!(metrics.requests, 3, "the shed request never counted");
+}
+
+#[test]
+fn unbounded_queue_still_tracks_pending() {
+    let server = StreamingServer::new(
+        engine(10),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+            max_pending: 0,
+        },
+    );
+    assert_eq!(server.max_pending(), 0);
+    let tickets: Vec<Ticket> = (0..6)
+        .map(|i| server.submit(&sample(i as f32 / 6.0)).unwrap())
+        .collect();
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+    // Shutdown joins the workers, so every batch's slot release has run.
+    server.shutdown();
+    assert_eq!(server.pending(), 0, "all resolved requests released");
+}
+
 struct PanickingBackend(SnnModel);
 
 impl InferenceBackend for PanickingBackend {
@@ -231,6 +299,30 @@ impl InferenceBackend for PanickingBackend {
 }
 
 #[test]
+fn backend_panic_releases_backpressure_slots() {
+    // A panicking backend must not wedge a bounded server: the batch's
+    // admission slots are released on unwind (drop guard), so once the
+    // failure surfaces, new submissions are admitted — not QueueFull.
+    let server = StreamingServer::new(
+        Arc::new(PanickingBackend(dense_model(11))),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+            max_pending: 1,
+        },
+    );
+    for round in 0..3 {
+        let ticket = server
+            .submit(&sample(0.5))
+            .unwrap_or_else(|e| panic!("round {round} must be admitted, got {e}"));
+        assert!(ticket.wait().is_err(), "backend always panics");
+    }
+    server.shutdown();
+    assert_eq!(server.pending(), 0, "no leaked admissions");
+}
+
+#[test]
 fn worker_panic_surfaces_as_ticket_error() {
     let server = StreamingServer::new(
         Arc::new(PanickingBackend(dense_model(8))),
@@ -238,6 +330,7 @@ fn worker_panic_surfaces_as_ticket_error() {
             threads: 1,
             max_batch: 2,
             max_delay: Duration::from_millis(1),
+            max_pending: 0,
         },
     );
     let ticket = server.submit(&sample(0.5)).unwrap();

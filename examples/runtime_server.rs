@@ -13,7 +13,8 @@ use rand::SeedableRng;
 use ttfs_snn::hw::{Processor, ProcessorConfig};
 use ttfs_snn::nn::models::vgg16_scaled;
 use ttfs_snn::runtime::{
-    energy, CsrEngine, InferenceServer, ServerConfig, StreamingConfig, StreamingServer,
+    energy, quantize_model, BackendChoice, CsrEngine, InferenceServer, QuantConfig, ServerConfig,
+    StreamingConfig, StreamingServer,
 };
 use ttfs_snn::sim::EventSnn;
 use ttfs_snn::tensor::Tensor;
@@ -79,6 +80,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             threads: 0,
             max_batch: 8,
             max_delay: Duration::from_millis(2),
+            // Backpressure: shed with SubmitError::QueueFull beyond 4x a
+            // full window of admitted-but-unresolved requests.
+            max_pending: 32,
         },
     );
     let sample_len: usize = input_dims.iter().product();
@@ -110,12 +114,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stream_metrics.mean_batch_occupancy,
     );
 
-    // Hardware energy report from the measured event counts.
+    // Quantized serving: the same Arc'd model behind packed 5-bit log
+    // codes + LUT decode — the paper's multiplier-free weight
+    // representation as a serving backend. Stored weights shrink 4x, and
+    // logits are bit-identical to the event simulator over per-layer
+    // quantize_tensor'd weights.
+    let qconfig = QuantConfig::default(); // 5-bit, aw = 2^-1/2, exact LUT
+    let quant_backend = BackendChoice::Quant(qconfig).build(Arc::clone(&model), &input_dims)?;
+    let quant_server = InferenceServer::new(quant_backend, ServerConfig::default());
+    let quant_report = quant_server.run(&x)?;
+    let (qmodel, _) = quantize_model(&model, qconfig.base, qconfig.bits)?;
+    let (quant_reference, _) = EventSnn::new(&qmodel).run(&x)?;
+    assert_eq!(
+        quant_report.logits.as_slice(),
+        quant_reference.as_slice(),
+        "quantized serving is bit-identical to the quantized reference"
+    );
+    let agree = (0..batch)
+        .filter(|&i| {
+            let row = |t: &Tensor| {
+                t.as_slice()[i * 10..(i + 1) * 10]
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| a.total_cmp(b))
+                    .map(|(c, _)| c)
+            };
+            row(&quant_report.logits) == row(&report.logits)
+        })
+        .count();
+    println!(
+        "quantized ({}-bit {}): {:.1} images/sec, top-1 agreement {}/{} vs f32",
+        qconfig.bits,
+        qconfig.base.label(),
+        quant_report.metrics.images_per_sec,
+        agree,
+        batch,
+    );
+
+    // Hardware energy report from the measured event counts — f32 path
+    // and quantized path, priced on the same proposed (log-PE) processor.
     let processor = Processor::new(ProcessorConfig::proposed());
     let hw = energy::energy_report(&processor, &model, &report.stats, &input_dims)?;
+    let quant_hw = energy::energy_report(&processor, &model, &quant_report.stats, &input_dims)?;
     println!(
-        "hardware model: {:.1} µJ/image, {:.0} fps at {} MHz",
+        "hardware model: f32 {:.1} µJ/image, quantized {:.1} µJ/image, {:.0} fps at {} MHz",
         hw.energy_per_image_uj,
+        quant_hw.energy_per_image_uj,
         hw.fps,
         processor.config().frequency_mhz
     );

@@ -13,13 +13,14 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use ttfs_snn::logquant::LogBase;
 use ttfs_snn::nn::{
     ActivationLayer, AvgPool2dLayer, Conv2dLayer, DenseLayer, Flatten, Layer, MaxPool2dLayer, Relu,
     Sequential,
 };
 use ttfs_snn::runtime::{
-    CsrEngine, InferenceBackend, InferenceServer, ServerConfig, StreamingConfig, StreamingServer,
-    Ticket,
+    quantize_model, CsrEngine, InferenceBackend, InferenceServer, QuantConfig, QuantEngine,
+    ServerConfig, StreamingConfig, StreamingServer, Ticket,
 };
 use ttfs_snn::sim::EventSnn;
 use ttfs_snn::tensor::{Conv2dSpec, Tensor};
@@ -141,6 +142,59 @@ proptest! {
         check_backends(&model, &x, &[1, 2, 5], lanes)?;
     }
 
+    /// The quantized serving guarantee: for random architectures, bit
+    /// widths, log bases, batch sizes and chunk widths, `QuantEngine` in
+    /// LUT mode is **bit-identical** (logits AND event statistics) to the
+    /// reference event simulator run over a model whose weights went
+    /// through the same per-layer `LogQuantizer::quantize_tensor` — the
+    /// packed-code tables, the decode LUT and the edge-major interchange
+    /// must all be exact.
+    #[test]
+    fn quantized_csr_matches_quantized_event(
+        seed in 0u64..256,
+        bits in 3u8..8,
+        base_z in 0u8..3,
+        batch in 1usize..5,
+        lanes in 1usize..7,
+        xs in proptest::collection::vec(0.0f32..1.0, 4 * 2 * 36),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Sequential::new(vec![
+            Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(2, 4, 3, 1, 1), &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::MaxPool2d(MaxPool2dLayer::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(4 * 3 * 3, 3, &mut rng)),
+        ]);
+        let model = convert(&net, Base2Kernel::paper_default(), 24).expect("conversion");
+        let x = Tensor::from_vec(xs[..batch * 2 * 36].to_vec(), &[batch, 2, 6, 6]).expect("sized");
+
+        let config = QuantConfig {
+            base: LogBase::new(base_z),
+            bits,
+            ..QuantConfig::default()
+        };
+        // Ground truth: the reference simulator over per-layer-quantized
+        // weights (same calibration the engine's compiler performs).
+        let (qmodel, _) = quantize_model(&model, config.base, config.bits).expect("quantize");
+        let (event_logits, event_stats) = EventSnn::new(&qmodel).run(&x).expect("event run");
+
+        let quant = QuantEngine::compile(&model, &[2, 6, 6], config).expect("quant compile");
+        for chunk in [1, lanes, batch + 1] {
+            let engine = quant.clone().with_max_lanes(chunk);
+            let (logits, stats) = engine.run_batch(&x).expect("quant run");
+            prop_assert_eq!(
+                logits.as_slice(),
+                event_logits.as_slice(),
+                "bits {} base z={} chunk {}",
+                bits,
+                base_z,
+                chunk
+            );
+            prop_assert_eq!(&stats, &event_stats, "stats at chunk {}", chunk);
+        }
+    }
+
     /// The worker-pool server returns the same logits as any single-thread
     /// backend run, for every thread/chunk configuration.
     #[test]
@@ -220,6 +274,7 @@ proptest! {
                 threads,
                 max_batch,
                 max_delay: Duration::from_micros(delay_us),
+                max_pending: 0,
             },
         );
         let mut order: Vec<usize> = (0..n).collect();
