@@ -8,14 +8,18 @@
 //!
 //! Emits `BENCH_runtime.json` with images/sec, per-request p50/p99 latency
 //! (closed path), streaming end-to-end latency percentiles with the
-//! queue-wait/execution split and batch-occupancy histogram, the compiled
-//! CSR memory footprint before/after conv pattern deduplication
-//! (`csr_memory`), the quantized serving path (`quant`: packed 5-bit
-//! log-code throughput, code bytes vs the f32 weight copy, bit-exactness
-//! vs the event simulator over quantized weights, top-1 agreement vs the
-//! f32 path, shift-add error bounds, quantized-workload energy),
-//! logits-equivalence versus `SnnModel::reference_forward`, and the
-//! hardware energy report driven by the fast path's event counts.
+//! queue-wait/execution split, batch-occupancy histogram and shed counts,
+//! the compiled CSR memory footprint before/after conv pattern
+//! deduplication (`csr_memory`), the quantized serving path (`quant`:
+//! packed 5-bit log-code throughput, code bytes vs the f32 weight copy,
+//! bit-exactness vs the event simulator over quantized weights, top-1
+//! agreement vs the f32 path, shift-add error bounds, quantized-workload
+//! energy), the HTTP gateway smoke (`gateway`: a loopback `snn-gateway`
+//! instance driven by the std-only closed-loop HTTP load generator with
+//! random per-request deadlines/priorities, plus a forced `max_pending=1`
+//! sub-run that must shed with 429s), logits-equivalence versus
+//! `SnnModel::reference_forward`, and the hardware energy report driven by
+//! the fast path's event counts.
 //!
 //! Run: `cargo run -p snn-bench --bin runtime_throughput --release`
 //! Scale with `SNN_BENCH_SCALE=quick|default|full`.
@@ -27,6 +31,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use snn_bench::Scale;
+use snn_gateway::{
+    run_closed_loop, Gateway, GatewayConfig, GatewayMetrics, LoadGenConfig, LoadReport,
+};
 use snn_hw::{Processor, ProcessorConfig};
 use snn_nn::models::vgg16_scaled;
 use snn_runtime::{
@@ -109,6 +116,41 @@ struct StreamingResult {
 }
 
 #[derive(Debug, Serialize)]
+struct GatewayBackpressureResult {
+    /// The forced backpressure bound (1: at most one unresolved request).
+    max_pending: usize,
+    /// Wire-level outcome of the overload run.
+    load: LoadReport,
+    /// 429s were observed (CI-enforced: sheds must reach the wire).
+    saw_429: bool,
+    /// Every 200 in the overload run carried bit-correct logits
+    /// (CI-enforced: shedding must not corrupt in-flight responses).
+    ok_match: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct GatewayResult {
+    /// Closed-loop HTTP client threads.
+    clients: usize,
+    /// Re-submissions of the sample set per client.
+    passes: usize,
+    /// Client-side view: status counts, throughput, latency percentiles.
+    load: LoadReport,
+    /// Every 200 response's logits were bit-identical to the single-thread
+    /// CSR rows (must be `true`; CI-enforced).
+    matches_batched: bool,
+    /// Requests the gateway's HTTP parser rejected (must be 0 under the
+    /// well-formed load generator; CI-enforced).
+    parse_errors: u64,
+    /// Server-side gateway counters and per-route latency.
+    metrics: GatewayMetrics,
+    /// The gateway's streaming server metrics (includes `shed_requests`).
+    streaming: StreamingMetrics,
+    /// The forced `max_pending = 1` overload sub-run.
+    backpressure: GatewayBackpressureResult,
+}
+
+#[derive(Debug, Serialize)]
 struct EnergySummary {
     energy_per_image_uj: f64,
     model_fps: f64,
@@ -162,6 +204,7 @@ struct RuntimeBenchReport {
     batched: BatchedResult,
     csr_pooled: PooledResult,
     streaming: StreamingResult,
+    gateway: GatewayResult,
     quant: QuantResult,
     speedup_csr_single: f64,
     speedup_batched: f64,
@@ -289,6 +332,35 @@ fn main() {
         "streamed logits must equal single-thread CSR logits"
     );
 
+    // HTTP gateway smoke: the same CSR backend behind a loopback
+    // snn-gateway, driven end-to-end by the std-only HTTP load generator
+    // (random per-request deadlines/priorities ride the wire into the EDF
+    // batcher), plus a forced max_pending=1 overload that must shed 429s.
+    let gateway = gateway_smoke(
+        Arc::clone(&csr) as Arc<dyn InferenceBackend>,
+        &x,
+        &csr_logits,
+        &input_dims,
+        (threads * 2).clamp(2, 8),
+        passes,
+        chunk_size.max(2),
+        Duration::from_millis(2),
+        seed,
+    );
+    assert!(
+        gateway.matches_batched,
+        "HTTP-served logits must equal single-thread CSR logits"
+    );
+    assert_eq!(gateway.parse_errors, 0, "load generator speaks clean HTTP");
+    assert!(
+        gateway.backpressure.saw_429,
+        "max_pending=1 must shed 429s on the wire"
+    );
+    assert!(
+        gateway.backpressure.ok_match,
+        "shedding must not corrupt in-flight responses"
+    );
+
     // Quantized serving path: packed 5-bit log codes + LUT decode, from
     // the same shared model Arc. Ground truth for bit-exactness is the
     // reference event simulator over per-layer quantize_tensor'd weights.
@@ -381,6 +453,7 @@ fn main() {
             latency_mean_us: report.metrics.latency_mean_us,
         },
         streaming,
+        gateway,
         quant: QuantResult {
             bits: qconfig.bits,
             base: qconfig.base.label(),
@@ -461,7 +534,7 @@ fn main() {
         out.quant.energy.energy_per_image_uj,
     );
     eprintln!(
-        "stream({}c) {:.1} img/s | e2e p50 {:.0} µs p99 {:.0} µs | queue share {:.0}% | occupancy mean {:.1} max {}",
+        "stream({}c) {:.1} img/s | e2e p50 {:.0} µs p99 {:.0} µs | queue share {:.0}% | occupancy mean {:.1} max {} | shed {}",
         out.streaming.clients,
         out.streaming.metrics.images_per_sec,
         out.streaming.metrics.e2e_p50_us,
@@ -469,7 +542,145 @@ fn main() {
         out.streaming.metrics.queue_wait_share * 100.0,
         out.streaming.metrics.mean_batch_occupancy,
         out.streaming.metrics.max_batch_occupancy,
+        out.streaming.metrics.shed_requests,
     );
+    eprintln!(
+        "gateway({}c http) {:.1} req/s | p50 {:.0} µs p99 {:.0} µs | {} ok / {} total | parse errors {} | backpressure: {} x 429, ok {}",
+        out.gateway.clients,
+        out.gateway.load.requests_per_sec,
+        out.gateway.load.latency_p50_us,
+        out.gateway.load.latency_p99_us,
+        out.gateway.load.ok_200,
+        out.gateway.load.requests,
+        out.gateway.parse_errors,
+        out.gateway.backpressure.load.shed_429,
+        out.gateway.backpressure.load.ok_200,
+    );
+}
+
+/// Boots a loopback gateway over `backend`, drives it with the closed-loop
+/// HTTP load generator (random per-request deadlines and priorities), then
+/// repeats at `max_pending = 1` to force wire-visible 429 sheds. Every 200
+/// response's logits are checked bit-for-bit against `expected_logits`.
+#[allow(clippy::too_many_arguments)]
+fn gateway_smoke(
+    backend: Arc<dyn InferenceBackend>,
+    x: &Tensor,
+    expected_logits: &Tensor,
+    input_dims: &[usize],
+    clients: usize,
+    passes: usize,
+    max_batch: usize,
+    max_delay: Duration,
+    seed: u64,
+) -> GatewayResult {
+    let server = Arc::new(StreamingServer::new(
+        Arc::clone(&backend),
+        StreamingConfig {
+            threads: 0,
+            max_batch,
+            max_delay,
+            max_pending: 0,
+        },
+    ));
+    let mut gateway = Gateway::start(
+        Arc::clone(&server),
+        GatewayConfig {
+            workers: clients,
+            ..GatewayConfig::for_dims(input_dims)
+        },
+    )
+    .expect("gateway bind on loopback");
+    let load = run_closed_loop(
+        gateway.local_addr(),
+        x,
+        Some(expected_logits),
+        &LoadGenConfig {
+            clients,
+            passes,
+            deadline_ms: Some((1.0, 8.0)),
+            max_priority: 3,
+            seed,
+        },
+    );
+    let metrics = gateway.shutdown();
+    let streaming = server.shutdown();
+    let matches_batched = load.mismatches == 0 && load.ok_200 > 0 && load.ok_200 == load.requests;
+    let parse_errors = metrics.parse_errors;
+
+    // Overload sub-run: a fresh serving stack with max_pending = 1 and a
+    // wide batching window, hammered by 4 clients — concurrent submitters
+    // must bounce off the single admission slot as wire-level 429s. A
+    // pathological scheduler could serialize a round perfectly, so retry
+    // up to 3 rounds for sheds (in practice the first round sheds).
+    let sample_len: usize = input_dims.iter().product();
+    let classes = expected_logits.dims()[1];
+    let sub_n = x.dims()[0].min(8);
+    let mut sub_dims = vec![sub_n];
+    sub_dims.extend_from_slice(input_dims);
+    let sub_x = Tensor::from_vec(x.as_slice()[..sub_n * sample_len].to_vec(), &sub_dims)
+        .expect("subset slice");
+    let sub_expected = Tensor::from_vec(
+        expected_logits.as_slice()[..sub_n * classes].to_vec(),
+        &[sub_n, classes],
+    )
+    .expect("subset logits");
+    let bp_server = Arc::new(StreamingServer::new(
+        backend,
+        StreamingConfig {
+            threads: 1,
+            max_batch: 64,
+            max_delay: Duration::from_millis(15),
+            max_pending: 1,
+        },
+    ));
+    let mut bp_gateway = Gateway::start(
+        Arc::clone(&bp_server),
+        GatewayConfig {
+            workers: 4,
+            ..GatewayConfig::for_dims(input_dims)
+        },
+    )
+    .expect("backpressure gateway bind");
+    let mut bp_load = None;
+    for round in 0..3u64 {
+        let r = run_closed_loop(
+            bp_gateway.local_addr(),
+            &sub_x,
+            Some(&sub_expected),
+            &LoadGenConfig {
+                clients: 4,
+                passes: 4,
+                deadline_ms: None,
+                max_priority: 0,
+                seed: seed ^ (0xB00 + round),
+            },
+        );
+        let saw = r.shed_429 > 0;
+        bp_load = Some(r);
+        if saw {
+            break;
+        }
+    }
+    bp_gateway.shutdown();
+    bp_server.shutdown();
+    let bp_load = bp_load.expect("at least one overload round");
+    let backpressure = GatewayBackpressureResult {
+        max_pending: 1,
+        saw_429: bp_load.shed_429 > 0,
+        ok_match: bp_load.mismatches == 0 && bp_load.ok_200 > 0,
+        load: bp_load,
+    };
+    GatewayResult {
+        clients,
+        passes,
+        load,
+        matches_batched,
+        parse_errors,
+        metrics,
+        streaming,
+        backpressure,
+    }
 }
 
 /// Elementwise max |a − b| over two equal-shape logit tensors.

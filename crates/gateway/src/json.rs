@@ -1,0 +1,288 @@
+//! The inference wire format: JSON bodies for `POST /v1/infer`.
+//!
+//! Request — sample dims plus flat f32 pixels, with optional scheduling
+//! fields carried straight into the runtime's
+//! [`snn_runtime::SubmitOptions`]:
+//!
+//! ```json
+//! {"dims": [3, 32, 32], "pixels": [0.1, 0.2, ...],
+//!  "deadline_ms": 5.0, "priority": 2}
+//! ```
+//!
+//! Response — logits, top-1 class, and the timing split the streaming
+//! server measured for this request:
+//!
+//! ```json
+//! {"logits": [...], "top1": 3, "batch_size": 4,
+//!  "queue_wait_us": 812.0, "exec_us": 1554.0, "e2e_us": 2410.0}
+//! ```
+//!
+//! The codec rides the vendored `serde_json` shim, whose float printing is
+//! shortest-round-trip: an `f32 → text → f32` trip is bit-exact, which is
+//! what lets the end-to-end tests demand logits *identical* to the
+//! in-process engines through the HTTP boundary.
+//!
+//! [`InferRequest`] implements [`Deserialize`] by hand because
+//! `deadline_ms` and `priority` are optional (the derive shim requires
+//! every field); everything else derives.
+
+use serde::{field, Content, Deserialize, Error as SerdeError, Serialize};
+use snn_runtime::SubmitOptions;
+use std::time::Duration;
+
+/// One inference request as it appears on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferRequest {
+    /// Per-sample dims, e.g. `[3, 32, 32]`; must match the gateway's
+    /// configured input geometry exactly.
+    pub dims: Vec<usize>,
+    /// Flat row-major pixels; length must equal the product of `dims`.
+    pub pixels: Vec<f32>,
+    /// Optional batching deadline in milliseconds (fractional allowed).
+    /// Omitted → the streaming server's configured `max_delay`.
+    pub deadline_ms: Option<f64>,
+    /// Optional EDF tie-break priority (0–255, default 0; higher sorts
+    /// earlier in the formed batch on equal deadlines).
+    pub priority: u8,
+}
+
+impl InferRequest {
+    /// A request with default scheduling (no explicit deadline, priority 0).
+    pub fn new(dims: Vec<usize>, pixels: Vec<f32>) -> Self {
+        Self {
+            dims,
+            pixels,
+            deadline_ms: None,
+            priority: 0,
+        }
+    }
+
+    /// Converts the wire scheduling fields into runtime [`SubmitOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message suitable for a `400` body when `deadline_ms` is
+    /// negative or not a finite, representable duration.
+    pub fn submit_options(&self) -> Result<SubmitOptions, String> {
+        let deadline = match self.deadline_ms {
+            None => None,
+            Some(ms) => Some(
+                Duration::try_from_secs_f64(ms / 1e3)
+                    .map_err(|_| format!("deadline_ms {ms} is not a valid duration"))?,
+            ),
+        };
+        Ok(SubmitOptions {
+            deadline,
+            priority: self.priority,
+        })
+    }
+
+    /// Validates the sample geometry against the gateway's configured
+    /// dims.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message suitable for a `400` body when `dims` differs
+    /// from `expected` or `pixels` does not fill the geometry.
+    pub fn validate(&self, expected: &[usize]) -> Result<(), String> {
+        if self.dims != expected {
+            return Err(format!(
+                "dims {:?} do not match the served model's input dims {:?}",
+                self.dims, expected
+            ));
+        }
+        let len: usize = self.dims.iter().product();
+        if self.pixels.len() != len {
+            return Err(format!(
+                "pixels has {} values but dims {:?} require {}",
+                self.pixels.len(),
+                self.dims,
+                len
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for InferRequest {
+    fn to_content(&self) -> Content {
+        let mut map = vec![
+            ("dims".to_string(), self.dims.to_content()),
+            ("pixels".to_string(), self.pixels.to_content()),
+        ];
+        if let Some(ms) = self.deadline_ms {
+            map.push(("deadline_ms".to_string(), Content::F64(ms)));
+        }
+        if self.priority != 0 {
+            map.push(("priority".to_string(), Content::U64(self.priority.into())));
+        }
+        Content::Map(map)
+    }
+}
+
+impl Deserialize for InferRequest {
+    fn from_content(content: &Content) -> Result<Self, SerdeError> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| SerdeError::msg("infer request must be a JSON object"))?;
+        let dims = Vec::<usize>::from_content(field(map, "dims")?)?;
+        let pixels = Vec::<f32>::from_content(field(map, "pixels")?)?;
+        let deadline_ms = match map.iter().find(|(k, _)| k == "deadline_ms") {
+            None => None,
+            Some((_, Content::Null)) => None,
+            Some((_, v)) => Some(
+                v.as_f64()
+                    .ok_or_else(|| SerdeError::msg("deadline_ms must be a number"))?,
+            ),
+        };
+        let priority = match map.iter().find(|(k, _)| k == "priority") {
+            None => 0,
+            Some((_, Content::Null)) => 0,
+            Some((_, v)) => {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| SerdeError::msg("priority must be an integer in 0..=255"))?;
+                u8::try_from(raw)
+                    .map_err(|_| SerdeError::msg("priority must be an integer in 0..=255"))?
+            }
+        };
+        Ok(Self {
+            dims,
+            pixels,
+            deadline_ms,
+            priority,
+        })
+    }
+}
+
+/// One successful inference response as it appears on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferResponse {
+    /// Decoded logits for this sample, `[classes]`.
+    pub logits: Vec<f32>,
+    /// Index of the largest logit.
+    pub top1: usize,
+    /// Images in the formed batch this request rode in.
+    pub batch_size: usize,
+    /// Time from submission until a worker began executing the batch, µs.
+    pub queue_wait_us: f64,
+    /// Backend execution time of the formed batch, µs.
+    pub exec_us: f64,
+    /// Submit-to-result latency as measured inside the gateway, µs.
+    pub e2e_us: f64,
+}
+
+/// The JSON error body every non-2xx response carries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable reason, safe to echo to clients.
+    pub error: String,
+}
+
+impl ErrorBody {
+    /// Serializes an error message to its JSON wire form.
+    pub fn render(message: impl Into<String>) -> Vec<u8> {
+        let body = ErrorBody {
+            error: message.into(),
+        };
+        serde_json::to_string(&body)
+            .unwrap_or_else(|_| "{\"error\":\"internal error\"}".to_string())
+            .into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_with_options() {
+        let req = InferRequest {
+            dims: vec![1, 2, 2],
+            pixels: vec![0.25, 0.5, 0.75, 1.0],
+            deadline_ms: Some(2.5),
+            priority: 7,
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: InferRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn request_optional_fields_default() {
+        let back: InferRequest =
+            serde_json::from_str(r#"{"dims":[1,1,2],"pixels":[0.1,0.9]}"#).unwrap();
+        assert_eq!(back.deadline_ms, None);
+        assert_eq!(back.priority, 0);
+        let opts = back.submit_options().unwrap();
+        assert_eq!(opts, SubmitOptions::default());
+    }
+
+    #[test]
+    fn request_rejects_bad_shapes() {
+        assert!(serde_json::from_str::<InferRequest>("[1,2]").is_err());
+        assert!(serde_json::from_str::<InferRequest>(r#"{"dims":[1]}"#).is_err());
+        assert!(serde_json::from_str::<InferRequest>(
+            r#"{"dims":[1],"pixels":[0.5],"priority":999}"#
+        )
+        .is_err());
+        assert!(serde_json::from_str::<InferRequest>(
+            r#"{"dims":[1],"pixels":[0.5],"deadline_ms":"soon"}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn validate_checks_geometry() {
+        let req = InferRequest::new(vec![1, 2, 2], vec![0.0; 4]);
+        assert!(req.validate(&[1, 2, 2]).is_ok());
+        assert!(req.validate(&[3, 2, 2]).unwrap_err().contains("dims"));
+        let short = InferRequest::new(vec![1, 2, 2], vec![0.0; 3]);
+        assert!(short.validate(&[1, 2, 2]).unwrap_err().contains("pixels"));
+    }
+
+    #[test]
+    fn submit_options_rejects_negative_deadline() {
+        let mut req = InferRequest::new(vec![1], vec![0.5]);
+        req.deadline_ms = Some(-1.0);
+        assert!(req.submit_options().is_err());
+        req.deadline_ms = Some(3.5);
+        let opts = req.submit_options().unwrap();
+        assert_eq!(opts.deadline, Some(Duration::from_micros(3500)));
+    }
+
+    #[test]
+    fn pixel_floats_roundtrip_bit_exact() {
+        // The equivalence guarantee across the HTTP boundary hangs on
+        // this: shortest-round-trip printing makes f32 → text → f32 exact.
+        let vals: Vec<f32> = vec![0.1, 1.0 / 3.0, -0.687_194_9, 2.337_512e-6, 0.999_999_94];
+        let req = InferRequest::new(vec![5], vals.clone());
+        let json = serde_json::to_string(&req).unwrap();
+        let back: InferRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.pixels.len(), vals.len());
+        for (a, b) in back.pixels.iter().zip(&vals) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = InferResponse {
+            logits: vec![0.1, -0.9],
+            top1: 0,
+            batch_size: 3,
+            queue_wait_us: 12.5,
+            exec_us: 99.0,
+            e2e_us: 120.0,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: InferResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn error_body_renders_json() {
+        let body = String::from_utf8(ErrorBody::render("queue full")).unwrap();
+        assert_eq!(body, r#"{"error":"queue full"}"#);
+    }
+}

@@ -1,0 +1,77 @@
+//! # snn-gateway — dependency-free HTTP/1.1 serving front-end
+//!
+//! The network edge of the workspace's serving stack: a hand-rolled
+//! HTTP/1.1 server on `std::net::TcpListener` (no hyper/tokio — the build
+//! is fully offline) that fronts the runtime's
+//! [`StreamingServer`](snn_runtime::StreamingServer) and pushes each
+//! request's deadline from the wire all the way into the EDF
+//! [`DeadlineBatcher`](snn_runtime::DeadlineBatcher) flush policy.
+//!
+//! * [`http`] — panic-free incremental request parser (`Content-Length`
+//!   bodies, keep-alive, pipelining; `400`/`413` on malformed or oversized
+//!   input) and the response writer.
+//! * [`json`] — the inference wire format: `dims` + flat f32 `pixels` in,
+//!   logits + top-1 + timing out; optional `deadline_ms`/`priority` fields
+//!   map onto [`SubmitOptions`](snn_runtime::SubmitOptions). Float
+//!   round-trips are bit-exact, so HTTP serving preserves the workspace's
+//!   logit-equivalence guarantees.
+//! * [`Gateway`] — acceptor + connection worker pool with graceful drain;
+//!   routes `POST /v1/infer`, `GET /metrics` (Prometheus text: gateway
+//!   counters + [`StreamingMetrics`](snn_runtime::StreamingMetrics)) and
+//!   `GET /healthz`. Backpressure maps onto the wire:
+//!   [`QueueFull`](snn_runtime::SubmitError::QueueFull) → `429`, drain →
+//!   `503`, handler timeout → `504`.
+//! * [`client`] — a std-only keep-alive HTTP client and closed-loop load
+//!   generator ([`run_closed_loop`]), reused by the benchmark harness and
+//!   the end-to-end tests.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rand::SeedableRng;
+//! use snn_gateway::{client::HttpClient, Gateway, GatewayConfig};
+//! use snn_nn::{DenseLayer, Flatten, Layer, Sequential};
+//! use snn_runtime::{BackendChoice, StreamingConfig};
+//! use ttfs_core::{convert, Base2Kernel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let net = Sequential::new(vec![
+//!     Layer::Flatten(Flatten::new()),
+//!     Layer::Dense(DenseLayer::new(9, 2, &mut rng)),
+//! ]);
+//! let model = Arc::new(convert(&net, Base2Kernel::paper_default(), 16)?);
+//! let dims = [1usize, 3, 3];
+//! let server = Arc::new(BackendChoice::Csr.serve_streaming(
+//!     Arc::clone(&model),
+//!     &dims,
+//!     StreamingConfig::default(),
+//! )?);
+//! let mut gateway = Gateway::start(Arc::clone(&server), GatewayConfig::for_dims(&dims))?;
+//!
+//! let mut client = HttpClient::connect(gateway.local_addr())?;
+//! let body = r#"{"dims":[1,3,3],"pixels":[0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5],
+//!                "deadline_ms":2.0,"priority":1}"#;
+//! let response = client.post_json("/v1/infer", body)?;
+//! assert_eq!(response.status, 200);
+//!
+//! gateway.shutdown();
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+mod metrics;
+mod server;
+
+pub use client::{run_closed_loop, HttpClient, LoadGenConfig, LoadReport, WireResponse};
+pub use http::{Limits, ParseError, Request};
+pub use json::{ErrorBody, InferRequest, InferResponse};
+pub use metrics::{prometheus_text, GatewayMetrics, GatewayRecorder, RouteMetrics};
+pub use server::{Gateway, GatewayConfig};

@@ -1,0 +1,341 @@
+//! Gateway-level observability: wire counters, per-route latency
+//! percentiles, and the Prometheus text rendering served by
+//! `GET /metrics`.
+//!
+//! The gateway's own counters (connections, parse errors, sheds, status
+//! classes) compose with the runtime's
+//! [`StreamingMetrics`](snn_runtime::StreamingMetrics) — one scrape shows
+//! the whole path from accepted socket to executed batch.
+
+use serde::{Deserialize, Serialize};
+use snn_runtime::{LatencyRecorder, StreamingMetrics};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Latency summary for one route (`infer`, `metrics`, `health`, `other`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteMetrics {
+    /// Route label.
+    pub route: String,
+    /// Requests that completed on this route (any status).
+    pub requests: u64,
+    /// Mean handler latency, microseconds.
+    pub latency_mean_us: f64,
+    /// Median handler latency, microseconds.
+    pub latency_p50_us: f64,
+    /// 99th-percentile handler latency, microseconds.
+    pub latency_p99_us: f64,
+}
+
+/// Serializable snapshot of the gateway's wire-level counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatewayMetrics {
+    /// TCP connections accepted.
+    pub connections: u64,
+    /// HTTP requests that received a response.
+    pub requests: u64,
+    /// Responses with a 2xx status.
+    pub responses_2xx: u64,
+    /// Responses with a 4xx status (includes parse errors and sheds).
+    pub responses_4xx: u64,
+    /// Responses with a 5xx status (drain 503s, timeouts, internal).
+    pub responses_5xx: u64,
+    /// Malformed or over-limit requests (400/413 from the parser); the
+    /// connection closes afterwards because framing is lost.
+    pub parse_errors: u64,
+    /// Requests shed with `429 Too Many Requests`
+    /// ([`SubmitError::QueueFull`](snn_runtime::SubmitError) on the wire).
+    pub shed_429: u64,
+    /// Requests refused with `503 Service Unavailable` during drain.
+    pub drained_503: u64,
+    /// Requests that timed out waiting on the ticket (`504`).
+    pub timeout_504: u64,
+    /// Per-route latency percentiles, ascending by route label.
+    pub routes: Vec<RouteMetrics>,
+}
+
+/// Accumulates gateway measurements; one instance lives behind a mutex in
+/// the gateway and every connection worker records into it.
+#[derive(Debug, Default)]
+pub struct GatewayRecorder {
+    connections: u64,
+    parse_errors: u64,
+    shed_429: u64,
+    drained_503: u64,
+    timeout_504: u64,
+    responses_2xx: u64,
+    responses_4xx: u64,
+    responses_5xx: u64,
+    routes: BTreeMap<String, LatencyRecorder>,
+}
+
+impl GatewayRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one accepted TCP connection.
+    pub fn record_connection(&mut self) {
+        self.connections += 1;
+    }
+
+    /// Records one completed response: its route, status and handler
+    /// latency.
+    pub fn record_response(&mut self, route: &str, status: u16, latency: Duration) {
+        match status {
+            200..=299 => self.responses_2xx += 1,
+            400..=499 => self.responses_4xx += 1,
+            _ => self.responses_5xx += 1,
+        }
+        match status {
+            429 => self.shed_429 += 1,
+            503 => self.drained_503 += 1,
+            504 => self.timeout_504 += 1,
+            _ => {}
+        }
+        self.routes
+            .entry(route.to_string())
+            .or_default()
+            .record(latency);
+    }
+
+    /// Records one request the parser rejected (already counted as a
+    /// response via [`record_response`](Self::record_response) by the
+    /// caller; this only bumps the dedicated parse-error counter).
+    pub fn record_parse_error(&mut self) {
+        self.parse_errors += 1;
+    }
+
+    /// Snapshots everything recorded so far.
+    pub fn summarize(&mut self) -> GatewayMetrics {
+        let routes: Vec<RouteMetrics> = self
+            .routes
+            .iter_mut()
+            .map(|(route, rec)| RouteMetrics {
+                route: route.clone(),
+                requests: rec.len() as u64,
+                latency_mean_us: rec.mean_us(),
+                latency_p50_us: rec.quantile_us(0.50),
+                latency_p99_us: rec.quantile_us(0.99),
+            })
+            .collect();
+        GatewayMetrics {
+            connections: self.connections,
+            requests: routes.iter().map(|r| r.requests).sum(),
+            responses_2xx: self.responses_2xx,
+            responses_4xx: self.responses_4xx,
+            responses_5xx: self.responses_5xx,
+            parse_errors: self.parse_errors,
+            shed_429: self.shed_429,
+            drained_503: self.drained_503,
+            timeout_504: self.timeout_504,
+            routes,
+        }
+    }
+}
+
+fn counter_family(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+    ));
+}
+
+fn gauge_family(out: &mut String, name: &str, help: &str, value: f64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+    ));
+}
+
+/// Renders the gateway and streaming snapshots in Prometheus text
+/// exposition format (`text/plain; version=0.0.4`).
+pub fn prometheus_text(gateway: &GatewayMetrics, streaming: &StreamingMetrics) -> String {
+    let mut out = String::with_capacity(2048);
+    for (name, help, value) in [
+        (
+            "snn_gateway_connections_total",
+            "TCP connections accepted",
+            gateway.connections,
+        ),
+        (
+            "snn_gateway_requests_total",
+            "HTTP requests answered",
+            gateway.requests,
+        ),
+        (
+            "snn_gateway_parse_errors_total",
+            "Requests rejected by the HTTP parser (400/413)",
+            gateway.parse_errors,
+        ),
+        (
+            "snn_gateway_sheds_total",
+            "Requests shed with 429 (streaming backpressure)",
+            gateway.shed_429,
+        ),
+        (
+            "snn_gateway_drained_total",
+            "Requests refused with 503 during drain",
+            gateway.drained_503,
+        ),
+        (
+            "snn_gateway_timeouts_total",
+            "Requests that hit the handler timeout (504)",
+            gateway.timeout_504,
+        ),
+    ] {
+        counter_family(&mut out, name, help, value);
+    }
+    out.push_str(
+        "# HELP snn_gateway_responses_total Responses by status class\n# TYPE snn_gateway_responses_total counter\n",
+    );
+    for (class, value) in [
+        ("2xx", gateway.responses_2xx),
+        ("4xx", gateway.responses_4xx),
+        ("5xx", gateway.responses_5xx),
+    ] {
+        out.push_str(&format!(
+            "snn_gateway_responses_total{{class=\"{class}\"}} {value}\n"
+        ));
+    }
+    out.push_str(
+        "# HELP snn_gateway_route_requests_total Requests per route\n# TYPE snn_gateway_route_requests_total counter\n",
+    );
+    for route in &gateway.routes {
+        out.push_str(&format!(
+            "snn_gateway_route_requests_total{{route=\"{}\"}} {}\n",
+            route.route, route.requests
+        ));
+    }
+    out.push_str(
+        "# HELP snn_gateway_route_latency_us Handler latency percentiles per route\n# TYPE snn_gateway_route_latency_us gauge\n",
+    );
+    for route in &gateway.routes {
+        for (q, v) in [
+            ("0.5", route.latency_p50_us),
+            ("0.99", route.latency_p99_us),
+        ] {
+            out.push_str(&format!(
+                "snn_gateway_route_latency_us{{route=\"{}\",quantile=\"{q}\"}} {v}\n",
+                route.route
+            ));
+        }
+    }
+
+    for (name, help, value) in [
+        (
+            "snn_streaming_requests_total",
+            "Streamed requests completed",
+            streaming.requests,
+        ),
+        (
+            "snn_streaming_shed_requests_total",
+            "Submissions shed by backpressure (QueueFull)",
+            streaming.shed_requests,
+        ),
+        (
+            "snn_streaming_batches_total",
+            "Batches the deadline batcher formed",
+            streaming.batches,
+        ),
+    ] {
+        counter_family(&mut out, name, help, value);
+    }
+    for (name, help, value) in [
+        (
+            "snn_streaming_images_per_sec",
+            "Completed requests per second of wall clock",
+            streaming.images_per_sec,
+        ),
+        (
+            "snn_streaming_e2e_p50_us",
+            "Median submit-to-result latency",
+            streaming.e2e_p50_us,
+        ),
+        (
+            "snn_streaming_e2e_p99_us",
+            "99th-percentile submit-to-result latency",
+            streaming.e2e_p99_us,
+        ),
+        (
+            "snn_streaming_queue_wait_share",
+            "Fraction of e2e time spent queue-waiting",
+            streaming.queue_wait_share,
+        ),
+        (
+            "snn_streaming_mean_batch_occupancy",
+            "Mean images per formed batch",
+            streaming.mean_batch_occupancy,
+        ),
+    ] {
+        gauge_family(&mut out, name, help, value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_runtime::StreamingRecorder;
+
+    #[test]
+    fn recorder_counts_status_classes_and_routes() {
+        let mut r = GatewayRecorder::new();
+        r.record_connection();
+        r.record_connection();
+        r.record_response("infer", 200, Duration::from_millis(2));
+        r.record_response("infer", 429, Duration::from_millis(1));
+        r.record_response("metrics", 200, Duration::from_micros(80));
+        r.record_response("parse", 400, Duration::ZERO);
+        r.record_parse_error();
+        r.record_response("infer", 503, Duration::ZERO);
+        r.record_response("infer", 504, Duration::from_secs(1));
+        let m = r.summarize();
+        assert_eq!(m.connections, 2);
+        assert_eq!(m.requests, 6);
+        assert_eq!(m.responses_2xx, 2);
+        assert_eq!(m.responses_4xx, 2);
+        assert_eq!(m.responses_5xx, 2);
+        assert_eq!(m.parse_errors, 1);
+        assert_eq!(m.shed_429, 1);
+        assert_eq!(m.drained_503, 1);
+        assert_eq!(m.timeout_504, 1);
+        let infer = m.routes.iter().find(|r| r.route == "infer").unwrap();
+        assert_eq!(infer.requests, 4);
+        assert!(infer.latency_p99_us >= infer.latency_p50_us);
+    }
+
+    #[test]
+    fn metrics_roundtrip_json() {
+        let mut r = GatewayRecorder::new();
+        r.record_response("infer", 200, Duration::from_millis(1));
+        let m = r.summarize();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: GatewayMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn prometheus_text_contains_every_family() {
+        let mut r = GatewayRecorder::new();
+        r.record_connection();
+        r.record_response("infer", 200, Duration::from_millis(1));
+        let gm = r.summarize();
+        let sm = StreamingRecorder::new().summarize();
+        let text = prometheus_text(&gm, &sm);
+        for family in [
+            "snn_gateway_connections_total 1",
+            "snn_gateway_responses_total{class=\"2xx\"} 1",
+            "snn_gateway_route_requests_total{route=\"infer\"} 1",
+            "snn_gateway_route_latency_us{route=\"infer\",quantile=\"0.99\"}",
+            "snn_streaming_requests_total 0",
+            "snn_streaming_shed_requests_total 0",
+            "snn_streaming_mean_batch_occupancy 0",
+        ] {
+            assert!(text.contains(family), "missing {family:?} in:\n{text}");
+        }
+        // Every non-comment line is "name[{labels}] value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "bad line {line:?}");
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! The gateway proper: a `std::net::TcpListener` acceptor plus a
+//! connection worker pool, fronting a [`StreamingServer`].
+//!
+//! ```text
+//! accept loop ──► WorkerPool (connection jobs)
+//!                    │  read → parse_request (incremental, pipelining)
+//!                    │  POST /v1/infer: JSON → Tensor → submit_with
+//!                    │       SubmitOptions { deadline_ms, priority }
+//!                    │       Ticket::wait_timeout → 200 / 504
+//!                    │       SubmitError::QueueFull → 429
+//!                    │       drain → 503
+//!                    │  GET /metrics: Prometheus text
+//!                    ▼
+//!           StreamingServer (EDF DeadlineBatcher → engine)
+//! ```
+//!
+//! Shutdown is a graceful drain: the acceptor stops, connection workers
+//! answer anything already parsed with `503` and exit at their next poll
+//! tick, and in-flight inference handlers run to completion before the
+//! pool joins. The wrapped [`StreamingServer`] is left running — it
+//! belongs to the caller, who may front it with a new gateway or shut it
+//! down separately.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use snn_runtime::{StreamingServer, SubmitError, WorkerPool};
+use snn_tensor::Tensor;
+
+use crate::http::{parse_request, write_response, Limits, ParseError, Request};
+use crate::json::{ErrorBody, InferRequest, InferResponse};
+use crate::metrics::{prometheus_text, GatewayMetrics, GatewayRecorder};
+
+/// Gateway configuration.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address; port `0` picks a free port (see
+    /// [`Gateway::local_addr`]).
+    pub addr: String,
+    /// Connection worker threads (0 = one per available core, floored at
+    /// 4). Each worker owns one connection for its keep-alive lifetime;
+    /// additional accepted connections queue until a worker frees — which
+    /// [`keep_alive_idle`](Self::keep_alive_idle) guarantees it eventually
+    /// does.
+    pub workers: usize,
+    /// The per-sample dims this gateway serves (e.g. `[3, 32, 32]`).
+    /// Requests with any other `dims` are rejected with `400` **before**
+    /// touching the stream, so a hostile first request can never pin the
+    /// streaming server to the wrong geometry.
+    pub input_dims: Vec<usize>,
+    /// Most bytes a request body may declare (`413` beyond).
+    pub max_body_bytes: usize,
+    /// Most bytes a request head may occupy (`400` beyond).
+    pub max_head_bytes: usize,
+    /// Longest a handler waits on its [`Ticket`](snn_runtime::Ticket)
+    /// before answering `504` (the batch still executes; the reply is
+    /// discarded). Client-supplied `deadline_ms` values are clamped to
+    /// half this bound — an untrusted request must not park in the EDF
+    /// window longer than the gateway is willing to wait for it, and the
+    /// remaining half of the budget covers queueing and execution.
+    pub handler_timeout: Duration,
+    /// Socket read timeout: how often an idle keep-alive connection checks
+    /// for shutdown. Smaller drains faster; larger polls less.
+    pub poll_interval: Duration,
+    /// Close a connection that has gone this long without completing a
+    /// request. This reclaims workers from parked keep-alive clients (a
+    /// handful of idle connections must never starve the pool) and bounds
+    /// slow-loris senders who trickle a request forever.
+    pub keep_alive_idle: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            input_dims: Vec::new(),
+            max_body_bytes: 8 * 1024 * 1024,
+            max_head_bytes: 16 * 1024,
+            handler_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(50),
+            keep_alive_idle: Duration::from_secs(10),
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// A config serving the given per-sample dims, all else default.
+    pub fn for_dims(input_dims: &[usize]) -> Self {
+        Self {
+            input_dims: input_dims.to_vec(),
+            ..Self::default()
+        }
+    }
+}
+
+/// State shared between the acceptor, every connection worker, and the
+/// [`Gateway`] handle.
+struct Shared {
+    server: Arc<StreamingServer>,
+    recorder: Mutex<GatewayRecorder>,
+    draining: AtomicBool,
+    limits: Limits,
+    input_dims: Vec<usize>,
+    handler_timeout: Duration,
+    poll_interval: Duration,
+    keep_alive_idle: Duration,
+}
+
+/// The HTTP serving front-end: acceptor + connection worker pool over a
+/// [`StreamingServer`], with graceful drain (see the module-level docs for
+/// the data path).
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use snn_gateway::{Gateway, GatewayConfig};
+/// use snn_runtime::{BackendChoice, StreamingConfig};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let model: Arc<ttfs_core::SnnModel> = unimplemented!();
+/// let dims = [3usize, 32, 32];
+/// let server = Arc::new(BackendChoice::Csr.serve_streaming(
+///     Arc::clone(&model), &dims, StreamingConfig::default())?);
+/// let mut gateway = Gateway::start(server, GatewayConfig::for_dims(&dims))?;
+/// println!("serving on http://{}", gateway.local_addr());
+/// // ... traffic ...
+/// gateway.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct Gateway {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    connections: Mutex<Option<Arc<WorkerPool>>>,
+}
+
+impl Gateway {
+    /// Binds the listener, spawns the acceptor and connection workers, and
+    /// starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error, or `InvalidInput` when
+    /// [`input_dims`](GatewayConfig::input_dims) is empty (the gateway
+    /// must know its geometry to validate requests).
+    pub fn start(server: Arc<StreamingServer>, config: GatewayConfig) -> std::io::Result<Self> {
+        if config.input_dims.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "GatewayConfig::input_dims must name the served sample geometry",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = if config.workers > 0 {
+            config.workers
+        } else {
+            // Floor at 4: connection workers are I/O-parked most of their
+            // lives, and a 1-core box must still overlap several clients.
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(4)
+        };
+        let shared = Arc::new(Shared {
+            server,
+            recorder: Mutex::new(GatewayRecorder::new()),
+            draining: AtomicBool::new(false),
+            limits: Limits {
+                max_head_bytes: config.max_head_bytes,
+                max_body_bytes: config.max_body_bytes,
+            },
+            input_dims: config.input_dims,
+            handler_timeout: config.handler_timeout,
+            poll_interval: config.poll_interval,
+            keep_alive_idle: config.keep_alive_idle,
+        });
+        let pool = Arc::new(WorkerPool::new(workers));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("snn-gateway-acceptor".into())
+                .spawn(move || acceptor_loop(listener, shared, pool))
+                .map_err(std::io::Error::other)?
+        };
+        Ok(Self {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            connections: Mutex::new(Some(pool)),
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the gateway is draining (shutdown has begun).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the gateway-level metrics accumulated so far.
+    pub fn metrics(&self) -> GatewayMetrics {
+        self.shared
+            .recorder
+            .lock()
+            .expect("gateway recorder poisoned")
+            .summarize()
+    }
+
+    /// Gracefully drains and stops the gateway: no new connections are
+    /// accepted, parked keep-alive connections close at their next poll
+    /// tick, in-flight handlers finish (their responses are written), and
+    /// the connection pool joins. Returns the final gateway metrics.
+    /// Idempotent; also invoked by [`Drop`]. The wrapped
+    /// [`StreamingServer`] keeps running.
+    pub fn shutdown(&mut self) -> GatewayMetrics {
+        self.shared.draining.store(true, Ordering::Release);
+        if let Some(handle) = self.acceptor.take() {
+            // Wake the blocking accept with a throwaway connection; the
+            // acceptor sees the drain flag and exits.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+        // The acceptor is gone, so its pool Arc is dropped; taking ours
+        // makes this the last reference and dropping it joins the workers
+        // after every queued connection job finishes.
+        if let Some(pool) = self
+            .connections
+            .lock()
+            .expect("gateway pool lock poisoned")
+            .take()
+        {
+            drop(pool);
+        }
+        self.metrics()
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, shared: Arc<Shared>, pool: Arc<WorkerPool>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.draining.load(Ordering::Acquire) {
+                    // The wakeup connection (or late traffic): close it.
+                    let _ = stream.shutdown(NetShutdown::Both);
+                    break;
+                }
+                shared
+                    .recorder
+                    .lock()
+                    .expect("gateway recorder poisoned")
+                    .record_connection();
+                let shared = Arc::clone(&shared);
+                // A closed pool can only mean shutdown raced us; drop the
+                // stream and exit on the next accept.
+                if pool
+                    .try_execute(move || handle_connection(stream, &shared))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Err(_) => {
+                // Transient accept errors (EMFILE, aborted handshake) must
+                // not kill the acceptor; a poisoned listener during drain
+                // just exits. Back off briefly so persistent failures
+                // (e.g. fd exhaustion) do not busy-spin a core against
+                // the workers trying to free descriptors.
+                if shared.draining.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Serves one connection until it closes, errors, stops keeping alive, or
+/// the gateway drains. Panic-free by construction: all parsing is
+/// [`parse_request`], all indexing bounded.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.poll_interval));
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 8192];
+    // Reset after every completed response (not at parse time — a slow
+    // handler must not eat into its connection's idle allowance); a
+    // connection that then goes `keep_alive_idle` without completing a
+    // request is closed, so parked keep-alive clients and slow-loris
+    // senders cannot pin a worker.
+    let mut last_activity = Instant::now();
+    loop {
+        // Serve everything already buffered first (pipelining).
+        match parse_request(&buf, &shared.limits) {
+            Ok(Some((request, consumed))) => {
+                buf.drain(..consumed);
+                let keep_alive = respond(&mut stream, &request, shared);
+                last_activity = Instant::now();
+                if !keep_alive {
+                    let _ = stream.shutdown(NetShutdown::Both);
+                    return;
+                }
+                continue;
+            }
+            Ok(None) => {}
+            Err(e) => {
+                let (status, message) = match &e {
+                    ParseError::BadRequest(msg) => (400u16, msg.clone()),
+                    ParseError::PayloadTooLarge { limit } => {
+                        (413u16, format!("body exceeds the {limit}-byte limit"))
+                    }
+                };
+                let start = Instant::now();
+                let body = ErrorBody::render(message);
+                let bytes = write_response(status, "application/json", &body, false);
+                let _ = stream.write_all(&bytes);
+                let mut rec = shared.recorder.lock().expect("gateway recorder poisoned");
+                rec.record_parse_error();
+                rec.record_response("parse", status, start.elapsed());
+                let _ = stream.shutdown(NetShutdown::Both);
+                return;
+            }
+        }
+        if shared.draining.load(Ordering::Acquire) {
+            // Mid-request bytes can never complete once we stop reading;
+            // close so the client sees a connection error, not a hang.
+            let _ = stream.shutdown(NetShutdown::Both);
+            return;
+        }
+        if last_activity.elapsed() >= shared.keep_alive_idle {
+            let _ = stream.shutdown(NetShutdown::Both);
+            return;
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return, // peer closed
+            Ok(n) => buf.extend_from_slice(scratch.get(..n).unwrap_or_default()),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle poll tick: loop back to re-check the drain flag.
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Routes and answers one request; returns whether the connection may
+/// serve another.
+fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared) -> bool {
+    let start = Instant::now();
+    let draining = shared.draining.load(Ordering::Acquire);
+    let (route, status, content_type, body) = if draining {
+        (
+            "drain",
+            503u16,
+            "application/json",
+            ErrorBody::render("gateway is draining; retry against another replica"),
+        )
+    } else {
+        match (request.method.as_str(), request.path()) {
+            ("POST", "/v1/infer") => handle_infer(request, shared),
+            ("GET", "/metrics") => {
+                let streaming = shared.server.metrics();
+                let gateway = shared
+                    .recorder
+                    .lock()
+                    .expect("gateway recorder poisoned")
+                    .summarize();
+                (
+                    "metrics",
+                    200,
+                    "text/plain; version=0.0.4",
+                    prometheus_text(&gateway, &streaming).into_bytes(),
+                )
+            }
+            ("GET", "/healthz") => ("health", 200, "text/plain", b"ok\n".to_vec()),
+            (_, "/v1/infer") | (_, "/metrics") | (_, "/healthz") => (
+                "other",
+                405,
+                "application/json",
+                ErrorBody::render(format!(
+                    "method {} not allowed on {}",
+                    request.method,
+                    request.path()
+                )),
+            ),
+            (_, path) => (
+                "other",
+                404,
+                "application/json",
+                ErrorBody::render(format!("no route for {path}")),
+            ),
+        }
+    };
+    // During drain the connection stops keeping alive so workers wind down.
+    let keep_alive = request.keep_alive && !draining;
+    let bytes = write_response(status, content_type, &body, keep_alive);
+    let wrote = stream.write_all(&bytes).is_ok();
+    shared
+        .recorder
+        .lock()
+        .expect("gateway recorder poisoned")
+        .record_response(route, status, start.elapsed());
+    keep_alive && wrote
+}
+
+/// The `POST /v1/infer` handler: JSON body → geometry validation →
+/// `submit_with` → bounded ticket wait → JSON response. Backpressure and
+/// lifecycle map onto the wire: `QueueFull` → 429, drain/shutdown → 503,
+/// handler timeout → 504.
+fn handle_infer(request: &Request, shared: &Shared) -> (&'static str, u16, &'static str, Vec<u8>) {
+    const ROUTE: &str = "infer";
+    let json = "application/json";
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => {
+            return (
+                ROUTE,
+                400,
+                json,
+                ErrorBody::render("request body is not valid UTF-8"),
+            )
+        }
+    };
+    let wire: InferRequest = match serde_json::from_str(text) {
+        Ok(wire) => wire,
+        Err(e) => {
+            return (
+                ROUTE,
+                400,
+                json,
+                ErrorBody::render(format!("bad JSON: {e}")),
+            )
+        }
+    };
+    if let Err(msg) = wire.validate(&shared.input_dims) {
+        return (ROUTE, 400, json, ErrorBody::render(msg));
+    }
+    let mut options = match wire.submit_options() {
+        Ok(options) => options,
+        Err(msg) => return (ROUTE, 400, json, ErrorBody::render(msg)),
+    };
+    // Clamp untrusted deadlines to HALF the handler timeout: the handler
+    // gives up (504) at handler_timeout, so batching may consume at most
+    // half the budget, leaving the rest for queueing and execution. An
+    // unclamped deadline would park in the EDF window for a client-chosen
+    // duration, stalling every request sharing it (and, under tight
+    // max_pending, wedging admission) — and a clamp at the full timeout
+    // would race the 504 by design.
+    options.deadline = options.deadline.map(|d| d.min(shared.handler_timeout / 2));
+    let image = match Tensor::from_vec(wire.pixels, &wire.dims) {
+        Ok(image) => image,
+        Err(e) => return (ROUTE, 400, json, ErrorBody::render(e.to_string())),
+    };
+    let submitted = Instant::now();
+    let mut ticket = match shared.server.submit_with(&image, options) {
+        Ok(ticket) => ticket,
+        Err(SubmitError::QueueFull { max_pending }) => {
+            return (
+                ROUTE,
+                429,
+                json,
+                ErrorBody::render(format!(
+                    "queue full: {max_pending} requests already admitted; retry with backoff"
+                )),
+            )
+        }
+        Err(SubmitError::Rejected(e)) => {
+            // A rejected submit during server teardown is unavailability,
+            // not a client error.
+            let status = if shared.server.is_shut_down() {
+                503
+            } else {
+                400
+            };
+            return (ROUTE, status, json, ErrorBody::render(e.to_string()));
+        }
+    };
+    match ticket.wait_timeout(shared.handler_timeout) {
+        Ok(Some(response)) => {
+            let logits = response.logits.as_slice().to_vec();
+            let top1 = logits
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.total_cmp(b))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let wire = InferResponse {
+                logits,
+                top1,
+                batch_size: response.batch_size,
+                queue_wait_us: response.queue_wait.as_secs_f64() * 1e6,
+                exec_us: response.exec_time.as_secs_f64() * 1e6,
+                e2e_us: submitted.elapsed().as_secs_f64() * 1e6,
+            };
+            let body = match serde_json::to_string(&wire) {
+                Ok(body) => body.into_bytes(),
+                Err(e) => {
+                    return (
+                        ROUTE,
+                        500,
+                        json,
+                        ErrorBody::render(format!("response serialization failed: {e}")),
+                    )
+                }
+            };
+            (ROUTE, 200, json, body)
+        }
+        Ok(None) => (
+            ROUTE,
+            504,
+            json,
+            ErrorBody::render(format!(
+                "inference did not complete within {:?}",
+                shared.handler_timeout
+            )),
+        ),
+        Err(e) => (ROUTE, 500, json, ErrorBody::render(e.to_string())),
+    }
+}

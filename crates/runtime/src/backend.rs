@@ -17,7 +17,9 @@ use snn_sim::{EventSnn, RunStats};
 use snn_tensor::Tensor;
 use ttfs_core::{ConvertError, SnnModel};
 
+use crate::batcher::StreamingConfig;
 use crate::quant::{QuantConfig, QuantEngine};
+use crate::server::{InferenceServer, ServerConfig, StreamingServer};
 use crate::CsrEngine;
 
 /// A batch-capable inference engine over a converted SNN.
@@ -128,5 +130,37 @@ impl BackendChoice {
                 Arc::new(QuantEngine::compile_shared(model, input_dims, *config)?)
             }
         })
+    }
+
+    /// Builds the chosen backend and wraps it in a closed-batch
+    /// [`InferenceServer`] in one call.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build`](Self::build).
+    pub fn serve_batched(
+        &self,
+        model: Arc<SnnModel>,
+        input_dims: &[usize],
+        config: ServerConfig,
+    ) -> Result<InferenceServer, ConvertError> {
+        Ok(InferenceServer::new(self.build(model, input_dims)?, config))
+    }
+
+    /// Builds the chosen backend and wraps it in a [`StreamingServer`] in
+    /// one call — the construction path a network front-end (the
+    /// `snn-gateway` crate) uses to stand up a serving stack from one
+    /// shared model.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build`](Self::build).
+    pub fn serve_streaming(
+        &self,
+        model: Arc<SnnModel>,
+        input_dims: &[usize],
+        config: StreamingConfig,
+    ) -> Result<StreamingServer, ConvertError> {
+        Ok(StreamingServer::new(self.build(model, input_dims)?, config))
     }
 }

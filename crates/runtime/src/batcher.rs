@@ -4,16 +4,22 @@
 //! best over batches. [`DeadlineBatcher`] is the flush policy that mediates
 //! between the two: admit requests into a pending window and flush when
 //! either the window holds [`max_batch`](DeadlineBatcher::new) requests or
-//! the **oldest** pending request has waited `max_delay` — whichever comes
-//! first. Count flushes keep throughput high under load; deadline flushes
-//! bound the latency a lonely request can be held hostage for.
+//! the **earliest admitted deadline** expires — whichever comes first
+//! (EDF: earliest-deadline-first). Every request carries its own deadline
+//! ([`SubmitOptions::deadline`], defaulting to the batcher's `max_delay`
+//! past its arrival), so a latency-tolerant client can donate batching
+//! slack while an urgent one bounds the whole window. Count flushes keep
+//! throughput high under load; deadline flushes bound the latency any
+//! admitted request can be held hostage for. Flushed batches are assembled
+//! in EDF order: ascending deadline, ties broken by descending
+//! [`SubmitOptions::priority`], then admission order.
 //!
 //! The policy is a pure state machine over caller-supplied [`Instant`]s
 //! (no threads, no clocks of its own), so it is deterministic and unit
 //! testable. The thread that drives it — and the [`Ticket`] handed to each
 //! submitter — live with [`crate::StreamingServer`] in the server module.
 
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::time::{Duration, Instant};
 
 use snn_sim::RunStats;
@@ -93,26 +99,73 @@ impl From<ConvertError> for SubmitError {
     }
 }
 
-/// The adaptive flush policy: batch by count or by deadline, whichever
-/// trips first.
+/// Per-request scheduling options for
+/// [`submit_with`](crate::StreamingServer::submit_with).
+///
+/// The defaults reproduce plain [`submit`](crate::StreamingServer::submit):
+/// the request inherits the server's
+/// [`max_delay`](StreamingConfig::max_delay) as its deadline and the lowest
+/// priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubmitOptions {
+    /// The most time this request may sit in the batcher's pending window
+    /// before the window is flushed — its *batching deadline*, counted from
+    /// submission. `None` inherits the server's configured `max_delay`. A
+    /// relaxed deadline donates batching slack; `Duration::ZERO` forces the
+    /// window to flush at the next batcher wakeup. The window always
+    /// flushes when its **earliest** admitted deadline expires (EDF), so a
+    /// tight deadline bounds every request that shares the window.
+    pub deadline: Option<Duration>,
+    /// Assembly priority: on equal deadlines, higher-priority requests sort
+    /// earlier in the formed batch. Priority never delays a flush and never
+    /// evicts an admitted request; it only breaks EDF ordering ties.
+    pub priority: u8,
+}
+
+impl SubmitOptions {
+    /// Options with an explicit batching deadline.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Self {
+            deadline: Some(deadline),
+            priority: 0,
+        }
+    }
+
+    /// Returns `self` with the given tie-break priority.
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// One admitted entry: the item plus its EDF scheduling key.
+#[derive(Debug)]
+struct Entry<T> {
+    deadline: Instant,
+    priority: u8,
+    item: T,
+}
+
+/// The adaptive flush policy: batch by count or by earliest deadline,
+/// whichever trips first (EDF).
 ///
 /// Generic over the queued item so the policy can be exercised without
 /// spinning up a server. All methods take `now` explicitly; the batcher
 /// never reads the clock.
 #[derive(Debug)]
 pub struct DeadlineBatcher<T> {
-    pending: Vec<T>,
-    oldest: Option<Instant>,
+    pending: Vec<Entry<T>>,
     max_batch: usize,
     max_delay: Duration,
 }
 
 impl<T> DeadlineBatcher<T> {
     /// Creates an empty batcher (`max_batch` is clamped to at least 1).
+    /// `max_delay` is the default per-item deadline used by
+    /// [`push`](Self::push).
     pub fn new(max_batch: usize, max_delay: Duration) -> Self {
         Self {
             pending: Vec::new(),
-            oldest: None,
             max_batch: max_batch.max(1),
             max_delay,
         }
@@ -128,13 +181,26 @@ impl<T> DeadlineBatcher<T> {
         self.pending.is_empty()
     }
 
-    /// Admits one item arriving at `now`; returns the formed batch if this
+    /// Admits one item arriving at `now` with the default deadline (`now +
+    /// max_delay`) and lowest priority; returns the formed batch if this
     /// arrival filled it to `max_batch`.
     pub fn push(&mut self, now: Instant, item: T) -> Option<Vec<T>> {
-        if self.pending.is_empty() {
-            self.oldest = Some(now);
-        }
-        self.pending.push(item);
+        let deadline = now + self.max_delay;
+        self.push_with(item, deadline, 0)
+    }
+
+    /// Admits one item with an explicit absolute deadline and priority;
+    /// returns the formed batch if this arrival filled it to `max_batch`.
+    ///
+    /// A deadline already in the past does not flush from `push_with`
+    /// itself (only the count threshold does); the caller's next
+    /// [`poll_expired`](Self::poll_expired) flushes it immediately.
+    pub fn push_with(&mut self, item: T, deadline: Instant, priority: u8) -> Option<Vec<T>> {
+        self.pending.push(Entry {
+            deadline,
+            priority,
+            item,
+        });
         if self.pending.len() >= self.max_batch {
             Some(self.take_all())
         } else {
@@ -142,14 +208,15 @@ impl<T> DeadlineBatcher<T> {
         }
     }
 
-    /// The instant the current pending window must flush (oldest arrival
-    /// plus `max_delay`); `None` when nothing is pending.
+    /// The instant the current pending window must flush — the **earliest**
+    /// admitted deadline; `None` when nothing is pending.
     pub fn deadline(&self) -> Option<Instant> {
-        self.oldest.map(|t| t + self.max_delay)
+        self.pending.iter().map(|e| e.deadline).min()
     }
 
-    /// Flushes the whole pending window if its deadline is at or before
-    /// `now`; `None` if nothing is pending or the deadline is still ahead.
+    /// Flushes the whole pending window if its earliest deadline is at or
+    /// before `now`; `None` if nothing is pending or every deadline is
+    /// still ahead.
     pub fn poll_expired(&mut self, now: Instant) -> Option<Vec<T>> {
         match self.deadline() {
             Some(deadline) if now >= deadline => Some(self.take_all()),
@@ -157,15 +224,23 @@ impl<T> DeadlineBatcher<T> {
         }
     }
 
-    /// Unconditionally drains everything pending, oldest first (the
+    /// Unconditionally drains everything pending in EDF order (the
     /// shutdown path).
     pub fn drain(&mut self) -> Vec<T> {
         self.take_all()
     }
 
+    /// Flushes the window in EDF order: ascending deadline, ties broken by
+    /// descending priority, then admission order (`pending` is in
+    /// admission order and `sort_by` is stable).
     fn take_all(&mut self) -> Vec<T> {
-        self.oldest = None;
-        std::mem::take(&mut self.pending)
+        let mut entries = std::mem::take(&mut self.pending);
+        entries.sort_by(|a, b| {
+            a.deadline
+                .cmp(&b.deadline)
+                .then(b.priority.cmp(&a.priority))
+        });
+        entries.into_iter().map(|e| e.item).collect()
     }
 }
 
@@ -231,6 +306,27 @@ impl Ticket {
             Err(TryRecvError::Disconnected) => Err(dropped_error()),
         }
     }
+
+    /// Bounded wait: blocks at most `timeout`, returning `Ok(None)` if the
+    /// result has not landed by then. The ticket stays valid after a
+    /// timeout — wait again or drop it to abandon the request (the batch
+    /// still executes; the reply is discarded). This is how a network
+    /// handler bounds the time it holds a connection hostage.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`wait`](Self::wait).
+    pub fn wait_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<StreamedResponse>, ConvertError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(Ok(response)) => Ok(Some(response)),
+            Ok(Err(e)) => Err(e),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(dropped_error()),
+        }
+    }
 }
 
 fn dropped_error() -> ConvertError {
@@ -248,6 +344,11 @@ pub(crate) struct PendingRequest {
     pub sample_dims: Vec<usize>,
     /// Submission instant (starts the end-to-end latency clock).
     pub enqueued: Instant,
+    /// Absolute batching deadline (`enqueued` + the request's or the
+    /// server's delay bound); the EDF flush trigger.
+    pub deadline: Instant,
+    /// EDF tie-break priority (higher sorts earlier on equal deadlines).
+    pub priority: u8,
     /// Where the worker delivers the per-request slice of the batch result.
     pub reply: Sender<Result<StreamedResponse, ConvertError>>,
 }
@@ -336,5 +437,65 @@ mod tests {
         assert_eq!(b.drain(), vec![1, 2, 3]);
         assert!(b.is_empty());
         assert_eq!(b.drain(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn edf_earliest_deadline_wins_regardless_of_arrival_order() {
+        // A later arrival with a TIGHTER deadline pulls the whole window's
+        // flush instant forward — the EDF invariant.
+        let base = Instant::now();
+        let mut b = DeadlineBatcher::new(10, Duration::from_millis(100));
+        b.push_with("relaxed", at(base, 100), 0);
+        assert_eq!(b.deadline(), Some(at(base, 100)));
+        b.push_with("urgent", at(base, 5), 0);
+        assert_eq!(b.deadline(), Some(at(base, 5)), "earliest deadline rules");
+        assert!(b.poll_expired(at(base, 4)).is_none());
+        let batch = b.poll_expired(at(base, 5)).expect("urgent deadline trips");
+        // Batch assembly is EDF-ordered, not arrival-ordered.
+        assert_eq!(batch, vec!["urgent", "relaxed"]);
+    }
+
+    #[test]
+    fn edf_priority_breaks_deadline_ties_then_admission_order() {
+        let base = Instant::now();
+        let mut b = DeadlineBatcher::new(10, Duration::from_millis(1));
+        let d = at(base, 10);
+        b.push_with("low-first", d, 0);
+        b.push_with("high", d, 7);
+        b.push_with("low-second", d, 0);
+        b.push_with("earlier", at(base, 3), 0);
+        let batch = b.poll_expired(at(base, 10)).expect("expired");
+        assert_eq!(batch, vec!["earlier", "high", "low-first", "low-second"]);
+    }
+
+    #[test]
+    fn edf_relaxed_deadline_outlives_default_window() {
+        // A request that donates slack beyond max_delay must not flush at
+        // the default window; it flushes at its own deadline.
+        let base = Instant::now();
+        let mut b = DeadlineBatcher::new(10, Duration::from_millis(5));
+        b.push_with("patient", at(base, 50), 0);
+        assert!(b.poll_expired(at(base, 6)).is_none(), "outlives max_delay");
+        assert_eq!(b.poll_expired(at(base, 50)), Some(vec!["patient"]));
+    }
+
+    #[test]
+    fn edf_past_deadline_flushes_on_next_poll_not_on_push() {
+        let base = Instant::now();
+        let mut b = DeadlineBatcher::new(10, Duration::from_secs(1));
+        assert!(
+            b.push_with("late", base, 0).is_none(),
+            "push never EDF-flushes"
+        );
+        assert_eq!(b.poll_expired(base), Some(vec!["late"]));
+    }
+
+    #[test]
+    fn edf_count_flush_still_wins_at_max_batch() {
+        let base = Instant::now();
+        let mut b = DeadlineBatcher::new(2, Duration::from_secs(1));
+        assert!(b.push_with("a", at(base, 500), 0).is_none());
+        let batch = b.push_with("b", at(base, 900), 3).expect("count flush");
+        assert_eq!(batch, vec!["a", "b"], "EDF order inside the count flush");
     }
 }

@@ -35,12 +35,16 @@
 //!   recorded and summarized as p50/p99 + images/sec
 //!   ([`ThroughputMetrics`]).
 //! * [`StreamingServer`] / [`DeadlineBatcher`] — the open-traffic path:
-//!   requests arrive one at a time (`submit(image) -> Ticket`), an
-//!   adaptive batcher flushes the pending window at `max_batch` or on the
-//!   oldest request's deadline, and [`StreamingMetrics`] splits queue-wait
-//!   from execution time and histograms batch occupancy. Streamed logits
-//!   are bit-identical to a closed [`InferenceServer::run`] over the same
-//!   images regardless of arrival interleaving.
+//!   requests arrive one at a time (`submit(image) -> Ticket`, or
+//!   `submit_with` carrying per-request [`SubmitOptions`]), an EDF
+//!   batcher flushes the pending window at `max_batch` or when the
+//!   **earliest admitted deadline** expires (plain submissions inherit
+//!   `max_delay`), and [`StreamingMetrics`] splits queue-wait from
+//!   execution time, histograms batch occupancy and counts backpressure
+//!   sheds. Streamed logits are bit-identical to a closed
+//!   [`InferenceServer::run`] over the same images regardless of arrival
+//!   interleaving, deadlines or priorities. The `snn-gateway` crate
+//!   fronts this server with a dependency-free HTTP/1.1 edge.
 //! * [`energy`] — feeds measured event counts into the
 //!   [`snn_hw::Processor`] cycle/energy model, so hardware reports work
 //!   unchanged on the fast path.
@@ -87,7 +91,9 @@ mod wheel;
 mod workers;
 
 pub use backend::{BackendChoice, InferenceBackend};
-pub use batcher::{DeadlineBatcher, StreamedResponse, StreamingConfig, SubmitError, Ticket};
+pub use batcher::{
+    DeadlineBatcher, StreamedResponse, StreamingConfig, SubmitError, SubmitOptions, Ticket,
+};
 pub use csr::{
     ConvPatterns, CsrFootprint, CsrModel, CsrStage, CsrSynapses, EdgeIter, PatternRow, SynapseTable,
 };

@@ -8,16 +8,34 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+/// Reservoir capacity of a [`LatencyRecorder`]: counts, totals and means
+/// stay exact forever, while quantile queries past this many samples are
+/// computed over a uniform reservoir — a recorder feeding a long-running
+/// metrics endpoint must stay bounded in memory and scrape-time sort cost.
+const RESERVOIR_CAPACITY: usize = 65_536;
+
 /// Collects per-request latencies and computes order statistics.
 ///
 /// Samples are kept unsorted while recording; the first quantile query
 /// after a record sorts **in place, once** — repeated queries (and
 /// [`summarize`](Self::summarize), which asks for several quantiles) reuse
 /// the sorted order instead of cloning and re-sorting per call.
+///
+/// Memory is bounded: the first 65,536 samples are kept exactly; beyond
+/// that, reservoir sampling (deterministic LCG, uniform over the whole
+/// stream) keeps quantiles representative while
+/// [`len`](Self::len), [`total_us`](Self::total_us) and
+/// [`mean_us`](Self::mean_us) remain exact over every recorded sample.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyRecorder {
     samples_us: Vec<f64>,
     sorted: bool,
+    /// Total samples ever recorded (exact; ≥ `samples_us.len()`).
+    count: u64,
+    /// Exact running sum over every recorded sample, microseconds.
+    total_us: f64,
+    /// LCG state for reservoir replacement decisions.
+    rng: u64,
 }
 
 impl LatencyRecorder {
@@ -26,25 +44,68 @@ impl LatencyRecorder {
         Self::default()
     }
 
-    /// Records one request latency.
-    pub fn record(&mut self, latency: Duration) {
-        self.samples_us.push(latency.as_secs_f64() * 1e6);
-        self.sorted = false;
+    fn next_rng(&mut self) -> u64 {
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.rng
     }
 
-    /// Number of recorded requests.
+    /// Records one request latency.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_secs_f64() * 1e6;
+        self.count += 1;
+        self.total_us += us;
+        if self.samples_us.len() < RESERVOIR_CAPACITY {
+            self.samples_us.push(us);
+            self.sorted = false;
+        } else {
+            // Classic reservoir step: keep each of the `count` samples
+            // with equal probability capacity/count.
+            let slot = (self.next_rng() % self.count) as usize;
+            if slot < RESERVOIR_CAPACITY {
+                self.samples_us[slot] = us;
+                self.sorted = false;
+            }
+        }
+    }
+
+    /// Number of recorded requests (exact, even past the reservoir
+    /// capacity).
     pub fn len(&self) -> usize {
-        self.samples_us.len()
+        self.count as usize
     }
 
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples_us.is_empty()
+        self.count == 0
     }
 
-    /// Total recorded time in microseconds.
+    /// Total recorded time in microseconds (exact running sum).
     pub fn total_us(&self) -> f64 {
-        self.samples_us.iter().sum()
+        self.total_us
+    }
+
+    /// Absorbs every sample of `other` (e.g. merging per-thread recorders
+    /// into one summary). Counts and totals merge exactly; if the merged
+    /// samples exceed the reservoir capacity, the surplus re-enters
+    /// through the reservoir.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.count += other.count;
+        self.total_us += other.total_us;
+        for &us in &other.samples_us {
+            if self.samples_us.len() < RESERVOIR_CAPACITY {
+                self.samples_us.push(us);
+                self.sorted = false;
+            } else {
+                let slot = (self.next_rng() % self.count.max(1)) as usize;
+                if slot < RESERVOIR_CAPACITY {
+                    self.samples_us[slot] = us;
+                    self.sorted = false;
+                }
+            }
+        }
     }
 
     fn sorted_samples(&mut self) -> &[f64] {
@@ -56,7 +117,7 @@ impl LatencyRecorder {
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1) in microseconds, by nearest-rank on the
-    /// sorted samples; 0 when empty.
+    /// sorted (reservoir) samples; 0 when empty.
     pub fn quantile_us(&mut self, q: f64) -> f64 {
         if self.samples_us.is_empty() {
             return 0.0;
@@ -64,12 +125,13 @@ impl LatencyRecorder {
         quantile_from_sorted(self.sorted_samples(), q)
     }
 
-    /// Mean latency in microseconds; 0 when empty.
+    /// Mean latency in microseconds; 0 when empty. Exact over every
+    /// recorded sample.
     pub fn mean_us(&self) -> f64 {
-        if self.samples_us.is_empty() {
+        if self.count == 0 {
             return 0.0;
         }
-        self.total_us() / self.samples_us.len() as f64
+        self.total_us / self.count as f64
     }
 
     /// Snapshots the recorder into a serializable summary.
@@ -140,6 +202,12 @@ pub struct OccupancyBucket {
 pub struct StreamingMetrics {
     /// Streamed requests completed (one image each).
     pub requests: u64,
+    /// Submissions rejected with [`SubmitError::QueueFull`]
+    /// (backpressure sheds). Shed requests never enter the pending window,
+    /// so they appear in no other counter or latency sample.
+    ///
+    /// [`SubmitError::QueueFull`]: crate::SubmitError::QueueFull
+    pub shed_requests: u64,
     /// Batches the deadline batcher formed and executed.
     pub batches: u64,
     /// Wall-clock time from recorder creation to this summary, ms.
@@ -187,6 +255,7 @@ pub struct StreamingRecorder {
     queue_wait: LatencyRecorder,
     exec: LatencyRecorder,
     batch_sizes: BTreeMap<u64, u64>,
+    sheds: u64,
 }
 
 impl StreamingRecorder {
@@ -198,6 +267,7 @@ impl StreamingRecorder {
             queue_wait: LatencyRecorder::new(),
             exec: LatencyRecorder::new(),
             batch_sizes: BTreeMap::new(),
+            sheds: 0,
         }
     }
 
@@ -205,6 +275,16 @@ impl StreamingRecorder {
     pub fn record_batch(&mut self, size: usize, exec: Duration) {
         *self.batch_sizes.entry(size as u64).or_insert(0) += 1;
         self.exec.record(exec);
+    }
+
+    /// Records one submission shed by backpressure (`QueueFull`).
+    pub fn record_shed(&mut self) {
+        self.sheds += 1;
+    }
+
+    /// Submissions shed so far.
+    pub fn sheds(&self) -> u64 {
+        self.sheds
     }
 
     /// Records one completed request: end-to-end latency and the share of
@@ -228,6 +308,7 @@ impl StreamingRecorder {
         let e2e_total = self.e2e.total_us();
         StreamingMetrics {
             requests,
+            shed_requests: self.sheds,
             batches,
             wall_ms: wall_s * 1e3,
             images_per_sec: if wall_s > 0.0 {
@@ -301,6 +382,37 @@ mod tests {
     }
 
     #[test]
+    fn reservoir_bounds_memory_but_keeps_counts_exact() {
+        let mut r = LatencyRecorder::new();
+        let n = RESERVOIR_CAPACITY + 10_000;
+        for _ in 0..n {
+            r.record(Duration::from_millis(5));
+        }
+        assert_eq!(r.len(), n, "count stays exact past the reservoir");
+        assert!(r.samples_us.len() <= RESERVOIR_CAPACITY, "memory bounded");
+        assert!((r.mean_us() - 5_000.0).abs() < 1e-6, "mean stays exact");
+        assert!((r.total_us() - n as f64 * 5_000.0).abs() < 1.0);
+        // All samples identical, so quantiles are exact regardless of
+        // which ones the reservoir kept.
+        assert!((r.quantile_us(0.99) - 5_000.0).abs() < 1e-6);
+        let m = r.summarize(n, Duration::from_secs(1));
+        assert_eq!(m.requests, n as u64);
+    }
+
+    #[test]
+    fn merge_combines_counts_totals_and_samples() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        a.record(Duration::from_millis(10));
+        b.record(Duration::from_millis(20));
+        b.record(Duration::from_millis(30));
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert!((a.mean_us() - 20_000.0).abs() < 1e-6);
+        assert!((a.quantile_us(1.0) - 30_000.0).abs() < 1e-6);
+    }
+
+    #[test]
     fn empty_recorder_is_zero() {
         let mut r = LatencyRecorder::new();
         assert_eq!(r.quantile_us(0.5), 0.0);
@@ -364,10 +476,24 @@ mod tests {
     }
 
     #[test]
+    fn shed_counter_accumulates_and_summarizes() {
+        let mut r = StreamingRecorder::new();
+        r.record_shed();
+        r.record_shed();
+        r.record_batch(1, Duration::from_millis(1));
+        r.record_request(Duration::from_millis(2), Duration::from_millis(1));
+        assert_eq!(r.sheds(), 2);
+        let m = r.summarize();
+        assert_eq!(m.shed_requests, 2);
+        assert_eq!(m.requests, 1, "sheds never count as completed requests");
+    }
+
+    #[test]
     fn empty_streaming_recorder_summarizes_to_zeros() {
         let mut r = StreamingRecorder::new();
         let m = r.summarize();
         assert_eq!(m.requests, 0);
+        assert_eq!(m.shed_requests, 0);
         assert_eq!(m.batches, 0);
         assert_eq!(m.queue_wait_share, 0.0);
         assert_eq!(m.mean_batch_occupancy, 0.0);

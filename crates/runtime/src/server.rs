@@ -18,10 +18,11 @@ use std::time::{Duration, Instant};
 
 use snn_sim::RunStats;
 use snn_tensor::Tensor;
-use ttfs_core::ConvertError;
+use ttfs_core::{ConvertError, SnnModel};
 
 use crate::batcher::{
-    BatcherMsg, DeadlineBatcher, PendingRequest, StreamingConfig, SubmitError, Ticket,
+    BatcherMsg, DeadlineBatcher, PendingRequest, StreamingConfig, SubmitError, SubmitOptions,
+    Ticket,
 };
 use crate::metrics::{LatencyRecorder, StreamingMetrics, StreamingRecorder, ThroughputMetrics};
 use crate::workers::WorkerPool;
@@ -123,6 +124,11 @@ impl InferenceServer {
     /// The wrapped backend's identifier.
     pub fn backend_name(&self) -> &'static str {
         self.backend.name()
+    }
+
+    /// The converted model the wrapped backend executes.
+    pub fn model(&self) -> &SnnModel {
+        self.backend.model()
     }
 
     /// Worker thread count.
@@ -233,9 +239,12 @@ impl InferenceServer {
 /// Requests admitted by [`submit`](Self::submit) enter the
 /// [`DeadlineBatcher`]'s pending window; a dedicated batcher thread flushes
 /// the window to the [`WorkerPool`] when it reaches
-/// [`max_batch`](StreamingConfig::max_batch) requests **or** the oldest
-/// pending request has waited [`max_delay`](StreamingConfig::max_delay),
-/// whichever comes first. Because every backend processes batch samples
+/// [`max_batch`](StreamingConfig::max_batch) requests **or** the earliest
+/// admitted deadline expires (EDF; plain `submit` inherits
+/// [`max_delay`](StreamingConfig::max_delay) as its deadline, while
+/// [`submit_with`](Self::submit_with) carries a per-request
+/// [`SubmitOptions`]), whichever comes first. Because every backend
+/// processes batch samples
 /// independently, streamed logits are bit-identical to a closed
 /// [`InferenceServer::run`] over the same images, no matter how arrivals
 /// interleave into batches (enforced by property test in
@@ -302,6 +311,7 @@ pub struct StreamingServer {
     in_flight: Arc<AtomicUsize>,
     threads: usize,
     max_batch: usize,
+    max_delay: Duration,
     max_pending: usize,
 }
 
@@ -343,6 +353,7 @@ impl StreamingServer {
             in_flight,
             threads,
             max_batch,
+            max_delay: config.max_delay,
             max_pending: config.max_pending,
         }
     }
@@ -350,6 +361,13 @@ impl StreamingServer {
     /// The wrapped backend's identifier.
     pub fn backend_name(&self) -> &'static str {
         self.backend.name()
+    }
+
+    /// The converted model the wrapped backend executes (a network
+    /// front-end uses this to validate request geometry before admitting
+    /// traffic into the stream).
+    pub fn model(&self) -> &SnnModel {
+        self.backend.model()
     }
 
     /// Worker thread count (excluding the batcher thread).
@@ -373,18 +391,44 @@ impl StreamingServer {
         self.in_flight.load(Ordering::Relaxed)
     }
 
-    /// Submits one image (per-sample dims, e.g. `[C, H, W]`) and returns
-    /// the [`Ticket`] its result will arrive on.
+    /// Whether [`shutdown`](Self::shutdown) has begun: submissions are
+    /// closed and every future `submit` returns
+    /// [`SubmitError::Rejected`]. A front-end uses this to tell
+    /// unavailability (503) apart from a malformed request (400).
+    pub fn is_shut_down(&self) -> bool {
+        self.submit_tx.lock().expect("submit_tx poisoned").is_none()
+    }
+
+    /// Submits one image (per-sample dims, e.g. `[C, H, W]`) with default
+    /// [`SubmitOptions`] and returns the [`Ticket`] its result will arrive
+    /// on.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`submit_with`](Self::submit_with).
+    pub fn submit(&self, image: &Tensor) -> Result<Ticket, SubmitError> {
+        self.submit_with(image, SubmitOptions::default())
+    }
+
+    /// Submits one image with explicit per-request scheduling options: a
+    /// batching deadline (EDF — the pending window flushes when its
+    /// earliest admitted deadline expires) and an assembly priority.
     ///
     /// # Errors
     ///
     /// Returns [`SubmitError::QueueFull`] when
     /// [`max_pending`](StreamingConfig::max_pending) requests are already
     /// admitted and unresolved (backpressure: shed now rather than queue
-    /// into unbounded latency), or [`SubmitError::Rejected`] if the server
-    /// has shut down, `image` is empty, or its dims differ from the first
-    /// submission's (all streamed samples must share one geometry).
-    pub fn submit(&self, image: &Tensor) -> Result<Ticket, SubmitError> {
+    /// into unbounded latency; the shed is counted in
+    /// [`StreamingMetrics::shed_requests`]), or [`SubmitError::Rejected`]
+    /// if the server has shut down, `image` is empty, or its dims differ
+    /// from the first submission's (all streamed samples must share one
+    /// geometry).
+    pub fn submit_with(
+        &self,
+        image: &Tensor,
+        options: SubmitOptions,
+    ) -> Result<Ticket, SubmitError> {
         if image.dims().is_empty() || image.as_slice().is_empty() {
             return Err(SubmitError::Rejected(ConvertError::Structure(
                 "streamed sample must be a non-empty per-sample tensor".into(),
@@ -398,6 +442,10 @@ impl StreamingServer {
         let admitted = self.in_flight.fetch_add(1, Ordering::AcqRel);
         if self.max_pending > 0 && admitted >= self.max_pending {
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.recorder
+                .lock()
+                .expect("recorder poisoned")
+                .record_shed();
             return Err(SubmitError::QueueFull {
                 max_pending: self.max_pending,
             });
@@ -423,10 +471,13 @@ impl StreamingServer {
             }
         }
         let (reply, rx) = channel();
+        let enqueued = Instant::now();
         let request = PendingRequest {
             image: image.as_slice().to_vec(),
             sample_dims: image.dims().to_vec(),
-            enqueued: Instant::now(),
+            enqueued,
+            deadline: enqueued + options.deadline.unwrap_or(self.max_delay),
+            priority: options.priority,
             reply,
         };
         let guard = self.submit_tx.lock().expect("submit_tx poisoned");
@@ -480,9 +531,10 @@ impl Drop for StreamingServer {
 }
 
 /// The batcher thread: admits requests into the [`DeadlineBatcher`],
-/// sleeps until the earliest of (next message, oldest deadline), and
-/// dispatches formed batches to the worker pool. On shutdown or channel
-/// disconnect it flushes the remaining window in `max_batch`-sized chunks.
+/// sleeps until the earliest of (next message, earliest admitted
+/// deadline), and dispatches formed batches to the worker pool. On
+/// shutdown or channel disconnect it flushes the remaining window in
+/// `max_batch`-sized chunks.
 fn batcher_loop(
     rx: Receiver<BatcherMsg>,
     backend: Arc<dyn InferenceBackend>,
@@ -520,7 +572,8 @@ fn batcher_loop(
         };
         match msg {
             BatcherMsg::Request(request) => {
-                if let Some(batch) = batcher.push(Instant::now(), request) {
+                let (deadline, priority) = (request.deadline, request.priority);
+                if let Some(batch) = batcher.push_with(request, deadline, priority) {
                     dispatch_batch(&backend, &pool, &recorder, &in_flight, batch);
                 }
             }

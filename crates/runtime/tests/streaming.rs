@@ -9,7 +9,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use snn_nn::{ActivationLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
 use snn_runtime::{
-    CsrEngine, InferenceBackend, StreamingConfig, StreamingServer, SubmitError, Ticket,
+    CsrEngine, InferenceBackend, StreamingConfig, StreamingServer, SubmitError, SubmitOptions,
+    Ticket,
 };
 use snn_sim::RunStats;
 use snn_tensor::Tensor;
@@ -210,6 +211,155 @@ fn try_wait_polls_until_the_result_lands() {
         std::thread::sleep(Duration::from_millis(2));
     };
     assert_eq!(response.logits.dims(), &[3]);
+}
+
+#[test]
+fn wait_timeout_returns_none_then_the_result() {
+    let server = StreamingServer::new(
+        Arc::new(SlowBackend {
+            inner: CsrEngine::compile(&dense_model(12), &[1, 3, 4]).unwrap(),
+            delay: Duration::from_millis(100),
+        }),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+            max_pending: 0,
+        },
+    );
+    let mut ticket = server.submit(&sample(0.4)).unwrap();
+    // The backend sleeps 100 ms: a 5 ms wait must time out cleanly and
+    // leave the ticket usable.
+    assert!(
+        ticket
+            .wait_timeout(Duration::from_millis(5))
+            .unwrap()
+            .is_none(),
+        "result cannot be ready yet"
+    );
+    let response = ticket
+        .wait_timeout(Duration::from_secs(10))
+        .unwrap()
+        .expect("result lands within the bound");
+    assert_eq!(response.logits.dims(), &[3]);
+    // A consumed ticket's channel is empty but alive semantics are moot —
+    // the server keeps serving.
+    server.submit(&sample(0.5)).unwrap().wait().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn wait_timeout_surfaces_backend_panic_as_error() {
+    let server = StreamingServer::new(
+        Arc::new(PanickingBackend(dense_model(13))),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+            max_pending: 0,
+        },
+    );
+    let mut ticket = server.submit(&sample(0.5)).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    // Depending on timing we see Ok(None) ticks first, then the error.
+    loop {
+        match ticket.wait_timeout(Duration::from_millis(5)) {
+            Ok(None) => assert!(std::time::Instant::now() < deadline, "never resolved"),
+            Ok(Some(_)) => panic!("panicking backend cannot produce a response"),
+            Err(e) => {
+                assert!(e.to_string().contains("dropped"), "got: {e}");
+                break;
+            }
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shed_requests_metric_counts_queue_full_rejections() {
+    let server = StreamingServer::new(
+        Arc::new(SlowBackend {
+            inner: CsrEngine::compile(&dense_model(14), &[1, 3, 4]).unwrap(),
+            delay: Duration::from_millis(60),
+        }),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+            max_pending: 1,
+        },
+    );
+    let admitted = server.submit(&sample(0.1)).expect("first admitted");
+    for _ in 0..3 {
+        assert!(matches!(
+            server.submit(&sample(0.2)),
+            Err(SubmitError::QueueFull { .. })
+        ));
+    }
+    admitted.wait().unwrap();
+    let metrics = server.shutdown();
+    assert_eq!(metrics.shed_requests, 3, "every QueueFull counted");
+    assert_eq!(metrics.requests, 1, "sheds are not completions");
+}
+
+#[test]
+fn submit_with_zero_deadline_flushes_a_long_window() {
+    // max_delay is 30 s and max_batch unreachable: only the per-request
+    // EDF deadline can flush. If submit_with dropped the deadline, this
+    // would hang until the test harness killed it.
+    let server = StreamingServer::new(
+        engine(15),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 64,
+            max_delay: Duration::from_secs(30),
+            max_pending: 0,
+        },
+    );
+    let mut ticket = server
+        .submit_with(&sample(0.5), SubmitOptions::with_deadline(Duration::ZERO))
+        .unwrap();
+    let response = ticket
+        .wait_timeout(Duration::from_secs(10))
+        .unwrap()
+        .expect("zero deadline flushes immediately");
+    assert_eq!(response.batch_size, 1);
+    server.shutdown();
+}
+
+#[test]
+fn tight_deadline_flushes_requests_that_arrived_relaxed() {
+    // A relaxed request parks in the window; an urgent one arriving later
+    // pulls the earliest deadline forward and both ride one batch.
+    let server = StreamingServer::new(
+        engine(16),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 64,
+            max_delay: Duration::from_secs(30),
+            max_pending: 0,
+        },
+    );
+    let relaxed = server
+        .submit_with(
+            &sample(0.3),
+            SubmitOptions::with_deadline(Duration::from_secs(20)),
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    let urgent = server
+        .submit_with(
+            &sample(0.7),
+            SubmitOptions::with_deadline(Duration::from_millis(1)).priority(5),
+        )
+        .unwrap();
+    let urgent_response = urgent.wait().unwrap();
+    let relaxed_response = relaxed.wait().unwrap();
+    assert_eq!(urgent_response.batch_size, 2, "one EDF-flushed batch");
+    assert_eq!(relaxed_response.batch_size, 2);
+    let metrics = server.shutdown();
+    assert_eq!(metrics.batches, 1);
+    assert_eq!(metrics.shed_requests, 0);
 }
 
 #[test]

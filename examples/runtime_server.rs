@@ -4,12 +4,18 @@
 //! and price the measured event traffic on the paper's processor model.
 //!
 //! Run: `cargo run --release --example runtime_server`
+//!
+//! With `--gateway [addr]` it instead serves the model over HTTP via
+//! `snn-gateway` (default `127.0.0.1:7878`) and prints ready-to-paste
+//! `curl` commands; Ctrl-C stops it. Set `SNN_GATEWAY_ONCE=1` to
+//! self-drive one request and exit (used to smoke the path headlessly).
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use ttfs_snn::gateway::{client::HttpClient, Gateway, GatewayConfig, InferRequest};
 use ttfs_snn::hw::{Processor, ProcessorConfig};
 use ttfs_snn::nn::models::vgg16_scaled;
 use ttfs_snn::runtime::{
@@ -20,7 +26,80 @@ use ttfs_snn::sim::EventSnn;
 use ttfs_snn::tensor::Tensor;
 use ttfs_snn::ttfs::{convert, Base2Kernel};
 
+/// Serves the converted model over HTTP until killed (or one self-driven
+/// request with `SNN_GATEWAY_ONCE=1`).
+fn serve_gateway(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let side = 32;
+    let input_dims = [3usize, side, side];
+    let net = vgg16_scaled(side, 10, 16, &mut rng);
+    let model = Arc::new(convert(&net, Base2Kernel::paper_default(), 24)?);
+    // One shared weight copy behind the whole serving stack: CSR backend →
+    // streaming server (EDF deadline batcher) → HTTP gateway.
+    let server = Arc::new(BackendChoice::Csr.serve_streaming(
+        Arc::clone(&model),
+        &input_dims,
+        StreamingConfig {
+            threads: 0,
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            max_pending: 256,
+        },
+    )?);
+    let mut gateway = Gateway::start(
+        Arc::clone(&server),
+        GatewayConfig {
+            addr: addr.to_string(),
+            ..GatewayConfig::for_dims(&input_dims)
+        },
+    )?;
+    let bound = gateway.local_addr();
+    let pixels: usize = input_dims.iter().product();
+    println!("snn-gateway serving vgg16/w16 on http://{bound}");
+    println!("  # {pixels} pixels in [0,1], optional deadline_ms / priority:");
+    println!(
+        "  python3 -c 'import json; print(json.dumps({{\"dims\": [3, {side}, {side}], \
+         \"pixels\": [0.5]*{pixels}, \"deadline_ms\": 5.0, \"priority\": 2}}))' > /tmp/req.json"
+    );
+    println!("  curl -s -X POST http://{bound}/v1/infer -d @/tmp/req.json");
+    println!("  curl -s http://{bound}/metrics | head");
+    println!("  curl -s http://{bound}/healthz");
+
+    // Prove the path with one in-process HTTP request. The client drops
+    // right after, releasing its keep-alive connection's worker.
+    {
+        let mut client = HttpClient::connect(bound)?;
+        let mut request = InferRequest::new(input_dims.to_vec(), vec![0.5; pixels]);
+        request.deadline_ms = Some(5.0);
+        let response = client.post_json("/v1/infer", &serde_json::to_string(&request)?)?;
+        println!(
+            "self-check: POST /v1/infer -> {} ({} bytes)",
+            response.status,
+            response.body.len()
+        );
+    }
+
+    if std::env::var("SNN_GATEWAY_ONCE").is_ok() {
+        gateway.shutdown();
+        server.shutdown();
+        return Ok(());
+    }
+    println!("serving until killed (Ctrl-C)...");
+    loop {
+        std::thread::park();
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--gateway") {
+        let addr = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("127.0.0.1:7878");
+        return serve_gateway(addr);
+    }
+
     let mut rng = StdRng::seed_from_u64(0);
     let side = 32;
     let batch = 16;

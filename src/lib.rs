@@ -14,11 +14,14 @@
 //! | [`logquant`] | `snn-logquant` | 5-bit log quantization, LUT+shift PEs |
 //! | [`hw`] | `snn-hw` | processor simulator + area/power/energy model |
 //! | [`runtime`] | `snn-runtime` | batched multi-threaded CSR inference engine |
+//! | [`gateway`] | `snn-gateway` | dependency-free HTTP/1.1 serving front-end |
 //!
 //! See `examples/quickstart.rs` for the end-to-end pipeline and
-//! `examples/runtime_server.rs` for the batched inference runtime.
+//! `examples/runtime_server.rs` for the batched inference runtime (add
+//! `-- --gateway` to serve it over HTTP).
 
 pub use snn_data as data;
+pub use snn_gateway as gateway;
 pub use snn_hw as hw;
 pub use snn_logquant as logquant;
 pub use snn_nn as nn;

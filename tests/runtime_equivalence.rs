@@ -20,7 +20,7 @@ use ttfs_snn::nn::{
 };
 use ttfs_snn::runtime::{
     quantize_model, CsrEngine, InferenceBackend, InferenceServer, QuantConfig, QuantEngine,
-    ServerConfig, StreamingConfig, StreamingServer, Ticket,
+    ServerConfig, StreamingConfig, StreamingServer, SubmitOptions, Ticket,
 };
 use ttfs_snn::sim::EventSnn;
 use ttfs_snn::tensor::{Conv2dSpec, Tensor};
@@ -235,8 +235,10 @@ proptest! {
 
     /// Streamed logits are bit-identical to the closed-batch server's on
     /// the same images, for every arrival order, inter-arrival gap, thread
-    /// count and batcher configuration — the batcher may group requests
-    /// however the clock falls, but grouping must never change results.
+    /// count, batcher configuration AND per-request scheduling options —
+    /// EDF may flush windows early and reorder batch assembly by
+    /// (deadline, priority), but grouping and ordering must never change
+    /// results.
     #[test]
     fn streaming_matches_closed_batches(
         seed in 0u64..256,
@@ -244,6 +246,10 @@ proptest! {
         max_batch in 1usize..7,
         delay_us in 0u64..2_000,
         gap_us in 0u64..300,
+        // Values past 3000 µs stand in for "no explicit deadline" (the
+        // vendored proptest shim has no option strategy).
+        request_deadlines_us in proptest::collection::vec(0u64..4_000, 10),
+        priorities in proptest::collection::vec(0u8..4, 10),
         xs in proptest::collection::vec(0.0f32..1.0, 10 * 8),
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -287,7 +293,17 @@ proptest! {
                 &[1, 2, 4],
             )
             .expect("sample");
-            tickets.push((i, server.submit(&image).expect("submit")));
+            // Random per-request scheduling: some requests inherit the
+            // server default (None), others carry their own EDF deadline
+            // and priority.
+            let options = SubmitOptions {
+                deadline: match request_deadlines_us[i] {
+                    us if us < 3_000 => Some(Duration::from_micros(us)),
+                    _ => None, // inherit the server's max_delay
+                },
+                priority: priorities[i],
+            };
+            tickets.push((i, server.submit_with(&image, options).expect("submit")));
             if gap_us > 0 {
                 std::thread::sleep(Duration::from_micros(gap_us));
             }
