@@ -18,11 +18,16 @@
 //! instance driven by the std-only closed-loop HTTP load generator with
 //! random per-request deadlines/priorities, plus a forced `max_pending=1`
 //! sub-run that must shed with 429s), logits-equivalence versus
-//! `SnnModel::reference_forward`, and the hardware energy report driven by
+//! `SnnModel::reference_forward`, the tracing cost model (`observability`:
+//! interleaved best-of-N engine runs with spans on vs off, the
+//! disabled-collector and fully-traced streaming configurations, span
+//! volume and collector drops), and the hardware energy report driven by
 //! the fast path's event counts.
 //!
 //! Run: `cargo run -p snn-bench --bin runtime_throughput --release`
-//! Scale with `SNN_BENCH_SCALE=quick|default|full`.
+//! Scale with `SNN_BENCH_SCALE=quick|default|full`. Pass
+//! `-- --trace-out trace.json` to export the fully-traced streaming run as
+//! Chrome trace-event JSON (load it at `chrome://tracing` or in Perfetto).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,10 +43,11 @@ use snn_hw::{Processor, ProcessorConfig};
 use snn_nn::models::vgg16_scaled;
 use snn_runtime::{
     energy, quantize_model, CsrEngine, DecodeMode, InferenceBackend, InferenceServer, QuantConfig,
-    QuantEngine, ServerConfig, StreamingConfig, StreamingMetrics, StreamingServer,
+    QuantEngine, ServerConfig, StreamingConfig, StreamingMetrics, StreamingServer, SubmitOptions,
 };
 use snn_sim::EventSnn;
 use snn_tensor::Tensor;
+use snn_trace::{push_context, TraceCollector, TraceTarget};
 use ttfs_core::{convert, normalize_output_layer, Base2Kernel};
 
 #[derive(Debug, Serialize)]
@@ -189,6 +195,48 @@ struct QuantResult {
 }
 
 #[derive(Debug, Serialize)]
+struct ObservabilityResult {
+    /// Interleaved timing rounds (each round times baseline then traced;
+    /// best-of-N is reported, which cancels scheduler noise).
+    rounds: usize,
+    /// Engine-level `run_batch` with no ambient trace context — the
+    /// tracing-off hot path (one thread-local read per instrumentation
+    /// point).
+    engine_baseline_images_per_sec: f64,
+    /// The same engine under an active single-target trace context, every
+    /// chunk/encode/stage span recorded.
+    engine_traced_images_per_sec: f64,
+    /// `(baseline - traced) / baseline`, best-of-N (CI-enforced ≤ 5%).
+    tracing_on_overhead_frac: f64,
+    /// Traced engine logits bit-identical to the untraced run
+    /// (CI-enforced).
+    logits_match_with_tracing: bool,
+    /// Closed-loop streaming throughput with a *disabled* collector
+    /// attached — the realistic tracing-off serving configuration.
+    streaming_off_images_per_sec: f64,
+    /// Relative delta vs the main (untraced) streaming run; noise-gated in
+    /// CI rather than zero-asserted, since closed-loop throughput is
+    /// scheduler-sensitive.
+    streaming_off_delta_frac: f64,
+    /// Closed-loop streaming with every submission traced end to end.
+    streaming_on_images_per_sec: f64,
+    /// Traced streaming logits bit-identical to the single-thread CSR rows
+    /// (CI-enforced).
+    streaming_on_matches: bool,
+    /// Spans the traced streaming run recorded / evicted (drops are
+    /// CI-enforced to 0 at the default collector capacity).
+    spans_recorded: u64,
+    spans_dropped: u64,
+    /// Distinct threads (chrome tracks) that recorded spans.
+    trace_tracks: usize,
+    /// Size of the Chrome trace-event JSON export; the file itself is
+    /// written when `--trace-out <path>` is passed.
+    chrome_trace_bytes: usize,
+    /// Where the export landed ("" when `--trace-out` was not given).
+    chrome_trace_path: String,
+}
+
+#[derive(Debug, Serialize)]
 struct RuntimeBenchReport {
     scale: String,
     geometry: String,
@@ -206,6 +254,7 @@ struct RuntimeBenchReport {
     streaming: StreamingResult,
     gateway: GatewayResult,
     quant: QuantResult,
+    observability: ObservabilityResult,
     speedup_csr_single: f64,
     speedup_batched: f64,
     speedup_csr_pooled: f64,
@@ -326,10 +375,40 @@ fn main() {
         passes,
         chunk_size.max(2),
         Duration::from_millis(2),
+        None,
     );
     assert!(
         streaming.matches_batched,
         "streamed logits must equal single-thread CSR logits"
+    );
+
+    // Tracing cost at both layers: interleaved best-of-N engine runs under
+    // an ambient trace context, plus disabled-collector and fully-traced
+    // closed-loop streaming runs. `--trace-out <path>` additionally dumps
+    // the traced run as Chrome trace-event JSON.
+    let observability = observability_bench(
+        &csr,
+        Arc::clone(&csr) as Arc<dyn InferenceBackend>,
+        &x,
+        &csr_logits,
+        streaming.metrics.images_per_sec,
+        threads * 4,
+        passes,
+        chunk_size.max(2),
+        Duration::from_millis(2),
+        trace_out_path(),
+    );
+    assert!(
+        observability.logits_match_with_tracing,
+        "tracing must not perturb engine logits"
+    );
+    assert!(
+        observability.streaming_on_matches,
+        "traced streaming logits must equal single-thread CSR logits"
+    );
+    assert_eq!(
+        observability.spans_dropped, 0,
+        "default collector capacity must hold the bench's span volume"
     );
 
     // HTTP gateway smoke: the same CSR backend behind a loopback
@@ -481,6 +560,7 @@ fn main() {
                 total_sops: quant_hw.total_sops,
             },
         },
+        observability,
         speedup_csr_single: event_wall.as_secs_f64() / csr_wall.as_secs_f64(),
         speedup_batched: event_wall.as_secs_f64() / batched_wall.as_secs_f64(),
         speedup_csr_pooled: event_wall.as_secs_f64() / (report.metrics.wall_ms / 1e3),
@@ -555,6 +635,22 @@ fn main() {
         out.gateway.parse_errors,
         out.gateway.backpressure.load.shed_429,
         out.gateway.backpressure.load.ok_200,
+    );
+    eprintln!(
+        "trace: engine overhead {:+.2}% (best of {}) | stream off delta {:+.2}% | traced {:.1} img/s, {} spans on {} tracks, {} dropped | chrome {} bytes{}",
+        out.observability.tracing_on_overhead_frac * 100.0,
+        out.observability.rounds,
+        out.observability.streaming_off_delta_frac * 100.0,
+        out.observability.streaming_on_images_per_sec,
+        out.observability.spans_recorded,
+        out.observability.trace_tracks,
+        out.observability.spans_dropped,
+        out.observability.chrome_trace_bytes,
+        if out.observability.chrome_trace_path.is_empty() {
+            String::new()
+        } else {
+            format!(" -> {}", out.observability.chrome_trace_path)
+        },
     );
 }
 
@@ -714,6 +810,13 @@ fn top1_agreement(a: &Tensor, b: &Tensor) -> f64 {
 /// `passes` times, always waiting for the previous ticket before the next
 /// submit. Checks every streamed row bit-for-bit against the single-thread
 /// CSR logits.
+///
+/// With `trace: Some(collector)` the server is built with the collector
+/// attached; if the collector is *enabled*, every submission additionally
+/// carries its own freshly minted trace target (the fully-traced serving
+/// configuration), otherwise the run measures the tracing-off hot path of
+/// a trace-capable server.
+#[allow(clippy::too_many_arguments)]
 fn closed_loop_streaming(
     backend: Arc<dyn InferenceBackend>,
     x: &Tensor,
@@ -722,27 +825,31 @@ fn closed_loop_streaming(
     passes: usize,
     max_batch: usize,
     max_delay: Duration,
+    trace: Option<Arc<TraceCollector>>,
 ) -> StreamingResult {
     let batch = x.dims()[0];
     let sample_dims = x.dims()[1..].to_vec();
     let sample_len: usize = sample_dims.iter().product();
     let classes = expected_logits.dims()[1];
     let clients = clients.clamp(1, batch);
-    let server = StreamingServer::new(
-        backend,
-        StreamingConfig {
-            threads: 0, // one worker per core
-            max_batch,
-            max_delay,
-            max_pending: 0,
-        },
-    );
+    let config = StreamingConfig {
+        threads: 0, // one worker per core
+        max_batch,
+        max_delay,
+        max_pending: 0,
+    };
+    let server = match &trace {
+        Some(collector) => StreamingServer::new_traced(backend, config, Arc::clone(collector)),
+        None => StreamingServer::new(backend, config),
+    };
+    let trace_submissions = trace.as_ref().filter(|c| c.is_enabled()).cloned();
 
     let all_match = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let server = &server;
                 let sample_dims = &sample_dims;
+                let trace_submissions = trace_submissions.as_ref();
                 scope.spawn(move || {
                     let mut matches = true;
                     for _ in 0..passes {
@@ -752,8 +859,15 @@ fn closed_loop_streaming(
                                 sample_dims,
                             )
                             .expect("sample slice");
+                            let mut options = SubmitOptions::default();
+                            if let Some(collector) = trace_submissions {
+                                options = options.traced(TraceTarget {
+                                    trace: collector.mint_trace(),
+                                    parent: 0,
+                                });
+                            }
                             let response = server
-                                .submit(&image)
+                                .submit_with(&image, options)
                                 .expect("submit")
                                 .wait()
                                 .expect("streamed result");
@@ -782,4 +896,133 @@ fn closed_loop_streaming(
         matches_batched: all_match,
         metrics,
     }
+}
+
+/// Measures the cost of tracing at both layers it touches.
+///
+/// Engine level: `rounds` interleaved (baseline, traced) pairs of the same
+/// `run_batch`, best-of-N on each side — the traced side runs under an
+/// ambient [`push_context`] so every `csr.chunk`/`encode`/`stage.exec`
+/// span is actually recorded. Interleaving plus best-of-N cancels the
+/// frequency/scheduler drift that would otherwise dominate a ≤5% budget.
+///
+/// Streaming level: two extra closed-loop runs over a trace-capable
+/// server — one with the collector disabled (the realistic tracing-off
+/// serving configuration, compared against `untraced_images_per_sec` from
+/// the main streaming run) and one with every submission traced (span
+/// volume, drop count, and the Chrome export come from this run).
+#[allow(clippy::too_many_arguments)]
+fn observability_bench(
+    csr: &CsrEngine,
+    backend: Arc<dyn InferenceBackend>,
+    x: &Tensor,
+    expected_logits: &Tensor,
+    untraced_images_per_sec: f64,
+    clients: usize,
+    passes: usize,
+    max_batch: usize,
+    max_delay: Duration,
+    trace_out: Option<String>,
+) -> ObservabilityResult {
+    let batch = x.dims()[0];
+    let rounds = 5usize;
+    let engine_collector = Arc::new(TraceCollector::new(0));
+    let mut best_baseline = Duration::MAX;
+    let mut best_traced = Duration::MAX;
+    let mut logits_match_with_tracing = true;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        let (baseline_logits, _) = csr.run_batch(x).expect("baseline run");
+        best_baseline = best_baseline.min(t0.elapsed());
+
+        let targets = vec![TraceTarget {
+            trace: engine_collector.mint_trace(),
+            parent: 0,
+        }];
+        let t0 = Instant::now();
+        let traced_logits = {
+            let _guard = push_context(Arc::clone(&engine_collector), targets);
+            csr.run_batch(x).expect("traced run").0
+        };
+        best_traced = best_traced.min(t0.elapsed());
+        logits_match_with_tracing &= traced_logits.as_slice() == baseline_logits.as_slice();
+    }
+    let engine_baseline_images_per_sec = batch as f64 / best_baseline.as_secs_f64();
+    let engine_traced_images_per_sec = batch as f64 / best_traced.as_secs_f64();
+    let tracing_on_overhead_frac =
+        (best_traced.as_secs_f64() - best_baseline.as_secs_f64()) / best_baseline.as_secs_f64();
+
+    // Tracing-off serving configuration: collector attached but disabled,
+    // so every recording site pays exactly one relaxed atomic load.
+    let off_collector = Arc::new(TraceCollector::new(0));
+    off_collector.set_enabled(false);
+    let off = closed_loop_streaming(
+        Arc::clone(&backend),
+        x,
+        expected_logits,
+        clients,
+        passes,
+        max_batch,
+        max_delay,
+        Some(off_collector),
+    );
+    let streaming_off_images_per_sec = off.metrics.images_per_sec;
+    let streaming_off_delta_frac =
+        (untraced_images_per_sec - streaming_off_images_per_sec) / untraced_images_per_sec;
+
+    // Fully-traced serving: every submission carries its own trace.
+    let on_collector = Arc::new(TraceCollector::new(0));
+    let on = closed_loop_streaming(
+        backend,
+        x,
+        expected_logits,
+        clients,
+        passes,
+        max_batch,
+        max_delay,
+        Some(Arc::clone(&on_collector)),
+    );
+    let spans_recorded = on_collector.spans_recorded();
+    let spans_dropped = on_collector.spans_dropped();
+    let trace_tracks = on_collector.tracks().len();
+    let chrome = on_collector.chrome_trace_json();
+    let chrome_trace_path = match trace_out {
+        Some(path) => {
+            std::fs::write(&path, &chrome).expect("write --trace-out file");
+            path
+        }
+        None => String::new(),
+    };
+
+    ObservabilityResult {
+        rounds,
+        engine_baseline_images_per_sec,
+        engine_traced_images_per_sec,
+        tracing_on_overhead_frac,
+        logits_match_with_tracing,
+        streaming_off_images_per_sec,
+        streaming_off_delta_frac,
+        streaming_on_images_per_sec: on.metrics.images_per_sec,
+        streaming_on_matches: on.matches_batched,
+        spans_recorded,
+        spans_dropped,
+        trace_tracks,
+        chrome_trace_bytes: chrome.len(),
+        chrome_trace_path,
+    }
+}
+
+/// `--trace-out <path>` / `--trace-out=<path>` from the process arguments
+/// (cargo strips everything before `--`).
+fn trace_out_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace-out" {
+            return args.next();
+        }
+        if let Some(path) = arg.strip_prefix("--trace-out=") {
+            return Some(path.to_string());
+        }
+    }
+    None
 }

@@ -28,6 +28,7 @@
 
 use serde::{field, Content, Deserialize, Error as SerdeError, Serialize};
 use snn_runtime::SubmitOptions;
+use snn_trace::{AttrValue, SpanSnapshot, TraceId};
 use std::time::Duration;
 
 /// One inference request as it appears on the wire.
@@ -74,6 +75,7 @@ impl InferRequest {
         Ok(SubmitOptions {
             deadline,
             priority: self.priority,
+            trace: None,
         })
     }
 
@@ -170,6 +172,58 @@ pub struct InferResponse {
     pub exec_us: f64,
     /// Submit-to-result latency as measured inside the gateway, µs.
     pub e2e_us: f64,
+    /// The request's trace id (16 hex digits); empty when the gateway
+    /// serves an untraced [`snn_runtime::StreamingServer`]. Feed it to
+    /// `GET /v1/trace/<id>` to retrieve the recorded span tree.
+    pub trace_id: String,
+}
+
+/// Renders one recorded span tree as the `GET /v1/trace/<id>` response
+/// body:
+///
+/// ```json
+/// {"trace_id": "000000800000002a", "spans": [
+///   {"span_id": 3, "parent_id": 0, "name": "http.request",
+///    "start_us": 12, "dur_us": 840, "track": 2,
+///    "attrs": {"status": 200}}, ...]}
+/// ```
+///
+/// Spans arrive sorted by start time; attribute values keep their native
+/// JSON types (strings stay strings, counters stay integers).
+pub fn render_trace(trace: TraceId, spans: &[SpanSnapshot]) -> Vec<u8> {
+    let spans = spans
+        .iter()
+        .map(|span| {
+            let attrs = span
+                .attrs
+                .iter()
+                .map(|(key, value)| {
+                    let value = match *value {
+                        AttrValue::Str(s) => Content::Str(s.to_string()),
+                        AttrValue::U64(n) => Content::U64(n),
+                        AttrValue::F64(x) => Content::F64(x),
+                    };
+                    ((*key).to_string(), value)
+                })
+                .collect();
+            Content::Map(vec![
+                ("span_id".to_string(), Content::U64(span.span_id)),
+                ("parent_id".to_string(), Content::U64(span.parent_id)),
+                ("name".to_string(), Content::Str(span.name.to_string())),
+                ("start_us".to_string(), Content::U64(span.start_us)),
+                ("dur_us".to_string(), Content::U64(span.dur_us)),
+                ("track".to_string(), Content::U64(span.track.into())),
+                ("attrs".to_string(), Content::Map(attrs)),
+            ])
+        })
+        .collect();
+    let body = Content::Map(vec![
+        ("trace_id".to_string(), Content::Str(trace.to_string())),
+        ("spans".to_string(), Content::Seq(spans)),
+    ]);
+    serde_json::to_string(&body)
+        .unwrap_or_else(|_| "{\"error\":\"internal error\"}".to_string())
+        .into_bytes()
 }
 
 /// The JSON error body every non-2xx response carries.
@@ -274,10 +328,43 @@ mod tests {
             queue_wait_us: 12.5,
             exec_us: 99.0,
             e2e_us: 120.0,
+            trace_id: "00000080000002ab".to_string(),
         };
         let json = serde_json::to_string(&resp).unwrap();
         let back: InferResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn render_trace_keeps_native_attr_types() {
+        let trace = TraceId::from_raw(0xab).unwrap();
+        let spans = vec![SpanSnapshot {
+            trace,
+            span_id: 2,
+            parent_id: 1,
+            name: "batch.flush",
+            start_us: 10,
+            dur_us: 0,
+            track: 3,
+            attrs: vec![
+                ("reason", AttrValue::Str("max_batch")),
+                ("batch_size", AttrValue::U64(4)),
+            ],
+        }];
+        let body = String::from_utf8(render_trace(trace, &spans)).unwrap();
+        let parsed: Content = serde_json::from_str(&body).unwrap();
+        let map = parsed.as_map().unwrap();
+        assert_eq!(
+            field(map, "trace_id").unwrap().as_str(),
+            Some("00000000000000ab")
+        );
+        let spans_json = field(map, "spans").unwrap().as_seq().unwrap();
+        let span = spans_json[0].as_map().unwrap();
+        assert_eq!(field(span, "name").unwrap().as_str(), Some("batch.flush"));
+        assert_eq!(field(span, "parent_id").unwrap().as_u64(), Some(1));
+        let attrs = field(span, "attrs").unwrap().as_map().unwrap();
+        assert_eq!(field(attrs, "reason").unwrap().as_str(), Some("max_batch"));
+        assert_eq!(field(attrs, "batch_size").unwrap().as_u64(), Some(4));
     }
 
     #[test]

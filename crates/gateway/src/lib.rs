@@ -17,8 +17,13 @@
 //!   logit-equivalence guarantees.
 //! * [`Gateway`] — acceptor + connection worker pool with graceful drain;
 //!   routes `POST /v1/infer`, `GET /metrics` (Prometheus text: gateway
-//!   counters + [`StreamingMetrics`](snn_runtime::StreamingMetrics)) and
-//!   `GET /healthz`. Backpressure maps onto the wire:
+//!   counters, [`StreamingMetrics`](snn_runtime::StreamingMetrics) and
+//!   log-bucket latency histograms), `GET /v1/trace/<id>` (a traced
+//!   request's span tree — when the wrapped server carries a
+//!   [`TraceCollector`](snn_trace::TraceCollector), each `/v1/infer`
+//!   response echoes its `trace_id`, honoring a client-supplied
+//!   `x-snn-trace-id` header) and `GET /healthz`. Backpressure maps onto
+//!   the wire:
 //!   [`QueueFull`](snn_runtime::SubmitError::QueueFull) → `429`, drain →
 //!   `503`, handler timeout → `504`.
 //! * [`client`] — a std-only keep-alive HTTP client and closed-loop load

@@ -8,7 +8,7 @@
 //! the whole path from accepted socket to executed batch.
 
 use serde::{Deserialize, Serialize};
-use snn_runtime::{LatencyRecorder, StreamingMetrics};
+use snn_runtime::{HistogramSnapshot, LatencyRecorder, StreamingMetrics};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -147,9 +147,36 @@ fn gauge_family(out: &mut String, name: &str, help: &str, value: f64) {
     ));
 }
 
+/// Renders one [`HistogramSnapshot`] as a Prometheus histogram family:
+/// cumulative `_bucket{le="..."}` samples (bounds converted from µs to
+/// seconds, Prometheus' base unit), the implicit `+Inf` bucket, `_sum`
+/// (seconds) and `_count`.
+fn histogram_family(out: &mut String, name: &str, help: &str, hist: &HistogramSnapshot) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    for bucket in &hist.buckets {
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{}\"}} {}\n",
+            bucket.le_us as f64 / 1e6,
+            bucket.count
+        ));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+        hist.count,
+        hist.sum_us / 1e6,
+        hist.count
+    ));
+}
+
 /// Renders the gateway and streaming snapshots in Prometheus text
-/// exposition format (`text/plain; version=0.0.4`).
-pub fn prometheus_text(gateway: &GatewayMetrics, streaming: &StreamingMetrics) -> String {
+/// exposition format (`text/plain; version=0.0.4`). `trace` carries the
+/// span collector's `(recorded, dropped)` totals when the wrapped server
+/// is traced.
+pub fn prometheus_text(
+    gateway: &GatewayMetrics,
+    streaming: &StreamingMetrics,
+    trace: Option<(u64, u64)>,
+) -> String {
     let mut out = String::with_capacity(2048);
     for (name, help, value) in [
         (
@@ -237,8 +264,25 @@ pub fn prometheus_text(gateway: &GatewayMetrics, streaming: &StreamingMetrics) -
             "Batches the deadline batcher formed",
             streaming.batches,
         ),
+        (
+            "snn_streaming_wait_timeouts_total",
+            "Ticket waits that expired before the result landed",
+            streaming.wait_timeouts,
+        ),
     ] {
         counter_family(&mut out, name, help, value);
+    }
+    out.push_str(
+        "# HELP snn_streaming_flushes_total Batch flushes by trigger\n# TYPE snn_streaming_flushes_total counter\n",
+    );
+    for (reason, value) in [
+        ("edf_deadline", streaming.flushes_edf_deadline),
+        ("max_batch", streaming.flushes_max_batch),
+        ("drain", streaming.flushes_drain),
+    ] {
+        out.push_str(&format!(
+            "snn_streaming_flushes_total{{reason=\"{reason}\"}} {value}\n"
+        ));
     }
     for (name, help, value) in [
         (
@@ -268,6 +312,39 @@ pub fn prometheus_text(gateway: &GatewayMetrics, streaming: &StreamingMetrics) -
         ),
     ] {
         gauge_family(&mut out, name, help, value);
+    }
+    for (name, help, hist) in [
+        (
+            "snn_streaming_e2e_seconds",
+            "Submit-to-result latency",
+            &streaming.e2e_histogram,
+        ),
+        (
+            "snn_streaming_queue_wait_seconds",
+            "Time from submission until batch execution began",
+            &streaming.queue_wait_histogram,
+        ),
+        (
+            "snn_streaming_exec_seconds",
+            "Backend execution time of the formed batch",
+            &streaming.exec_histogram,
+        ),
+    ] {
+        histogram_family(&mut out, name, help, hist);
+    }
+    if let Some((recorded, dropped)) = trace {
+        counter_family(
+            &mut out,
+            "snn_trace_spans_recorded_total",
+            "Spans recorded into the trace collector",
+            recorded,
+        );
+        counter_family(
+            &mut out,
+            "snn_trace_spans_dropped_total",
+            "Spans evicted from the bounded trace ring",
+            dropped,
+        );
     }
     out
 }
@@ -321,7 +398,7 @@ mod tests {
         r.record_response("infer", 200, Duration::from_millis(1));
         let gm = r.summarize();
         let sm = StreamingRecorder::new().summarize();
-        let text = prometheus_text(&gm, &sm);
+        let text = prometheus_text(&gm, &sm, Some((7, 0)));
         for family in [
             "snn_gateway_connections_total 1",
             "snn_gateway_responses_total{class=\"2xx\"} 1",
@@ -330,12 +407,111 @@ mod tests {
             "snn_streaming_requests_total 0",
             "snn_streaming_shed_requests_total 0",
             "snn_streaming_mean_batch_occupancy 0",
+            "snn_streaming_flushes_total{reason=\"edf_deadline\"} 0",
+            "snn_streaming_flushes_total{reason=\"max_batch\"} 0",
+            "snn_streaming_flushes_total{reason=\"drain\"} 0",
+            "snn_streaming_wait_timeouts_total 0",
+            "snn_streaming_e2e_seconds_count 0",
+            "snn_trace_spans_recorded_total 7",
+            "snn_trace_spans_dropped_total 0",
         ] {
             assert!(text.contains(family), "missing {family:?} in:\n{text}");
         }
         // Every non-comment line is "name[{labels}] value".
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.split_whitespace().count(), 2, "bad line {line:?}");
+        }
+    }
+
+    /// A parser-shaped walk over the full scrape: every sample must belong
+    /// to a family that announced `# HELP` then `# TYPE` immediately before
+    /// its samples, histogram buckets must be cumulative and close with
+    /// `+Inf`/`_sum`/`_count`, and no family may be announced twice.
+    #[test]
+    fn prometheus_scrape_conforms_to_exposition_format() {
+        let mut gr = GatewayRecorder::new();
+        gr.record_connection();
+        gr.record_response("infer", 200, Duration::from_millis(2));
+        let mut sr = StreamingRecorder::new();
+        sr.record_request(Duration::from_micros(1500), Duration::from_micros(300));
+        sr.record_batch(
+            1,
+            Duration::from_micros(900),
+            snn_runtime::FlushReason::MaxBatch,
+        );
+        let text = prometheus_text(&gr.summarize(), &sr.summarize(), Some((3, 1)));
+
+        let mut announced: Vec<String> = Vec::new(); // families, in order
+        let mut current: Option<(String, String)> = None; // (family, type)
+        let mut pending_help: Option<String> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let family = rest.split_whitespace().next().unwrap_or_default();
+                assert!(rest.len() > family.len() + 1, "HELP without text: {line:?}");
+                pending_help = Some(family.to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let family = parts.next().unwrap_or_default().to_string();
+                let kind = parts.next().unwrap_or_default().to_string();
+                assert_eq!(
+                    pending_help.take().as_deref(),
+                    Some(family.as_str()),
+                    "TYPE not preceded by its HELP: {line:?}"
+                );
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&kind.as_str()),
+                    "unknown type {kind:?}"
+                );
+                assert!(
+                    !announced.contains(&family),
+                    "family {family:?} announced twice"
+                );
+                announced.push(family.clone());
+                current = Some((family, kind));
+            } else {
+                let (family, kind) = current.as_ref().expect("sample before any TYPE");
+                let name = line.split(['{', ' ']).next().unwrap_or_default();
+                let owned = if kind == "histogram" {
+                    name == format!("{family}_bucket")
+                        || name == format!("{family}_sum")
+                        || name == format!("{family}_count")
+                } else {
+                    name == family
+                };
+                assert!(owned, "sample {name:?} outside its family {family:?}");
+                let value = line.rsplit(' ').next().unwrap_or_default();
+                assert!(
+                    value.parse::<f64>().is_ok(),
+                    "unparseable sample value: {line:?}"
+                );
+            }
+        }
+        // Histogram invariants: buckets cumulative, closed by +Inf == count.
+        for family in [
+            "snn_streaming_e2e_seconds",
+            "snn_streaming_queue_wait_seconds",
+            "snn_streaming_exec_seconds",
+        ] {
+            assert!(announced.contains(&family.to_string()), "missing {family}");
+            let mut last = 0u64;
+            let mut inf = None;
+            for line in text.lines().filter(|l| !l.starts_with('#')) {
+                if let Some(rest) = line.strip_prefix(&format!("{family}_bucket{{le=\"")) {
+                    let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                    assert!(count >= last, "non-cumulative bucket: {line:?}");
+                    last = count;
+                    if rest.starts_with("+Inf") {
+                        inf = Some(count);
+                    }
+                }
+            }
+            let count_line = text
+                .lines()
+                .find(|l| l.starts_with(&format!("{family}_count ")))
+                .unwrap();
+            let total: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert_eq!(inf, Some(total), "{family}: +Inf bucket != _count");
+            assert_eq!(total, 1, "{family}: the one recorded request counts");
         }
     }
 }

@@ -5,14 +5,28 @@
 //! accept loop ──► WorkerPool (connection jobs)
 //!                    │  read → parse_request (incremental, pipelining)
 //!                    │  POST /v1/infer: JSON → Tensor → submit_with
-//!                    │       SubmitOptions { deadline_ms, priority }
+//!                    │       SubmitOptions { deadline_ms, priority,
+//!                    │                       trace (when collecting) }
 //!                    │       Ticket::wait_timeout → 200 / 504
 //!                    │       SubmitError::QueueFull → 429
 //!                    │       drain → 503
-//!                    │  GET /metrics: Prometheus text
+//!                    │  GET /metrics: Prometheus text (+ histograms)
+//!                    │  GET /v1/trace/<id>: span tree of a traced request
 //!                    ▼
 //!           StreamingServer (EDF DeadlineBatcher → engine)
 //! ```
+//!
+//! When the wrapped server was built with a
+//! [`TraceCollector`](snn_trace::TraceCollector)
+//! ([`StreamingServer::new_traced`](snn_runtime::StreamingServer::new_traced)),
+//! each inference request gets a trace: the handler mints a
+//! [`TraceId`](snn_trace::TraceId) (or honors the request's
+//! `x-snn-trace-id` header), records the gateway-side spans
+//! (`http.request` root, `http.parse`, `request.decode`, `infer.submit`,
+//! `ticket.wait`, `http.respond`), and threads the id through
+//! [`SubmitOptions`](snn_runtime::SubmitOptions) so the batcher, worker
+//! and engine spans land in the same tree. The response echoes the id,
+//! and `GET /v1/trace/<id>` serves the finished tree.
 //!
 //! Shutdown is a graceful drain: the acceptor stops, connection workers
 //! answer anything already parsed with `503` and exit at their next poll
@@ -30,9 +44,10 @@ use std::time::{Duration, Instant};
 
 use snn_runtime::{StreamingServer, SubmitError, WorkerPool};
 use snn_tensor::Tensor;
+use snn_trace::{AttrValue, TraceCollector, TraceId, TraceTarget};
 
 use crate::http::{parse_request, write_response, Limits, ParseError, Request};
-use crate::json::{ErrorBody, InferRequest, InferResponse};
+use crate::json::{render_trace, ErrorBody, InferRequest, InferResponse};
 use crate::metrics::{prometheus_text, GatewayMetrics, GatewayRecorder};
 
 /// Gateway configuration.
@@ -102,6 +117,10 @@ impl GatewayConfig {
 /// [`Gateway`] handle.
 struct Shared {
     server: Arc<StreamingServer>,
+    /// The streaming server's span sink, if it was built traced
+    /// ([`StreamingServer::trace_collector`]); gateway request spans and
+    /// the `GET /v1/trace/<id>` route record into / read from it.
+    trace: Option<Arc<TraceCollector>>,
     recorder: Mutex<GatewayRecorder>,
     draining: AtomicBool,
     limits: Limits,
@@ -168,8 +187,10 @@ impl Gateway {
                 .unwrap_or(4)
                 .max(4)
         };
+        let trace = server.trace_collector().cloned();
         let shared = Arc::new(Shared {
             server,
+            trace,
             recorder: Mutex::new(GatewayRecorder::new()),
             draining: AtomicBool::new(false),
             limits: Limits {
@@ -306,13 +327,22 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     // request is closed, so parked keep-alive clients and slow-loris
     // senders cannot pin a worker.
     let mut last_activity = Instant::now();
+    // When the current request's first bytes landed — the start instant of
+    // its `http.request` trace span (parse + queue + exec + respond all
+    // nest under it).
+    let mut recv_start: Option<Instant> = None;
     loop {
         // Serve everything already buffered first (pipelining).
         match parse_request(&buf, &shared.limits) {
             Ok(Some((request, consumed))) => {
                 buf.drain(..consumed);
-                let keep_alive = respond(&mut stream, &request, shared);
+                let received = recv_start.take().unwrap_or_else(Instant::now);
+                let keep_alive = respond(&mut stream, &request, shared, received);
                 last_activity = Instant::now();
+                if !buf.is_empty() {
+                    // A pipelined follow-up is already buffered.
+                    recv_start = Some(last_activity);
+                }
                 if !keep_alive {
                     let _ = stream.shutdown(NetShutdown::Both);
                     return;
@@ -350,7 +380,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         }
         match stream.read(&mut scratch) {
             Ok(0) => return, // peer closed
-            Ok(n) => buf.extend_from_slice(scratch.get(..n).unwrap_or_default()),
+            Ok(n) => {
+                if recv_start.is_none() {
+                    recv_start = Some(Instant::now());
+                }
+                buf.extend_from_slice(scratch.get(..n).unwrap_or_default());
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -363,8 +398,9 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 }
 
 /// Routes and answers one request; returns whether the connection may
-/// serve another.
-fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared) -> bool {
+/// serve another. `received` is when the request's first bytes arrived —
+/// the root instant of its trace, when tracing is on.
+fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared, received: Instant) -> bool {
     let start = Instant::now();
     let draining = shared.draining.load(Ordering::Acquire);
     let (route, status, content_type, body) = if draining {
@@ -376,7 +412,14 @@ fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared) -> bool {
         )
     } else {
         match (request.method.as_str(), request.path()) {
-            ("POST", "/v1/infer") => handle_infer(request, shared),
+            ("POST", "/v1/infer") => handle_infer(request, shared, received),
+            ("GET", path) if path.starts_with("/v1/trace/") => handle_trace(path, shared),
+            (_, path) if path.starts_with("/v1/trace/") => (
+                "other",
+                405,
+                "application/json",
+                ErrorBody::render(format!("method {} not allowed on {path}", request.method)),
+            ),
             ("GET", "/metrics") => {
                 let streaming = shared.server.metrics();
                 let gateway = shared
@@ -384,11 +427,15 @@ fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared) -> bool {
                     .lock()
                     .expect("gateway recorder poisoned")
                     .summarize();
+                let trace = shared
+                    .trace
+                    .as_deref()
+                    .map(|c| (c.spans_recorded(), c.spans_dropped()));
                 (
                     "metrics",
                     200,
                     "text/plain; version=0.0.4",
-                    prometheus_text(&gateway, &streaming).into_bytes(),
+                    prometheus_text(&gateway, &streaming, trace).into_bytes(),
                 )
             }
             ("GET", "/healthz") => ("health", 200, "text/plain", b"ok\n".to_vec()),
@@ -422,13 +469,91 @@ fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared) -> bool {
     keep_alive && wrote
 }
 
+/// The `GET /v1/trace/<id>` handler: parses the hex trace id from the
+/// path and returns the recorded span tree as JSON. `404` when tracing is
+/// off, the id is unknown, or the trace was evicted from the bounded
+/// collector; `400` for a malformed id.
+fn handle_trace(path: &str, shared: &Shared) -> (&'static str, u16, &'static str, Vec<u8>) {
+    const ROUTE: &str = "trace";
+    let json = "application/json";
+    let Some(collector) = shared.trace.as_deref() else {
+        return (
+            ROUTE,
+            404,
+            json,
+            ErrorBody::render("tracing is not enabled on this gateway"),
+        );
+    };
+    let id_text = path.strip_prefix("/v1/trace/").unwrap_or_default();
+    let Some(trace) = TraceId::parse_hex(id_text) else {
+        return (
+            ROUTE,
+            400,
+            json,
+            ErrorBody::render(format!(
+                "{id_text:?} is not a trace id (up to 16 hex digits)"
+            )),
+        );
+    };
+    let spans = collector.trace(trace);
+    if spans.is_empty() {
+        return (
+            ROUTE,
+            404,
+            json,
+            ErrorBody::render(format!(
+                "no spans recorded for trace {trace}; it may have been evicted"
+            )),
+        );
+    }
+    (ROUTE, 200, json, render_trace(trace, &spans))
+}
+
 /// The `POST /v1/infer` handler: JSON body → geometry validation →
 /// `submit_with` → bounded ticket wait → JSON response. Backpressure and
 /// lifecycle map onto the wire: `QueueFull` → 429, drain/shutdown → 503,
 /// handler timeout → 504.
-fn handle_infer(request: &Request, shared: &Shared) -> (&'static str, u16, &'static str, Vec<u8>) {
+///
+/// When the wrapped server is traced, the handler accepts the caller's
+/// `x-snn-trace-id` header (or mints an id), hangs `http.parse`,
+/// `request.decode`, `infer.submit`, `ticket.wait` and `http.respond`
+/// spans under one `http.request` root, and rides the
+/// [`TraceTarget`] into the runtime so queue/flush/execution spans land in
+/// the same tree. The whole tree is recorded before the response body
+/// leaves this function, so a follow-up `GET /v1/trace/<id>` always sees
+/// it complete.
+fn handle_infer(
+    request: &Request,
+    shared: &Shared,
+    received: Instant,
+) -> (&'static str, u16, &'static str, Vec<u8>) {
     const ROUTE: &str = "infer";
     let json = "application/json";
+    // (collector, trace id, pre-allocated root span id) — `None` when the
+    // server is untraced or the collector is disabled, in which case the
+    // only cost below is this one check per instrumentation point.
+    let trace_ctx = shared
+        .trace
+        .as_ref()
+        .filter(|c| c.is_enabled())
+        .map(|collector| {
+            let trace = request
+                .header("x-snn-trace-id")
+                .and_then(TraceId::parse_hex)
+                .unwrap_or_else(|| collector.mint_trace());
+            (Arc::clone(collector), trace, collector.next_span_id())
+        });
+    let handler_start = Instant::now();
+    if let Some((collector, trace, root)) = &trace_ctx {
+        collector.record_span(
+            *trace,
+            *root,
+            "http.parse",
+            received,
+            handler_start,
+            vec![("body_bytes", request.body.len().into())],
+        );
+    }
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => {
@@ -466,10 +591,25 @@ fn handle_infer(request: &Request, shared: &Shared) -> (&'static str, u16, &'sta
     // max_pending, wedging admission) — and a clamp at the full timeout
     // would race the 504 by design.
     options.deadline = options.deadline.map(|d| d.min(shared.handler_timeout / 2));
+    let pixels = wire.pixels.len();
     let image = match Tensor::from_vec(wire.pixels, &wire.dims) {
         Ok(image) => image,
         Err(e) => return (ROUTE, 400, json, ErrorBody::render(e.to_string())),
     };
+    if let Some((collector, trace, root)) = &trace_ctx {
+        collector.record_span(
+            *trace,
+            *root,
+            "request.decode",
+            handler_start,
+            Instant::now(),
+            vec![("pixels", pixels.into())],
+        );
+        options = options.traced(TraceTarget {
+            trace: *trace,
+            parent: *root,
+        });
+    }
     let submitted = Instant::now();
     let mut ticket = match shared.server.submit_with(&image, options) {
         Ok(ticket) => ticket,
@@ -494,8 +634,20 @@ fn handle_infer(request: &Request, shared: &Shared) -> (&'static str, u16, &'sta
             return (ROUTE, status, json, ErrorBody::render(e.to_string()));
         }
     };
+    if let Some((collector, trace, root)) = &trace_ctx {
+        collector.record_span(
+            *trace,
+            *root,
+            "infer.submit",
+            submitted,
+            Instant::now(),
+            vec![],
+        );
+    }
+    let wait_start = Instant::now();
     match ticket.wait_timeout(shared.handler_timeout) {
         Ok(Some(response)) => {
+            let wait_end = Instant::now();
             let logits = response.logits.as_slice().to_vec();
             let top1 = logits
                 .iter()
@@ -510,6 +662,10 @@ fn handle_infer(request: &Request, shared: &Shared) -> (&'static str, u16, &'sta
                 queue_wait_us: response.queue_wait.as_secs_f64() * 1e6,
                 exec_us: response.exec_time.as_secs_f64() * 1e6,
                 e2e_us: submitted.elapsed().as_secs_f64() * 1e6,
+                trace_id: trace_ctx
+                    .as_ref()
+                    .map(|(_, trace, _)| trace.to_string())
+                    .unwrap_or_default(),
             };
             let body = match serde_json::to_string(&wire) {
                 Ok(body) => body.into_bytes(),
@@ -522,17 +678,61 @@ fn handle_infer(request: &Request, shared: &Shared) -> (&'static str, u16, &'sta
                     )
                 }
             };
+            if let Some((collector, trace, root)) = &trace_ctx {
+                collector.record_span(
+                    *trace,
+                    *root,
+                    "ticket.wait",
+                    wait_start,
+                    wait_end,
+                    vec![("batch_size", response.batch_size.into())],
+                );
+                collector.record_span(
+                    *trace,
+                    *root,
+                    "http.respond",
+                    wait_end,
+                    Instant::now(),
+                    vec![("body_bytes", body.len().into())],
+                );
+                // The root closes last, so a `GET /v1/trace/<id>` issued
+                // the moment the response arrives sees the full tree.
+                collector.record_span_with_id(
+                    *root,
+                    *trace,
+                    0,
+                    "http.request",
+                    received,
+                    Instant::now(),
+                    vec![("status", AttrValue::U64(200))],
+                );
+            }
             (ROUTE, 200, json, body)
         }
-        Ok(None) => (
-            ROUTE,
-            504,
-            json,
-            ErrorBody::render(format!(
-                "inference did not complete within {:?}",
-                shared.handler_timeout
-            )),
-        ),
+        Ok(None) => {
+            if let Some((collector, trace, root)) = &trace_ctx {
+                let now = Instant::now();
+                collector.record_span(*trace, *root, "ticket.wait", wait_start, now, vec![]);
+                collector.record_span_with_id(
+                    *root,
+                    *trace,
+                    0,
+                    "http.request",
+                    received,
+                    now,
+                    vec![("status", AttrValue::U64(504))],
+                );
+            }
+            (
+                ROUTE,
+                504,
+                json,
+                ErrorBody::render(format!(
+                    "inference did not complete within {:?}",
+                    shared.handler_timeout
+                )),
+            )
+        }
         Err(e) => (ROUTE, 500, json, ErrorBody::render(e.to_string())),
     }
 }

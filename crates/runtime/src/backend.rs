@@ -163,4 +163,25 @@ impl BackendChoice {
     ) -> Result<StreamingServer, ConvertError> {
         Ok(StreamingServer::new(self.build(model, input_dims)?, config))
     }
+
+    /// [`serve_streaming`](Self::serve_streaming) with a span sink: the
+    /// server records runtime spans (queue wait, flush reason, batch and
+    /// per-stage execution) into `collector` for every traced submission.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build`](Self::build).
+    pub fn serve_streaming_traced(
+        &self,
+        model: Arc<SnnModel>,
+        input_dims: &[usize],
+        config: StreamingConfig,
+        collector: Arc<snn_trace::TraceCollector>,
+    ) -> Result<StreamingServer, ConvertError> {
+        Ok(StreamingServer::new_traced(
+            self.build(model, input_dims)?,
+            config,
+            collector,
+        ))
+    }
 }

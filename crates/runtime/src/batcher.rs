@@ -20,11 +20,49 @@
 //! submitter — live with [`crate::StreamingServer`] in the server module.
 
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use snn_sim::RunStats;
 use snn_tensor::Tensor;
+use snn_trace::TraceTarget;
 use ttfs_core::ConvertError;
+
+use crate::metrics::StreamingRecorder;
+
+/// Why the deadline batcher flushed a pending window. Recorded per batch
+/// in [`StreamingMetrics`](crate::StreamingMetrics) (the three
+/// `flushes_*` counters) and as the `reason` attribute of the
+/// `batch.flush` trace span — a deadline-pressured server (mostly
+/// [`EdfDeadline`](Self::EdfDeadline)) is operationally very different
+/// from a well-batched one (mostly [`MaxBatch`](Self::MaxBatch)) at the
+/// same throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushReason {
+    /// The window's earliest admitted deadline expired (EDF trigger).
+    EdfDeadline,
+    /// The window filled to `max_batch` requests.
+    MaxBatch,
+    /// Shutdown drained the window regardless of count or deadline.
+    Drain,
+}
+
+impl FlushReason {
+    /// Stable label used in metrics and trace attributes.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::EdfDeadline => "edf_deadline",
+            Self::MaxBatch => "max_batch",
+            Self::Drain => "drain",
+        }
+    }
+}
+
+impl std::fmt::Display for FlushReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Configuration for the [`crate::StreamingServer`].
 #[derive(Debug, Clone)]
@@ -120,6 +158,12 @@ pub struct SubmitOptions {
     /// earlier in the formed batch. Priority never delays a flush and never
     /// evicts an admitted request; it only breaks EDF ordering ties.
     pub priority: u8,
+    /// Where runtime-side spans for this request attach: the request's
+    /// [`TraceId`](snn_trace::TraceId) plus the parent span id minted by
+    /// the caller (the gateway's `http.request` root). `None` — the
+    /// default — records nothing for this request even on a tracing
+    /// server; scheduling is unaffected either way.
+    pub trace: Option<TraceTarget>,
 }
 
 impl SubmitOptions {
@@ -127,13 +171,20 @@ impl SubmitOptions {
     pub fn with_deadline(deadline: Duration) -> Self {
         Self {
             deadline: Some(deadline),
-            priority: 0,
+            ..Self::default()
         }
     }
 
     /// Returns `self` with the given tie-break priority.
     pub fn priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Returns `self` with runtime spans attached to the given trace
+    /// target (see [`SubmitOptions::trace`]).
+    pub fn traced(mut self, target: TraceTarget) -> Self {
+        self.trace = Some(target);
         self
     }
 }
@@ -269,11 +320,19 @@ pub struct StreamedResponse {
 pub struct Ticket {
     id: u64,
     rx: Receiver<Result<StreamedResponse, ConvertError>>,
+    /// Server recorder, so [`wait_timeout`](Self::wait_timeout) expiries
+    /// land in [`StreamingMetrics::wait_timeouts`](crate::StreamingMetrics)
+    /// — otherwise a gateway 504 is invisible server-side.
+    recorder: Option<Arc<Mutex<StreamingRecorder>>>,
 }
 
 impl Ticket {
-    pub(crate) fn new(id: u64, rx: Receiver<Result<StreamedResponse, ConvertError>>) -> Self {
-        Self { id, rx }
+    pub(crate) fn new(
+        id: u64,
+        rx: Receiver<Result<StreamedResponse, ConvertError>>,
+        recorder: Option<Arc<Mutex<StreamingRecorder>>>,
+    ) -> Self {
+        Self { id, rx, recorder }
     }
 
     /// Monotone submission id (submission order across the server).
@@ -323,7 +382,15 @@ impl Ticket {
         match self.rx.recv_timeout(timeout) {
             Ok(Ok(response)) => Ok(Some(response)),
             Ok(Err(e)) => Err(e),
-            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Timeout) => {
+                if let Some(recorder) = &self.recorder {
+                    recorder
+                        .lock()
+                        .expect("streaming recorder poisoned")
+                        .record_wait_timeout();
+                }
+                Ok(None)
+            }
             Err(RecvTimeoutError::Disconnected) => Err(dropped_error()),
         }
     }
@@ -349,6 +416,9 @@ pub(crate) struct PendingRequest {
     pub deadline: Instant,
     /// EDF tie-break priority (higher sorts earlier on equal deadlines).
     pub priority: u8,
+    /// Trace attachment point for runtime-side spans, if the submitter
+    /// asked for tracing ([`SubmitOptions::trace`]).
+    pub trace: Option<TraceTarget>,
     /// Where the worker delivers the per-request slice of the batch result.
     pub reply: Sender<Result<StreamedResponse, ConvertError>>,
 }

@@ -100,10 +100,16 @@ pub fn energy_report(
     stats: &RunStats,
     input_dims: &[usize],
 ) -> Result<NetworkReport, ConvertError> {
+    let mut span = snn_trace::ctx_span("energy.report");
     let geometry = layer_geometry(model, input_dims)?;
     let input_neurons: usize = input_dims.iter().product();
     let profile = measured_profile(stats, input_neurons);
-    Ok(processor.run_network(&geometry, &profile))
+    let report = processor.run_network(&geometry, &profile);
+    if span.is_recording() {
+        span.attr("layers", geometry.len());
+        span.attr("energy_per_image_uj", report.energy_per_image_uj);
+    }
+    Ok(report)
 }
 
 /// [`energy_report`] for the quantized serving path: geometry and input

@@ -113,12 +113,14 @@ pub(crate) struct Scratch {
 pub(crate) struct ScratchPool(Mutex<Vec<Scratch>>);
 
 impl ScratchPool {
-    pub(crate) fn take(&self) -> Scratch {
-        self.0
-            .lock()
-            .expect("scratch pool poisoned")
-            .pop()
-            .unwrap_or_default()
+    /// Pops a pooled buffer, or starts fresh. The flag says which — a
+    /// fresh take on a warm server means the pool ran dry and this run
+    /// pays the allocations (surfaced as the `scratch` trace attribute).
+    pub(crate) fn take(&self) -> (Scratch, bool) {
+        match self.0.lock().expect("scratch pool poisoned").pop() {
+            Some(scratch) => (scratch, true),
+            None => (Scratch::default(), false),
+        }
     }
 
     pub(crate) fn put(&self, scratch: Scratch) {
@@ -291,7 +293,10 @@ impl CsrEngine {
         stats: &mut RunStats,
         rows: &mut Vec<Vec<f32>>,
     ) -> Result<(), ConvertError> {
-        let mut scratch = self.scratch.take();
+        let (mut scratch, reused) = self.scratch.take();
+        let mut span = snn_trace::ctx_span("csr.chunk");
+        span.attr("lanes", lanes);
+        span.attr("scratch", if reused { "reused" } else { "fresh" });
         // The f32 path resolves weights in place: unit decode contexts.
         let ctxs = vec![(); self.model.weighted_layers()];
         let result = run_chunk_stages(
@@ -343,20 +348,37 @@ pub(crate) fn run_chunk_stages<'a, W: EdgeWeight>(
     // Input coding, neuron-major with lanes inner: every slot comes out
     // grouped by neuron with each lane's spikes in canonical ascending
     // order, so seal() reduces to its O(n) already-sorted check.
-    wheel_in.reset(window, lanes);
-    for i in 0..sample_len {
-        for lane in 0..lanes {
-            let v = data[lane * sample_len + i];
-            if let Some(t) = kernel.encode(v, window) {
-                wheel_in.push(t, lane as u32, i as u32, 1.0);
+    {
+        let mut span = snn_trace::ctx_span("encode");
+        wheel_in.reset(window, lanes);
+        for i in 0..sample_len {
+            for lane in 0..lanes {
+                let v = data[lane * sample_len + i];
+                if let Some(t) = kernel.encode(v, window) {
+                    wheel_in.push(t, lane as u32, i as u32, 1.0);
+                }
             }
         }
+        wheel_in.seal();
+        span.attr("spikes", wheel_in.len());
     }
-    wheel_in.seal();
 
     let mut seen = 0usize;
     let mut produced = false;
     for stage in stages {
+        let mut stage_span = snn_trace::ctx_span("stage.exec");
+        if stage_span.is_recording() {
+            stage_span.attr(
+                "kind",
+                match stage {
+                    CsrStage::Weighted { .. } => "weighted",
+                    CsrStage::MaxPool { .. } => "max_pool",
+                    CsrStage::AvgPool { .. } => "avg_pool",
+                    CsrStage::Flatten => "flatten",
+                },
+            );
+            stage_span.attr("in_spikes", wheel_in.len());
+        }
         match stage {
             CsrStage::Weighted { syn, bias } => {
                 let out_len = bias.len();
@@ -424,6 +446,10 @@ pub(crate) fn run_chunk_stages<'a, W: EdgeWeight>(
                 layer_stats.synaptic_ops += ops;
                 layer_stats.neurons += out_len * lanes;
                 seen += 1;
+                if stage_span.is_recording() {
+                    stage_span.attr("edges", ops);
+                    stage_span.attr("neurons", out_len * lanes);
+                }
 
                 if seen < weighted {
                     // Fire phase straight out of the membrane matrix
@@ -453,6 +479,9 @@ pub(crate) fn run_chunk_stages<'a, W: EdgeWeight>(
                     for lane in 0..lanes {
                         layer_stats.encoder_iterations +=
                             phase::encoder_iteration_count(window, latest[lane], all_fired[lane]);
+                    }
+                    if stage_span.is_recording() {
+                        stage_span.attr("out_spikes", wheel_out.len());
                     }
                     wheel_out.seal();
                     std::mem::swap(wheel_in, wheel_out);

@@ -92,14 +92,16 @@ mod workers;
 
 pub use backend::{BackendChoice, InferenceBackend};
 pub use batcher::{
-    DeadlineBatcher, StreamedResponse, StreamingConfig, SubmitError, SubmitOptions, Ticket,
+    DeadlineBatcher, FlushReason, StreamedResponse, StreamingConfig, SubmitError, SubmitOptions,
+    Ticket,
 };
 pub use csr::{
     ConvPatterns, CsrFootprint, CsrModel, CsrStage, CsrSynapses, EdgeIter, PatternRow, SynapseTable,
 };
 pub use engine::{CsrEngine, DEFAULT_MAX_LANES};
 pub use metrics::{
-    LatencyRecorder, OccupancyBucket, StreamingMetrics, StreamingRecorder, ThroughputMetrics,
+    HistogramBucket, HistogramSnapshot, LatencyRecorder, LogHistogram, OccupancyBucket,
+    StreamingMetrics, StreamingRecorder, ThroughputMetrics,
 };
 pub use quant::{
     fit_layer_quantizers, quantize_model, DecodeMode, QuantConfig, QuantCsrModel, QuantEngine,

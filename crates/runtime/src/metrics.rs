@@ -8,6 +8,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+use crate::batcher::FlushReason;
+
 /// Reservoir capacity of a [`LatencyRecorder`]: counts, totals and means
 /// stay exact forever, while quantile queries past this many samples are
 /// computed over a uniform reservoir — a recorder feeding a long-running
@@ -156,6 +158,119 @@ impl LatencyRecorder {
     }
 }
 
+/// Finite buckets of a [`LogHistogram`]: upper bounds 2^0 .. 2^25 µs
+/// (1 µs to ~33.5 s); anything slower lands in the implicit `+Inf`
+/// bucket. Power-of-2 bounds keep recording branch-free (a leading-zeros
+/// count) and give Prometheus `le` bounds that are exact in binary.
+const LOG_HISTOGRAM_BUCKETS: usize = 26;
+
+/// Bounded-memory log-bucket latency histogram (the Prometheus-histogram
+/// companion to [`LatencyRecorder`]'s quantiles): 26 power-of-2 µs
+/// buckets plus overflow, with exact count and sum. Recording is O(1)
+/// with no allocation, so it can sit on the streaming hot path.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    /// Per-bucket (non-cumulative) counts; index i covers
+    /// `(2^(i-1), 2^i]` µs, index 0 covers `[0, 1]` µs, and the final
+    /// slot is the `+Inf` overflow.
+    counts: [u64; LOG_HISTOGRAM_BUCKETS + 1],
+    count: u64,
+    sum_us: f64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; LOG_HISTOGRAM_BUCKETS + 1],
+            count: 0,
+            sum_us: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros() as u64;
+        // Smallest i with us <= 2^i, i.e. ceil(log2(us)).
+        let idx = if us <= 1 {
+            0
+        } else {
+            (u64::BITS - (us - 1).leading_zeros()) as usize
+        };
+        self.counts[idx.min(LOG_HISTOGRAM_BUCKETS)] += 1;
+        self.count += 1;
+        self.sum_us += latency.as_secs_f64() * 1e6;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations, microseconds.
+    pub fn sum_us(&self) -> f64 {
+        self.sum_us
+    }
+
+    /// Serializable snapshot with **cumulative** bucket counts
+    /// (Prometheus `le` semantics). Finite buckets are emitted up to the
+    /// highest non-empty one; observations above it are only in the
+    /// implicit `+Inf` bucket, whose cumulative count is
+    /// [`count`](HistogramSnapshot::count).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let last_nonzero = self.counts[..LOG_HISTOGRAM_BUCKETS]
+            .iter()
+            .rposition(|&c| c != 0);
+        let mut cumulative = 0;
+        let buckets = match last_nonzero {
+            None => Vec::new(),
+            Some(last) => (0..=last)
+                .map(|i| {
+                    cumulative += self.counts[i];
+                    HistogramBucket {
+                        le_us: 1u64 << i,
+                        count: cumulative,
+                    }
+                })
+                .collect(),
+        };
+        HistogramSnapshot {
+            buckets,
+            count: self.count,
+            sum_us: self.sum_us,
+        }
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One cumulative bucket of a [`HistogramSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Inclusive upper bound of the bucket, microseconds (a power of 2).
+    pub le_us: u64,
+    /// Observations at or below `le_us` (cumulative, Prometheus-style).
+    pub count: u64,
+}
+
+/// Serializable log-bucket histogram snapshot (see
+/// [`LogHistogram::snapshot`]); renders directly as a Prometheus
+/// histogram: one `_bucket{le=...}` series per entry plus `+Inf`,
+/// `_sum`, `_count`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Cumulative finite buckets, ascending by bound (may be empty).
+    pub buckets: Vec<HistogramBucket>,
+    /// Total observations (the `+Inf` cumulative count).
+    pub count: u64,
+    /// Sum of all observations, microseconds.
+    pub sum_us: f64,
+}
+
 /// Nearest-rank quantile over an already-sorted slice; 0 when empty.
 fn quantile_from_sorted(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -241,6 +356,25 @@ pub struct StreamingMetrics {
     pub max_batch_occupancy: u64,
     /// Distribution of formed-batch sizes, ascending by size.
     pub occupancy_histogram: Vec<OccupancyBucket>,
+    /// Batches flushed because their earliest admitted deadline expired
+    /// ([`FlushReason::EdfDeadline`]) — the latency-pressure signal.
+    pub flushes_edf_deadline: u64,
+    /// Batches flushed by filling to `max_batch`
+    /// ([`FlushReason::MaxBatch`]) — the well-batched signal.
+    pub flushes_max_batch: u64,
+    /// Batches flushed by shutdown drain ([`FlushReason::Drain`]).
+    pub flushes_drain: u64,
+    /// [`Ticket::wait_timeout`](crate::Ticket::wait_timeout) expiries —
+    /// callers that gave up waiting (the server-side view of gateway
+    /// 504s). The request itself still executes and lands in the other
+    /// counters when its batch completes.
+    pub wait_timeouts: u64,
+    /// Log-bucket histogram of end-to-end (submit → result) latency.
+    pub e2e_histogram: HistogramSnapshot,
+    /// Log-bucket histogram of queue wait (submit → batch exec start).
+    pub queue_wait_histogram: HistogramSnapshot,
+    /// Log-bucket histogram of formed-batch backend execution time.
+    pub exec_histogram: HistogramSnapshot,
 }
 
 /// Accumulates streaming measurements: one [`record_batch`] per formed
@@ -254,8 +388,13 @@ pub struct StreamingRecorder {
     e2e: LatencyRecorder,
     queue_wait: LatencyRecorder,
     exec: LatencyRecorder,
+    e2e_hist: LogHistogram,
+    queue_wait_hist: LogHistogram,
+    exec_hist: LogHistogram,
     batch_sizes: BTreeMap<u64, u64>,
     sheds: u64,
+    flushes: [u64; 3],
+    wait_timeouts: u64,
 }
 
 impl StreamingRecorder {
@@ -266,15 +405,27 @@ impl StreamingRecorder {
             e2e: LatencyRecorder::new(),
             queue_wait: LatencyRecorder::new(),
             exec: LatencyRecorder::new(),
+            e2e_hist: LogHistogram::new(),
+            queue_wait_hist: LogHistogram::new(),
+            exec_hist: LogHistogram::new(),
             batch_sizes: BTreeMap::new(),
             sheds: 0,
+            flushes: [0; 3],
+            wait_timeouts: 0,
         }
     }
 
-    /// Records one executed batch: its size and backend execution time.
-    pub fn record_batch(&mut self, size: usize, exec: Duration) {
+    /// Records one executed batch: its size, backend execution time and
+    /// why the batcher flushed it.
+    pub fn record_batch(&mut self, size: usize, exec: Duration, reason: FlushReason) {
         *self.batch_sizes.entry(size as u64).or_insert(0) += 1;
         self.exec.record(exec);
+        self.exec_hist.record(exec);
+        self.flushes[match reason {
+            FlushReason::EdfDeadline => 0,
+            FlushReason::MaxBatch => 1,
+            FlushReason::Drain => 2,
+        }] += 1;
     }
 
     /// Records one submission shed by backpressure (`QueueFull`).
@@ -287,11 +438,24 @@ impl StreamingRecorder {
         self.sheds
     }
 
+    /// Records one [`Ticket::wait_timeout`](crate::Ticket::wait_timeout)
+    /// expiry (the caller gave up before the batch completed).
+    pub fn record_wait_timeout(&mut self) {
+        self.wait_timeouts += 1;
+    }
+
+    /// Wait-timeout expiries so far.
+    pub fn wait_timeouts(&self) -> u64 {
+        self.wait_timeouts
+    }
+
     /// Records one completed request: end-to-end latency and the share of
     /// it spent waiting for the batch to form and reach a worker.
     pub fn record_request(&mut self, e2e: Duration, queue_wait: Duration) {
         self.e2e.record(e2e);
         self.queue_wait.record(queue_wait);
+        self.e2e_hist.record(e2e);
+        self.queue_wait_hist.record(queue_wait);
     }
 
     /// Completed requests so far.
@@ -341,6 +505,13 @@ impl StreamingRecorder {
                 .iter()
                 .map(|(&size, &batches)| OccupancyBucket { size, batches })
                 .collect(),
+            flushes_edf_deadline: self.flushes[0],
+            flushes_max_batch: self.flushes[1],
+            flushes_drain: self.flushes[2],
+            wait_timeouts: self.wait_timeouts,
+            e2e_histogram: self.e2e_hist.snapshot(),
+            queue_wait_histogram: self.queue_wait_hist.snapshot(),
+            exec_histogram: self.exec_hist.snapshot(),
         }
     }
 }
@@ -442,11 +613,66 @@ mod tests {
     }
 
     #[test]
+    fn log_histogram_buckets_by_power_of_two() {
+        let mut h = LogHistogram::new();
+        h.record(Duration::from_micros(1)); // bucket le=1
+        h.record(Duration::from_micros(2)); // bucket le=2
+        h.record(Duration::from_micros(3)); // bucket le=4
+        h.record(Duration::from_micros(900)); // bucket le=1024
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert!((s.sum_us - 906.0).abs() < 1.0);
+        let bucket = |le: u64| s.buckets.iter().find(|b| b.le_us == le).map(|b| b.count);
+        assert_eq!(bucket(1), Some(1));
+        assert_eq!(bucket(2), Some(2), "cumulative at le=2");
+        assert_eq!(bucket(4), Some(3), "3µs rounds up into le=4");
+        assert_eq!(bucket(512), Some(3), "cumulative carries through");
+        assert_eq!(bucket(1024), Some(4));
+        assert_eq!(
+            s.buckets.last().map(|b| b.le_us),
+            Some(1024),
+            "trailing empty buckets trimmed"
+        );
+        // Cumulative counts are monotone non-decreasing.
+        assert!(s.buckets.windows(2).all(|w| w[0].count <= w[1].count));
+    }
+
+    #[test]
+    fn log_histogram_overflow_lands_in_inf_only() {
+        let mut h = LogHistogram::new();
+        h.record(Duration::from_secs(60)); // past the largest finite bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.buckets.is_empty(), "no finite bucket holds it");
+    }
+
+    #[test]
+    fn streaming_recorder_counts_flush_reasons_and_timeouts() {
+        let mut r = StreamingRecorder::new();
+        r.record_batch(4, Duration::from_millis(1), FlushReason::MaxBatch);
+        r.record_batch(2, Duration::from_millis(1), FlushReason::EdfDeadline);
+        r.record_batch(2, Duration::from_millis(1), FlushReason::EdfDeadline);
+        r.record_batch(1, Duration::from_millis(1), FlushReason::Drain);
+        r.record_wait_timeout();
+        assert_eq!(r.wait_timeouts(), 1);
+        let m = r.summarize();
+        assert_eq!(m.flushes_max_batch, 1);
+        assert_eq!(m.flushes_edf_deadline, 2);
+        assert_eq!(m.flushes_drain, 1);
+        assert_eq!(
+            m.flushes_edf_deadline + m.flushes_max_batch + m.flushes_drain,
+            m.batches,
+            "every batch has exactly one flush reason"
+        );
+        assert_eq!(m.wait_timeouts, 1);
+    }
+
+    #[test]
     fn streaming_recorder_splits_queue_and_exec() {
         let mut r = StreamingRecorder::new();
         // Two batches: sizes 3 and 1.
-        r.record_batch(3, Duration::from_millis(6));
-        r.record_batch(1, Duration::from_millis(2));
+        r.record_batch(3, Duration::from_millis(6), FlushReason::MaxBatch);
+        r.record_batch(1, Duration::from_millis(2), FlushReason::EdfDeadline);
         for _ in 0..3 {
             r.record_request(Duration::from_millis(10), Duration::from_millis(4));
         }
@@ -473,6 +699,11 @@ mod tests {
         assert!((m.queue_wait_share - 13.0 / 33.0).abs() < 1e-9);
         assert!((m.e2e_p99_us - 10_000.0).abs() < 1.0);
         assert!((m.exec_p50_us - 2_000.0).abs() < 1.0);
+        // The histograms see the same observations as the recorders.
+        assert_eq!(m.e2e_histogram.count, 4);
+        assert_eq!(m.queue_wait_histogram.count, 4);
+        assert_eq!(m.exec_histogram.count, 2);
+        assert!((m.e2e_histogram.sum_us - 33_000.0).abs() < 1.0);
     }
 
     #[test]
@@ -480,7 +711,7 @@ mod tests {
         let mut r = StreamingRecorder::new();
         r.record_shed();
         r.record_shed();
-        r.record_batch(1, Duration::from_millis(1));
+        r.record_batch(1, Duration::from_millis(1), FlushReason::EdfDeadline);
         r.record_request(Duration::from_millis(2), Duration::from_millis(1));
         assert_eq!(r.sheds(), 2);
         let m = r.summarize();
@@ -503,7 +734,7 @@ mod tests {
     #[test]
     fn streaming_metrics_roundtrip_json() {
         let mut r = StreamingRecorder::new();
-        r.record_batch(2, Duration::from_millis(1));
+        r.record_batch(2, Duration::from_millis(1), FlushReason::MaxBatch);
         r.record_request(Duration::from_millis(2), Duration::from_millis(1));
         r.record_request(Duration::from_millis(2), Duration::from_millis(1));
         let m = r.summarize();

@@ -534,7 +534,10 @@ impl InferenceBackend for QuantEngine {
             self.max_lanes,
             images,
             |data, lanes, sample_len, stats, rows| {
-                let mut scratch = self.scratch.take();
+                let (mut scratch, reused) = self.scratch.take();
+                let mut span = snn_trace::ctx_span("csr.chunk");
+                span.attr("lanes", lanes);
+                span.attr("scratch", if reused { "reused" } else { "fresh" });
                 let result = run_chunk_stages(
                     &self.model,
                     &self.compiled.stages,

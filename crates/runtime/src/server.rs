@@ -18,11 +18,12 @@ use std::time::{Duration, Instant};
 
 use snn_sim::RunStats;
 use snn_tensor::Tensor;
+use snn_trace::{push_context, TraceCollector, TraceTarget};
 use ttfs_core::{ConvertError, SnnModel};
 
 use crate::batcher::{
-    BatcherMsg, DeadlineBatcher, PendingRequest, StreamingConfig, SubmitError, SubmitOptions,
-    Ticket,
+    BatcherMsg, DeadlineBatcher, FlushReason, PendingRequest, StreamingConfig, SubmitError,
+    SubmitOptions, Ticket,
 };
 use crate::metrics::{LatencyRecorder, StreamingMetrics, StreamingRecorder, ThroughputMetrics};
 use crate::workers::WorkerPool;
@@ -309,6 +310,10 @@ pub struct StreamingServer {
     /// Admitted-but-unresolved requests (pending window + worker queue +
     /// in flight); bounded by `max_pending` when nonzero.
     in_flight: Arc<AtomicUsize>,
+    /// Span sink shared with the batcher thread and workers; `None` on an
+    /// untraced server ([`new`](Self::new)), where the runtime records
+    /// nothing regardless of [`SubmitOptions::trace`].
+    trace: Option<Arc<TraceCollector>>,
     threads: usize,
     max_batch: usize,
     max_delay: Duration,
@@ -319,6 +324,29 @@ impl StreamingServer {
     /// Builds a streaming server around `backend` and starts its batcher
     /// thread and worker pool.
     pub fn new(backend: Arc<dyn InferenceBackend>, config: StreamingConfig) -> Self {
+        Self::build(backend, config, None)
+    }
+
+    /// Like [`new`](Self::new), but with a [`TraceCollector`] the batcher
+    /// thread and workers record runtime spans into (`queue.wait`,
+    /// `batch.flush` with its reason, `batch.exec` and the per-stage
+    /// engine spans underneath) for every submission carrying a
+    /// [`SubmitOptions::trace`] target. A disabled collector costs one
+    /// relaxed atomic load per recording site; logits are bit-identical
+    /// either way (tracing never touches the accumulation path).
+    pub fn new_traced(
+        backend: Arc<dyn InferenceBackend>,
+        config: StreamingConfig,
+        collector: Arc<TraceCollector>,
+    ) -> Self {
+        Self::build(backend, config, Some(collector))
+    }
+
+    fn build(
+        backend: Arc<dyn InferenceBackend>,
+        config: StreamingConfig,
+        trace: Option<Arc<TraceCollector>>,
+    ) -> Self {
         let threads = ServerConfig {
             threads: config.threads,
             chunk_size: 1,
@@ -334,11 +362,14 @@ impl StreamingServer {
             let pool = Arc::clone(&pool);
             let recorder = Arc::clone(&recorder);
             let in_flight = Arc::clone(&in_flight);
+            let trace = trace.clone();
             let max_delay = config.max_delay;
             std::thread::Builder::new()
                 .name("snn-runtime-batcher".into())
                 .spawn(move || {
-                    batcher_loop(rx, backend, pool, recorder, in_flight, max_batch, max_delay)
+                    batcher_loop(
+                        rx, backend, pool, recorder, in_flight, trace, max_batch, max_delay,
+                    )
                 })
                 .expect("failed to spawn batcher thread")
         };
@@ -351,11 +382,18 @@ impl StreamingServer {
             sample_dims: Mutex::new(None),
             next_id: AtomicU64::new(0),
             in_flight,
+            trace,
             threads,
             max_batch,
             max_delay: config.max_delay,
             max_pending: config.max_pending,
         }
+    }
+
+    /// The span sink this server records runtime spans into, if it was
+    /// built with [`new_traced`](Self::new_traced).
+    pub fn trace_collector(&self) -> Option<&Arc<TraceCollector>> {
+        self.trace.as_ref()
     }
 
     /// The wrapped backend's identifier.
@@ -478,6 +516,8 @@ impl StreamingServer {
             enqueued,
             deadline: enqueued + options.deadline.unwrap_or(self.max_delay),
             priority: options.priority,
+            // A trace target without a collector records nothing.
+            trace: self.trace.as_ref().and(options.trace),
             reply,
         };
         let guard = self.submit_tx.lock().expect("submit_tx poisoned");
@@ -494,6 +534,7 @@ impl StreamingServer {
         Ok(Ticket::new(
             self.next_id.fetch_add(1, Ordering::Relaxed),
             rx,
+            Some(Arc::clone(&self.recorder)),
         ))
     }
 
@@ -535,16 +576,23 @@ impl Drop for StreamingServer {
 /// deadline), and dispatches formed batches to the worker pool. On
 /// shutdown or channel disconnect it flushes the remaining window in
 /// `max_batch`-sized chunks.
+#[allow(clippy::too_many_arguments)] // thread entry point, not an API
 fn batcher_loop(
     rx: Receiver<BatcherMsg>,
     backend: Arc<dyn InferenceBackend>,
     pool: Arc<WorkerPool>,
     recorder: Arc<Mutex<StreamingRecorder>>,
     in_flight: Arc<AtomicUsize>,
+    trace: Option<Arc<TraceCollector>>,
     max_batch: usize,
     max_delay: Duration,
 ) {
     let mut batcher: DeadlineBatcher<PendingRequest> = DeadlineBatcher::new(max_batch, max_delay);
+    let dispatch = |batch: Vec<PendingRequest>, reason: FlushReason| {
+        dispatch_batch(
+            &backend, &pool, &recorder, &in_flight, &trace, batch, reason,
+        )
+    };
     loop {
         let msg = if batcher.is_empty() {
             // Nothing pending: nothing can expire, block indefinitely.
@@ -556,14 +604,14 @@ fn batcher_loop(
             let deadline = batcher.deadline().expect("non-empty window has a deadline");
             let now = Instant::now();
             if let Some(batch) = batcher.poll_expired(now) {
-                dispatch_batch(&backend, &pool, &recorder, &in_flight, batch);
+                dispatch(batch, FlushReason::EdfDeadline);
                 continue;
             }
             match rx.recv_timeout(deadline - now) {
                 Ok(msg) => msg,
                 Err(RecvTimeoutError::Timeout) => {
                     if let Some(batch) = batcher.poll_expired(Instant::now()) {
-                        dispatch_batch(&backend, &pool, &recorder, &in_flight, batch);
+                        dispatch(batch, FlushReason::EdfDeadline);
                     }
                     continue;
                 }
@@ -574,7 +622,7 @@ fn batcher_loop(
             BatcherMsg::Request(request) => {
                 let (deadline, priority) = (request.deadline, request.priority);
                 if let Some(batch) = batcher.push_with(request, deadline, priority) {
-                    dispatch_batch(&backend, &pool, &recorder, &in_flight, batch);
+                    dispatch(batch, FlushReason::MaxBatch);
                 }
             }
             BatcherMsg::Shutdown => break,
@@ -589,13 +637,7 @@ fn batcher_loop(
         } else {
             Vec::new()
         };
-        dispatch_batch(
-            &backend,
-            &pool,
-            &recorder,
-            &in_flight,
-            std::mem::replace(&mut rest, tail),
-        );
+        dispatch(std::mem::replace(&mut rest, tail), FlushReason::Drain);
     }
 }
 
@@ -617,16 +659,40 @@ impl Drop for SlotRelease {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // internal dispatch helper, not an API
 fn dispatch_batch(
     backend: &Arc<dyn InferenceBackend>,
     pool: &Arc<WorkerPool>,
     recorder: &Arc<Mutex<StreamingRecorder>>,
     in_flight: &Arc<AtomicUsize>,
+    trace: &Option<Arc<TraceCollector>>,
     batch: Vec<PendingRequest>,
+    reason: FlushReason,
 ) {
     debug_assert!(!batch.is_empty(), "never dispatch an empty batch");
     let backend = Arc::clone(backend);
     let recorder = Arc::clone(recorder);
+    // On the batcher thread, mark the flush decision itself — an
+    // instantaneous span per traced request carrying the flush reason.
+    let collector = trace.as_ref().filter(|c| c.is_enabled()).map(Arc::clone);
+    if let Some(collector) = &collector {
+        let now = Instant::now();
+        for request in batch.iter() {
+            if let Some(target) = request.trace {
+                collector.record_span(
+                    target.trace,
+                    target.parent,
+                    "batch.flush",
+                    now,
+                    now,
+                    vec![
+                        ("reason", reason.as_str().into()),
+                        ("batch_size", batch.len().into()),
+                    ],
+                );
+            }
+        }
+    }
     // Moved into the closure: every path that resolves (or abandons) the
     // batch — normal completion, backend error, backend panic, pool
     // already closed — releases its slots exactly once.
@@ -646,16 +712,61 @@ fn dispatch_batch(
         }
         let mut batch_dims = vec![k];
         batch_dims.extend_from_slice(&sample_dims);
+        // Pre-allocate one `batch.exec` span per traced rider and hang an
+        // ambient context under them, so per-stage engine spans fan out
+        // into every traced request's tree.
+        let exec_spans: Vec<(TraceTarget, u64)> = match &collector {
+            Some(c) => batch
+                .iter()
+                .filter_map(|r| r.trace)
+                .map(|t| (t, c.next_span_id()))
+                .collect(),
+            None => Vec::new(),
+        };
+        let ctx = collector
+            .as_ref()
+            .filter(|_| !exec_spans.is_empty())
+            .map(|c| {
+                push_context(
+                    Arc::clone(c),
+                    exec_spans
+                        .iter()
+                        .map(|(t, exec_id)| TraceTarget {
+                            trace: t.trace,
+                            parent: *exec_id,
+                        })
+                        .collect(),
+                )
+            });
         let result = Tensor::from_vec(data, &batch_dims)
             .map_err(|e| ConvertError::Structure(e.to_string()))
             .and_then(|images| backend.run_batch(&images));
-        let exec_time = exec_start.elapsed();
+        drop(ctx);
+        let exec_end = Instant::now();
+        let exec_time = exec_end.duration_since(exec_start);
+        if let Some(c) = &collector {
+            for (target, exec_id) in &exec_spans {
+                c.record_span_with_id(
+                    *exec_id,
+                    target.trace,
+                    target.parent,
+                    "batch.exec",
+                    exec_start,
+                    exec_end,
+                    vec![
+                        ("batch_size", k.into()),
+                        ("backend", backend.name().into()),
+                        ("ok", u64::from(result.is_ok()).into()),
+                    ],
+                );
+            }
+        }
         match result {
             Ok((logits, stats)) => {
                 let classes = logits.dims()[1];
                 // One lock for the whole batch, not one per request.
                 let mut rec = recorder.lock().expect("recorder poisoned");
-                rec.record_batch(k, exec_time);
+                rec.record_batch(k, exec_time, reason);
                 for (i, request) in batch.into_iter().enumerate() {
                     let row = Tensor::from_vec(
                         logits.as_slice()[i * classes..(i + 1) * classes].to_vec(),
@@ -664,6 +775,19 @@ fn dispatch_batch(
                     .expect("row slice matches classes");
                     let queue_wait = exec_start.saturating_duration_since(request.enqueued);
                     rec.record_request(request.enqueued.elapsed(), queue_wait);
+                    // Record runtime spans BEFORE the reply lands: once
+                    // the submitter sees its response, its trace query
+                    // must already contain the whole runtime side.
+                    if let (Some(c), Some(target)) = (&collector, request.trace) {
+                        c.record_span(
+                            target.trace,
+                            target.parent,
+                            "queue.wait",
+                            request.enqueued,
+                            exec_start,
+                            Vec::new(),
+                        );
+                    }
                     let _ = request.reply.send(Ok(StreamedResponse {
                         logits: row,
                         batch_stats: stats.clone(),

@@ -473,6 +473,189 @@ fn backend_panic_releases_backpressure_slots() {
 }
 
 #[test]
+fn flush_reason_counters_split_deadline_count_and_drain() {
+    // Count flushes: max_batch 4, deadline unreachable — 8 requests make
+    // exactly two max_batch flushes.
+    let server = StreamingServer::new(
+        engine(20),
+        StreamingConfig {
+            threads: 2,
+            max_batch: 4,
+            max_delay: Duration::from_secs(30),
+            max_pending: 0,
+        },
+    );
+    let tickets: Vec<Ticket> = (0..8)
+        .map(|i| server.submit(&sample(i as f32 / 8.0)).unwrap())
+        .collect();
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.flushes_max_batch, 2);
+    assert_eq!(metrics.flushes_edf_deadline, 0);
+    assert_eq!(metrics.flushes_drain, 0);
+    assert_eq!(
+        metrics.flushes_max_batch + metrics.flushes_edf_deadline + metrics.flushes_drain,
+        metrics.batches,
+        "every batch is attributed to exactly one flush reason"
+    );
+
+    // Deadline flush: max_batch unreachable, only EDF expiry can fire.
+    let server = StreamingServer::new(
+        engine(21),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+            max_pending: 0,
+        },
+    );
+    server.submit(&sample(0.5)).unwrap().wait().unwrap();
+    let metrics = server.shutdown();
+    assert_eq!(metrics.flushes_edf_deadline, 1);
+    assert_eq!(metrics.flushes_max_batch, 0);
+
+    // Drain flush: requests still parked in the window when shutdown runs.
+    let server = StreamingServer::new(
+        engine(22),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 64,
+            max_delay: Duration::from_secs(30),
+            max_pending: 0,
+        },
+    );
+    let tickets: Vec<Ticket> = (0..3)
+        .map(|i| server.submit(&sample(i as f32 / 3.0)).unwrap())
+        .collect();
+    let metrics = server.shutdown();
+    assert_eq!(metrics.flushes_drain, 1, "shutdown drained the open window");
+    assert_eq!(metrics.requests, 3);
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+}
+
+#[test]
+fn wait_timeouts_metric_counts_ticket_expiries() {
+    let server = StreamingServer::new(
+        Arc::new(SlowBackend {
+            inner: CsrEngine::compile(&dense_model(23), &[1, 3, 4]).unwrap(),
+            delay: Duration::from_millis(80),
+        }),
+        StreamingConfig {
+            threads: 1,
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+            max_pending: 0,
+        },
+    );
+    let mut ticket = server.submit(&sample(0.4)).unwrap();
+    // Two early polls expire against the 80 ms backend; both must count.
+    for _ in 0..2 {
+        assert!(ticket
+            .wait_timeout(Duration::from_millis(5))
+            .unwrap()
+            .is_none());
+    }
+    ticket
+        .wait_timeout(Duration::from_secs(10))
+        .unwrap()
+        .expect("result lands within the bound");
+    let metrics = server.shutdown();
+    assert_eq!(metrics.wait_timeouts, 2, "only the expired polls count");
+}
+
+#[test]
+fn traced_server_records_runtime_spans_with_identical_logits() {
+    use snn_runtime::BackendChoice;
+    use snn_trace::{AttrValue, TraceCollector, TraceTarget};
+
+    let model = Arc::new(dense_model(24));
+    let x = sample(0.6);
+
+    // Tracing off: the plain server's logits are the reference.
+    let plain = StreamingServer::new(
+        Arc::new(CsrEngine::compile(&model, &[1, 3, 4]).unwrap()),
+        StreamingConfig::default(),
+    );
+    let expected = plain.submit(&x).unwrap().wait().unwrap().logits;
+    plain.shutdown();
+
+    let collector = Arc::new(TraceCollector::new(0));
+    let server = BackendChoice::Csr
+        .serve_streaming_traced(
+            Arc::clone(&model),
+            &[1, 3, 4],
+            StreamingConfig::default(),
+            Arc::clone(&collector),
+        )
+        .unwrap();
+    let trace = collector.mint_trace();
+    let target = TraceTarget { trace, parent: 0 };
+    let response = server
+        .submit_with(&x, SubmitOptions::default().traced(target))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(
+        response.logits.as_slice(),
+        expected.as_slice(),
+        "tracing must not perturb logits"
+    );
+    // All runtime spans are recorded before the ticket reply is sent, so
+    // the tree is complete the moment `wait` returns.
+    let spans = collector.trace(trace);
+    let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+    for required in [
+        "queue.wait",
+        "batch.flush",
+        "batch.exec",
+        "csr.chunk",
+        "encode",
+        "stage.exec",
+    ] {
+        assert!(names.contains(&required), "missing {required} in {names:?}");
+    }
+    let flush = spans.iter().find(|s| s.name == "batch.flush").unwrap();
+    assert!(
+        matches!(flush.attr("reason"), Some(AttrValue::Str(_))),
+        "flush span carries its reason"
+    );
+    let exec = spans.iter().find(|s| s.name == "batch.exec").unwrap();
+    assert_eq!(exec.attr("backend"), Some(&AttrValue::Str("csr")));
+    // Engine spans parent under the batch execution span.
+    let chunk = spans.iter().find(|s| s.name == "csr.chunk").unwrap();
+    assert_eq!(chunk.parent_id, exec.span_id);
+    assert!(chunk.attr("lanes").is_some() && chunk.attr("scratch").is_some());
+    // Every non-root parent exists in the tree.
+    let ids: Vec<u64> = spans.iter().map(|s| s.span_id).collect();
+    for span in &spans {
+        assert!(
+            span.parent_id == 0 || ids.contains(&span.parent_id),
+            "orphan span {span:?}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn untraced_submissions_on_a_traced_server_record_nothing() {
+    use snn_trace::TraceCollector;
+
+    let collector = Arc::new(TraceCollector::new(0));
+    let server = StreamingServer::new_traced(
+        engine(25),
+        StreamingConfig::default(),
+        Arc::clone(&collector),
+    );
+    server.submit(&sample(0.5)).unwrap().wait().unwrap();
+    server.shutdown();
+    assert_eq!(collector.spans_recorded(), 0, "no target, no spans");
+}
+
+#[test]
 fn worker_panic_surfaces_as_ticket_error() {
     let server = StreamingServer::new(
         Arc::new(PanickingBackend(dense_model(8))),

@@ -24,6 +24,7 @@ use ttfs_snn::runtime::{
 };
 use ttfs_snn::sim::EventSnn;
 use ttfs_snn::tensor::Tensor;
+use ttfs_snn::trace::TraceCollector;
 use ttfs_snn::ttfs::{convert, Base2Kernel};
 
 /// Serves the converted model over HTTP until killed (or one self-driven
@@ -35,8 +36,10 @@ fn serve_gateway(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
     let net = vgg16_scaled(side, 10, 16, &mut rng);
     let model = Arc::new(convert(&net, Base2Kernel::paper_default(), 24)?);
     // One shared weight copy behind the whole serving stack: CSR backend →
-    // streaming server (EDF deadline batcher) → HTTP gateway.
-    let server = Arc::new(BackendChoice::Csr.serve_streaming(
+    // streaming server (EDF deadline batcher) → HTTP gateway. The trace
+    // collector makes every request queryable at GET /v1/trace/<id>.
+    let collector = Arc::new(TraceCollector::new(0));
+    let server = Arc::new(BackendChoice::Csr.serve_streaming_traced(
         Arc::clone(&model),
         &input_dims,
         StreamingConfig {
@@ -45,6 +48,7 @@ fn serve_gateway(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
             max_delay: Duration::from_millis(2),
             max_pending: 256,
         },
+        collector,
     )?);
     let mut gateway = Gateway::start(
         Arc::clone(&server),
@@ -62,11 +66,14 @@ fn serve_gateway(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
          \"pixels\": [0.5]*{pixels}, \"deadline_ms\": 5.0, \"priority\": 2}}))' > /tmp/req.json"
     );
     println!("  curl -s -X POST http://{bound}/v1/infer -d @/tmp/req.json");
+    println!("  # the response echoes a trace_id; fetch that request's span tree:");
+    println!("  curl -s http://{bound}/v1/trace/<trace_id>");
     println!("  curl -s http://{bound}/metrics | head");
     println!("  curl -s http://{bound}/healthz");
 
-    // Prove the path with one in-process HTTP request. The client drops
-    // right after, releasing its keep-alive connection's worker.
+    // Prove the path with one in-process HTTP request, then fetch its
+    // trace. The client drops right after, releasing its keep-alive
+    // connection's worker.
     {
         let mut client = HttpClient::connect(bound)?;
         let mut request = InferRequest::new(input_dims.to_vec(), vec![0.5; pixels]);
@@ -77,6 +84,22 @@ fn serve_gateway(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
             response.status,
             response.body.len()
         );
+        let body = String::from_utf8_lossy(&response.body).into_owned();
+        if let Some(trace_id) = body
+            .split("\"trace_id\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .filter(|id| !id.is_empty())
+        {
+            let tree = client.get(&format!("/v1/trace/{trace_id}"))?;
+            let spans = String::from_utf8_lossy(&tree.body)
+                .matches("\"span_id\"")
+                .count();
+            println!(
+                "self-check: GET /v1/trace/{trace_id} -> {} ({spans} spans)",
+                tree.status,
+            );
+        }
     }
 
     if std::env::var("SNN_GATEWAY_ONCE").is_ok() {

@@ -15,6 +15,7 @@
 //! | [`hw`] | `snn-hw` | processor simulator + area/power/energy model |
 //! | [`runtime`] | `snn-runtime` | batched multi-threaded CSR inference engine |
 //! | [`gateway`] | `snn-gateway` | dependency-free HTTP/1.1 serving front-end |
+//! | [`trace`] | `snn-trace` | per-request span trees + Chrome trace export |
 //!
 //! See `examples/quickstart.rs` for the end-to-end pipeline and
 //! `examples/runtime_server.rs` for the batched inference runtime (add
@@ -28,4 +29,5 @@ pub use snn_nn as nn;
 pub use snn_runtime as runtime;
 pub use snn_sim as sim;
 pub use snn_tensor as tensor;
+pub use snn_trace as trace;
 pub use ttfs_core as ttfs;

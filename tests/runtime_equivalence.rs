@@ -302,6 +302,7 @@ proptest! {
                     _ => None, // inherit the server's max_delay
                 },
                 priority: priorities[i],
+                trace: None,
             };
             tickets.push((i, server.submit_with(&image, options).expect("submit")));
             if gap_us > 0 {

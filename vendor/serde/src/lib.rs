@@ -243,6 +243,20 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// `Content` is its own data model — the identity impls make it usable as a
+// dynamically-typed value (the shim's analogue of `serde_json::Value`).
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_content(&self) -> Content {
         Content::Seq(self.iter().map(Serialize::to_content).collect())
