@@ -37,13 +37,16 @@ use rand::SeedableRng;
 use serde::Serialize;
 use snn_bench::Scale;
 use snn_gateway::{
-    run_closed_loop, Gateway, GatewayConfig, GatewayMetrics, LoadGenConfig, LoadReport,
+    client::HttpClient, run_closed_loop, run_closed_loop_any, Gateway, GatewayConfig,
+    GatewayMetrics, LoadGenConfig, LoadReport,
 };
 use snn_hw::{Processor, ProcessorConfig};
 use snn_nn::models::vgg16_scaled;
+use snn_nn::{ActivationLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
 use snn_runtime::{
-    energy, quantize_model, CsrEngine, DecodeMode, InferenceBackend, InferenceServer, QuantConfig,
-    QuantEngine, ServerConfig, StreamingConfig, StreamingMetrics, StreamingServer, SubmitOptions,
+    energy, quantize_model, BackendHint, CsrEngine, DecodeMode, InferenceBackend, InferenceServer,
+    ModelArtifact, ModelRegistry, QuantConfig, QuantEngine, RegistryConfig, RegistryMetrics,
+    ServerConfig, StreamingConfig, StreamingMetrics, StreamingServer, SubmitOptions,
 };
 use snn_sim::EventSnn;
 use snn_tensor::Tensor;
@@ -157,6 +160,58 @@ struct GatewayResult {
 }
 
 #[derive(Debug, Serialize)]
+struct RegistrySwapResult {
+    /// Closed-loop run on `/v1/models/alpha/infer` with a version swap
+    /// fired mid-run; each 200 is accepted iff its logits bit-match one
+    /// version's reference rows.
+    load: LoadReport,
+    /// Every request answered 200 and matched exactly one version — no
+    /// dropped tickets, no blended logits (must be `true`; CI-enforced).
+    ok_match: bool,
+    /// Both the old and the new version's logits were observed, proving
+    /// the swap actually landed mid-run.
+    saw_both_versions: bool,
+    /// The swapped-to version as reported by the `/swap` response body.
+    swapped_to: String,
+    /// p99 latency of the no-swap baseline run on the same route, µs.
+    baseline_p99_us: f64,
+    /// `(swap-run p99 − baseline p99) / baseline p99`: the latency cost a
+    /// live swap imposes on concurrent traffic.
+    p99_delta_frac: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct RegistryResult {
+    /// Artifacts on disk in the bench model dir.
+    models: usize,
+    /// Total serialized artifact bytes.
+    artifact_bytes: u64,
+    /// Wall time the first `get_or_load` spent decoding the artifact, ms
+    /// (must be > 0; CI-enforced).
+    cold_load_ms: f64,
+    /// Backend compile time paid by the same cold start, ms.
+    cold_compile_ms: f64,
+    /// Resident lookups timed for the warm-hit cost.
+    warm_lookups: u64,
+    /// Mean warm `get_or_load` cost, nanoseconds — the per-request
+    /// registry overhead once a model is resident.
+    warm_lookup_mean_ns: f64,
+    /// Closed-loop load on `/v1/models/alpha/infer` (active version).
+    alpha: LoadReport,
+    /// Alpha run: all 200, logits bit-exact (CI-enforced).
+    alpha_ok_match: bool,
+    /// Closed-loop load on `/v1/models/beta/infer` — a model with
+    /// *different* input dims than the gateway's default route.
+    beta: LoadReport,
+    /// Beta run: all 200, logits bit-exact (CI-enforced).
+    beta_ok_match: bool,
+    /// The atomic hot-swap-under-load sub-run.
+    swap: RegistrySwapResult,
+    /// Server-side registry counters (cold/warm/coalesced/evictions).
+    metrics: RegistryMetrics,
+}
+
+#[derive(Debug, Serialize)]
 struct EnergySummary {
     energy_per_image_uj: f64,
     model_fps: f64,
@@ -253,6 +308,7 @@ struct RuntimeBenchReport {
     csr_pooled: PooledResult,
     streaming: StreamingResult,
     gateway: GatewayResult,
+    registry: RegistryResult,
     quant: QuantResult,
     observability: ObservabilityResult,
     speedup_csr_single: f64,
@@ -440,6 +496,25 @@ fn main() {
         "shedding must not corrupt in-flight responses"
     );
 
+    // Multi-model registry: artifact cold start, warm lookup cost,
+    // per-model routing for two geometries through one gateway, and an
+    // atomic version swap under closed-loop load.
+    let registry_passes = match scale {
+        Scale::Quick => 30usize,
+        Scale::Default => 60,
+        Scale::Full => 100,
+    };
+    let registry = registry_smoke((threads * 2).clamp(2, 6), registry_passes, seed);
+    assert!(registry.cold_load_ms > 0.0, "cold start paid a real load");
+    assert!(
+        registry.alpha_ok_match && registry.beta_ok_match,
+        "both model routes must serve bit-exact logits"
+    );
+    assert!(
+        registry.swap.ok_match,
+        "hot swap must not drop or blend a single request"
+    );
+
     // Quantized serving path: packed 5-bit log codes + LUT decode, from
     // the same shared model Arc. Ground truth for bit-exactness is the
     // reference event simulator over per-layer quantize_tensor'd weights.
@@ -533,6 +608,7 @@ fn main() {
         },
         streaming,
         gateway,
+        registry,
         quant: QuantResult {
             bits: qconfig.bits,
             base: qconfig.base.label(),
@@ -637,6 +713,18 @@ fn main() {
         out.gateway.backpressure.load.ok_200,
     );
     eprintln!(
+        "registry: cold {:.2} ms load + {:.2} ms compile | warm {:.0} ns | alpha {:.1} req/s, beta {:.1} req/s | swap p99 {:+.1}% ({} old / {} new, 0 dropped: {})",
+        out.registry.cold_load_ms,
+        out.registry.cold_compile_ms,
+        out.registry.warm_lookup_mean_ns,
+        out.registry.alpha.requests_per_sec,
+        out.registry.beta.requests_per_sec,
+        out.registry.swap.p99_delta_frac * 100.0,
+        out.registry.swap.load.ok_per_expected.first().copied().unwrap_or(0),
+        out.registry.swap.load.ok_per_expected.get(1).copied().unwrap_or(0),
+        out.registry.swap.ok_match,
+    );
+    eprintln!(
         "trace: engine overhead {:+.2}% (best of {}) | stream off delta {:+.2}% | traced {:.1} img/s, {} spans on {} tracks, {} dropped | chrome {} bytes{}",
         out.observability.tracing_on_overhead_frac * 100.0,
         out.observability.rounds,
@@ -697,6 +785,7 @@ fn gateway_smoke(
             deadline_ms: Some((1.0, 8.0)),
             max_priority: 3,
             seed,
+            ..LoadGenConfig::default()
         },
     );
     let metrics = gateway.shutdown();
@@ -750,6 +839,7 @@ fn gateway_smoke(
                 deadline_ms: None,
                 max_priority: 0,
                 seed: seed ^ (0xB00 + round),
+                ..LoadGenConfig::default()
             },
         );
         let saw = r.shed_429 > 0;
@@ -776,6 +866,194 @@ fn gateway_smoke(
         metrics,
         streaming,
         backpressure,
+    }
+}
+
+/// Boots a [`ModelRegistry`] over a scratch artifact dir (two versions of
+/// `alpha` plus a `beta` with different input dims), measures the cold
+/// load / compile / warm-lookup costs, drives both per-model routes
+/// through a registry-backed gateway, and fires an atomic version swap
+/// under closed-loop load — every response must bit-match exactly one
+/// version's reference logits.
+fn registry_smoke(clients: usize, passes: usize, seed: u64) -> RegistryResult {
+    let dir = std::env::temp_dir().join(format!("snn_bench_registry_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench registry dir");
+
+    let small_artifact = |name: &str, version: &str, seed: u64, dims: &[usize]| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let in_len: usize = dims.iter().product();
+        let net = Sequential::new(vec![
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(in_len, 16, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::Dense(DenseLayer::new(16, 4, &mut rng)),
+        ]);
+        let model = convert(&net, Base2Kernel::paper_default(), 24).expect("bench model");
+        ModelArtifact::build(name, version, model, dims, BackendHint::Csr).expect("bench artifact")
+    };
+    let dims_a = [1usize, 4, 6];
+    let dims_b = [1usize, 3, 4];
+    let v1 = small_artifact("alpha", "1", seed ^ 0xA1, &dims_a);
+    let v2 = small_artifact("alpha", "2", seed ^ 0xA2, &dims_a);
+    let b1 = small_artifact("beta", "1", seed ^ 0xB1, &dims_b);
+    let mut artifact_bytes = 0u64;
+    for artifact in [&v1, &v2, &b1] {
+        let path = dir.join(artifact.info.file_name());
+        artifact.save(&path).expect("save bench artifact");
+        artifact_bytes += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    }
+
+    let registry = Arc::new(
+        ModelRegistry::open(
+            &dir,
+            RegistryConfig {
+                byte_budget: 0,
+                streaming: StreamingConfig {
+                    threads: 2,
+                    max_batch: 8,
+                    max_delay: Duration::from_millis(1),
+                    max_pending: 0,
+                },
+            },
+        )
+        .expect("registry open"),
+    );
+
+    // Cold start: the first lookup decodes the artifact and compiles the
+    // backend; the handle carries both wall times.
+    let cold = registry.get_or_load("alpha").expect("cold load");
+    let (cold_load_ms, cold_compile_ms) = (cold.load_ms(), cold.compile_ms());
+    drop(cold);
+
+    // Warm-hit cost: resident lookups are a lock + LRU touch.
+    let warm_lookups = 1_000u64;
+    let t0 = Instant::now();
+    for _ in 0..warm_lookups {
+        let _ = registry.get_or_load("alpha").expect("warm lookup");
+    }
+    let warm_lookup_mean_ns = t0.elapsed().as_nanos() as f64 / warm_lookups as f64;
+
+    // Registry-backed gateway; the default `/v1/infer` route keeps serving
+    // an alpha-shaped standalone server.
+    let (default_engine, _) = v2.compile().expect("default backend");
+    let server = Arc::new(StreamingServer::new(
+        default_engine,
+        StreamingConfig {
+            threads: 2,
+            max_batch: 8,
+            max_delay: Duration::from_millis(1),
+            max_pending: 0,
+        },
+    ));
+    let mut gateway = Gateway::start_with_registry(
+        Arc::clone(&server),
+        Arc::clone(&registry),
+        GatewayConfig {
+            workers: clients.max(4),
+            ..GatewayConfig::for_dims(&dims_a)
+        },
+    )
+    .expect("registry gateway bind");
+    let addr = gateway.local_addr();
+
+    // Reference batches + logits per artifact, via direct compiles.
+    let n = 16usize;
+    let batch_for = |dims: &[usize], tag: u64| {
+        let mut rng = StdRng::seed_from_u64(seed ^ tag);
+        let mut batch_dims = vec![n];
+        batch_dims.extend_from_slice(dims);
+        snn_tensor::uniform(&batch_dims, 0.0, 1.0, &mut rng)
+    };
+    let reference = |artifact: &ModelArtifact, x: &Tensor| {
+        let (engine, _) = artifact.compile().expect("reference compile");
+        engine.run_batch(x).expect("reference run").0
+    };
+    let xa = batch_for(&dims_a, 0x0005_EEDA);
+    let xb = batch_for(&dims_b, 0x0005_EEDB);
+    let e1 = reference(&v1, &xa);
+    let e2 = reference(&v2, &xa);
+    let eb = reference(&b1, &xb);
+
+    // Baseline closed loops: alpha (active version 2 — lexically greatest
+    // wins by default) and beta (different input geometry).
+    let alpha = run_closed_loop_any(
+        addr,
+        &xa,
+        &[&e2],
+        &LoadGenConfig {
+            clients,
+            passes,
+            seed,
+            path: "/v1/models/alpha/infer".into(),
+            ..LoadGenConfig::default()
+        },
+    );
+    let beta = run_closed_loop_any(
+        addr,
+        &xb,
+        &[&eb],
+        &LoadGenConfig {
+            clients,
+            passes,
+            seed: seed ^ 0xBEE,
+            path: "/v1/models/beta/infer".into(),
+            ..LoadGenConfig::default()
+        },
+    );
+
+    // Swap under load: the closed loop accepts a 200 iff it bit-matches
+    // v2 (pre-swap) or v1 (post-swap); the swap fires mid-run.
+    let loader = {
+        let (xa, e1, e2) = (xa.clone(), e1.clone(), e2.clone());
+        let config = LoadGenConfig {
+            clients,
+            passes: passes * 2,
+            seed: seed ^ 0x5AB,
+            path: "/v1/models/alpha/infer".into(),
+            ..LoadGenConfig::default()
+        };
+        std::thread::spawn(move || run_closed_loop_any(addr, &xa, &[&e2, &e1], &config))
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    let mut swap_client = HttpClient::connect(addr).expect("swap client");
+    let swap_response = swap_client
+        .post_json("/v1/models/alpha/swap", "{\"version\":\"1\"}")
+        .expect("swap request");
+    assert_eq!(swap_response.status, 200, "swap must succeed");
+    let swap_load = loader.join().expect("swap load generator");
+
+    let metrics = registry.metrics();
+    gateway.shutdown();
+    server.shutdown();
+    registry.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ok = |r: &LoadReport| {
+        r.mismatches == 0 && r.transport_errors == 0 && r.ok_200 > 0 && r.ok_200 == r.requests
+    };
+    let swap = RegistrySwapResult {
+        ok_match: ok(&swap_load),
+        saw_both_versions: swap_load.ok_per_expected.iter().all(|&c| c > 0),
+        swapped_to: "1".into(),
+        baseline_p99_us: alpha.latency_p99_us,
+        p99_delta_frac: (swap_load.latency_p99_us - alpha.latency_p99_us)
+            / alpha.latency_p99_us.max(1.0),
+        load: swap_load,
+    };
+    RegistryResult {
+        models: 3,
+        artifact_bytes,
+        cold_load_ms,
+        cold_compile_ms,
+        warm_lookups,
+        warm_lookup_mean_ns,
+        alpha_ok_match: ok(&alpha),
+        alpha,
+        beta_ok_match: ok(&beta),
+        beta,
+        swap,
+        metrics,
     }
 }
 

@@ -207,6 +207,9 @@ pub struct LoadGenConfig {
     pub max_priority: u8,
     /// Seed for the per-client deterministic RNG.
     pub seed: u64,
+    /// Request path each POST targets — `/v1/infer` by default, or a
+    /// registry route such as `/v1/models/alpha/infer`.
+    pub path: String,
 }
 
 impl Default for LoadGenConfig {
@@ -217,6 +220,7 @@ impl Default for LoadGenConfig {
             deadline_ms: None,
             max_priority: 0,
             seed: 7,
+            path: "/v1/infer".into(),
         }
     }
 }
@@ -238,9 +242,14 @@ pub struct LoadReport {
     pub other_status: u64,
     /// Requests that failed at the transport layer (connect/read/write).
     pub transport_errors: u64,
-    /// `200` responses whose logits did NOT match the expected tensor
-    /// (only counted when an expected tensor was supplied; must be 0).
+    /// `200` responses whose logits did NOT match any supplied expected
+    /// tensor (only counted when at least one was supplied; must be 0).
     pub mismatches: u64,
+    /// Per-expected-tensor match counts, aligned with the `expected_any`
+    /// slice passed to [`run_closed_loop_any`] — the swap tests use this
+    /// to assert both the old and the new version were actually observed.
+    /// Empty when no expected tensors were supplied.
+    pub ok_per_expected: Vec<u64>,
     /// Wall-clock of the whole run, milliseconds.
     pub wall_ms: f64,
     /// Completed requests (any status) per second of wall clock.
@@ -268,10 +277,34 @@ pub fn run_closed_loop(
     expected: Option<&Tensor>,
     config: &LoadGenConfig,
 ) -> LoadReport {
+    let expected_any: Vec<&Tensor> = expected.into_iter().collect();
+    run_closed_loop_any(addr, images, &expected_any, config)
+}
+
+/// [`run_closed_loop`] generalized to a *set* of acceptable answers: a
+/// `200` response counts as a match when its logits are bit-identical to
+/// the sample's row in **any** tensor of `expected_any` (each `[N,
+/// classes]`), and [`LoadReport::ok_per_expected`] records which. This is
+/// the hot-swap correctness probe — during a version swap every response
+/// must match exactly the old or the new version's logits, never a blend,
+/// so a run with `expected_any = [v1_logits, v2_logits]` must finish with
+/// zero mismatches and (for a mid-run swap) nonzero counts on both.
+///
+/// Transport errors reconnect once per request and are counted, never
+/// panicked on.
+pub fn run_closed_loop_any(
+    addr: SocketAddr,
+    images: &Tensor,
+    expected_any: &[&Tensor],
+    config: &LoadGenConfig,
+) -> LoadReport {
     let n = images.dims().first().copied().unwrap_or(0);
     let sample_dims: Vec<usize> = images.dims().get(1..).unwrap_or_default().to_vec();
     let sample_len: usize = sample_dims.iter().product();
-    let classes = expected.map(|e| e.dims().get(1).copied().unwrap_or(0));
+    let classes: Vec<usize> = expected_any
+        .iter()
+        .map(|e| e.dims().get(1).copied().unwrap_or(0))
+        .collect();
     let clients = config.clients.clamp(1, n.max(1));
     let started = Instant::now();
 
@@ -284,12 +317,14 @@ pub fn run_closed_loop(
         other_status: u64,
         transport_errors: u64,
         mismatches: u64,
+        ok_per_expected: Vec<u64>,
     }
 
     let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let sample_dims = &sample_dims;
+                let classes = &classes;
                 scope.spawn(move || {
                     let mut rng = XorShift::new(config.seed ^ (c as u64).wrapping_mul(0x9E37));
                     let mut tally = ClientTally {
@@ -301,6 +336,7 @@ pub fn run_closed_loop(
                         other_status: 0,
                         transport_errors: 0,
                         mismatches: 0,
+                        ok_per_expected: vec![0; expected_any.len()],
                     };
                     let mut client = HttpClient::connect(addr).ok();
                     for _ in 0..config.passes {
@@ -336,7 +372,7 @@ pub fn run_closed_loop(
                                     client = HttpClient::connect(addr).ok();
                                 }
                                 let Some(c) = client.as_mut() else { break };
-                                match c.post_json("/v1/infer", &body) {
+                                match c.post_json(&config.path, &body) {
                                     Ok(r) => {
                                         response = Some(r);
                                         break;
@@ -356,18 +392,24 @@ pub fn run_closed_loop(
                             match response.status {
                                 200 => {
                                     tally.ok_200 += 1;
-                                    if let (Some(expected), Some(classes)) = (expected, classes) {
+                                    if !expected_any.is_empty() {
                                         let parsed: Result<InferResponse, _> =
                                             std::str::from_utf8(&response.body)
                                                 .map_err(|_| ())
                                                 .and_then(|t| {
                                                     serde_json::from_str(t).map_err(|_| ())
                                                 });
-                                        let row =
-                                            &expected.as_slice()[i * classes..(i + 1) * classes];
-                                        match parsed {
-                                            Ok(r) if r.logits == row => {}
-                                            _ => tally.mismatches += 1,
+                                        let matched = parsed.ok().and_then(|r| {
+                                            expected_any.iter().zip(classes).position(
+                                                |(expected, &k)| {
+                                                    r.logits
+                                                        == expected.as_slice()[i * k..(i + 1) * k]
+                                                },
+                                            )
+                                        });
+                                        match matched {
+                                            Some(j) => tally.ok_per_expected[j] += 1,
+                                            None => tally.mismatches += 1,
                                         }
                                     }
                                 }
@@ -393,6 +435,7 @@ pub fn run_closed_loop(
                     other_status: 0,
                     transport_errors: 0,
                     mismatches: 0,
+                    ok_per_expected: vec![0; expected_any.len()],
                 })
             })
             .collect()
@@ -409,6 +452,7 @@ pub fn run_closed_loop(
         other_status: 0,
         transport_errors: 0,
         mismatches: 0,
+        ok_per_expected: vec![0; expected_any.len()],
         wall_ms: wall.as_secs_f64() * 1e3,
         requests_per_sec: 0.0,
         latency_mean_us: 0.0,
@@ -423,6 +467,13 @@ pub fn run_closed_loop(
         report.other_status += tally.other_status;
         report.transport_errors += tally.transport_errors;
         report.mismatches += tally.mismatches;
+        for (slot, count) in report
+            .ok_per_expected
+            .iter_mut()
+            .zip(&tally.ok_per_expected)
+        {
+            *slot += count;
+        }
         latencies.merge(&tally.latencies);
     }
     if wall.as_secs_f64() > 0.0 {

@@ -27,7 +27,7 @@
 //! every field); everything else derives.
 
 use serde::{field, Content, Deserialize, Error as SerdeError, Serialize};
-use snn_runtime::SubmitOptions;
+use snn_runtime::{ModelStatus, SubmitOptions};
 use snn_trace::{AttrValue, SpanSnapshot, TraceId};
 use std::time::Duration;
 
@@ -224,6 +224,26 @@ pub fn render_trace(trace: TraceId, spans: &[SpanSnapshot]) -> Vec<u8> {
     serde_json::to_string(&body)
         .unwrap_or_else(|_| "{\"error\":\"internal error\"}".to_string())
         .into_bytes()
+}
+
+/// The `POST /v1/models/<name>/swap` request body: which version the
+/// name's active pointer should move to.
+///
+/// ```json
+/// {"version": "2"}
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapRequest {
+    /// Target version label (the artifact `name@version` must exist).
+    pub version: String,
+}
+
+/// The `GET /v1/models` response body: one
+/// [`ModelStatus`](snn_runtime::ModelStatus) row per cataloged artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelListBody {
+    /// Cataloged models with residency state, sorted by `name@version`.
+    pub models: Vec<ModelStatus>,
 }
 
 /// The JSON error body every non-2xx response carries.

@@ -25,7 +25,13 @@
 //!   `x-snn-trace-id` header) and `GET /healthz`. Backpressure maps onto
 //!   the wire:
 //!   [`QueueFull`](snn_runtime::SubmitError::QueueFull) → `429`, drain →
-//!   `503`, handler timeout → `504`.
+//!   `503`, handler timeout → `504`. With a
+//!   [`ModelRegistry`](snn_runtime::ModelRegistry) attached
+//!   ([`Gateway::start_with_registry`]) the gateway also serves
+//!   `GET /v1/models` (catalog + residency), `POST
+//!   /v1/models/<name[@version]>/infer` (per-model routing with lazy
+//!   load + compile) and `POST /v1/models/<name>/swap` (atomic version
+//!   swap under live traffic).
 //! * [`client`] — a std-only keep-alive HTTP client and closed-loop load
 //!   generator ([`run_closed_loop`]), reused by the benchmark harness and
 //!   the end-to-end tests.
@@ -75,8 +81,10 @@ pub mod json;
 mod metrics;
 mod server;
 
-pub use client::{run_closed_loop, HttpClient, LoadGenConfig, LoadReport, WireResponse};
+pub use client::{
+    run_closed_loop, run_closed_loop_any, HttpClient, LoadGenConfig, LoadReport, WireResponse,
+};
 pub use http::{Limits, ParseError, Request};
-pub use json::{ErrorBody, InferRequest, InferResponse};
+pub use json::{ErrorBody, InferRequest, InferResponse, ModelListBody, SwapRequest};
 pub use metrics::{prometheus_text, GatewayMetrics, GatewayRecorder, RouteMetrics};
 pub use server::{Gateway, GatewayConfig};

@@ -42,12 +42,14 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use snn_runtime::{StreamingServer, SubmitError, WorkerPool};
+use snn_runtime::{ModelRegistry, RegistryError, StreamingServer, SubmitError, WorkerPool};
 use snn_tensor::Tensor;
 use snn_trace::{AttrValue, TraceCollector, TraceId, TraceTarget};
 
 use crate::http::{parse_request, write_response, Limits, ParseError, Request};
-use crate::json::{render_trace, ErrorBody, InferRequest, InferResponse};
+use crate::json::{
+    render_trace, ErrorBody, InferRequest, InferResponse, ModelListBody, SwapRequest,
+};
 use crate::metrics::{prometheus_text, GatewayMetrics, GatewayRecorder};
 
 /// Gateway configuration.
@@ -117,6 +119,9 @@ impl GatewayConfig {
 /// [`Gateway`] handle.
 struct Shared {
     server: Arc<StreamingServer>,
+    /// The model registry behind the `/v1/models` routes, when this
+    /// gateway was started with [`Gateway::start_with_registry`].
+    registry: Option<Arc<ModelRegistry>>,
     /// The streaming server's span sink, if it was built traced
     /// ([`StreamingServer::trace_collector`]); gateway request spans and
     /// the `GET /v1/trace/<id>` route record into / read from it.
@@ -169,6 +174,34 @@ impl Gateway {
     /// [`input_dims`](GatewayConfig::input_dims) is empty (the gateway
     /// must know its geometry to validate requests).
     pub fn start(server: Arc<StreamingServer>, config: GatewayConfig) -> std::io::Result<Self> {
+        Self::start_inner(server, None, config)
+    }
+
+    /// [`start`](Self::start) with a [`ModelRegistry`] attached: the
+    /// gateway additionally serves `GET /v1/models`,
+    /// `POST /v1/models/<name[@version]>/infer` and
+    /// `POST /v1/models/<name>/swap`. The default `server` + `input_dims`
+    /// keep serving the plain `/v1/infer` route. When the registry carries
+    /// a trace collector, per-model requests record `registry.load` /
+    /// `registry.compile` / `registry.swap` spans under their request
+    /// root.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`start`](Self::start).
+    pub fn start_with_registry(
+        server: Arc<StreamingServer>,
+        registry: Arc<ModelRegistry>,
+        config: GatewayConfig,
+    ) -> std::io::Result<Self> {
+        Self::start_inner(server, Some(registry), config)
+    }
+
+    fn start_inner(
+        server: Arc<StreamingServer>,
+        registry: Option<Arc<ModelRegistry>>,
+        config: GatewayConfig,
+    ) -> std::io::Result<Self> {
         if config.input_dims.is_empty() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
@@ -187,9 +220,13 @@ impl Gateway {
                 .unwrap_or(4)
                 .max(4)
         };
-        let trace = server.trace_collector().cloned();
+        let trace = server
+            .trace_collector()
+            .cloned()
+            .or_else(|| registry.as_ref().and_then(|r| r.trace_collector().cloned()));
         let shared = Arc::new(Shared {
             server,
+            registry,
             trace,
             recorder: Mutex::new(GatewayRecorder::new()),
             draining: AtomicBool::new(false),
@@ -413,6 +450,10 @@ fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared, received:
     } else {
         match (request.method.as_str(), request.path()) {
             ("POST", "/v1/infer") => handle_infer(request, shared, received),
+            ("GET", "/v1/models") => handle_models_list(shared),
+            (method, path) if path.starts_with("/v1/models/") => {
+                handle_model_route(method, path, request, shared, received)
+            }
             ("GET", path) if path.starts_with("/v1/trace/") => handle_trace(path, shared),
             (_, path) if path.starts_with("/v1/trace/") => (
                 "other",
@@ -439,7 +480,7 @@ fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared, received:
                 )
             }
             ("GET", "/healthz") => ("health", 200, "text/plain", b"ok\n".to_vec()),
-            (_, "/v1/infer") | (_, "/metrics") | (_, "/healthz") => (
+            (_, "/v1/infer") | (_, "/v1/models") | (_, "/metrics") | (_, "/healthz") => (
                 "other",
                 405,
                 "application/json",
@@ -527,12 +568,27 @@ fn handle_infer(
     shared: &Shared,
     received: Instant,
 ) -> (&'static str, u16, &'static str, Vec<u8>) {
-    const ROUTE: &str = "infer";
-    let json = "application/json";
-    // (collector, trace id, pre-allocated root span id) — `None` when the
-    // server is untraced or the collector is disabled, in which case the
-    // only cost below is this one check per instrumentation point.
-    let trace_ctx = shared
+    let trace_ctx = make_trace_ctx(request, shared);
+    run_infer(
+        "infer",
+        &shared.server,
+        &shared.input_dims,
+        request,
+        shared,
+        received,
+        trace_ctx,
+    )
+}
+
+/// `(collector, trace id, pre-allocated root span id)` for one request —
+/// `None` when the gateway is untraced or the collector is disabled, in
+/// which case the only cost downstream is one check per instrumentation
+/// point.
+type TraceCtx = (Arc<TraceCollector>, TraceId, u64);
+
+/// Mints (or adopts from `x-snn-trace-id`) the request's trace context.
+fn make_trace_ctx(request: &Request, shared: &Shared) -> Option<TraceCtx> {
+    shared
         .trace
         .as_ref()
         .filter(|c| c.is_enabled())
@@ -542,7 +598,24 @@ fn handle_infer(
                 .and_then(TraceId::parse_hex)
                 .unwrap_or_else(|| collector.mint_trace());
             (Arc::clone(collector), trace, collector.next_span_id())
-        });
+        })
+}
+
+/// The shared inference body behind `POST /v1/infer` and
+/// `POST /v1/models/<spec>/infer`: JSON body → geometry validation against
+/// `expected_dims` (the routed entry's geometry, not the process's) →
+/// `submit_with` on `server` → bounded ticket wait → JSON response.
+#[allow(clippy::too_many_arguments)]
+fn run_infer(
+    route: &'static str,
+    server: &StreamingServer,
+    expected_dims: &[usize],
+    request: &Request,
+    shared: &Shared,
+    received: Instant,
+    trace_ctx: Option<TraceCtx>,
+) -> (&'static str, u16, &'static str, Vec<u8>) {
+    let json = "application/json";
     let handler_start = Instant::now();
     if let Some((collector, trace, root)) = &trace_ctx {
         collector.record_span(
@@ -558,7 +631,7 @@ fn handle_infer(
         Ok(text) => text,
         Err(_) => {
             return (
-                ROUTE,
+                route,
                 400,
                 json,
                 ErrorBody::render("request body is not valid UTF-8"),
@@ -569,19 +642,19 @@ fn handle_infer(
         Ok(wire) => wire,
         Err(e) => {
             return (
-                ROUTE,
+                route,
                 400,
                 json,
                 ErrorBody::render(format!("bad JSON: {e}")),
             )
         }
     };
-    if let Err(msg) = wire.validate(&shared.input_dims) {
-        return (ROUTE, 400, json, ErrorBody::render(msg));
+    if let Err(msg) = wire.validate(expected_dims) {
+        return (route, 400, json, ErrorBody::render(msg));
     }
     let mut options = match wire.submit_options() {
         Ok(options) => options,
-        Err(msg) => return (ROUTE, 400, json, ErrorBody::render(msg)),
+        Err(msg) => return (route, 400, json, ErrorBody::render(msg)),
     };
     // Clamp untrusted deadlines to HALF the handler timeout: the handler
     // gives up (504) at handler_timeout, so batching may consume at most
@@ -594,7 +667,7 @@ fn handle_infer(
     let pixels = wire.pixels.len();
     let image = match Tensor::from_vec(wire.pixels, &wire.dims) {
         Ok(image) => image,
-        Err(e) => return (ROUTE, 400, json, ErrorBody::render(e.to_string())),
+        Err(e) => return (route, 400, json, ErrorBody::render(e.to_string())),
     };
     if let Some((collector, trace, root)) = &trace_ctx {
         collector.record_span(
@@ -611,11 +684,11 @@ fn handle_infer(
         });
     }
     let submitted = Instant::now();
-    let mut ticket = match shared.server.submit_with(&image, options) {
+    let mut ticket = match server.submit_with(&image, options) {
         Ok(ticket) => ticket,
         Err(SubmitError::QueueFull { max_pending }) => {
             return (
-                ROUTE,
+                route,
                 429,
                 json,
                 ErrorBody::render(format!(
@@ -626,12 +699,8 @@ fn handle_infer(
         Err(SubmitError::Rejected(e)) => {
             // A rejected submit during server teardown is unavailability,
             // not a client error.
-            let status = if shared.server.is_shut_down() {
-                503
-            } else {
-                400
-            };
-            return (ROUTE, status, json, ErrorBody::render(e.to_string()));
+            let status = if server.is_shut_down() { 503 } else { 400 };
+            return (route, status, json, ErrorBody::render(e.to_string()));
         }
     };
     if let Some((collector, trace, root)) = &trace_ctx {
@@ -671,7 +740,7 @@ fn handle_infer(
                 Ok(body) => body.into_bytes(),
                 Err(e) => {
                     return (
-                        ROUTE,
+                        route,
                         500,
                         json,
                         ErrorBody::render(format!("response serialization failed: {e}")),
@@ -707,7 +776,7 @@ fn handle_infer(
                     vec![("status", AttrValue::U64(200))],
                 );
             }
-            (ROUTE, 200, json, body)
+            (route, 200, json, body)
         }
         Ok(None) => {
             if let Some((collector, trace, root)) = &trace_ctx {
@@ -724,7 +793,7 @@ fn handle_infer(
                 );
             }
             (
-                ROUTE,
+                route,
                 504,
                 json,
                 ErrorBody::render(format!(
@@ -733,6 +802,229 @@ fn handle_infer(
                 )),
             )
         }
-        Err(e) => (ROUTE, 500, json, ErrorBody::render(e.to_string())),
+        Err(e) => (route, 500, json, ErrorBody::render(e.to_string())),
+    }
+}
+
+/// The `GET /v1/models` handler: the registry catalog with residency
+/// state. `404` when no registry is attached.
+fn handle_models_list(shared: &Shared) -> (&'static str, u16, &'static str, Vec<u8>) {
+    const ROUTE: &str = "models";
+    let json = "application/json";
+    let Some(registry) = shared.registry.as_deref() else {
+        return (
+            ROUTE,
+            404,
+            json,
+            ErrorBody::render("no model registry attached to this gateway"),
+        );
+    };
+    let body = ModelListBody {
+        models: registry.list(),
+    };
+    match serde_json::to_string(&body) {
+        Ok(body) => (ROUTE, 200, json, body.into_bytes()),
+        Err(e) => (
+            ROUTE,
+            500,
+            json,
+            ErrorBody::render(format!("model list serialization failed: {e}")),
+        ),
+    }
+}
+
+/// Dispatches `/v1/models/<...>` sub-routes:
+/// `POST /v1/models/<name[@version]>/infer` and
+/// `POST /v1/models/<name>/swap`.
+fn handle_model_route(
+    method: &str,
+    path: &str,
+    request: &Request,
+    shared: &Shared,
+    received: Instant,
+) -> (&'static str, u16, &'static str, Vec<u8>) {
+    let json = "application/json";
+    let rest = path.strip_prefix("/v1/models/").unwrap_or_default();
+    if let Some(spec) = rest.strip_suffix("/infer") {
+        if spec.is_empty() {
+            return (
+                "model_infer",
+                404,
+                json,
+                ErrorBody::render("missing model name in /v1/models/<name>/infer"),
+            );
+        }
+        if method != "POST" {
+            return (
+                "model_infer",
+                405,
+                json,
+                ErrorBody::render(format!("method {method} not allowed on {path}")),
+            );
+        }
+        return handle_model_infer(spec, request, shared, received);
+    }
+    if let Some(name) = rest.strip_suffix("/swap") {
+        if name.is_empty() {
+            return (
+                "swap",
+                404,
+                json,
+                ErrorBody::render("missing model name in /v1/models/<name>/swap"),
+            );
+        }
+        if method != "POST" {
+            return (
+                "swap",
+                405,
+                json,
+                ErrorBody::render(format!("method {method} not allowed on {path}")),
+            );
+        }
+        return handle_swap(name, request, shared);
+    }
+    (
+        "other",
+        404,
+        json,
+        ErrorBody::render(format!("no route for {path}")),
+    )
+}
+
+/// Maps a registry failure onto the wire: a model the catalog has never
+/// heard of is the client's mistake (`404`); an artifact or compile
+/// failure is the server's (`500`).
+fn registry_error_response(
+    route: &'static str,
+    e: &RegistryError,
+) -> (&'static str, u16, &'static str, Vec<u8>) {
+    let status = match e {
+        RegistryError::UnknownModel(_) => 404,
+        RegistryError::Artifact(_) | RegistryError::Compile(_) => 500,
+    };
+    (
+        route,
+        status,
+        "application/json",
+        ErrorBody::render(e.to_string()),
+    )
+}
+
+/// The `POST /v1/models/<name[@version]>/infer` handler: resolves `spec`
+/// through the registry (lazily loading + compiling a cold entry —
+/// recorded as `registry.load` / `registry.compile` spans under this
+/// request's root when traced) and runs the shared inference body against
+/// that entry's server and geometry. The resolved handle is held across
+/// the whole request, so LRU eviction can never tear down an entry with
+/// this request in flight.
+fn handle_model_infer(
+    spec: &str,
+    request: &Request,
+    shared: &Shared,
+    received: Instant,
+) -> (&'static str, u16, &'static str, Vec<u8>) {
+    const ROUTE: &str = "model_infer";
+    let json = "application/json";
+    let Some(registry) = shared.registry.as_deref() else {
+        return (
+            ROUTE,
+            404,
+            json,
+            ErrorBody::render("no model registry attached to this gateway"),
+        );
+    };
+    let trace_ctx = make_trace_ctx(request, shared);
+    let parent = trace_ctx.as_ref().map(|(_, trace, root)| TraceTarget {
+        trace: *trace,
+        parent: *root,
+    });
+    match registry.get_or_load_traced(spec, parent) {
+        Ok(handle) => run_infer(
+            ROUTE,
+            handle.server(),
+            handle.input_dims(),
+            request,
+            shared,
+            received,
+            trace_ctx,
+        ),
+        Err(e) => registry_error_response(ROUTE, &e),
+    }
+}
+
+/// The `POST /v1/models/<name>/swap` handler: parses `{"version": ...}`
+/// and atomically repoints the name's active version. In-flight tickets
+/// complete against the old entry; new bare-`name` submissions land on
+/// the new one. Returns the [`snn_runtime::SwapReport`] as JSON.
+fn handle_swap(
+    name: &str,
+    request: &Request,
+    shared: &Shared,
+) -> (&'static str, u16, &'static str, Vec<u8>) {
+    const ROUTE: &str = "swap";
+    let json = "application/json";
+    let Some(registry) = shared.registry.as_deref() else {
+        return (
+            ROUTE,
+            404,
+            json,
+            ErrorBody::render("no model registry attached to this gateway"),
+        );
+    };
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => {
+            return (
+                ROUTE,
+                400,
+                json,
+                ErrorBody::render("request body is not valid UTF-8"),
+            )
+        }
+    };
+    let wire: SwapRequest = match serde_json::from_str(text) {
+        Ok(wire) => wire,
+        Err(e) => {
+            return (
+                ROUTE,
+                400,
+                json,
+                ErrorBody::render(format!("bad JSON: {e}")),
+            )
+        }
+    };
+    let trace_ctx = make_trace_ctx(request, shared);
+    let parent = trace_ctx.as_ref().map(|(_, trace, root)| TraceTarget {
+        trace: *trace,
+        parent: *root,
+    });
+    let swap_start = Instant::now();
+    match registry.swap(name, &wire.version, parent) {
+        Ok(report) => {
+            let body = match serde_json::to_string(&report) {
+                Ok(body) => body.into_bytes(),
+                Err(e) => {
+                    return (
+                        ROUTE,
+                        500,
+                        json,
+                        ErrorBody::render(format!("swap report serialization failed: {e}")),
+                    )
+                }
+            };
+            if let Some((collector, trace, root)) = &trace_ctx {
+                collector.record_span_with_id(
+                    *root,
+                    *trace,
+                    0,
+                    "http.request",
+                    swap_start,
+                    Instant::now(),
+                    vec![("status", AttrValue::U64(200))],
+                );
+            }
+            (ROUTE, 200, json, body)
+        }
+        Err(e) => registry_error_response(ROUTE, &e),
     }
 }

@@ -96,6 +96,7 @@ proptest! {
                 deadline_ms: Some((0.0, deadline_hi_ms)),
                 max_priority,
                 seed,
+                ..LoadGenConfig::default()
             },
         );
         let metrics = gateway.shutdown();
@@ -162,6 +163,7 @@ fn forced_backpressure_yields_429_without_corrupting_responses() {
                 deadline_ms: None,
                 max_priority: 0,
                 seed: 1234 + round,
+                ..LoadGenConfig::default()
             },
         );
         let saw_sheds = r.shed_429 > 0;

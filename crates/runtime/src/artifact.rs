@@ -1,0 +1,665 @@
+//! Versioned on-disk model artifacts — the unit the
+//! [`ModelRegistry`](crate::ModelRegistry) loads, caches and swaps.
+//!
+//! An artifact carries everything a serving box needs to stand up one
+//! model: the converted [`SnnModel`] (fused weights, biases, kernel,
+//! window), the per-layer [`LogQuantizer`] calibration of the quantized
+//! path, the per-sample input geometry, and a backend hint selecting the
+//! engine ([`BackendHint`]). The wire format is defensive by construction:
+//!
+//! ```text
+//! offset 0   magic            b"SNNARTF\0"            (8 bytes)
+//! offset 8   format version   u32 little-endian       (currently 1)
+//! offset 12  header length    u32 little-endian
+//! offset 16  header JSON      ArtifactInfo            (name, version, dims, backend)
+//! ...        payload length   u64 little-endian
+//! ...        payload JSON     model + quantizers
+//! ...        checksum         u64 little-endian       FNV-1a over bytes [8, checksum)
+//! ```
+//!
+//! Every failure mode maps to a typed [`ArtifactError`]: wrong magic,
+//! a future format version, declared lengths larger than the sanity cap
+//! ([`MAX_SECTION_BYTES`]) or the file itself (truncation), checksum
+//! mismatches from bit flips, and malformed JSON. Loading never panics.
+//!
+//! Floats round-trip **bit-exactly**: the vendored serde stores every
+//! `f32` widened to `f64` (exact) and the JSON writer prints
+//! shortest-round-trip decimals, so a loaded model's weights — and
+//! therefore its compiled engines' logits — are bit-identical to the
+//! in-memory original (property-tested in
+//! `crates/runtime/tests/artifact_roundtrip.rs`).
+
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use snn_logquant::{LogBase, LogQuantizer};
+use ttfs_core::{ConvertError, SnnModel};
+
+use crate::csr::CsrFootprint;
+use crate::quant::{fit_layer_quantizers, DecodeMode, QuantConfig, QuantEngine};
+use crate::{CsrEngine, InferenceBackend};
+
+/// The artifact file magic (8 bytes at offset 0).
+pub const ARTIFACT_MAGIC: [u8; 8] = *b"SNNARTF\0";
+
+/// The format version this build writes and the highest it reads.
+pub const ARTIFACT_FORMAT_VERSION: u32 = 1;
+
+/// Sanity cap on any declared section length: a header or payload
+/// claiming more than this is rejected as hostile before any allocation.
+pub const MAX_SECTION_BYTES: u64 = 1 << 30;
+
+/// Canonical file extension for model artifacts (`name@version.snna`).
+pub const ARTIFACT_EXTENSION: &str = "snna";
+
+/// Typed failure modes of artifact decoding. Every variant is a clean
+/// error — a corrupt or hostile file can never panic the loader.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactError {
+    /// Filesystem-level failure (open, read, write).
+    Io(String),
+    /// The first 8 bytes are not [`ARTIFACT_MAGIC`].
+    BadMagic {
+        /// What the file started with instead.
+        found: Vec<u8>,
+    },
+    /// The format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version stamped in the file.
+        found: u32,
+        /// Highest version this build reads.
+        supported: u32,
+    },
+    /// A declared section length exceeds [`MAX_SECTION_BYTES`].
+    OversizedLength {
+        /// Which length field was hostile (`"header"` or `"payload"`).
+        field: &'static str,
+        /// The declared byte count.
+        declared: u64,
+    },
+    /// The file ends before the bytes its lengths promise.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The stored checksum does not match the bytes (bit flip or tamper).
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed over the file's bytes.
+        computed: u64,
+    },
+    /// Structurally valid framing around semantically broken content
+    /// (bad JSON, geometry that does not fit the model, calibration that
+    /// does not match the weights, trailing garbage).
+    Malformed(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "artifact i/o: {e}"),
+            Self::BadMagic { found } => {
+                write!(f, "bad artifact magic {found:?} (want {ARTIFACT_MAGIC:?})")
+            }
+            Self::UnsupportedVersion { found, supported } => write!(
+                f,
+                "artifact format version {found} is newer than the supported {supported}"
+            ),
+            Self::OversizedLength { field, declared } => write!(
+                f,
+                "declared {field} length {declared} exceeds the {MAX_SECTION_BYTES}-byte cap"
+            ),
+            Self::Truncated { needed, available } => write!(
+                f,
+                "artifact truncated: needed {needed} more bytes, found {available}"
+            ),
+            Self::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            Self::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// FNV-1a 64-bit over `bytes` — the artifact checksum. Dependency-free,
+/// deterministic, and sensitive to any single-bit flip.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Which engine an artifact asks to be served on — the serializable twin
+/// of [`crate::BackendChoice`] minus the reference simulator (artifacts
+/// describe deployments; nobody deploys the reference backend).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BackendHint {
+    /// The f32 edge-major CSR engine.
+    Csr,
+    /// The packed-log-code engine.
+    Quant {
+        /// Logarithmic quantization base.
+        base: LogBase,
+        /// Code width in bits, sign included.
+        bits: u8,
+        /// Serve through the shift-add (LogPe) datapath instead of the
+        /// exact decode LUT.
+        shift_add: bool,
+    },
+}
+
+impl BackendHint {
+    /// The paper's default quantized serving hint (5-bit, base `2^-1/2`,
+    /// exact LUT).
+    pub fn quant_default() -> Self {
+        let q = QuantConfig::default();
+        Self::Quant {
+            base: q.base,
+            bits: q.bits,
+            shift_add: false,
+        }
+    }
+
+    /// Stable label used in listings and reports.
+    pub fn label(&self) -> String {
+        match self {
+            Self::Csr => "csr".into(),
+            Self::Quant {
+                base,
+                bits,
+                shift_add,
+            } => format!(
+                "quant{bits}b-{}{}",
+                base.label(),
+                if *shift_add { "-shiftadd" } else { "" }
+            ),
+        }
+    }
+
+    /// The quantized-path configuration, when this hint is quantized.
+    pub fn quant_config(&self) -> Option<QuantConfig> {
+        match self {
+            Self::Csr => None,
+            Self::Quant {
+                base,
+                bits,
+                shift_add,
+            } => Some(QuantConfig {
+                base: *base,
+                bits: *bits,
+                mode: if *shift_add {
+                    DecodeMode::ShiftAdd
+                } else {
+                    DecodeMode::Lut
+                },
+            }),
+        }
+    }
+}
+
+/// The artifact header: everything a registry needs to catalog a model
+/// without deserializing its weights ([`ModelArtifact::peek`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactInfo {
+    /// Model name (no `@` or path separators; the registry's routing key).
+    pub name: String,
+    /// Model version label (no `@` or path separators).
+    pub version: String,
+    /// Per-sample input dims the model serves (e.g. `[3, 32, 32]`).
+    pub input_dims: Vec<usize>,
+    /// Which engine to compile for serving.
+    pub backend: BackendHint,
+}
+
+impl ArtifactInfo {
+    /// `name@version` — the registry key this artifact resolves to.
+    pub fn key(&self) -> String {
+        format!("{}@{}", self.name, self.version)
+    }
+
+    /// Canonical file name for this artifact (`name@version.snna`).
+    pub fn file_name(&self) -> String {
+        format!("{}.{ARTIFACT_EXTENSION}", self.key())
+    }
+}
+
+/// Payload body: the converted model plus the quantized path's per-layer
+/// calibration, serialized through the vendored serde (bit-exact floats).
+#[derive(Serialize, Deserialize)]
+struct ArtifactPayload {
+    model: SnnModel,
+    quantizers: Vec<LogQuantizer>,
+}
+
+/// A deserialized model artifact: header info plus the model and its
+/// calibration, ready to compile into a serving backend.
+#[derive(Debug, Clone)]
+pub struct ModelArtifact {
+    /// Header fields (name, version, geometry, backend hint).
+    pub info: ArtifactInfo,
+    /// The converted model.
+    pub model: SnnModel,
+    /// Per-weighted-layer quantizer calibration, in stage order; empty for
+    /// a pure-f32 artifact.
+    pub quantizers: Vec<LogQuantizer>,
+}
+
+/// Rejects names/versions that would break `name@version` keys, URLs or
+/// file paths.
+fn validate_label(field: &str, value: &str) -> Result<(), ArtifactError> {
+    if value.is_empty() {
+        return Err(ArtifactError::Malformed(format!("{field} is empty")));
+    }
+    if value.contains(['@', '/', '\\']) || value.contains(char::is_whitespace) {
+        return Err(ArtifactError::Malformed(format!(
+            "{field} {value:?} may not contain '@', path separators or whitespace"
+        )));
+    }
+    Ok(())
+}
+
+impl ModelArtifact {
+    /// Packages `model` as a named, versioned artifact, validating the
+    /// geometry and (for quantized hints) calibrating one quantizer per
+    /// weighted layer — the calibration ships inside the artifact so a
+    /// serving box never re-derives it from anything but these weights.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Malformed`] for an unusable name/version, a
+    /// geometry that does not fit the model, or an uncalibratable
+    /// quantized hint (bad bit width, all-zero layer).
+    pub fn build(
+        name: &str,
+        version: &str,
+        model: SnnModel,
+        input_dims: &[usize],
+        backend: BackendHint,
+    ) -> Result<Self, ArtifactError> {
+        validate_label("artifact name", name)?;
+        validate_label("artifact version", version)?;
+        model
+            .shape_trace(input_dims)
+            .map_err(|e| ArtifactError::Malformed(format!("input dims: {e}")))?;
+        let quantizers = match &backend {
+            BackendHint::Csr => Vec::new(),
+            BackendHint::Quant { base, bits, .. } => fit_layer_quantizers(&model, *base, *bits)
+                .map_err(|e| ArtifactError::Malformed(e.to_string()))?,
+        };
+        Ok(Self {
+            info: ArtifactInfo {
+                name: name.into(),
+                version: version.into(),
+                input_dims: input_dims.to_vec(),
+                backend,
+            },
+            model,
+            quantizers,
+        })
+    }
+
+    /// Serializes the artifact to its framed byte format.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Malformed`] if JSON serialization fails (should
+    /// not happen for well-formed models).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, ArtifactError> {
+        let header = serde_json::to_string(&self.info)
+            .map_err(|e| ArtifactError::Malformed(format!("serialize header: {e}")))?;
+        let payload = serde_json::to_string(&ArtifactPayload {
+            model: self.model.clone(),
+            quantizers: self.quantizers.clone(),
+        })
+        .map_err(|e| ArtifactError::Malformed(format!("serialize payload: {e}")))?;
+        let mut out = Vec::with_capacity(32 + header.len() + payload.len());
+        out.extend_from_slice(&ARTIFACT_MAGIC);
+        out.extend_from_slice(&ARTIFACT_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(header.len() as u32).to_le_bytes());
+        out.extend_from_slice(header.as_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(payload.as_bytes());
+        let checksum = fnv1a64(&out[ARTIFACT_MAGIC.len()..]);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        Ok(out)
+    }
+
+    /// Decodes an artifact from bytes, verifying magic, format version,
+    /// declared lengths, the checksum, and the semantic invariants
+    /// (parseable JSON, geometry fits, calibration matches the weights).
+    ///
+    /// # Errors
+    ///
+    /// The matching [`ArtifactError`] variant; never panics on hostile
+    /// input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let (info, payload, consumed) = decode_framing(bytes)?;
+        if consumed != bytes.len() {
+            return Err(ArtifactError::Malformed(format!(
+                "{} trailing bytes after the checksum",
+                bytes.len() - consumed
+            )));
+        }
+        let payload: ArtifactPayload = serde_json::from_str(payload)
+            .map_err(|e| ArtifactError::Malformed(format!("payload JSON: {e}")))?;
+        validate_label("artifact name", &info.name)?;
+        validate_label("artifact version", &info.version)?;
+        payload
+            .model
+            .shape_trace(&info.input_dims)
+            .map_err(|e| ArtifactError::Malformed(format!("input dims: {e}")))?;
+        // Cross-check the shipped calibration against the shipped weights:
+        // refitting is deterministic, so any disagreement means the two
+        // sections came from different models.
+        match info.backend.quant_config() {
+            None => {
+                if !payload.quantizers.is_empty() {
+                    return Err(ArtifactError::Malformed(
+                        "f32 artifact carries quantizer calibration".into(),
+                    ));
+                }
+            }
+            Some(config) => {
+                let refit = fit_layer_quantizers(&payload.model, config.base, config.bits)
+                    .map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+                let matches = refit.len() == payload.quantizers.len()
+                    && refit.iter().zip(&payload.quantizers).all(|(a, b)| {
+                        a.base() == b.base()
+                            && a.bits() == b.bits()
+                            && a.fsr_log2().to_bits() == b.fsr_log2().to_bits()
+                    });
+                if !matches {
+                    return Err(ArtifactError::Malformed(
+                        "quantizer calibration does not match the shipped weights".into(),
+                    ));
+                }
+            }
+        }
+        Ok(Self {
+            info,
+            model: payload.model,
+            quantizers: payload.quantizers,
+        })
+    }
+
+    /// Writes the artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] on filesystem failure, or serialization
+    /// errors from [`to_bytes`](Self::to_bytes).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        let bytes = self.to_bytes()?;
+        std::fs::write(path.as_ref(), bytes)
+            .map_err(|e| ArtifactError::Io(format!("write {}: {e}", path.as_ref().display())))
+    }
+
+    /// Reads and fully validates an artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`from_bytes`](Self::from_bytes), plus
+    /// [`ArtifactError::Io`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| ArtifactError::Io(format!("read {}: {e}", path.as_ref().display())))?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Reads only the framing and header of `path` — magic, version,
+    /// lengths, checksum and [`ArtifactInfo`] — without deserializing the
+    /// weights. The registry uses this to catalog a model directory
+    /// cheaply. Returns the info and the file's total size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same framing conditions as [`from_bytes`](Self::from_bytes), plus
+    /// [`ArtifactError::Io`].
+    pub fn peek(path: impl AsRef<Path>) -> Result<(ArtifactInfo, u64), ArtifactError> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| ArtifactError::Io(format!("read {}: {e}", path.as_ref().display())))?;
+        let (info, _payload, consumed) = decode_framing(&bytes)?;
+        if consumed != bytes.len() {
+            return Err(ArtifactError::Malformed(format!(
+                "{} trailing bytes after the checksum",
+                bytes.len() - consumed
+            )));
+        }
+        validate_label("artifact name", &info.name)?;
+        validate_label("artifact version", &info.version)?;
+        Ok((info, bytes.len() as u64))
+    }
+
+    /// Compiles the serving backend this artifact asks for, returning the
+    /// engine and its compiled-table memory footprint (the byte accounting
+    /// the registry's LRU budget charges).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError`] if compilation fails (geometry, bit width,
+    /// shift-add without the eq. 18 kernel).
+    pub fn compile(&self) -> Result<(Arc<dyn InferenceBackend>, CsrFootprint), ConvertError> {
+        let model = Arc::new(self.model.clone());
+        match self.info.backend.quant_config() {
+            None => {
+                let engine = CsrEngine::compile_shared(model, &self.info.input_dims)?;
+                let footprint = engine.compiled().footprint();
+                Ok((Arc::new(engine), footprint))
+            }
+            Some(config) => {
+                let engine = QuantEngine::compile_shared(model, &self.info.input_dims, config)?;
+                let footprint = engine.compiled().footprint();
+                Ok((Arc::new(engine), footprint))
+            }
+        }
+    }
+}
+
+/// Shared framing decoder: checks magic, version, lengths and checksum,
+/// parses the header, and returns `(info, payload_json, bytes_consumed)`.
+fn decode_framing(bytes: &[u8]) -> Result<(ArtifactInfo, &str, usize), ArtifactError> {
+    let need = |cursor: usize, n: usize| -> Result<(), ArtifactError> {
+        if bytes.len() < cursor + n {
+            Err(ArtifactError::Truncated {
+                needed: cursor + n - bytes.len(),
+                available: bytes.len().saturating_sub(cursor),
+            })
+        } else {
+            Ok(())
+        }
+    };
+    need(0, ARTIFACT_MAGIC.len() + 8)?;
+    if bytes[..ARTIFACT_MAGIC.len()] != ARTIFACT_MAGIC {
+        return Err(ArtifactError::BadMagic {
+            found: bytes[..ARTIFACT_MAGIC.len()].to_vec(),
+        });
+    }
+    let mut cursor = ARTIFACT_MAGIC.len();
+    let version = u32::from_le_bytes(bytes[cursor..cursor + 4].try_into().expect("4 bytes"));
+    cursor += 4;
+    if version > ARTIFACT_FORMAT_VERSION {
+        return Err(ArtifactError::UnsupportedVersion {
+            found: version,
+            supported: ARTIFACT_FORMAT_VERSION,
+        });
+    }
+    let header_len = u32::from_le_bytes(bytes[cursor..cursor + 4].try_into().expect("4 bytes"));
+    cursor += 4;
+    if u64::from(header_len) > MAX_SECTION_BYTES {
+        return Err(ArtifactError::OversizedLength {
+            field: "header",
+            declared: u64::from(header_len),
+        });
+    }
+    need(cursor, header_len as usize)?;
+    let header = &bytes[cursor..cursor + header_len as usize];
+    cursor += header_len as usize;
+    need(cursor, 8)?;
+    let payload_len = u64::from_le_bytes(bytes[cursor..cursor + 8].try_into().expect("8 bytes"));
+    cursor += 8;
+    if payload_len > MAX_SECTION_BYTES {
+        return Err(ArtifactError::OversizedLength {
+            field: "payload",
+            declared: payload_len,
+        });
+    }
+    need(cursor, payload_len as usize)?;
+    let payload = &bytes[cursor..cursor + payload_len as usize];
+    cursor += payload_len as usize;
+    need(cursor, 8)?;
+    let stored = u64::from_le_bytes(bytes[cursor..cursor + 8].try_into().expect("8 bytes"));
+    let computed = fnv1a64(&bytes[ARTIFACT_MAGIC.len()..cursor]);
+    cursor += 8;
+    if stored != computed {
+        return Err(ArtifactError::ChecksumMismatch { stored, computed });
+    }
+    let header = std::str::from_utf8(header)
+        .map_err(|_| ArtifactError::Malformed("header is not UTF-8".into()))?;
+    let payload = std::str::from_utf8(payload)
+        .map_err(|_| ArtifactError::Malformed("payload is not UTF-8".into()))?;
+    let info: ArtifactInfo = serde_json::from_str(header)
+        .map_err(|e| ArtifactError::Malformed(format!("header JSON: {e}")))?;
+    Ok((info, payload, cursor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_nn::{ActivationLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
+    use ttfs_core::{convert, Base2Kernel};
+
+    fn model() -> SnnModel {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = Sequential::new(vec![
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(12, 8, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::Dense(DenseLayer::new(8, 3, &mut rng)),
+        ]);
+        convert(&net, Base2Kernel::paper_default(), 24).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_weights_bit_exactly() {
+        let m = model();
+        let artifact =
+            ModelArtifact::build("demo", "v1", m.clone(), &[1, 3, 4], BackendHint::Csr).unwrap();
+        let bytes = artifact.to_bytes().unwrap();
+        let back = ModelArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(back.info, artifact.info);
+        for (a, b) in m.layers().iter().zip(back.model.layers()) {
+            if let (Some(wa), Some(wb)) = (a.weight(), b.weight()) {
+                let bits_a: Vec<u32> = wa.as_slice().iter().map(|f| f.to_bits()).collect();
+                let bits_b: Vec<u32> = wb.as_slice().iter().map(|f| f.to_bits()).collect();
+                assert_eq!(bits_a, bits_b, "weights must round-trip bit-exactly");
+            }
+        }
+    }
+
+    #[test]
+    fn quant_artifact_ships_matching_calibration() {
+        let artifact = ModelArtifact::build(
+            "demo",
+            "v1",
+            model(),
+            &[1, 3, 4],
+            BackendHint::quant_default(),
+        )
+        .unwrap();
+        assert_eq!(artifact.quantizers.len(), 2);
+        let back = ModelArtifact::from_bytes(&artifact.to_bytes().unwrap()).unwrap();
+        assert_eq!(back.quantizers.len(), 2);
+        for (a, b) in artifact.quantizers.iter().zip(&back.quantizers) {
+            assert_eq!(a.fsr_log2().to_bits(), b.fsr_log2().to_bits());
+        }
+    }
+
+    #[test]
+    fn every_corruption_is_a_typed_error() {
+        let artifact =
+            ModelArtifact::build("demo", "v1", model(), &[1, 3, 4], BackendHint::Csr).unwrap();
+        let good = artifact.to_bytes().unwrap();
+
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bad),
+            Err(ArtifactError::BadMagic { .. })
+        ));
+
+        // Future format version.
+        let mut bad = good.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bad),
+            Err(ArtifactError::UnsupportedVersion { found: 99, .. })
+        ));
+
+        // Truncation (any prefix must fail cleanly).
+        for cut in [0, 7, 12, 20, good.len() / 2, good.len() - 1] {
+            let err = ModelArtifact::from_bytes(&good[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ArtifactError::Truncated { .. } | ArtifactError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+
+        // Single bit flip in the payload.
+        let mut bad = good.clone();
+        let mid = good.len() / 2;
+        bad[mid] ^= 0x01;
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bad),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+
+        // Oversized declared header length.
+        let mut bad = good.clone();
+        bad[12..16].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bad),
+            Err(ArtifactError::OversizedLength {
+                field: "header",
+                ..
+            })
+        ));
+
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.extend_from_slice(b"junk");
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bad),
+            Err(ArtifactError::Malformed(_))
+        ));
+
+        // The original still loads (corruption tests must not mutate it).
+        assert!(ModelArtifact::from_bytes(&good).is_ok());
+    }
+
+    #[test]
+    fn hostile_labels_rejected() {
+        for bad in ["", "a@b", "a/b", "a b"] {
+            assert!(
+                ModelArtifact::build(bad, "v1", model(), &[1, 3, 4], BackendHint::Csr).is_err(),
+                "name {bad:?} must be rejected"
+            );
+        }
+    }
+}

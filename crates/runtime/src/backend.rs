@@ -30,6 +30,15 @@ pub trait InferenceBackend: Send + Sync {
     /// The converted model this backend executes.
     fn model(&self) -> &SnnModel;
 
+    /// The per-sample input dims this backend was compiled for, when the
+    /// backend has a fixed geometry. Compiled engines return their
+    /// compile-time dims so servers can validate submissions against the
+    /// entry's geometry; shape-agnostic backends (the reference event
+    /// simulator) return `None` and validate at run time.
+    fn input_dims(&self) -> Option<&[usize]> {
+        None
+    }
+
     /// Runs a `[N, C, H, W]` batch, returning decoded logits
     /// `[N, classes]` and accumulated event statistics.
     ///

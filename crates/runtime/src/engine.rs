@@ -676,6 +676,10 @@ impl InferenceBackend for CsrEngine {
         &self.model
     }
 
+    fn input_dims(&self) -> Option<&[usize]> {
+        Some(&self.compiled.input_dims)
+    }
+
     fn run_batch(&self, images: &Tensor) -> Result<(Tensor, RunStats), ConvertError> {
         run_batch_chunked(
             &self.model,

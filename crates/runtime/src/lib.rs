@@ -45,6 +45,13 @@
 //!   [`InferenceServer::run`] over the same images regardless of arrival
 //!   interleaving, deadlines or priorities. The `snn-gateway` crate
 //!   fronts this server with a dependency-free HTTP/1.1 edge.
+//! * [`ModelArtifact`] / [`ModelRegistry`] — the many-models layer: a
+//!   versioned on-disk artifact format (magic + format version + checksum,
+//!   bit-exact f32 round-trip of weights **and** per-layer quantizer
+//!   calibration) and a registry that resolves `name@version` to lazily
+//!   loaded, single-flight-compiled serving entries with LRU eviction
+//!   under a byte budget ([`CsrFootprint`] accounting) and atomic version
+//!   swap under live traffic.
 //! * [`energy`] — feeds measured event counts into the
 //!   [`snn_hw::Processor`] cycle/energy model, so hardware reports work
 //!   unchanged on the fast path.
@@ -79,6 +86,7 @@
 
 #![deny(missing_docs)]
 
+mod artifact;
 mod backend;
 mod batcher;
 mod csr;
@@ -86,10 +94,15 @@ pub mod energy;
 mod engine;
 mod metrics;
 mod quant;
+mod registry;
 mod server;
 mod wheel;
 mod workers;
 
+pub use artifact::{
+    fnv1a64, ArtifactError, ArtifactInfo, BackendHint, ModelArtifact, ARTIFACT_EXTENSION,
+    ARTIFACT_FORMAT_VERSION, ARTIFACT_MAGIC, MAX_SECTION_BYTES,
+};
 pub use backend::{BackendChoice, InferenceBackend};
 pub use batcher::{
     DeadlineBatcher, FlushReason, StreamedResponse, StreamingConfig, SubmitError, SubmitOptions,
@@ -106,6 +119,10 @@ pub use metrics::{
 pub use quant::{
     fit_layer_quantizers, quantize_model, DecodeMode, QuantConfig, QuantCsrModel, QuantEngine,
     QuantLayer,
+};
+pub use registry::{
+    ModelHandle, ModelRegistry, ModelStatus, RegistryConfig, RegistryError, RegistryMetrics,
+    SwapReport,
 };
 pub use server::{BatchReport, InferenceServer, ServerConfig, StreamingServer};
 pub use wheel::{BatchWheel, LaneSpike, TimeWheel, WheelSpike};

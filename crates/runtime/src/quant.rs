@@ -526,6 +526,10 @@ impl InferenceBackend for QuantEngine {
         &self.model
     }
 
+    fn input_dims(&self) -> Option<&[usize]> {
+        Some(&self.compiled.input_dims)
+    }
+
     fn run_batch(&self, images: &Tensor) -> Result<(Tensor, RunStats), ConvertError> {
         let ctxs = self.active_luts();
         run_batch_chunked(

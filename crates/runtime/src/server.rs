@@ -408,6 +408,12 @@ impl StreamingServer {
         self.backend.model()
     }
 
+    /// The per-sample dims this server's backend was compiled for, when
+    /// fixed ([`InferenceBackend::input_dims`]).
+    pub fn input_dims(&self) -> Option<&[usize]> {
+        self.backend.input_dims()
+    }
+
     /// Worker thread count (excluding the batcher thread).
     pub fn threads(&self) -> usize {
         self.threads
@@ -460,8 +466,8 @@ impl StreamingServer {
     /// into unbounded latency; the shed is counted in
     /// [`StreamingMetrics::shed_requests`]), or [`SubmitError::Rejected`]
     /// if the server has shut down, `image` is empty, or its dims differ
-    /// from the first submission's (all streamed samples must share one
-    /// geometry).
+    /// from the backend's compiled geometry (for shape-agnostic backends:
+    /// from the first submission's dims).
     pub fn submit_with(
         &self,
         image: &Tensor,
@@ -491,7 +497,21 @@ impl StreamingServer {
         let release_slot = || {
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
         };
-        {
+        // Validate geometry against the backend's compiled dims when it
+        // has them — per entry, not per process, so two servers fronting
+        // models of different dims coexist and a bad first submission
+        // can't pin the stream to the wrong geometry. Shape-agnostic
+        // backends fall back to first-submission pinning.
+        if let Some(expected) = self.backend.input_dims() {
+            if expected != image.dims() {
+                release_slot();
+                return Err(SubmitError::Rejected(ConvertError::Structure(format!(
+                    "streamed sample dims {:?} do not match the backend's compiled geometry {:?}",
+                    image.dims(),
+                    expected
+                ))));
+            }
+        } else {
             let mut dims = self.sample_dims.lock().expect("sample_dims poisoned");
             match dims.as_ref() {
                 None => *dims = Some(image.dims().to_vec()),

@@ -1,0 +1,137 @@
+//! Property test: artifact save → load → compile round-trips are
+//! **bit-exact** end to end. For random models (random layer shapes,
+//! random quant bit widths 3–7) and every serving backend (f32 CSR, LUT
+//! decode, shift-add decode), an engine compiled from a
+//! serialized-then-deserialized artifact produces logits bit-identical to
+//! an engine compiled from the in-memory model — the guarantee that lets
+//! a serving box load models from disk without re-validating them against
+//! a reference process.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snn_nn::{
+    ActivationLayer, Conv2dLayer, DenseLayer, Flatten, Layer, MaxPool2dLayer, Relu, Sequential,
+};
+use snn_runtime::{BackendHint, DecodeMode, ModelArtifact, QuantConfig};
+use snn_tensor::{uniform, Conv2dSpec};
+use ttfs_core::{convert, Base2Kernel, SnnModel};
+
+/// A random small model: optionally a conv + pool stage, then one or two
+/// dense layers of random widths. Returns the model and its per-sample
+/// input dims.
+fn random_model(rng: &mut StdRng) -> (SnnModel, Vec<usize>) {
+    let classes = rng.gen_range(2..=5);
+    let (layers, input_dims) = if rng.gen_bool(0.5) {
+        // Conv stage: side 6 or 8, 1 input channel, random out channels.
+        let side = if rng.gen_bool(0.5) { 6 } else { 8 };
+        let out_c = rng.gen_range(2..=4);
+        let hidden = out_c * (side / 2) * (side / 2);
+        (
+            vec![
+                Layer::Conv2d(Conv2dLayer::new(Conv2dSpec::new(1, out_c, 3, 1, 1), rng)),
+                Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+                Layer::MaxPool2d(MaxPool2dLayer::new(2, 2)),
+                Layer::Flatten(Flatten::new()),
+                Layer::Dense(DenseLayer::new(hidden, classes, rng)),
+            ],
+            vec![1, side, side],
+        )
+    } else {
+        // Dense stack: random flat input and hidden widths.
+        let h = rng.gen_range(2..=5);
+        let w = rng.gen_range(2..=5);
+        let hidden = rng.gen_range(4..=12);
+        (
+            vec![
+                Layer::Flatten(Flatten::new()),
+                Layer::Dense(DenseLayer::new(h * w, hidden, rng)),
+                Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+                Layer::Dense(DenseLayer::new(hidden, classes, rng)),
+            ],
+            vec![1, h, w],
+        )
+    };
+    let model = convert(&Sequential::new(layers), Base2Kernel::paper_default(), 24).unwrap();
+    (model, input_dims)
+}
+
+/// Runs one backend hint through the full round-trip and asserts logit
+/// bit-equality between the in-memory compile and the artifact compile.
+fn assert_roundtrip_bit_identical(
+    model: &SnnModel,
+    input_dims: &[usize],
+    hint: BackendHint,
+    rng: &mut StdRng,
+) {
+    let artifact = ModelArtifact::build("prop", "v1", model.clone(), input_dims, hint.clone())
+        .expect("artifact builds");
+    let bytes = artifact.to_bytes().expect("serializes");
+    let restored = ModelArtifact::from_bytes(&bytes).expect("deserializes");
+    assert_eq!(restored.info, artifact.info);
+
+    let (from_memory, _) = artifact.compile().expect("in-memory compile");
+    let (from_disk, _) = restored.compile().expect("artifact compile");
+
+    let mut batch_dims = vec![3usize];
+    batch_dims.extend_from_slice(input_dims);
+    let x = uniform(&batch_dims, 0.0, 1.0, rng);
+    let (mem_logits, _) = from_memory.run_batch(&x).expect("in-memory run");
+    let (disk_logits, _) = from_disk.run_batch(&x).expect("artifact run");
+    let mem_bits: Vec<u32> = mem_logits.as_slice().iter().map(|f| f.to_bits()).collect();
+    let disk_bits: Vec<u32> = disk_logits.as_slice().iter().map(|f| f.to_bits()).collect();
+    assert_eq!(
+        mem_bits,
+        disk_bits,
+        "{} logits must be bit-identical through the artifact round-trip",
+        hint.label()
+    );
+}
+
+#[test]
+fn random_models_roundtrip_bit_identical_on_every_backend() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0x00A1_1FA0 + seed);
+        let (model, input_dims) = random_model(&mut rng);
+        // Random quant bit width in the paper's practical 3–7 range.
+        let bits = rng.gen_range(3..=7u8);
+        let base = QuantConfig::default().base;
+        for hint in [
+            BackendHint::Csr,
+            BackendHint::Quant {
+                base,
+                bits,
+                shift_add: false,
+            },
+            BackendHint::Quant {
+                base,
+                bits,
+                shift_add: true,
+            },
+        ] {
+            assert_roundtrip_bit_identical(&model, &input_dims, hint, &mut rng);
+        }
+    }
+}
+
+#[test]
+fn quant_config_survives_the_trip() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let (model, input_dims) = random_model(&mut rng);
+    for bits in 3..=7u8 {
+        let hint = BackendHint::Quant {
+            base: QuantConfig::default().base,
+            bits,
+            shift_add: false,
+        };
+        let artifact = ModelArtifact::build("cfg", "v1", model.clone(), &input_dims, hint).unwrap();
+        let back = ModelArtifact::from_bytes(&artifact.to_bytes().unwrap()).unwrap();
+        let config = back.info.backend.quant_config().expect("quant hint");
+        assert_eq!(config.bits, bits);
+        assert_eq!(config.mode, DecodeMode::Lut);
+        // The shipped calibration is the fitted one, bit for bit.
+        for (a, b) in artifact.quantizers.iter().zip(&back.quantizers) {
+            assert_eq!(a.fsr_log2().to_bits(), b.fsr_log2().to_bits());
+            assert_eq!(a.bits(), b.bits());
+        }
+    }
+}

@@ -9,7 +9,15 @@
 //! `snn-gateway` (default `127.0.0.1:7878`) and prints ready-to-paste
 //! `curl` commands; Ctrl-C stops it. Set `SNN_GATEWAY_ONCE=1` to
 //! self-drive one request and exit (used to smoke the path headlessly).
+//!
+//! With `--model-dir <dir> [addr]` it serves every `.snna` artifact in
+//! `dir` through a `ModelRegistry` (lazy load + compile, LRU cache,
+//! atomic hot swap): `GET /v1/models`, `POST /v1/models/<name>/infer`,
+//! `POST /v1/models/<name>/swap`. Demo artifacts are generated into an
+//! empty dir on first run. `SNN_GATEWAY_ONCE=1` self-drives
+//! list → infer → swap → infer and exits.
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -18,9 +26,10 @@ use rand::SeedableRng;
 use ttfs_snn::gateway::{client::HttpClient, Gateway, GatewayConfig, InferRequest};
 use ttfs_snn::hw::{Processor, ProcessorConfig};
 use ttfs_snn::nn::models::vgg16_scaled;
+use ttfs_snn::nn::{ActivationLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
 use ttfs_snn::runtime::{
-    energy, quantize_model, BackendChoice, CsrEngine, InferenceServer, QuantConfig, ServerConfig,
-    StreamingConfig, StreamingServer,
+    energy, quantize_model, BackendChoice, BackendHint, CsrEngine, InferenceServer, ModelArtifact,
+    ModelRegistry, QuantConfig, RegistryConfig, ServerConfig, StreamingConfig, StreamingServer,
 };
 use ttfs_snn::sim::EventSnn;
 use ttfs_snn::tensor::Tensor;
@@ -113,8 +122,132 @@ fn serve_gateway(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
+/// Serves every `.snna` artifact in `dir` over HTTP through a
+/// `ModelRegistry`, generating demo artifacts first if the dir is empty.
+fn serve_model_dir(dir: &Path, addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all(dir)?;
+    let has_artifacts = std::fs::read_dir(dir)?
+        .flatten()
+        .any(|e| e.path().extension().and_then(|x| x.to_str()) == Some("snna"));
+    if !has_artifacts {
+        println!(
+            "no .snna artifacts in {}; generating demo models",
+            dir.display()
+        );
+        let demo = |name: &str,
+                    version: &str,
+                    seed: u64,
+                    dims: &[usize],
+                    hint: BackendHint|
+         -> Result<(), Box<dyn std::error::Error>> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let in_len: usize = dims.iter().product();
+            let net = Sequential::new(vec![
+                Layer::Flatten(Flatten::new()),
+                Layer::Dense(DenseLayer::new(in_len, 32, &mut rng)),
+                Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+                Layer::Dense(DenseLayer::new(32, 10, &mut rng)),
+            ]);
+            let model = convert(&net, Base2Kernel::paper_default(), 24)?;
+            let artifact = ModelArtifact::build(name, version, model, dims, hint)?;
+            let path = dir.join(artifact.info.file_name());
+            artifact.save(&path)?;
+            println!("  wrote {}", path.display());
+            Ok(())
+        };
+        demo("alpha", "1", 1, &[1, 8, 8], BackendHint::Csr)?;
+        demo("alpha", "2", 2, &[1, 8, 8], BackendHint::Csr)?;
+        demo("beta", "1", 3, &[1, 6, 6], BackendHint::quant_default())?;
+    }
+
+    // The registry lazily loads + compiles artifacts on first request and
+    // records registry.load / registry.compile / registry.swap spans.
+    let collector = Arc::new(TraceCollector::new(0));
+    let registry = Arc::new(ModelRegistry::open_traced(
+        dir,
+        RegistryConfig {
+            byte_budget: 0,
+            streaming: StreamingConfig {
+                threads: 0,
+                max_batch: 8,
+                max_delay: Duration::from_millis(2),
+                max_pending: 256,
+            },
+        },
+        Some(collector),
+    )?);
+    // The plain /v1/infer route serves alpha's active version as of boot;
+    // per-model routes always follow the registry (including swaps).
+    let alpha = registry.get_or_load("alpha")?;
+    let input_dims = alpha.input_dims().to_vec();
+    let mut gateway = Gateway::start_with_registry(
+        Arc::clone(alpha.server()),
+        Arc::clone(&registry),
+        GatewayConfig {
+            addr: addr.to_string(),
+            ..GatewayConfig::for_dims(&input_dims)
+        },
+    )?;
+    let bound = gateway.local_addr();
+    let pixels: usize = input_dims.iter().product();
+    println!(
+        "snn-gateway serving {} model(s) from {} on http://{bound}",
+        registry.list().len(),
+        dir.display()
+    );
+    println!("  curl -s http://{bound}/v1/models");
+    println!(
+        "  python3 -c 'import json; print(json.dumps({{\"dims\": {input_dims:?}, \
+         \"pixels\": [0.5]*{pixels}}}))' > /tmp/req.json"
+    );
+    println!("  curl -s -X POST http://{bound}/v1/models/alpha/infer -d @/tmp/req.json");
+    println!("  curl -s -X POST http://{bound}/v1/models/alpha@1/infer -d @/tmp/req.json");
+    println!("  curl -s -X POST http://{bound}/v1/models/alpha/swap -d '{{\"version\":\"1\"}}'");
+    println!("  curl -s http://{bound}/metrics | head");
+
+    // Self-drive the whole surface once: list, per-model infer, an atomic
+    // version swap, and an infer that must land on the swapped version.
+    {
+        let mut client = HttpClient::connect(bound)?;
+        let list = client.get("/v1/models")?;
+        println!("self-check: GET /v1/models -> {}", list.status);
+        let request = InferRequest::new(input_dims.clone(), vec![0.5; pixels]);
+        let body = serde_json::to_string(&request)?;
+        let before = client.post_json("/v1/models/alpha/infer", &body)?;
+        let swap = client.post_json("/v1/models/alpha/swap", "{\"version\":\"1\"}")?;
+        let after = client.post_json("/v1/models/alpha/infer", &body)?;
+        println!(
+            "self-check: infer -> {}, swap -> {} ({}), infer -> {}",
+            before.status,
+            swap.status,
+            String::from_utf8_lossy(&swap.body),
+            after.status
+        );
+    }
+
+    if std::env::var("SNN_GATEWAY_ONCE").is_ok() {
+        gateway.shutdown();
+        registry.shutdown();
+        return Ok(());
+    }
+    println!("serving until killed (Ctrl-C)...");
+    loop {
+        std::thread::park();
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--model-dir") {
+        let dir = args
+            .get(pos + 1)
+            .ok_or("--model-dir requires a directory argument")?;
+        let addr = args
+            .get(pos + 2)
+            .map(String::as_str)
+            .unwrap_or("127.0.0.1:7878");
+        return serve_model_dir(Path::new(dir), addr);
+    }
     if let Some(pos) = args.iter().position(|a| a == "--gateway") {
         let addr = args
             .get(pos + 1)
