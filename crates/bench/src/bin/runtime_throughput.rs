@@ -21,8 +21,12 @@
 //! `SnnModel::reference_forward`, the tracing cost model (`observability`:
 //! interleaved best-of-N engine runs with spans on vs off, the
 //! disabled-collector and fully-traced streaming configurations, span
-//! volume and collector drops), and the hardware energy report driven by
-//! the fast path's event counts.
+//! volume and collector drops), the seeded fault-injection storms
+//! (`faults`: chaos seeds driven through the full HTTP path with backend
+//! panics / slowdowns / connection resets armed, the circuit-breaker
+//! open-and-recover scenario, a torn artifact write that must leave the
+//! previous version loadable, and the disabled-injector overhead guard),
+//! and the hardware energy report driven by the fast path's event counts.
 //!
 //! Run: `cargo run -p snn-bench --bin runtime_throughput --release`
 //! Scale with `SNN_BENCH_SCALE=quick|default|full`. Pass
@@ -44,9 +48,10 @@ use snn_hw::{Processor, ProcessorConfig};
 use snn_nn::models::vgg16_scaled;
 use snn_nn::{ActivationLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
 use snn_runtime::{
-    energy, quantize_model, BackendHint, CsrEngine, DecodeMode, InferenceBackend, InferenceServer,
-    ModelArtifact, ModelRegistry, QuantConfig, QuantEngine, RegistryConfig, RegistryMetrics,
-    ServerConfig, StreamingConfig, StreamingMetrics, StreamingServer, SubmitOptions,
+    energy, quantize_model, BackendHint, BrownoutConfig, CsrEngine, DecodeMode, FaultConfig,
+    FaultCounts, FaultInjector, InferenceBackend, InferenceServer, ModelArtifact, ModelRegistry,
+    QuantConfig, QuantEngine, RegistryConfig, RegistryError, RegistryMetrics, ServerConfig,
+    StreamingConfig, StreamingMetrics, StreamingServer, SubmitOptions,
 };
 use snn_sim::EventSnn;
 use snn_tensor::Tensor;
@@ -292,6 +297,53 @@ struct ObservabilityResult {
 }
 
 #[derive(Debug, Serialize)]
+struct FaultsResult {
+    /// Chaos seeds driven through the full HTTP path with the injector
+    /// armed (backend panics, slowdowns, connection resets, brownout).
+    seeds: Vec<u64>,
+    /// Aggregate wire-visible outcomes across every storm seed. These
+    /// five buckets partition `storm_requests` exactly: a request that
+    /// fell into none of them would have hung a closed-loop client.
+    storm_requests: u64,
+    storm_ok_200: u64,
+    storm_shed_429: u64,
+    storm_unavailable_503: u64,
+    storm_other_status: u64,
+    storm_transport_errors: u64,
+    /// `200` responses whose logits did not bit-match the reference
+    /// (CI-gated to 0: faults may fail requests, never corrupt them).
+    storm_mismatches: u64,
+    /// Every issued request resolved to exactly one typed outcome.
+    all_resolved: bool,
+    /// Faults actually fired, summed over every armed segment.
+    injected: FaultCounts,
+    injected_total: u64,
+    /// Blast-radius isolation counters from the storm server: batches
+    /// re-run after a panic, and requests quarantined after panicking
+    /// solo on the retry path.
+    batch_retries: u64,
+    quarantined: u64,
+    /// Clean closed loop through the *same* gateway/server after
+    /// disarming: all `200`, bit-exact — the stack survived the storm.
+    post_storm_ok: bool,
+    /// Repeated injected compile failures opened the per-model circuit
+    /// breaker, an open-state lookup was rejected without a load
+    /// attempt, and the half-open probe after "repair" closed it again.
+    breaker_opened: bool,
+    breaker_recovered: bool,
+    breaker_rejections: u64,
+    /// An injected torn write failed the save but left the previously
+    /// committed artifact bytes loadable (crash-safe save protocol).
+    torn_write_survived: bool,
+    /// Closed-loop streaming throughput with the injector disarmed, and
+    /// its fractional delta versus the main `streaming` section — the
+    /// disabled path is one relaxed atomic load, so CI gates the delta
+    /// to the run-to-run noise band.
+    disabled_images_per_sec: f64,
+    disabled_delta_frac: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct RuntimeBenchReport {
     scale: String,
     geometry: String,
@@ -309,6 +361,7 @@ struct RuntimeBenchReport {
     streaming: StreamingResult,
     gateway: GatewayResult,
     registry: RegistryResult,
+    faults: FaultsResult,
     quant: QuantResult,
     observability: ObservabilityResult,
     speedup_csr_single: f64,
@@ -515,6 +568,49 @@ fn main() {
         "hot swap must not drop or blend a single request"
     );
 
+    // Seeded fault storms: the injector armed over the full HTTP path
+    // (panics, slowdowns, resets, brownout sheds), the circuit-breaker
+    // open-and-recover scenario, a torn artifact write, and the
+    // disabled-injector overhead guard. Disarms before returning, so
+    // every later section runs the production fast path.
+    let faults = faults_bench(
+        Arc::clone(&csr) as Arc<dyn InferenceBackend>,
+        &x,
+        &csr_logits,
+        &input_dims,
+        streaming.metrics.images_per_sec,
+        (threads * 2).clamp(2, 8),
+        threads * 4,
+        passes,
+        chunk_size.max(2),
+        Duration::from_millis(2),
+        seed,
+    );
+    assert!(
+        faults.all_resolved,
+        "every storm request must resolve to a typed outcome"
+    );
+    assert_eq!(
+        faults.storm_mismatches, 0,
+        "storm 200s must stay bit-exact: faults may fail requests, never corrupt them"
+    );
+    assert!(
+        faults.post_storm_ok,
+        "the serving stack must come back clean after the storm"
+    );
+    assert!(
+        faults.breaker_opened && faults.breaker_recovered,
+        "the circuit breaker must open under repeated failures and recover after repair"
+    );
+    assert!(
+        faults.torn_write_survived,
+        "a torn write must leave the previously committed artifact loadable"
+    );
+    assert!(
+        faults.injected_total > 0,
+        "the storm must actually fire injected faults"
+    );
+
     // Quantized serving path: packed 5-bit log codes + LUT decode, from
     // the same shared model Arc. Ground truth for bit-exactness is the
     // reference event simulator over per-layer quantize_tensor'd weights.
@@ -609,6 +705,7 @@ fn main() {
         streaming,
         gateway,
         registry,
+        faults,
         quant: QuantResult {
             bits: qconfig.bits,
             base: qconfig.base.label(),
@@ -740,6 +837,25 @@ fn main() {
             format!(" -> {}", out.observability.chrome_trace_path)
         },
     );
+    eprintln!(
+        "faults({} seeds) {} req: {} ok / {} 429 / {} 503 / {} other / {} transport | injected {} | mismatches {} | retries {} quarantined {} | post-storm ok {} | breaker open {} recover {} | torn-write survived {} | disabled delta {:+.2}%",
+        out.faults.seeds.len(),
+        out.faults.storm_requests,
+        out.faults.storm_ok_200,
+        out.faults.storm_shed_429,
+        out.faults.storm_unavailable_503,
+        out.faults.storm_other_status,
+        out.faults.storm_transport_errors,
+        out.faults.injected_total,
+        out.faults.storm_mismatches,
+        out.faults.batch_retries,
+        out.faults.quarantined,
+        out.faults.post_storm_ok,
+        out.faults.breaker_opened,
+        out.faults.breaker_recovered,
+        out.faults.torn_write_survived,
+        out.faults.disabled_delta_frac * 100.0,
+    );
 }
 
 /// Boots a loopback gateway over `backend`, drives it with the closed-loop
@@ -765,6 +881,7 @@ fn gateway_smoke(
             max_batch,
             max_delay,
             max_pending: 0,
+            brownout: None,
         },
     ));
     let mut gateway = Gateway::start(
@@ -817,6 +934,7 @@ fn gateway_smoke(
             max_batch: 64,
             max_delay: Duration::from_millis(15),
             max_pending: 1,
+            brownout: None,
         },
     ));
     let mut bp_gateway = Gateway::start(
@@ -869,6 +987,22 @@ fn gateway_smoke(
     }
 }
 
+/// A tiny dense artifact for the registry-focused sections: flatten →
+/// dense(16) → relu → dense(4) over `dims`, converted with the paper
+/// kernel.
+fn small_artifact(name: &str, version: &str, seed: u64, dims: &[usize]) -> ModelArtifact {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let in_len: usize = dims.iter().product();
+    let net = Sequential::new(vec![
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(DenseLayer::new(in_len, 16, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+        Layer::Dense(DenseLayer::new(16, 4, &mut rng)),
+    ]);
+    let model = convert(&net, Base2Kernel::paper_default(), 24).expect("bench model");
+    ModelArtifact::build(name, version, model, dims, BackendHint::Csr).expect("bench artifact")
+}
+
 /// Boots a [`ModelRegistry`] over a scratch artifact dir (two versions of
 /// `alpha` plus a `beta` with different input dims), measures the cold
 /// load / compile / warm-lookup costs, drives both per-model routes
@@ -880,18 +1014,6 @@ fn registry_smoke(clients: usize, passes: usize, seed: u64) -> RegistryResult {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("bench registry dir");
 
-    let small_artifact = |name: &str, version: &str, seed: u64, dims: &[usize]| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let in_len: usize = dims.iter().product();
-        let net = Sequential::new(vec![
-            Layer::Flatten(Flatten::new()),
-            Layer::Dense(DenseLayer::new(in_len, 16, &mut rng)),
-            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
-            Layer::Dense(DenseLayer::new(16, 4, &mut rng)),
-        ]);
-        let model = convert(&net, Base2Kernel::paper_default(), 24).expect("bench model");
-        ModelArtifact::build(name, version, model, dims, BackendHint::Csr).expect("bench artifact")
-    };
     let dims_a = [1usize, 4, 6];
     let dims_b = [1usize, 3, 4];
     let v1 = small_artifact("alpha", "1", seed ^ 0xA1, &dims_a);
@@ -914,7 +1036,9 @@ fn registry_smoke(clients: usize, passes: usize, seed: u64) -> RegistryResult {
                     max_batch: 8,
                     max_delay: Duration::from_millis(1),
                     max_pending: 0,
+                    brownout: None,
                 },
+                ..RegistryConfig::default()
             },
         )
         .expect("registry open"),
@@ -944,6 +1068,7 @@ fn registry_smoke(clients: usize, passes: usize, seed: u64) -> RegistryResult {
             max_batch: 8,
             max_delay: Duration::from_millis(1),
             max_pending: 0,
+            brownout: None,
         },
     ));
     let mut gateway = Gateway::start_with_registry(
@@ -1057,6 +1182,265 @@ fn registry_smoke(clients: usize, passes: usize, seed: u64) -> RegistryResult {
     }
 }
 
+/// Field-wise sum of two fired-counter snapshots (one armed segment
+/// each).
+fn add_counts(into: &mut FaultCounts, c: &FaultCounts) {
+    into.backend_panics += c.backend_panics;
+    into.backend_slowdowns += c.backend_slowdowns;
+    into.artifact_read_errors += c.artifact_read_errors;
+    into.artifact_torn_writes += c.artifact_torn_writes;
+    into.compile_failures += c.compile_failures;
+    into.conn_resets += c.conn_resets;
+    into.evaluated += c.evaluated;
+}
+
+/// The robustness section: seeded chaos storms through the full HTTP
+/// path with the global [`FaultInjector`] armed (backend panics and
+/// slowdowns, wire-level connection resets, a brownout watermark tight
+/// enough to shed under the closed-loop load), a post-storm clean pass
+/// through the *same* surviving stack, the circuit-breaker
+/// open-and-recover scenario driven by injected compile failures, a torn
+/// artifact write that must leave the previous version loadable, and a
+/// disarmed closed-loop run whose throughput is compared against the
+/// main `streaming` section (the disabled path is one relaxed atomic
+/// load per hook). Always disarms before returning.
+#[allow(clippy::too_many_arguments)]
+fn faults_bench(
+    backend: Arc<dyn InferenceBackend>,
+    x: &Tensor,
+    expected_logits: &Tensor,
+    input_dims: &[usize],
+    baseline_images_per_sec: f64,
+    http_clients: usize,
+    stream_clients: usize,
+    passes: usize,
+    max_batch: usize,
+    max_delay: Duration,
+    seed: u64,
+) -> FaultsResult {
+    let injector = FaultInjector::global();
+    injector.disarm();
+    let mut injected = FaultCounts::default();
+
+    // The storm fires injected panics on purpose; silence the default
+    // panic printer for exactly those so stderr stays readable. Any
+    // *real* panic still prints through the saved hook.
+    let saved_hook = std::panic::take_hook();
+    let forward = Arc::new(saved_hook);
+    let forward_for_hook = Arc::clone(&forward);
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected backend panic"));
+        if !injected {
+            forward_for_hook(info);
+        }
+    }));
+
+    // One serving stack for the whole storm: the same workers must absorb
+    // every seed's faults and then serve the clean pass.
+    let server = Arc::new(StreamingServer::new(
+        Arc::clone(&backend),
+        StreamingConfig {
+            threads: 0,
+            max_batch,
+            max_delay,
+            max_pending: 0,
+            // Brownout enabled so the admission path runs its policy
+            // branch under chaos, but with watermarks the closed-loop
+            // concurrency cannot cross (slots release shortly after each
+            // reply, so transient occupancy stays well under 8x clients):
+            // storm outcomes stay a deterministic function of the seeds.
+            brownout: Some(BrownoutConfig {
+                high_water: http_clients * 8,
+                low_water: http_clients * 4,
+                shed_below_priority: 1,
+            }),
+        },
+    ));
+    let mut gateway = Gateway::start(
+        Arc::clone(&server),
+        GatewayConfig {
+            workers: http_clients,
+            ..GatewayConfig::for_dims(input_dims)
+        },
+    )
+    .expect("faults gateway bind");
+
+    let seeds: Vec<u64> = (0..3u64).map(|i| seed ^ (0xC4A0 + i)).collect();
+    let mut storm = LoadReport::default();
+    let mut all_resolved = true;
+    for &s in &seeds {
+        injector.arm(
+            s,
+            FaultConfig {
+                backend_panic: 0.05,
+                backend_slow: 0.10,
+                conn_reset: 0.10,
+                slow_delay: Duration::from_micros(500),
+                ..FaultConfig::default()
+            },
+        );
+        let r = run_closed_loop(
+            gateway.local_addr(),
+            x,
+            Some(expected_logits),
+            &LoadGenConfig {
+                clients: http_clients,
+                passes,
+                max_priority: 3,
+                seed: s,
+                retry_after_cap: Some(Duration::from_millis(2)),
+                ..LoadGenConfig::default()
+            },
+        );
+        injector.disarm();
+        add_counts(&mut injected, &injector.counts());
+        all_resolved &= r.requests
+            == r.ok_200 + r.shed_429 + r.unavailable_503 + r.other_status + r.transport_errors;
+        storm.requests += r.requests;
+        storm.ok_200 += r.ok_200;
+        storm.shed_429 += r.shed_429;
+        storm.unavailable_503 += r.unavailable_503;
+        storm.other_status += r.other_status;
+        storm.transport_errors += r.transport_errors;
+        storm.mismatches += r.mismatches;
+    }
+
+    // Post-storm serviceability: the same stack, injector disarmed, must
+    // serve a clean all-200 bit-exact pass.
+    let clean = run_closed_loop(
+        gateway.local_addr(),
+        x,
+        Some(expected_logits),
+        &LoadGenConfig {
+            clients: http_clients,
+            passes: 1,
+            seed: seed ^ 0xC1EA,
+            ..LoadGenConfig::default()
+        },
+    );
+    let post_storm_ok = clean.mismatches == 0
+        && clean.transport_errors == 0
+        && clean.ok_200 > 0
+        && clean.ok_200 == clean.requests;
+    if !post_storm_ok {
+        eprintln!("DEBUG post-storm clean report: {clean:?}");
+    }
+    gateway.shutdown();
+    let storm_streaming = server.shutdown();
+
+    // Breaker scenario: a registry whose only model compiles fine until
+    // the injector fails it. Two failures trip the (threshold 2)
+    // breaker, an open-state lookup is rejected without touching the
+    // loader, and after "repair" (disarm) the half-open probe recovers.
+    let dir = std::env::temp_dir().join(format!("snn_bench_faults_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench faults dir");
+    let artifact = small_artifact("gamma", "1", seed ^ 0xF0, &[1, 3, 4]);
+    let path = dir.join(artifact.info.file_name());
+    artifact.save(&path).expect("save gamma");
+
+    // Torn-write probe: a re-save under artifact_write=1.0 must fail and
+    // leave the committed bytes loadable.
+    injector.arm(
+        seed ^ 0x7042,
+        FaultConfig {
+            artifact_write: 1.0,
+            ..FaultConfig::default()
+        },
+    );
+    let torn = artifact.save(&path).is_err();
+    injector.disarm();
+    add_counts(&mut injected, &injector.counts());
+    let torn_write_survived = torn && ModelArtifact::load(&path).is_ok();
+
+    let backoff = Duration::from_millis(30);
+    let registry = ModelRegistry::open(
+        &dir,
+        RegistryConfig {
+            byte_budget: 0,
+            streaming: StreamingConfig {
+                threads: 1,
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                max_pending: 0,
+                brownout: None,
+            },
+            breaker_threshold: 2,
+            breaker_backoff: backoff,
+            breaker_backoff_max: backoff * 8,
+        },
+    )
+    .expect("faults registry open");
+    injector.arm(
+        seed ^ 0xB4EA,
+        FaultConfig {
+            compile: 1.0,
+            ..FaultConfig::default()
+        },
+    );
+    for _ in 0..2 {
+        assert!(
+            registry.get_or_load("gamma").is_err(),
+            "injected compile failure must surface as a typed error"
+        );
+    }
+    // Open state rejects with retry advice while the backoff runs.
+    let rejected = matches!(
+        registry.get_or_load("gamma"),
+        Err(RegistryError::BreakerOpen { .. })
+    );
+    injector.disarm();
+    add_counts(&mut injected, &injector.counts());
+    std::thread::sleep(backoff + Duration::from_millis(10));
+    let recovered = registry.get_or_load("gamma").is_ok();
+    let breaker_metrics = registry.metrics();
+    registry.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Disabled-path overhead: the same closed-loop streaming run as the
+    // main section, injector disarmed, CI-gated to the noise band.
+    let disabled = closed_loop_streaming(
+        backend,
+        x,
+        expected_logits,
+        stream_clients,
+        passes,
+        max_batch,
+        max_delay,
+        None,
+    );
+    // Back to the hook that was installed when we started.
+    let _ = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| forward(info)));
+
+    FaultsResult {
+        seeds,
+        storm_requests: storm.requests,
+        storm_ok_200: storm.ok_200,
+        storm_shed_429: storm.shed_429,
+        storm_unavailable_503: storm.unavailable_503,
+        storm_other_status: storm.other_status,
+        storm_transport_errors: storm.transport_errors,
+        storm_mismatches: storm.mismatches,
+        all_resolved,
+        injected_total: injected.total_fired(),
+        injected,
+        batch_retries: storm_streaming.batch_retries,
+        quarantined: storm_streaming.quarantined,
+        post_storm_ok,
+        breaker_opened: breaker_metrics.breaker_opens > 0 && rejected,
+        breaker_recovered: recovered && breaker_metrics.breaker_recoveries > 0,
+        breaker_rejections: breaker_metrics.breaker_rejections,
+        torn_write_survived,
+        disabled_images_per_sec: disabled.metrics.images_per_sec,
+        disabled_delta_frac: (baseline_images_per_sec - disabled.metrics.images_per_sec)
+            / baseline_images_per_sec.max(1e-9),
+    }
+}
+
 /// Elementwise max |a − b| over two equal-shape logit tensors.
 fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
     a.as_slice()
@@ -1115,6 +1499,7 @@ fn closed_loop_streaming(
         max_batch,
         max_delay,
         max_pending: 0,
+        brownout: None,
     };
     let server = match &trace {
         Some(collector) => StreamingServer::new_traced(backend, config, Arc::clone(collector)),

@@ -29,6 +29,9 @@ pub struct WireResponse {
     pub body: Vec<u8>,
     /// Whether the server will keep the connection open.
     pub keep_alive: bool,
+    /// Parsed `Retry-After` header, whole seconds, when the server sent
+    /// one (the gateway attaches it to every `429`/`503`).
+    pub retry_after: Option<u64>,
 }
 
 /// A blocking keep-alive HTTP/1.1 client over one TCP connection.
@@ -142,6 +145,7 @@ impl HttpClient {
             .ok_or_else(|| bad("malformed status line"))?;
         let mut content_length = 0usize;
         let mut keep_alive = true;
+        let mut retry_after = None;
         for line in lines {
             let Some((name, value)) = line.split_once(':') else {
                 continue;
@@ -152,6 +156,10 @@ impl HttpClient {
                 content_length = value.parse().map_err(|_| bad("bad Content-Length"))?;
             } else if name == "connection" {
                 keep_alive = !value.eq_ignore_ascii_case("close");
+            } else if name == "retry-after" {
+                // Only the delta-seconds form (the one the gateway emits);
+                // an HTTP-date or garbage value is ignored, not fatal.
+                retry_after = value.parse::<u64>().ok();
             }
         }
         let total = head_end + content_length;
@@ -164,6 +172,7 @@ impl HttpClient {
             status,
             body,
             keep_alive,
+            retry_after,
         }))
     }
 }
@@ -210,6 +219,12 @@ pub struct LoadGenConfig {
     /// Request path each POST targets — `/v1/infer` by default, or a
     /// registry route such as `/v1/models/alpha/infer`.
     pub path: String,
+    /// When `Some(cap)`, a `429`/`503` response carrying a `Retry-After`
+    /// header makes the client sleep `min(header, cap)` before its next
+    /// request — the well-behaved-client model. `None` (the default)
+    /// ignores the header and keeps hammering, which is what a
+    /// backpressure benchmark wants.
+    pub retry_after_cap: Option<Duration>,
 }
 
 impl Default for LoadGenConfig {
@@ -221,12 +236,13 @@ impl Default for LoadGenConfig {
             max_priority: 0,
             seed: 7,
             path: "/v1/infer".into(),
+            retry_after_cap: None,
         }
     }
 }
 
 /// Outcome of one closed-loop load-generation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct LoadReport {
     /// Client threads that ran.
     pub clients: usize,
@@ -416,6 +432,13 @@ pub fn run_closed_loop_any(
                                 429 => tally.shed_429 += 1,
                                 503 => tally.unavailable_503 += 1,
                                 _ => tally.other_status += 1,
+                            }
+                            if let (Some(cap), Some(secs), 429 | 503) = (
+                                config.retry_after_cap,
+                                response.retry_after,
+                                response.status,
+                            ) {
+                                std::thread::sleep(Duration::from_secs(secs).min(cap));
                             }
                         }
                     }

@@ -275,14 +275,32 @@ pub fn status_reason(status: u16) -> &'static str {
 /// `Connection` header (the gateway always frames by length, never by
 /// connection close).
 pub fn write_response(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
-    let mut out = Vec::with_capacity(body.len() + 128);
+    write_response_with_retry_after(status, content_type, body, keep_alive, None)
+}
+
+/// [`write_response`] with an optional `Retry-After: <seconds>` header —
+/// the gateway attaches one to every backpressure/unavailability answer
+/// (`429`/`503`) so well-behaved clients can pace their retries instead
+/// of hammering a breaker that is known to stay open.
+pub fn write_response_with_retry_after(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    retry_after_secs: Option<u64>,
+) -> Vec<u8> {
+    let retry_after = retry_after_secs
+        .map(|secs| format!("Retry-After: {secs}\r\n"))
+        .unwrap_or_default();
+    let mut out = Vec::with_capacity(body.len() + 160);
     out.extend_from_slice(
         format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
             status,
             status_reason(status),
             content_type,
             body.len(),
+            retry_after,
             if keep_alive { "keep-alive" } else { "close" },
         )
         .as_bytes(),
@@ -426,6 +444,17 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Retry-After"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn response_writer_emits_retry_after_when_asked() {
+        let bytes = write_response_with_retry_after(503, "application/json", b"{}", false, Some(7));
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 7\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
     }
 }

@@ -239,7 +239,7 @@ pub struct SwapRequest {
 }
 
 /// The `GET /v1/models` response body: one
-/// [`ModelStatus`](snn_runtime::ModelStatus) row per cataloged artifact.
+/// [`ModelStatus`] row per cataloged artifact.
 #[derive(Debug, Clone, Serialize)]
 pub struct ModelListBody {
     /// Cataloged models with residency state, sorted by `name@version`.

@@ -43,8 +43,10 @@ pub struct GatewayMetrics {
     /// Malformed or over-limit requests (400/413 from the parser); the
     /// connection closes afterwards because framing is lost.
     pub parse_errors: u64,
-    /// Requests shed with `429 Too Many Requests`
-    /// ([`SubmitError::QueueFull`](snn_runtime::SubmitError) on the wire).
+    /// Requests shed with `429 Too Many Requests` — a full queue
+    /// ([`SubmitError::QueueFull`](snn_runtime::SubmitError)) or a
+    /// priority brownout
+    /// ([`SubmitError::Brownout`](snn_runtime::SubmitError)) on the wire.
     pub shed_429: u64,
     /// Requests refused with `503 Service Unavailable` during drain.
     pub drained_503: u64,
@@ -260,9 +262,24 @@ pub fn prometheus_text(
             streaming.shed_requests,
         ),
         (
+            "snn_streaming_brownout_shed_requests_total",
+            "Low-priority submissions shed by the priority brownout",
+            streaming.brownout_shed_requests,
+        ),
+        (
             "snn_streaming_batches_total",
             "Batches the deadline batcher formed",
             streaming.batches,
+        ),
+        (
+            "snn_streaming_batch_retries_total",
+            "Batches whose innocents were retried solo after a backend panic",
+            streaming.batch_retries,
+        ),
+        (
+            "snn_streaming_quarantined_total",
+            "Requests quarantined as poison after panicking solo",
+            streaming.quarantined,
         ),
         (
             "snn_streaming_wait_timeouts_total",
@@ -406,6 +423,9 @@ mod tests {
             "snn_gateway_route_latency_us{route=\"infer\",quantile=\"0.99\"}",
             "snn_streaming_requests_total 0",
             "snn_streaming_shed_requests_total 0",
+            "snn_streaming_brownout_shed_requests_total 0",
+            "snn_streaming_batch_retries_total 0",
+            "snn_streaming_quarantined_total 0",
             "snn_streaming_mean_batch_occupancy 0",
             "snn_streaming_flushes_total{reason=\"edf_deadline\"} 0",
             "snn_streaming_flushes_total{reason=\"max_batch\"} 0",

@@ -9,7 +9,10 @@
 //!                    │                       trace (when collecting) }
 //!                    │       Ticket::wait_timeout → 200 / 504
 //!                    │       SubmitError::QueueFull → 429
+//!                    │       SubmitError::Brownout → 429 (load shed)
+//!                    │       breaker open → 503 + Retry-After
 //!                    │       drain → 503
+//!                    │       (every 429/503 carries Retry-After)
 //!                    │  GET /metrics: Prometheus text (+ histograms)
 //!                    │  GET /v1/trace/<id>: span tree of a traced request
 //!                    ▼
@@ -42,11 +45,16 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use snn_runtime::{ModelRegistry, RegistryError, StreamingServer, SubmitError, WorkerPool};
+use snn_runtime::{
+    FaultInjector, FaultPoint, ModelRegistry, RegistryError, StreamingServer, SubmitError,
+    WorkerPool,
+};
 use snn_tensor::Tensor;
 use snn_trace::{AttrValue, TraceCollector, TraceId, TraceTarget};
 
-use crate::http::{parse_request, write_response, Limits, ParseError, Request};
+use crate::http::{
+    parse_request, write_response, write_response_with_retry_after, Limits, ParseError, Request,
+};
 use crate::json::{
     render_trace, ErrorBody, InferRequest, InferResponse, ModelListBody, SwapRequest,
 };
@@ -268,10 +276,14 @@ impl Gateway {
 
     /// Snapshot of the gateway-level metrics accumulated so far.
     pub fn metrics(&self) -> GatewayMetrics {
+        // Recover, don't propagate, a poisoned recorder: it holds plain
+        // counters with no multi-step invariants, and losing /metrics
+        // because one handler thread panicked would blind the operator
+        // exactly when they need the numbers.
         self.shared
             .recorder
             .lock()
-            .expect("gateway recorder poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .summarize()
     }
 
@@ -295,7 +307,7 @@ impl Gateway {
         if let Some(pool) = self
             .connections
             .lock()
-            .expect("gateway pool lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .take()
         {
             drop(pool);
@@ -322,7 +334,7 @@ fn acceptor_loop(listener: TcpListener, shared: Arc<Shared>, pool: Arc<WorkerPoo
                 shared
                     .recorder
                     .lock()
-                    .expect("gateway recorder poisoned")
+                    .unwrap_or_else(|e| e.into_inner())
                     .record_connection();
                 let shared = Arc::clone(&shared);
                 // A closed pool can only mean shutdown raced us; drop the
@@ -373,6 +385,13 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         match parse_request(&buf, &shared.limits) {
             Ok(Some((request, consumed))) => {
                 buf.drain(..consumed);
+                if FaultInjector::global().should(FaultPoint::ConnReset) {
+                    // Injected mid-exchange connection loss: the request
+                    // parsed but its response never leaves. The client
+                    // must surface a typed transport error, not hang.
+                    let _ = stream.shutdown(NetShutdown::Both);
+                    return;
+                }
                 let received = recv_start.take().unwrap_or_else(Instant::now);
                 let keep_alive = respond(&mut stream, &request, shared, received);
                 last_activity = Instant::now();
@@ -398,7 +417,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 let body = ErrorBody::render(message);
                 let bytes = write_response(status, "application/json", &body, false);
                 let _ = stream.write_all(&bytes);
-                let mut rec = shared.recorder.lock().expect("gateway recorder poisoned");
+                let mut rec = shared.recorder.lock().unwrap_or_else(|e| e.into_inner());
                 rec.record_parse_error();
                 rec.record_response("parse", status, start.elapsed());
                 let _ = stream.shutdown(NetShutdown::Both);
@@ -434,39 +453,55 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// A routed answer: `(route label, status, content type, body, explicit
+/// Retry-After seconds)`. The final element is `None` almost everywhere —
+/// [`respond`] derives a default `Retry-After: 1` for every `429`/`503` —
+/// and carries an explicit value only where the server knows better (the
+/// registry's circuit breaker knows exactly how long it will stay open).
+type Reply = (&'static str, u16, &'static str, Vec<u8>, Option<u64>);
+
+/// Widens a plain 4-field answer into a [`Reply`] with no explicit
+/// Retry-After override.
+fn widen(reply: (&'static str, u16, &'static str, Vec<u8>)) -> Reply {
+    let (route, status, content_type, body) = reply;
+    (route, status, content_type, body, None)
+}
+
 /// Routes and answers one request; returns whether the connection may
 /// serve another. `received` is when the request's first bytes arrived —
 /// the root instant of its trace, when tracing is on.
 fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared, received: Instant) -> bool {
     let start = Instant::now();
     let draining = shared.draining.load(Ordering::Acquire);
-    let (route, status, content_type, body) = if draining {
+    let (route, status, content_type, body, retry_override) = if draining {
         (
             "drain",
             503u16,
             "application/json",
             ErrorBody::render("gateway is draining; retry against another replica"),
+            None,
         )
     } else {
         match (request.method.as_str(), request.path()) {
-            ("POST", "/v1/infer") => handle_infer(request, shared, received),
-            ("GET", "/v1/models") => handle_models_list(shared),
+            ("POST", "/v1/infer") => widen(handle_infer(request, shared, received)),
+            ("GET", "/v1/models") => widen(handle_models_list(shared)),
             (method, path) if path.starts_with("/v1/models/") => {
                 handle_model_route(method, path, request, shared, received)
             }
-            ("GET", path) if path.starts_with("/v1/trace/") => handle_trace(path, shared),
+            ("GET", path) if path.starts_with("/v1/trace/") => widen(handle_trace(path, shared)),
             (_, path) if path.starts_with("/v1/trace/") => (
                 "other",
                 405,
                 "application/json",
                 ErrorBody::render(format!("method {} not allowed on {path}", request.method)),
+                None,
             ),
             ("GET", "/metrics") => {
                 let streaming = shared.server.metrics();
                 let gateway = shared
                     .recorder
                     .lock()
-                    .expect("gateway recorder poisoned")
+                    .unwrap_or_else(|e| e.into_inner())
                     .summarize();
                 let trace = shared
                     .trace
@@ -477,9 +512,10 @@ fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared, received:
                     200,
                     "text/plain; version=0.0.4",
                     prometheus_text(&gateway, &streaming, trace).into_bytes(),
+                    None,
                 )
             }
-            ("GET", "/healthz") => ("health", 200, "text/plain", b"ok\n".to_vec()),
+            ("GET", "/healthz") => ("health", 200, "text/plain", b"ok\n".to_vec(), None),
             (_, "/v1/infer") | (_, "/v1/models") | (_, "/metrics") | (_, "/healthz") => (
                 "other",
                 405,
@@ -489,23 +525,34 @@ fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared, received:
                     request.method,
                     request.path()
                 )),
+                None,
             ),
             (_, path) => (
                 "other",
                 404,
                 "application/json",
                 ErrorBody::render(format!("no route for {path}")),
+                None,
             ),
         }
     };
+    // Every backpressure/unavailability answer carries a Retry-After so
+    // clients pace their retries: an explicit value when the server knows
+    // the outage's horizon (breaker backoff), else "1" (brownout, queue
+    // full and drain all clear on the order of a second or a re-route).
+    let retry_after = retry_override.or(match status {
+        429 | 503 => Some(1),
+        _ => None,
+    });
     // During drain the connection stops keeping alive so workers wind down.
     let keep_alive = request.keep_alive && !draining;
-    let bytes = write_response(status, content_type, &body, keep_alive);
+    let bytes =
+        write_response_with_retry_after(status, content_type, &body, keep_alive, retry_after);
     let wrote = stream.write_all(&bytes).is_ok();
     shared
         .recorder
         .lock()
-        .expect("gateway recorder poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .record_response(route, status, start.elapsed());
     keep_alive && wrote
 }
@@ -696,6 +743,23 @@ fn run_infer(
                 )),
             )
         }
+        Err(SubmitError::Brownout {
+            priority,
+            shed_below_priority,
+        }) => {
+            // Load shedding is backpressure, same wire shape as a full
+            // queue: the client should back off and retry (or escalate
+            // its priority if it genuinely is latency-critical).
+            return (
+                route,
+                429,
+                json,
+                ErrorBody::render(format!(
+                    "brownout: shedding priority {priority} (below {shed_below_priority}) \
+                     while the pending queue is above its high-water mark; retry with backoff"
+                )),
+            );
+        }
         Err(SubmitError::Rejected(e)) => {
             // A rejected submit during server teardown is unavailability,
             // not a client error.
@@ -842,7 +906,7 @@ fn handle_model_route(
     request: &Request,
     shared: &Shared,
     received: Instant,
-) -> (&'static str, u16, &'static str, Vec<u8>) {
+) -> Reply {
     let json = "application/json";
     let rest = path.strip_prefix("/v1/models/").unwrap_or_default();
     if let Some(spec) = rest.strip_suffix("/infer") {
@@ -852,6 +916,7 @@ fn handle_model_route(
                 404,
                 json,
                 ErrorBody::render("missing model name in /v1/models/<name>/infer"),
+                None,
             );
         }
         if method != "POST" {
@@ -860,6 +925,7 @@ fn handle_model_route(
                 405,
                 json,
                 ErrorBody::render(format!("method {method} not allowed on {path}")),
+                None,
             );
         }
         return handle_model_infer(spec, request, shared, received);
@@ -871,6 +937,7 @@ fn handle_model_route(
                 404,
                 json,
                 ErrorBody::render("missing model name in /v1/models/<name>/swap"),
+                None,
             );
         }
         if method != "POST" {
@@ -879,6 +946,7 @@ fn handle_model_route(
                 405,
                 json,
                 ErrorBody::render(format!("method {method} not allowed on {path}")),
+                None,
             );
         }
         return handle_swap(name, request, shared);
@@ -888,25 +956,31 @@ fn handle_model_route(
         404,
         json,
         ErrorBody::render(format!("no route for {path}")),
+        None,
     )
 }
 
 /// Maps a registry failure onto the wire: a model the catalog has never
 /// heard of is the client's mistake (`404`); an artifact or compile
-/// failure is the server's (`500`).
-fn registry_error_response(
-    route: &'static str,
-    e: &RegistryError,
-) -> (&'static str, u16, &'static str, Vec<u8>) {
-    let status = match e {
-        RegistryError::UnknownModel(_) => 404,
-        RegistryError::Artifact(_) | RegistryError::Compile(_) => 500,
+/// failure is the server's (`500`); an open circuit breaker is temporary
+/// unavailability (`503`) with a `Retry-After` telling the client exactly
+/// how long the breaker will keep rejecting.
+fn registry_error_response(route: &'static str, e: &RegistryError) -> Reply {
+    let (status, retry_after) = match e {
+        RegistryError::UnknownModel(_) => (404, None),
+        RegistryError::Artifact(_) | RegistryError::Compile(_) => (500, None),
+        RegistryError::BreakerOpen { retry_after, .. } => {
+            // Ceil to whole seconds so a 300 ms residue does not round
+            // down to "retry immediately".
+            (503, Some(retry_after.as_secs_f64().ceil().max(1.0) as u64))
+        }
     };
     (
         route,
         status,
         "application/json",
         ErrorBody::render(e.to_string()),
+        retry_after,
     )
 }
 
@@ -917,12 +991,7 @@ fn registry_error_response(
 /// that entry's server and geometry. The resolved handle is held across
 /// the whole request, so LRU eviction can never tear down an entry with
 /// this request in flight.
-fn handle_model_infer(
-    spec: &str,
-    request: &Request,
-    shared: &Shared,
-    received: Instant,
-) -> (&'static str, u16, &'static str, Vec<u8>) {
+fn handle_model_infer(spec: &str, request: &Request, shared: &Shared, received: Instant) -> Reply {
     const ROUTE: &str = "model_infer";
     let json = "application/json";
     let Some(registry) = shared.registry.as_deref() else {
@@ -931,6 +1000,7 @@ fn handle_model_infer(
             404,
             json,
             ErrorBody::render("no model registry attached to this gateway"),
+            None,
         );
     };
     let trace_ctx = make_trace_ctx(request, shared);
@@ -939,7 +1009,7 @@ fn handle_model_infer(
         parent: *root,
     });
     match registry.get_or_load_traced(spec, parent) {
-        Ok(handle) => run_infer(
+        Ok(handle) => widen(run_infer(
             ROUTE,
             handle.server(),
             handle.input_dims(),
@@ -947,7 +1017,7 @@ fn handle_model_infer(
             shared,
             received,
             trace_ctx,
-        ),
+        )),
         Err(e) => registry_error_response(ROUTE, &e),
     }
 }
@@ -956,11 +1026,7 @@ fn handle_model_infer(
 /// and atomically repoints the name's active version. In-flight tickets
 /// complete against the old entry; new bare-`name` submissions land on
 /// the new one. Returns the [`snn_runtime::SwapReport`] as JSON.
-fn handle_swap(
-    name: &str,
-    request: &Request,
-    shared: &Shared,
-) -> (&'static str, u16, &'static str, Vec<u8>) {
+fn handle_swap(name: &str, request: &Request, shared: &Shared) -> Reply {
     const ROUTE: &str = "swap";
     let json = "application/json";
     let Some(registry) = shared.registry.as_deref() else {
@@ -969,6 +1035,7 @@ fn handle_swap(
             404,
             json,
             ErrorBody::render("no model registry attached to this gateway"),
+            None,
         );
     };
     let text = match std::str::from_utf8(&request.body) {
@@ -979,6 +1046,7 @@ fn handle_swap(
                 400,
                 json,
                 ErrorBody::render("request body is not valid UTF-8"),
+                None,
             )
         }
     };
@@ -990,6 +1058,7 @@ fn handle_swap(
                 400,
                 json,
                 ErrorBody::render(format!("bad JSON: {e}")),
+                None,
             )
         }
     };
@@ -1009,6 +1078,7 @@ fn handle_swap(
                         500,
                         json,
                         ErrorBody::render(format!("swap report serialization failed: {e}")),
+                        None,
                     )
                 }
             };
@@ -1023,8 +1093,92 @@ fn handle_swap(
                     vec![("status", AttrValue::U64(200))],
                 );
             }
-            (ROUTE, 200, json, body)
+            (ROUTE, 200, json, body, None)
         }
         Err(e) => registry_error_response(ROUTE, &e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_nn::{ActivationLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
+    use snn_runtime::BackendChoice;
+    use ttfs_core::{convert, Base2Kernel};
+
+    /// Observability must survive exactly the situations it exists for: a
+    /// thread that panics while holding the gateway recorder lock poisons
+    /// it, and a later `GET /metrics` scrape over real TCP must still
+    /// answer `200` with the full exposition text — counters are plain
+    /// data, so the poison is recovered, not propagated.
+    #[test]
+    fn metrics_scrape_survives_a_poisoned_recorder_lock() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Sequential::new(vec![
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(DenseLayer::new(8, 4, &mut rng)),
+            Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+            Layer::Dense(DenseLayer::new(4, 3, &mut rng)),
+        ]);
+        let model = Arc::new(convert(&net, Base2Kernel::paper_default(), 24).unwrap());
+        let dims = [1usize, 2, 4];
+        let server = Arc::new(
+            BackendChoice::Csr
+                .serve_streaming(
+                    Arc::clone(&model),
+                    &dims,
+                    snn_runtime::StreamingConfig {
+                        threads: 1,
+                        max_batch: 2,
+                        max_delay: Duration::from_millis(1),
+                        max_pending: 0,
+                        brownout: None,
+                    },
+                )
+                .unwrap(),
+        );
+        let mut gateway = Gateway::start(
+            Arc::clone(&server),
+            GatewayConfig {
+                workers: 2,
+                ..GatewayConfig::for_dims(&dims)
+            },
+        )
+        .unwrap();
+
+        // Poison the recorder mutex: panic while holding its guard.
+        let shared = Arc::clone(&gateway.shared);
+        let poisoner = std::thread::spawn(move || {
+            let _guard = shared.recorder.lock().unwrap();
+            panic!("poison the gateway recorder lock");
+        });
+        assert!(poisoner.join().is_err(), "the poisoner must panic");
+        assert!(
+            gateway.shared.recorder.is_poisoned(),
+            "the recorder lock must actually be poisoned"
+        );
+
+        // A real scrape through the full socket path still answers.
+        let mut stream = TcpStream::connect(gateway.local_addr()).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 200"),
+            "poisoned-lock scrape failed: {text}"
+        );
+        assert!(
+            text.contains("snn_gateway_requests_total"),
+            "scrape is missing its families: {text}"
+        );
+
+        // Shutdown also crosses the recorder; it must not unwind either.
+        let metrics = gateway.shutdown();
+        server.shutdown();
+        assert!(metrics.requests >= 1, "the scrape itself was recorded");
     }
 }

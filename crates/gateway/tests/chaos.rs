@@ -1,0 +1,347 @@
+//! Seeded chaos soak through the full HTTP path: with the global
+//! fault injector firing backend panics, backend slowdowns and wire-level
+//! connection resets, every request must still resolve to exactly one
+//! typed outcome (no hangs), every `200` must stay bit-identical to the
+//! reference simulator, and after the storm the *same* serving stack must
+//! come back clean. Also pins the `Retry-After` contract on wire-visible
+//! backpressure.
+//!
+//! Tests that arm the process-global injector serialize on one mutex;
+//! this battery owns its test binary so the injector cannot leak into
+//! other processes' tests.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_gateway::{client::HttpClient, run_closed_loop, Gateway, GatewayConfig, LoadGenConfig};
+use snn_nn::{ActivationLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
+use snn_runtime::{BackendChoice, BrownoutConfig, FaultConfig, FaultInjector, StreamingConfig};
+use snn_sim::EventSnn;
+use ttfs_core::{convert, Base2Kernel, SnnModel};
+
+/// One armed injector per process: tests take this before touching it.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+const DIMS: [usize; 3] = [1, 2, 4];
+const SAMPLE_LEN: usize = 8;
+const CLASSES: usize = 3;
+
+fn dense_model(seed: u64) -> SnnModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = Sequential::new(vec![
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(DenseLayer::new(SAMPLE_LEN, 6, &mut rng)),
+        Layer::Activation(ActivationLayer::new(Box::new(Relu))),
+        Layer::Dense(DenseLayer::new(6, CLASSES, &mut rng)),
+    ]);
+    convert(&net, Base2Kernel::paper_default(), 24).unwrap()
+}
+
+/// Silences the default panic printer for *injected* panics only, for the
+/// duration of the guard — the storm fires them on purpose, and each
+/// would otherwise dump a stack trace into the test output. Real panics
+/// still print.
+struct QuietInjectedPanics;
+
+impl QuietInjectedPanics {
+    fn install() -> Self {
+        let forward = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("injected backend panic"));
+            if !injected {
+                forward(info);
+            }
+        }));
+        QuietInjectedPanics
+    }
+}
+
+impl Drop for QuietInjectedPanics {
+    fn drop(&mut self) {
+        // Dropping our filter reinstalls the default hook.
+        let _ = std::panic::take_hook();
+    }
+}
+
+/// The capstone soak: three seeded storms through one serving stack.
+/// Faults may fail individual requests — they may never corrupt one, hang
+/// one, or take the stack down.
+#[test]
+fn seeded_chaos_storms_resolve_every_request_and_the_stack_survives() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let _quiet = QuietInjectedPanics::install();
+    let injector = FaultInjector::global();
+    injector.disarm();
+
+    let model = Arc::new(dense_model(42));
+    let mut rng = StdRng::seed_from_u64(0xC4A0);
+    let n = 10usize;
+    let x = snn_tensor::uniform(&[n, 1, 2, 4], 0.0, 1.0, &mut rng);
+    let (expected, _) = EventSnn::new(&model).run(&x).expect("reference run");
+
+    // One stack for every storm: its workers must absorb each seed's
+    // panics and still serve the clean pass at the end.
+    let clients = 4usize;
+    let server = Arc::new(
+        BackendChoice::Csr
+            .serve_streaming(
+                Arc::clone(&model),
+                &DIMS,
+                StreamingConfig {
+                    threads: 2,
+                    max_batch: 4,
+                    max_delay: Duration::from_micros(500),
+                    max_pending: 0,
+                    brownout: None,
+                },
+            )
+            .expect("streaming stack"),
+    );
+    let mut gateway = Gateway::start(
+        Arc::clone(&server),
+        GatewayConfig {
+            workers: clients,
+            ..GatewayConfig::for_dims(&DIMS)
+        },
+    )
+    .expect("gateway start");
+
+    let mut total_injected = 0u64;
+    for seed in [0xFA11u64, 0xFA12, 0xFA13] {
+        injector.arm(
+            seed,
+            FaultConfig {
+                backend_panic: 0.08,
+                backend_slow: 0.08,
+                conn_reset: 0.08,
+                slow_delay: Duration::from_micros(300),
+                ..FaultConfig::default()
+            },
+        );
+        let start = Instant::now();
+        let report = run_closed_loop(
+            gateway.local_addr(),
+            &x,
+            Some(&expected),
+            &LoadGenConfig {
+                clients,
+                passes: 3,
+                max_priority: 3,
+                seed,
+                retry_after_cap: Some(Duration::from_millis(2)),
+                ..LoadGenConfig::default()
+            },
+        );
+        injector.disarm();
+        total_injected += injector.counts().total_fired();
+
+        // Every request resolved to exactly one typed outcome: the five
+        // buckets partition the total, and nothing hung the closed loop.
+        assert_eq!(
+            report.requests,
+            report.ok_200
+                + report.shed_429
+                + report.unavailable_503
+                + report.other_status
+                + report.transport_errors,
+            "storm seed {seed:#x}: unaccounted outcomes in {report:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "storm seed {seed:#x} stalled"
+        );
+        // Faults fail requests; they never corrupt a success.
+        assert_eq!(
+            report.mismatches, 0,
+            "storm seed {seed:#x}: corrupted 200 in {report:?}"
+        );
+        assert!(report.ok_200 > 0, "storm seed {seed:#x} served nothing");
+    }
+    assert!(
+        total_injected > 0,
+        "the storms never actually fired a fault"
+    );
+
+    // Post-storm serviceability: injector disarmed, the same stack must
+    // serve a clean all-200, bit-exact pass.
+    let clean = run_closed_loop(
+        gateway.local_addr(),
+        &x,
+        Some(&expected),
+        &LoadGenConfig {
+            clients,
+            passes: 2,
+            seed: 0xC1EA,
+            ..LoadGenConfig::default()
+        },
+    );
+    assert_eq!(clean.transport_errors, 0, "clean pass: {clean:?}");
+    assert_eq!(clean.ok_200, clean.requests, "clean pass: {clean:?}");
+    assert_eq!(clean.mismatches, 0, "clean pass: {clean:?}");
+
+    gateway.shutdown();
+    let streaming = server.shutdown();
+    // Quarantine only ever happens on the solo-retry path of a panicked
+    // batch: it can never outnumber the retried batches' riders, and a
+    // quarantine without any batch retry would mean an innocent was
+    // condemned without its second chance.
+    assert!(
+        streaming.quarantined == 0 || streaming.batch_retries > 0,
+        "quarantined {} requests without a single batch retry",
+        streaming.quarantined
+    );
+}
+
+/// Wire-visible backpressure carries retry advice: a `429` shed by a full
+/// admission queue includes a `Retry-After` header, and the client
+/// parses it into the typed response.
+#[test]
+fn shed_429_carries_retry_after_and_the_client_parses_it() {
+    let model = Arc::new(dense_model(7));
+    // One admission slot and a long batching window: the first request
+    // parks in the batcher holding the slot, so a concurrent request
+    // must shed on the wire.
+    let server = Arc::new(
+        BackendChoice::Csr
+            .serve_streaming(
+                Arc::clone(&model),
+                &DIMS,
+                StreamingConfig {
+                    threads: 1,
+                    max_batch: 64,
+                    max_delay: Duration::from_millis(300),
+                    max_pending: 1,
+                    brownout: None,
+                },
+            )
+            .expect("streaming stack"),
+    );
+    let mut gateway = Gateway::start(
+        Arc::clone(&server),
+        GatewayConfig {
+            workers: 2,
+            ..GatewayConfig::for_dims(&DIMS)
+        },
+    )
+    .expect("gateway start");
+    let addr = gateway.local_addr();
+
+    let body = format!(
+        "{{\"dims\":[1,2,4],\"pixels\":{:?}}}",
+        (0..SAMPLE_LEN).map(|i| i as f32 / 8.0).collect::<Vec<_>>()
+    );
+    let parker = {
+        let body = body.clone();
+        std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).expect("parker connect");
+            client
+                .post_json("/v1/infer", &body)
+                .expect("parker request")
+        })
+    };
+    // Let the parker occupy the slot, then collide with it.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut client = HttpClient::connect(addr).expect("shed connect");
+    let shed = client.post_json("/v1/infer", &body).expect("shed request");
+    assert_eq!(shed.status, 429, "expected a wire-visible shed");
+    assert_eq!(
+        shed.retry_after,
+        Some(1),
+        "429 must carry parseable retry advice"
+    );
+
+    let parked = parker.join().expect("parker thread");
+    assert_eq!(parked.status, 200, "the slot holder is served");
+    gateway.shutdown();
+    server.shutdown();
+}
+
+/// Brownout is wire-visible and typed: with watermarks the closed-loop
+/// load crosses, low-priority requests shed as `429`s whose body names
+/// the brownout (not a queue-full), while the storm of higher-priority
+/// requests rides on and the server drains back below low water.
+#[test]
+fn brownout_sheds_low_priority_on_the_wire_and_recovers() {
+    let model = Arc::new(dense_model(21));
+    let mut rng = StdRng::seed_from_u64(0xB0);
+    let n = 8usize;
+    let x = snn_tensor::uniform(&[n, 1, 2, 4], 0.0, 1.0, &mut rng);
+    let (expected, _) = EventSnn::new(&model).run(&x).expect("reference run");
+
+    // A slow single-thread backend with a wide window piles the pending
+    // queue past high water under 6 concurrent clients.
+    let server = Arc::new(
+        BackendChoice::Csr
+            .serve_streaming(
+                Arc::clone(&model),
+                &DIMS,
+                StreamingConfig {
+                    threads: 1,
+                    max_batch: 2,
+                    max_delay: Duration::from_millis(4),
+                    max_pending: 0,
+                    brownout: Some(BrownoutConfig {
+                        high_water: 3,
+                        low_water: 1,
+                        shed_below_priority: 2,
+                    }),
+                },
+            )
+            .expect("streaming stack"),
+    );
+    let mut gateway = Gateway::start(
+        Arc::clone(&server),
+        GatewayConfig {
+            workers: 6,
+            ..GatewayConfig::for_dims(&DIMS)
+        },
+    )
+    .expect("gateway start");
+
+    let report = run_closed_loop(
+        gateway.local_addr(),
+        &x,
+        Some(&expected),
+        &LoadGenConfig {
+            clients: 6,
+            passes: 6,
+            max_priority: 3,
+            seed: 0xB0,
+            ..LoadGenConfig::default()
+        },
+    );
+    assert!(
+        report.shed_429 > 0,
+        "sustained overload must cross high water and shed: {report:?}"
+    );
+    assert_eq!(report.mismatches, 0, "sheds must not corrupt 200s");
+    assert_eq!(report.transport_errors, 0);
+
+    // Drained: brownout disengages below low water and everything
+    // (including priority 0) is admitted again.
+    let after = run_closed_loop(
+        gateway.local_addr(),
+        &x,
+        Some(&expected),
+        &LoadGenConfig {
+            clients: 1,
+            passes: 1,
+            seed: 0xB1,
+            ..LoadGenConfig::default()
+        },
+    );
+    assert_eq!(after.ok_200, after.requests, "post-drain pass: {after:?}");
+    assert_eq!(after.mismatches, 0);
+
+    gateway.shutdown();
+    let streaming = server.shutdown();
+    assert_eq!(
+        streaming.brownout_shed_requests, report.shed_429,
+        "wire sheds and the runtime counter must agree"
+    );
+}

@@ -72,6 +72,7 @@ proptest! {
                         max_batch,
                         max_delay: Duration::from_micros(delay_us),
                         max_pending: 0,
+                        brownout: None,
                     },
                 )
                 .expect("streaming stack"),
@@ -135,6 +136,7 @@ fn forced_backpressure_yields_429_without_corrupting_responses() {
                     // concurrent submitters bounce off max_pending.
                     max_delay: Duration::from_millis(15),
                     max_pending: 1,
+                    brownout: None,
                 },
             )
             .expect("streaming stack"),
@@ -211,6 +213,7 @@ fn metrics_endpoint_reports_traffic_and_sheds() {
                     max_batch: 2,
                     max_delay: Duration::from_millis(1),
                     max_pending: 0,
+                    brownout: None,
                 },
             )
             .unwrap(),
@@ -263,6 +266,7 @@ fn huge_client_deadline_is_clamped_to_handler_timeout() {
                     max_batch: 64, // count flush unreachable
                     max_delay: Duration::from_secs(30),
                     max_pending: 0,
+                    brownout: None,
                 },
             )
             .unwrap(),
@@ -311,6 +315,7 @@ fn tight_deadline_pulls_a_relaxed_window_forward() {
                     max_batch: 64, // count flush unreachable
                     max_delay: Duration::from_secs(30),
                     max_pending: 0,
+                    brownout: None,
                 },
             )
             .unwrap(),

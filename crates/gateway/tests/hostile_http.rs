@@ -37,6 +37,7 @@ fn serving_stack(seed: u64) -> (Arc<StreamingServer>, Gateway) {
                     max_batch: 4,
                     max_delay: Duration::from_millis(1),
                     max_pending: 0,
+                    brownout: None,
                 },
             )
             .unwrap(),

@@ -66,6 +66,7 @@ fn fast_streaming() -> StreamingConfig {
         max_batch: 8,
         max_delay: Duration::from_millis(1),
         max_pending: 0,
+        brownout: None,
     }
 }
 
@@ -89,6 +90,7 @@ fn registry_gateway(dir: &Path) -> (Arc<ModelRegistry>, Gateway) {
             RegistryConfig {
                 byte_budget: 0,
                 streaming: fast_streaming(),
+                ..RegistryConfig::default()
             },
         )
         .unwrap(),

@@ -161,6 +161,7 @@ fn trace_tree_covers_the_request_it_describes() {
             max_batch: 4,
             max_delay: Duration::from_millis(1),
             max_pending: 0,
+            brownout: None,
         },
     );
     let mut gateway = Gateway::start(
@@ -328,6 +329,7 @@ proptest! {
                         max_batch,
                         max_delay: Duration::from_micros(delay_us),
                         max_pending: 0,
+                        brownout: None,
                     },
                     Arc::clone(&collector),
                 )

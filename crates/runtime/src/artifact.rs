@@ -393,16 +393,42 @@ impl ModelArtifact {
         })
     }
 
-    /// Writes the artifact to `path`.
+    /// Writes the artifact to `path` **crash-safely**: the bytes go to a
+    /// temp sibling (`path` + `.tmp`), are fsynced, and only then renamed
+    /// over `path`. A crash — or an injected
+    /// [`FaultPoint::ArtifactWrite`](crate::FaultPoint::ArtifactWrite)
+    /// tear — at any point leaves the published path either absent or a
+    /// complete previous version, never a torn `.snna`.
     ///
     /// # Errors
     ///
     /// [`ArtifactError::Io`] on filesystem failure, or serialization
     /// errors from [`to_bytes`](Self::to_bytes).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        let path = path.as_ref();
         let bytes = self.to_bytes()?;
-        std::fs::write(path.as_ref(), bytes)
-            .map_err(|e| ArtifactError::Io(format!("write {}: {e}", path.as_ref().display())))
+        let io_err = |stage: &str, e: std::io::Error| {
+            ArtifactError::Io(format!("{stage} {}: {e}", path.display()))
+        };
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        if crate::FaultInjector::global().should(crate::FaultPoint::ArtifactWrite) {
+            // Simulate a crash mid-write: half the bytes land in the temp
+            // file, the fsync+rename publish step never runs. The
+            // published path must remain whatever it was before.
+            let torn = &bytes[..bytes.len() / 2];
+            let _ = std::fs::write(&tmp, torn);
+            return Err(ArtifactError::Io(format!(
+                "injected torn write: {} (temp sibling left truncated)",
+                tmp.display()
+            )));
+        }
+        let mut file = std::fs::File::create(&tmp).map_err(|e| io_err("create temp for", e))?;
+        std::io::Write::write_all(&mut file, &bytes).map_err(|e| io_err("write temp for", e))?;
+        file.sync_all().map_err(|e| io_err("fsync temp for", e))?;
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(|e| io_err("publish (rename)", e))
     }
 
     /// Reads and fully validates an artifact from `path`.
@@ -410,8 +436,16 @@ impl ModelArtifact {
     /// # Errors
     ///
     /// Same conditions as [`from_bytes`](Self::from_bytes), plus
-    /// [`ArtifactError::Io`].
+    /// [`ArtifactError::Io`] — including an injected
+    /// [`FaultPoint::ArtifactRead`](crate::FaultPoint::ArtifactRead)
+    /// failure, which surfaces before the file is touched.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        if crate::FaultInjector::global().should(crate::FaultPoint::ArtifactRead) {
+            return Err(ArtifactError::Io(format!(
+                "injected read fault: {}",
+                path.as_ref().display()
+            )));
+        }
         let bytes = std::fs::read(path.as_ref())
             .map_err(|e| ArtifactError::Io(format!("read {}: {e}", path.as_ref().display())))?;
         Self::from_bytes(&bytes)

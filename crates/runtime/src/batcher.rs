@@ -82,6 +82,11 @@ pub struct StreamingConfig {
     /// [`SubmitError::QueueFull`]. `0` = unbounded (accept everything and
     /// let the queue grow — the pre-backpressure behavior).
     pub max_pending: usize,
+    /// Priority brownout: above a pending high-water mark, shed the
+    /// *lowest-priority* requests first instead of waiting for the
+    /// indiscriminate [`max_pending`](Self::max_pending) cliff. `None`
+    /// disables brownout (the default).
+    pub brownout: Option<BrownoutConfig>,
 }
 
 impl Default for StreamingConfig {
@@ -91,8 +96,33 @@ impl Default for StreamingConfig {
             max_batch: 8,
             max_delay: Duration::from_millis(2),
             max_pending: 0,
+            brownout: None,
         }
     }
+}
+
+/// Priority-brownout policy for [`StreamingConfig::brownout`].
+///
+/// When the admitted-but-unresolved count reaches
+/// [`high_water`](Self::high_water) the server *engages* brownout and
+/// sheds every submission whose priority is below
+/// [`shed_below_priority`](Self::shed_below_priority) with
+/// [`SubmitError::Brownout`]; higher-priority traffic still rides the
+/// normal admission path (and the `max_pending` cliff, if configured).
+/// Brownout *disengages* only once the count falls back to
+/// [`low_water`](Self::low_water) — the hysteresis gap prevents the
+/// engaged bit from flapping at the boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrownoutConfig {
+    /// Engage brownout when admitted-but-unresolved requests reach this.
+    pub high_water: usize,
+    /// Disengage once the count falls back to this (must be below
+    /// `high_water` for real hysteresis).
+    pub low_water: usize,
+    /// While engaged, shed submissions with priority strictly below this.
+    /// `1` sheds only priority-0 traffic; `u8::MAX` sheds all but the
+    /// highest.
+    pub shed_below_priority: u8,
 }
 
 /// Why [`crate::StreamingServer::submit`] refused a request.
@@ -106,6 +136,17 @@ pub enum SubmitError {
         /// The configured bound that was hit.
         max_pending: usize,
     },
+    /// The server is browning out: it is above its
+    /// [`BrownoutConfig::high_water`] mark and this request's priority is
+    /// below the shed threshold. Higher-priority traffic is still being
+    /// served — retry later, or resubmit at a higher priority if the
+    /// request genuinely warrants one.
+    Brownout {
+        /// The shed request's priority.
+        priority: u8,
+        /// The engaged threshold: priorities below this are shed.
+        shed_below_priority: u8,
+    },
     /// The request was structurally invalid or the server is shut down.
     Rejected(ConvertError),
 }
@@ -117,6 +158,13 @@ impl std::fmt::Display for SubmitError {
                 f,
                 "submission queue full: {max_pending} requests already admitted and unresolved"
             ),
+            Self::Brownout {
+                priority,
+                shed_below_priority,
+            } => write!(
+                f,
+                "brownout: shedding priority {priority} (below {shed_below_priority}) while above the high-water mark"
+            ),
             Self::Rejected(e) => write!(f, "{e}"),
         }
     }
@@ -125,7 +173,7 @@ impl std::fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            Self::QueueFull { .. } => None,
+            Self::QueueFull { .. } | Self::Brownout { .. } => None,
             Self::Rejected(e) => Some(e),
         }
     }
@@ -384,9 +432,12 @@ impl Ticket {
             Ok(Err(e)) => Err(e),
             Err(RecvTimeoutError::Timeout) => {
                 if let Some(recorder) = &self.recorder {
+                    // A panic elsewhere under this lock must not take
+                    // timeout accounting down with it: the guarded data is
+                    // a plain recorder, always safe to keep using.
                     recorder
                         .lock()
-                        .expect("streaming recorder poisoned")
+                        .unwrap_or_else(|e| e.into_inner())
                         .record_wait_timeout();
                 }
                 Ok(None)

@@ -92,6 +92,7 @@ mod batcher;
 mod csr;
 pub mod energy;
 mod engine;
+mod faults;
 mod metrics;
 mod quant;
 mod registry;
@@ -105,13 +106,14 @@ pub use artifact::{
 };
 pub use backend::{BackendChoice, InferenceBackend};
 pub use batcher::{
-    DeadlineBatcher, FlushReason, StreamedResponse, StreamingConfig, SubmitError, SubmitOptions,
-    Ticket,
+    BrownoutConfig, DeadlineBatcher, FlushReason, StreamedResponse, StreamingConfig, SubmitError,
+    SubmitOptions, Ticket,
 };
 pub use csr::{
     ConvPatterns, CsrFootprint, CsrModel, CsrStage, CsrSynapses, EdgeIter, PatternRow, SynapseTable,
 };
 pub use engine::{CsrEngine, DEFAULT_MAX_LANES};
+pub use faults::{FaultConfig, FaultCounts, FaultInjector, FaultPoint};
 pub use metrics::{
     HistogramBucket, HistogramSnapshot, LatencyRecorder, LogHistogram, OccupancyBucket,
     StreamingMetrics, StreamingRecorder, ThroughputMetrics,

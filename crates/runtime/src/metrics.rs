@@ -323,6 +323,12 @@ pub struct StreamingMetrics {
     ///
     /// [`SubmitError::QueueFull`]: crate::SubmitError::QueueFull
     pub shed_requests: u64,
+    /// Submissions shed by priority brownout
+    /// ([`SubmitError::Brownout`](crate::SubmitError::Brownout)): the
+    /// server was above its high-water mark and the request's priority was
+    /// below the shed threshold. Disjoint from
+    /// [`shed_requests`](Self::shed_requests).
+    pub brownout_shed_requests: u64,
     /// Batches the deadline batcher formed and executed.
     pub batches: u64,
     /// Wall-clock time from recorder creation to this summary, ms.
@@ -369,6 +375,13 @@ pub struct StreamingMetrics {
     /// 504s). The request itself still executes and lands in the other
     /// counters when its batch completes.
     pub wait_timeouts: u64,
+    /// Batches whose worker panicked mid-execution and were re-run
+    /// request-by-request to isolate the blast radius — co-batched
+    /// innocents get a second chance instead of inheriting the panic.
+    pub batch_retries: u64,
+    /// Requests quarantined after panicking *solo* on the isolation
+    /// retry — the poison request itself, failed with a typed error.
+    pub quarantined: u64,
     /// Log-bucket histogram of end-to-end (submit → result) latency.
     pub e2e_histogram: HistogramSnapshot,
     /// Log-bucket histogram of queue wait (submit → batch exec start).
@@ -393,8 +406,11 @@ pub struct StreamingRecorder {
     exec_hist: LogHistogram,
     batch_sizes: BTreeMap<u64, u64>,
     sheds: u64,
+    brownout_sheds: u64,
     flushes: [u64; 3],
     wait_timeouts: u64,
+    batch_retries: u64,
+    quarantined: u64,
 }
 
 impl StreamingRecorder {
@@ -410,8 +426,11 @@ impl StreamingRecorder {
             exec_hist: LogHistogram::new(),
             batch_sizes: BTreeMap::new(),
             sheds: 0,
+            brownout_sheds: 0,
             flushes: [0; 3],
             wait_timeouts: 0,
+            batch_retries: 0,
+            quarantined: 0,
         }
     }
 
@@ -436,6 +455,32 @@ impl StreamingRecorder {
     /// Submissions shed so far.
     pub fn sheds(&self) -> u64 {
         self.sheds
+    }
+
+    /// Records one submission shed by priority brownout.
+    pub fn record_brownout_shed(&mut self) {
+        self.brownout_sheds += 1;
+    }
+
+    /// Brownout sheds so far.
+    pub fn brownout_sheds(&self) -> u64 {
+        self.brownout_sheds
+    }
+
+    /// Records one batch that panicked and was re-run request-by-request
+    /// to isolate the poison request.
+    pub fn record_batch_retry(&mut self) {
+        self.batch_retries += 1;
+    }
+
+    /// Records one request quarantined after panicking solo.
+    pub fn record_quarantined(&mut self) {
+        self.quarantined += 1;
+    }
+
+    /// Quarantined requests so far.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
     }
 
     /// Records one [`Ticket::wait_timeout`](crate::Ticket::wait_timeout)
@@ -473,6 +518,7 @@ impl StreamingRecorder {
         StreamingMetrics {
             requests,
             shed_requests: self.sheds,
+            brownout_shed_requests: self.brownout_sheds,
             batches,
             wall_ms: wall_s * 1e3,
             images_per_sec: if wall_s > 0.0 {
@@ -509,6 +555,8 @@ impl StreamingRecorder {
             flushes_max_batch: self.flushes[1],
             flushes_drain: self.flushes[2],
             wait_timeouts: self.wait_timeouts,
+            batch_retries: self.batch_retries,
+            quarantined: self.quarantined,
             e2e_histogram: self.e2e_hist.snapshot(),
             queue_wait_histogram: self.queue_wait_hist.snapshot(),
             exec_histogram: self.exec_hist.snapshot(),

@@ -15,7 +15,15 @@
 //!
 //! * **Single-flight compilation** — N threads racing `get_or_load` on a
 //!   cold model trigger exactly one load + compile; the rest park on a
-//!   condvar and wake to the shared handle.
+//!   condvar and wake to the shared handle — or, when that single load
+//!   fails, to its typed error: the failure is broadcast to every parked
+//!   waiter, so N racers on a bad artifact cost one disk read, not N.
+//! * **Circuit breaking** — [`RegistryConfig::breaker_threshold`]
+//!   consecutive load failures open a per-key breaker: further lookups
+//!   fail immediately with [`RegistryError::BreakerOpen`] (carrying the
+//!   remaining backoff) instead of re-reading and re-compiling a
+//!   known-bad artifact. The rejection window doubles per failed
+//!   half-open probe (capped) and one successful probe restores service.
 //! * **LRU under a byte budget** — resident entries are charged their
 //!   [`CsrFootprint::stored_bytes`]; crossing
 //!   [`RegistryConfig::byte_budget`] evicts least-recently-used entries,
@@ -42,17 +50,40 @@ use ttfs_core::ConvertError;
 
 use crate::artifact::{ArtifactError, ArtifactInfo, ModelArtifact, ARTIFACT_EXTENSION};
 use crate::csr::CsrFootprint;
+use crate::faults::{FaultInjector, FaultPoint};
 use crate::metrics::LatencyRecorder;
 use crate::{InferenceBackend, StreamingConfig, StreamingServer};
 
 /// Tuning knobs for a [`ModelRegistry`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RegistryConfig {
     /// LRU budget over resident compiled bytes
     /// ([`CsrFootprint::stored_bytes`]); `0` means unbounded.
     pub byte_budget: usize,
     /// Streaming-server configuration applied to every loaded entry.
     pub streaming: StreamingConfig,
+    /// Consecutive load failures that open a model's circuit breaker
+    /// (`0` disables breaking). While open, lookups for the key fail
+    /// immediately with [`RegistryError::BreakerOpen`] instead of hitting
+    /// the disk and compiler again.
+    pub breaker_threshold: u32,
+    /// How long the first open rejects lookups before a half-open probe
+    /// is allowed through. Each probe that fails doubles the window.
+    pub breaker_backoff: Duration,
+    /// Cap on the doubled backoff window.
+    pub breaker_backoff_max: Duration,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            byte_budget: 0,
+            streaming: StreamingConfig::default(),
+            breaker_threshold: 3,
+            breaker_backoff: Duration::from_millis(100),
+            breaker_backoff_max: Duration::from_secs(5),
+        }
+    }
 }
 
 /// Errors surfaced by registry resolution.
@@ -64,6 +95,15 @@ pub enum RegistryError {
     Artifact(ArtifactError),
     /// The artifact loaded but its backend failed to compile.
     Compile(String),
+    /// The key's circuit breaker is open after repeated load failures:
+    /// the registry refuses to retry the load until `retry_after` has
+    /// elapsed (negative caching with exponential backoff).
+    BreakerOpen {
+        /// The `name@version` key whose breaker rejected the lookup.
+        key: String,
+        /// How long until the next half-open probe is allowed.
+        retry_after: Duration,
+    },
 }
 
 impl std::fmt::Display for RegistryError {
@@ -72,6 +112,11 @@ impl std::fmt::Display for RegistryError {
             Self::UnknownModel(spec) => write!(f, "unknown model {spec:?}"),
             Self::Artifact(e) => write!(f, "artifact: {e}"),
             Self::Compile(e) => write!(f, "compile: {e}"),
+            Self::BreakerOpen { key, retry_after } => write!(
+                f,
+                "circuit breaker open for {key:?} after repeated load failures; retry in {:.1}s",
+                retry_after.as_secs_f64()
+            ),
         }
     }
 }
@@ -156,7 +201,8 @@ pub struct ModelStatus {
     pub name: String,
     /// Version label.
     pub version: String,
-    /// `"resident"`, `"loading"`, `"cold"` or `"unreadable"`.
+    /// `"resident"`, `"loading"`, `"cold"`, `"breaker-open"` or
+    /// `"unreadable"`.
     pub state: String,
     /// Whether `name` (bare, no `@version`) currently routes here.
     pub active: bool,
@@ -196,6 +242,14 @@ pub struct RegistryMetrics {
     pub swaps: u64,
     /// Loads that failed (artifact or compile error).
     pub load_errors: u64,
+    /// Times a key's circuit breaker opened (including re-opens after a
+    /// failed half-open probe).
+    pub breaker_opens: u64,
+    /// Times an open breaker's half-open probe succeeded and the key
+    /// returned to service.
+    pub breaker_recoveries: u64,
+    /// Lookups rejected immediately because the key's breaker was open.
+    pub breaker_rejections: u64,
     /// Mean artifact load wall time, ms.
     pub load_ms_mean: f64,
     /// Max artifact load wall time, ms.
@@ -246,6 +300,22 @@ struct Counters {
     evictions: u64,
     swaps: u64,
     load_errors: u64,
+    breaker_opens: u64,
+    breaker_recoveries: u64,
+    breaker_rejections: u64,
+}
+
+/// Per-key circuit-breaker bookkeeping
+/// (see [`RegistryConfig::breaker_threshold`]).
+#[derive(Debug, Clone)]
+struct BreakerState {
+    /// Failed loads since the last success.
+    consecutive_failures: u32,
+    /// When set, lookups are rejected until this instant; once it passes,
+    /// exactly one caller is let through as the half-open probe.
+    open_until: Option<Instant>,
+    /// Backoff applied at the next (re-)open; doubles per failed probe.
+    backoff: Duration,
 }
 
 struct State {
@@ -264,12 +334,22 @@ struct State {
     pinned: BTreeSet<String>,
     /// Sum of resident `stored_bytes`.
     resident_bytes: usize,
+    /// `name@version` → circuit-breaker state (absent = healthy).
+    breakers: BTreeMap<String, BreakerState>,
+    /// `name@version` → completed load attempts (success or failure).
+    /// Lets a condvar waiter detect that the load it parked behind
+    /// finished (and failed) even after the marker left `loading`.
+    load_generations: BTreeMap<String, u64>,
+    /// `name@version` → (generation that failed, its typed error). The
+    /// single-flight loser replays this to every parked waiter instead of
+    /// each waiter re-attempting the same doomed load.
+    load_failures: BTreeMap<String, (u64, RegistryError)>,
     counters: Counters,
     load_times: LatencyRecorder,
     compile_times: LatencyRecorder,
 }
 
-/// The multi-model registry. See the [module docs](self) for semantics.
+/// The multi-model registry. See the module docs for semantics.
 pub struct ModelRegistry {
     dir: PathBuf,
     config: RegistryConfig,
@@ -314,6 +394,9 @@ impl ModelRegistry {
                 active: BTreeMap::new(),
                 pinned: BTreeSet::new(),
                 resident_bytes: 0,
+                breakers: BTreeMap::new(),
+                load_generations: BTreeMap::new(),
+                load_failures: BTreeMap::new(),
                 counters: Counters::default(),
                 load_times: LatencyRecorder::default(),
                 compile_times: LatencyRecorder::default(),
@@ -424,6 +507,10 @@ impl ModelRegistry {
             // resolves via the resident map — and it counts once, not once
             // per condvar wakeup (waits can wake spuriously and re-loop).
             let mut coalesced = false;
+            // `(key, generation)` recorded before parking: if the load we
+            // parked behind completed with a failure, replay that failure
+            // instead of re-attempting the same doomed load.
+            let mut waited: Option<(String, u64)> = None;
             loop {
                 let key = self.resolve_key(&state, spec)?;
                 if let Some(handle) = state.resident.get(&key).cloned() {
@@ -435,13 +522,43 @@ impl ModelRegistry {
                     }
                     return Ok(handle);
                 }
+                if let Some((waited_key, start_gen)) = &waited {
+                    if *waited_key == key {
+                        let replay = state
+                            .load_failures
+                            .get(&key)
+                            .filter(|(fail_gen, _)| fail_gen > start_gen)
+                            .map(|(_, error)| error.clone());
+                        if let Some(error) = replay {
+                            state.counters.coalesced_loads += 1;
+                            return Err(error);
+                        }
+                    }
+                }
                 if state.loading.contains(&key) {
                     coalesced = true;
+                    let gen = state.load_generations.get(&key).copied().unwrap_or(0);
+                    waited = Some((key, gen));
                     state = self
                         .loading_cv
                         .wait(state)
                         .expect("registry state poisoned");
                     continue; // re-resolve: the load may have failed or the active pointer moved
+                }
+                if self.config.breaker_threshold > 0 {
+                    if let Some(until) = state.breakers.get(&key).and_then(|b| b.open_until) {
+                        let now = Instant::now();
+                        if now < until {
+                            state.counters.breaker_rejections += 1;
+                            return Err(RegistryError::BreakerOpen {
+                                key,
+                                retry_after: until - now,
+                            });
+                        }
+                        // Backoff expired: fall through — this caller is
+                        // the half-open probe (single-flight guarantees
+                        // it is alone; racers park on the condvar).
+                    }
                 }
                 match state.catalog.get(&key) {
                     None => return Err(RegistryError::UnknownModel(spec.to_string())),
@@ -462,8 +579,20 @@ impl ModelRegistry {
         let result = self.load_and_compile(&key, &path, &info, parent);
         let mut state = self.state.lock().expect("registry state poisoned");
         state.loading.remove(&key);
+        let generation = {
+            let slot = state.load_generations.entry(key.clone()).or_insert(0);
+            *slot += 1;
+            *slot
+        };
         match result {
             Ok(handle) => {
+                state.load_failures.remove(&key);
+                if let Some(breaker) = state.breakers.remove(&key) {
+                    if breaker.open_until.is_some() {
+                        // A half-open probe came back healthy.
+                        state.counters.breaker_recoveries += 1;
+                    }
+                }
                 let handle = Arc::new(handle);
                 state.resident_bytes += handle.footprint.stored_bytes;
                 state.resident.insert(key.clone(), Arc::clone(&handle));
@@ -483,6 +612,29 @@ impl ModelRegistry {
             }
             Err(e) => {
                 state.counters.load_errors += 1;
+                state
+                    .load_failures
+                    .insert(key.clone(), (generation, e.clone()));
+                if self.config.breaker_threshold > 0 {
+                    let base = self.config.breaker_backoff;
+                    let breaker = state.breakers.entry(key).or_insert(BreakerState {
+                        consecutive_failures: 0,
+                        open_until: None,
+                        backoff: base,
+                    });
+                    breaker.consecutive_failures += 1;
+                    if breaker.open_until.is_some() {
+                        // A failed half-open probe re-opens with a longer
+                        // window (exponential backoff, capped).
+                        breaker.backoff =
+                            (breaker.backoff * 2).min(self.config.breaker_backoff_max);
+                        breaker.open_until = Some(Instant::now() + breaker.backoff);
+                        state.counters.breaker_opens += 1;
+                    } else if breaker.consecutive_failures >= self.config.breaker_threshold {
+                        breaker.open_until = Some(Instant::now() + breaker.backoff);
+                        state.counters.breaker_opens += 1;
+                    }
+                }
                 drop(state);
                 self.loading_cv.notify_all();
                 Err(e)
@@ -555,6 +707,11 @@ impl ModelRegistry {
                 } => {
                     let resident = state.resident.get(key);
                     let loading = state.loading.contains(key);
+                    let breaker_open = state
+                        .breakers
+                        .get(key)
+                        .and_then(|b| b.open_until)
+                        .is_some_and(|until| Instant::now() < until);
                     ModelStatus {
                         name: info.name.clone(),
                         version: info.version.clone(),
@@ -562,6 +719,8 @@ impl ModelRegistry {
                             "resident".into()
                         } else if loading {
                             "loading".into()
+                        } else if breaker_open {
+                            "breaker-open".into()
                         } else {
                             "cold".into()
                         },
@@ -603,6 +762,8 @@ impl ModelRegistry {
             c.swaps,
             c.load_errors,
         );
+        let (breaker_opens, breaker_recoveries, breaker_rejections) =
+            (c.breaker_opens, c.breaker_recoveries, c.breaker_rejections);
         let load_ms_mean = state.load_times.mean_us() / 1e3;
         let load_ms_max = state.load_times.quantile_us(1.0) / 1e3;
         let compile_ms_mean = state.compile_times.mean_us() / 1e3;
@@ -618,6 +779,9 @@ impl ModelRegistry {
             evictions,
             swaps,
             load_errors,
+            breaker_opens,
+            breaker_recoveries,
+            breaker_rejections,
             load_ms_mean,
             load_ms_max,
             compile_ms_mean,
@@ -708,6 +872,11 @@ impl ModelRegistry {
     ) -> Result<ModelHandle, RegistryError> {
         let load_start = Instant::now();
         let artifact = ModelArtifact::load(path)?;
+        if FaultInjector::global().should(FaultPoint::Compile) {
+            return Err(RegistryError::Compile(format!(
+                "injected compile failure for {key}"
+            )));
+        }
         let load_end = Instant::now();
         let (backend, footprint) = artifact.compile()?;
         let compile_end = Instant::now();

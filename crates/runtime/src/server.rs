@@ -10,7 +10,7 @@
 //!   expires, whichever comes first), and results come back through
 //!   per-request [`Ticket`]s.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -22,9 +22,10 @@ use snn_trace::{push_context, TraceCollector, TraceTarget};
 use ttfs_core::{ConvertError, SnnModel};
 
 use crate::batcher::{
-    BatcherMsg, DeadlineBatcher, FlushReason, PendingRequest, StreamingConfig, SubmitError,
-    SubmitOptions, Ticket,
+    BatcherMsg, BrownoutConfig, DeadlineBatcher, FlushReason, PendingRequest, StreamingConfig,
+    SubmitError, SubmitOptions, Ticket,
 };
+use crate::faults::{FaultInjector, FaultPoint};
 use crate::metrics::{LatencyRecorder, StreamingMetrics, StreamingRecorder, ThroughputMetrics};
 use crate::workers::WorkerPool;
 use crate::{InferenceBackend, StreamedResponse};
@@ -276,7 +277,12 @@ impl InferenceServer {
 /// let engine = Arc::new(CsrEngine::compile(&model, &[1, 3, 3])?);
 /// let server = StreamingServer::new(
 ///     engine,
-///     StreamingConfig { threads: 2, max_batch: 4, max_delay: Duration::from_millis(1), max_pending: 0 },
+///     StreamingConfig {
+///         threads: 2,
+///         max_batch: 4,
+///         max_delay: Duration::from_millis(1),
+///         ..StreamingConfig::default()
+///     },
 /// );
 ///
 /// // Requests arrive one at a time; each gets a ticket.
@@ -318,6 +324,10 @@ pub struct StreamingServer {
     max_batch: usize,
     max_delay: Duration,
     max_pending: usize,
+    /// Priority-brownout policy; `None` = disabled.
+    brownout: Option<BrownoutConfig>,
+    /// Hysteresis state: whether brownout is currently engaged.
+    brownout_engaged: AtomicBool,
 }
 
 impl StreamingServer {
@@ -387,6 +397,8 @@ impl StreamingServer {
             max_batch,
             max_delay: config.max_delay,
             max_pending: config.max_pending,
+            brownout: config.brownout,
+            brownout_engaged: AtomicBool::new(false),
         }
     }
 
@@ -440,7 +452,21 @@ impl StreamingServer {
     /// [`SubmitError::Rejected`]. A front-end uses this to tell
     /// unavailability (503) apart from a malformed request (400).
     pub fn is_shut_down(&self) -> bool {
-        self.submit_tx.lock().expect("submit_tx poisoned").is_none()
+        // All of this server's mutexes guard plain data (handles,
+        // counters, recorders) with no multi-step invariants, so a panic
+        // under any of them recovers the guard instead of wedging
+        // shutdown and `/metrics` forever.
+        self.submit_tx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_none()
+    }
+
+    /// Whether priority brownout is currently engaged (admitted count
+    /// crossed the high-water mark and has not yet fallen back to the
+    /// low-water mark).
+    pub fn brownout_engaged(&self) -> bool {
+        self.brownout.is_some() && self.brownout_engaged.load(Ordering::Relaxed)
     }
 
     /// Submits one image (per-sample dims, e.g. `[C, H, W]`) with default
@@ -488,11 +514,37 @@ impl StreamingServer {
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
             self.recorder
                 .lock()
-                .expect("recorder poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .record_shed();
             return Err(SubmitError::QueueFull {
                 max_pending: self.max_pending,
             });
+        }
+        // Priority brownout: between the high- and low-water marks the
+        // engaged bit carries hysteresis, so the shed decision cannot flap
+        // per-request at the boundary. Engaged, low-priority traffic sheds
+        // with a typed error while higher priorities ride on.
+        if let Some(brownout) = &self.brownout {
+            let engaged = if admitted >= brownout.high_water {
+                self.brownout_engaged.store(true, Ordering::Relaxed);
+                true
+            } else if admitted <= brownout.low_water {
+                self.brownout_engaged.store(false, Ordering::Relaxed);
+                false
+            } else {
+                self.brownout_engaged.load(Ordering::Relaxed)
+            };
+            if engaged && options.priority < brownout.shed_below_priority {
+                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                self.recorder
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record_brownout_shed();
+                return Err(SubmitError::Brownout {
+                    priority: options.priority,
+                    shed_below_priority: brownout.shed_below_priority,
+                });
+            }
         }
         let release_slot = || {
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
@@ -512,7 +564,7 @@ impl StreamingServer {
                 ))));
             }
         } else {
-            let mut dims = self.sample_dims.lock().expect("sample_dims poisoned");
+            let mut dims = self.sample_dims.lock().unwrap_or_else(|e| e.into_inner());
             match dims.as_ref() {
                 None => *dims = Some(image.dims().to_vec()),
                 Some(expected) if expected == image.dims() => {}
@@ -540,7 +592,7 @@ impl StreamingServer {
             trace: self.trace.as_ref().and(options.trace),
             reply,
         };
-        let guard = self.submit_tx.lock().expect("submit_tx poisoned");
+        let guard = self.submit_tx.lock().unwrap_or_else(|e| e.into_inner());
         let Some(tx) = guard.as_ref() else {
             release_slot();
             return Err(SubmitError::Rejected(ConvertError::Structure(
@@ -558,9 +610,14 @@ impl StreamingServer {
         ))
     }
 
-    /// Snapshot of the streaming metrics accumulated so far.
+    /// Snapshot of the streaming metrics accumulated so far. Keeps
+    /// working even after a thread panicked under the recorder lock —
+    /// observability must survive exactly the situations it exists for.
     pub fn metrics(&self) -> StreamingMetrics {
-        self.recorder.lock().expect("recorder poisoned").summarize()
+        self.recorder
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .summarize()
     }
 
     /// Gracefully shuts down: closes submissions, flushes the pending
@@ -568,17 +625,27 @@ impl StreamingServer {
     /// outstanding tickets), and returns the final metrics. Idempotent;
     /// also invoked by [`Drop`].
     pub fn shutdown(&self) -> StreamingMetrics {
-        if let Some(tx) = self.submit_tx.lock().expect("submit_tx poisoned").take() {
+        if let Some(tx) = self
+            .submit_tx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
             // The batcher may already be gone (panic); ignore send failure.
             let _ = tx.send(BatcherMsg::Shutdown);
         }
-        if let Some(handle) = self.batcher.lock().expect("batcher poisoned").take() {
+        if let Some(handle) = self
+            .batcher
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
             let _ = handle.join();
         }
         // The batcher thread has exited, so its pool Arc is dropped: taking
         // ours makes this the last reference and drop joins the workers
         // after the queued batches drain.
-        if let Some(pool) = self.pool.lock().expect("pool poisoned").take() {
+        if let Some(pool) = self.pool.lock().unwrap_or_else(|e| e.into_inner()).take() {
             drop(pool);
         }
         self.metrics()
@@ -758,9 +825,14 @@ fn dispatch_batch(
                         .collect(),
                 )
             });
-        let result = Tensor::from_vec(data, &batch_dims)
-            .map_err(|e| ConvertError::Structure(e.to_string()))
-            .and_then(|images| backend.run_batch(&images));
+        let injector = FaultInjector::global();
+        if injector.should(FaultPoint::BackendSlow) {
+            std::thread::sleep(injector.slow_delay());
+        }
+        let outcome = match Tensor::from_vec(data, &batch_dims) {
+            Err(e) => Ok(Err(ConvertError::Structure(e.to_string()))),
+            Ok(images) => run_batch_guarded(&backend, &images),
+        };
         drop(ctx);
         let exec_end = Instant::now();
         let exec_time = exec_end.duration_since(exec_start);
@@ -776,16 +848,16 @@ fn dispatch_batch(
                     vec![
                         ("batch_size", k.into()),
                         ("backend", backend.name().into()),
-                        ("ok", u64::from(result.is_ok()).into()),
+                        ("ok", u64::from(matches!(outcome, Ok(Ok(_)))).into()),
                     ],
                 );
             }
         }
-        match result {
-            Ok((logits, stats)) => {
+        match outcome {
+            Ok(Ok((logits, stats))) => {
                 let classes = logits.dims()[1];
                 // One lock for the whole batch, not one per request.
-                let mut rec = recorder.lock().expect("recorder poisoned");
+                let mut rec = recorder.lock().unwrap_or_else(|e| e.into_inner());
                 rec.record_batch(k, exec_time, reason);
                 for (i, request) in batch.into_iter().enumerate() {
                     let row = Tensor::from_vec(
@@ -817,9 +889,62 @@ fn dispatch_batch(
                     }));
                 }
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 for request in batch {
                     let _ = request.reply.send(Err(e.clone()));
+                }
+            }
+            Err(()) => {
+                // The batch panicked inside the backend. Blast-radius
+                // isolation: re-run every rider individually once, so
+                // innocents co-batched with a poison request still get
+                // their answer; a request that panics again *solo* is the
+                // poison — quarantine it with a typed error instead of
+                // letting it take its batchmates (or the next batch it
+                // would be retried into) down.
+                recorder
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record_batch_retry();
+                for request in batch {
+                    let solo_start = Instant::now();
+                    let mut solo_dims = vec![1usize];
+                    solo_dims.extend_from_slice(&request.sample_dims);
+                    let solo_outcome = match Tensor::from_vec(request.image.clone(), &solo_dims) {
+                        Err(e) => Ok(Err(ConvertError::Structure(e.to_string()))),
+                        Ok(solo) => run_batch_guarded(&backend, &solo),
+                    };
+                    match solo_outcome {
+                        Ok(Ok((logits, stats))) => {
+                            let classes = logits.dims()[1];
+                            let solo_exec = solo_start.elapsed();
+                            let queue_wait = solo_start.saturating_duration_since(request.enqueued);
+                            let row =
+                                Tensor::from_vec(logits.as_slice()[..classes].to_vec(), &[classes])
+                                    .expect("row slice matches classes");
+                            let mut rec = recorder.lock().unwrap_or_else(|e| e.into_inner());
+                            rec.record_batch(1, solo_exec, reason);
+                            rec.record_request(request.enqueued.elapsed(), queue_wait);
+                            drop(rec);
+                            let _ = request.reply.send(Ok(StreamedResponse {
+                                logits: row,
+                                batch_stats: stats,
+                                queue_wait,
+                                exec_time: solo_exec,
+                                batch_size: 1,
+                            }));
+                        }
+                        Ok(Err(e)) => {
+                            let _ = request.reply.send(Err(e));
+                        }
+                        Err(()) => {
+                            recorder
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .record_quarantined();
+                            let _ = request.reply.send(Err(quarantined_error()));
+                        }
+                    }
                 }
             }
         }
@@ -828,6 +953,34 @@ fn dispatch_batch(
     // by dropping it — every reply sender drops (tickets see the error)
     // and the dropped SlotRelease returns the batch's admissions.
     let _ = pool.try_execute(run);
+}
+
+/// Runs the backend under `catch_unwind`, so one poison request cannot
+/// unwind the worker and drop every co-batched ticket. `Err(())` means
+/// the backend panicked (the payload is discarded — tickets receive the
+/// typed quarantine error, not a panic string). Also the injection site
+/// for [`FaultPoint::BackendPanic`].
+fn run_batch_guarded(
+    backend: &Arc<dyn InferenceBackend>,
+    images: &Tensor,
+) -> Result<Result<(Tensor, RunStats), ConvertError>, ()> {
+    let inject = FaultInjector::global().should(FaultPoint::BackendPanic);
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if inject {
+            panic!("injected backend panic");
+        }
+        backend.run_batch(images)
+    }))
+    .map_err(|_| ())
+}
+
+/// The typed error a quarantined request resolves with.
+fn quarantined_error() -> ConvertError {
+    ConvertError::Structure(
+        "request quarantined: the backend panicked while executing it \
+         (isolated after a batch retry)"
+            .into(),
+    )
 }
 
 #[cfg(test)]
@@ -928,6 +1081,195 @@ mod tests {
         // The pool must survive the panicking jobs for later requests.
         let err2 = server.run(&x).unwrap_err();
         assert!(format!("{err2:?}").contains("dropped a request"));
+    }
+
+    /// Panics only when the magic poison value rides in the batch;
+    /// otherwise defers to a real engine. The blast-radius tests use it to
+    /// co-batch one poison request with innocents.
+    struct PoisonValueBackend {
+        inner: CsrEngine,
+    }
+
+    const POISON: f32 = 99.0;
+
+    impl crate::InferenceBackend for PoisonValueBackend {
+        fn name(&self) -> &'static str {
+            "poison-value"
+        }
+        fn model(&self) -> &SnnModel {
+            self.inner.model()
+        }
+        fn input_dims(&self) -> Option<&[usize]> {
+            self.inner.input_dims()
+        }
+        fn run_batch(&self, images: &Tensor) -> Result<(Tensor, RunStats), ConvertError> {
+            if images.as_slice().contains(&POISON) {
+                panic!("poison value in batch");
+            }
+            self.inner.run_batch(images)
+        }
+    }
+
+    #[test]
+    fn poison_request_is_quarantined_and_co_batched_innocents_survive() {
+        let model = dense_model();
+        let engine = CsrEngine::compile(&model, &[1, 3, 4]).unwrap();
+        let innocent = Tensor::full(&[1, 3, 4], 0.5);
+        let expected = {
+            let batched = Tensor::full(&[1, 1, 3, 4], 0.5);
+            let (logits, _) = engine.run_batch(&batched).unwrap();
+            logits.as_slice().to_vec()
+        };
+        let server = StreamingServer::new(
+            Arc::new(PoisonValueBackend { inner: engine }),
+            StreamingConfig {
+                threads: 1,
+                max_batch: 4,
+                max_delay: Duration::from_millis(200),
+                ..StreamingConfig::default()
+            },
+        );
+        // Three innocents and one poison request share one count-flushed
+        // batch of four.
+        let innocents: Vec<Ticket> = (0..3).map(|_| server.submit(&innocent).unwrap()).collect();
+        let poison_ticket = server.submit(&Tensor::full(&[1, 3, 4], POISON)).unwrap();
+        for ticket in innocents {
+            let response = ticket
+                .wait()
+                .expect("innocent must survive the poison batchmate");
+            assert_eq!(response.logits.as_slice(), &expected[..], "bit-exact");
+            assert_eq!(response.batch_size, 1, "isolation retries run solo");
+        }
+        let err = poison_ticket.wait().unwrap_err();
+        assert!(
+            err.to_string().contains("quarantined"),
+            "poison request gets the typed quarantine error, got: {err}"
+        );
+        // The server stays fully serviceable afterwards.
+        let after = server.submit(&innocent).unwrap().wait().unwrap();
+        assert_eq!(after.logits.as_slice(), &expected[..]);
+        let metrics = server.shutdown();
+        assert_eq!(metrics.batch_retries, 1, "one batch was re-run");
+        assert_eq!(metrics.quarantined, 1, "exactly the poison request");
+        assert_eq!(metrics.requests, 4, "3 innocents + 1 clean follow-up");
+    }
+
+    /// Holds every batch long enough for submissions to pile up, so the
+    /// brownout test can cross the high-water mark deterministically.
+    struct SlowBackend {
+        inner: CsrEngine,
+        delay: Duration,
+    }
+
+    impl crate::InferenceBackend for SlowBackend {
+        fn name(&self) -> &'static str {
+            "slow"
+        }
+        fn model(&self) -> &SnnModel {
+            self.inner.model()
+        }
+        fn input_dims(&self) -> Option<&[usize]> {
+            self.inner.input_dims()
+        }
+        fn run_batch(&self, images: &Tensor) -> Result<(Tensor, RunStats), ConvertError> {
+            std::thread::sleep(self.delay);
+            self.inner.run_batch(images)
+        }
+    }
+
+    #[test]
+    fn brownout_sheds_low_priority_and_recovers_after_drain() {
+        let model = dense_model();
+        let engine = CsrEngine::compile(&model, &[1, 3, 4]).unwrap();
+        let server = StreamingServer::new(
+            Arc::new(SlowBackend {
+                inner: engine,
+                delay: Duration::from_millis(40),
+            }),
+            StreamingConfig {
+                threads: 1,
+                max_batch: 1,
+                max_delay: Duration::ZERO,
+                brownout: Some(BrownoutConfig {
+                    high_water: 2,
+                    low_water: 0,
+                    shed_below_priority: 1,
+                }),
+                ..StreamingConfig::default()
+            },
+        );
+        let image = Tensor::full(&[1, 3, 4], 0.5);
+        // Pile up 3 high-priority requests; the third submission sees 2
+        // admitted-but-unresolved and engages brownout — but rides on,
+        // because its priority clears the shed threshold.
+        let high: Vec<Ticket> = (0..3)
+            .map(|_| {
+                server
+                    .submit_with(&image, SubmitOptions::default().priority(1))
+                    .expect("high priority is never browned out")
+            })
+            .collect();
+        assert!(server.brownout_engaged(), "high-water mark crossed");
+        let err = server
+            .submit_with(&image, SubmitOptions::default().priority(0))
+            .expect_err("low priority must shed while engaged");
+        assert!(
+            matches!(
+                err,
+                SubmitError::Brownout {
+                    priority: 0,
+                    shed_below_priority: 1
+                }
+            ),
+            "typed brownout error, got {err:?}"
+        );
+        for ticket in high {
+            ticket.wait().expect("admitted requests still resolve");
+        }
+        // The reply lands slightly before the worker closure releases its
+        // admission slot; wait for the count to actually reach zero.
+        while server.pending() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Everything drained: the next submission observes the low-water
+        // mark, disengages, and priority-0 traffic is admitted again.
+        let after = server
+            .submit_with(&image, SubmitOptions::default().priority(0))
+            .expect("brownout must disengage at the low-water mark");
+        after.wait().unwrap();
+        assert!(!server.brownout_engaged());
+        let metrics = server.shutdown();
+        assert_eq!(metrics.brownout_shed_requests, 1);
+        assert_eq!(metrics.shed_requests, 0, "brownout sheds are counted apart");
+        assert_eq!(metrics.requests, 4);
+    }
+
+    #[test]
+    fn metrics_and_shutdown_survive_a_poisoned_recorder_lock() {
+        let model = dense_model();
+        let backend = Arc::new(CsrEngine::compile(&model, &[1, 3, 4]).unwrap());
+        let server = StreamingServer::new(
+            backend,
+            StreamingConfig {
+                threads: 2,
+                ..StreamingConfig::default()
+            },
+        );
+        // Poison the recorder lock the way production would: a thread
+        // panics while holding it.
+        let recorder = Arc::clone(&server.recorder);
+        let _ = std::thread::spawn(move || {
+            let _guard = recorder.lock().unwrap();
+            panic!("deliberately poisoning the recorder lock");
+        })
+        .join();
+        assert!(server.recorder.is_poisoned(), "lock must be poisoned");
+        // Metrics, serving and shutdown all keep working.
+        let before = server.metrics();
+        let ticket = server.submit(&Tensor::full(&[1, 3, 4], 0.5)).unwrap();
+        ticket.wait().expect("serving survives the poisoned lock");
+        let metrics = server.shutdown();
+        assert_eq!(metrics.requests, before.requests + 1);
     }
 
     #[test]

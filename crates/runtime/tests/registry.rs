@@ -58,6 +58,7 @@ fn fast_streaming() -> StreamingConfig {
         max_batch: 8,
         max_delay: Duration::from_millis(1),
         max_pending: 0,
+        brownout: None,
     }
 }
 
@@ -88,6 +89,7 @@ fn thundering_herd_on_a_cold_model_compiles_exactly_once() {
             RegistryConfig {
                 byte_budget: 0,
                 streaming: fast_streaming(),
+                ..RegistryConfig::default()
             },
         )
         .unwrap(),
@@ -146,7 +148,9 @@ fn lru_never_evicts_a_model_with_in_flight_work() {
                 // batcher, keeping alpha's pending() > 0 for a while.
                 max_delay: Duration::from_millis(300),
                 max_pending: 0,
+                brownout: None,
             },
+            ..RegistryConfig::default()
         },
     )
     .unwrap();
@@ -201,6 +205,7 @@ fn swap_repoints_the_bare_name_and_survives_rescans() {
         RegistryConfig {
             byte_budget: 0,
             streaming: fast_streaming(),
+            ..RegistryConfig::default()
         },
     )
     .unwrap();
@@ -243,6 +248,7 @@ fn hot_swap_under_closed_loop_load_never_mixes_versions() {
             RegistryConfig {
                 byte_budget: 0,
                 streaming: fast_streaming(),
+                ..RegistryConfig::default()
             },
         )
         .unwrap(),

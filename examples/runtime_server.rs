@@ -56,6 +56,7 @@ fn serve_gateway(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
             max_batch: 8,
             max_delay: Duration::from_millis(2),
             max_pending: 256,
+            brownout: None,
         },
         collector,
     )?);
@@ -172,7 +173,9 @@ fn serve_model_dir(dir: &Path, addr: &str) -> Result<(), Box<dyn std::error::Err
                 max_batch: 8,
                 max_delay: Duration::from_millis(2),
                 max_pending: 256,
+                brownout: None,
             },
+            ..RegistryConfig::default()
         },
         Some(collector),
     )?);
@@ -318,6 +321,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Backpressure: shed with SubmitError::QueueFull beyond 4x a
             // full window of admitted-but-unresolved requests.
             max_pending: 32,
+            brownout: None,
         },
     );
     let sample_len: usize = input_dims.iter().product();

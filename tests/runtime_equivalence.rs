@@ -281,6 +281,7 @@ proptest! {
                 max_batch,
                 max_delay: Duration::from_micros(delay_us),
                 max_pending: 0,
+                brownout: None,
             },
         );
         let mut order: Vec<usize> = (0..n).collect();
