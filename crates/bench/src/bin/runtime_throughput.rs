@@ -26,7 +26,11 @@
 //! panics / slowdowns / connection resets armed, the circuit-breaker
 //! open-and-recover scenario, a torn artifact write that must leave the
 //! previous version loadable, and the disabled-injector overhead guard),
-//! and the hardware energy report driven by the fast path's event counts.
+//! the live-telemetry guarantees (`telemetry`: interleaved
+//! telemetry-on/off gateway throughput, `/v1/stats` windowed-vs-cumulative
+//! p99 agreement, per-model energy attribution, the `/dashboard` page and
+//! the per-scrape cost), and the hardware energy report driven by the fast
+//! path's event counts.
 //!
 //! Run: `cargo run -p snn-bench --bin runtime_throughput --release`
 //! Scale with `SNN_BENCH_SCALE=quick|default|full`. Pass
@@ -297,6 +301,53 @@ struct ObservabilityResult {
 }
 
 #[derive(Debug, Serialize)]
+struct TelemetryResult {
+    /// `/v1/stats` parsed as JSON, carried `schema_version` 1 and a
+    /// `model=default` series (CI-enforced).
+    stats_parse_ok: bool,
+    schema_version: u64,
+    /// The `model=default` windowed e2e p99 over the 300 s window, µs.
+    windowed_p99_us: f64,
+    /// The cumulative recorder's e2e p99 from the same stack, µs.
+    cumulative_p99_us: f64,
+    /// `windowed / cumulative`. The windowed quantile reports its
+    /// log-linear bin's upper edge, so it may overshoot the cumulative
+    /// figure by ≤ 25% + 1 µs but never undershoot (CI-enforced).
+    p99_agreement_ratio: f64,
+    p99_within_tolerance: bool,
+    /// Modeled per-inference energy from the windowed per-model series,
+    /// µJ (CI-enforced > 0).
+    energy_uj_per_inference: f64,
+    /// Computed multi-window SLO state for the default model.
+    slo_state: String,
+    /// Fast-window (1 m) deadline-miss ratio for the default model.
+    deadline_miss_ratio_fast: f64,
+    /// `GET /dashboard` served a non-empty self-contained HTML page
+    /// (CI-enforced).
+    dashboard_ok: bool,
+    dashboard_bytes: usize,
+    /// Mean wall cost of one `/v1/stats` scrape over `scrapes` timed
+    /// GETs, µs — what a 1–2 s dashboard poll costs the gateway.
+    scrapes: u64,
+    scrape_mean_us: f64,
+    stats_body_bytes: usize,
+    /// Interleaved best-of-N closed-loop HTTP throughput with telemetry
+    /// on vs off (fresh identical stacks, same backend Arc).
+    rounds: usize,
+    on_requests_per_sec: f64,
+    off_requests_per_sec: f64,
+    /// `(off − on) / off`, best-of-N; noise-gated (≤ 5%) in CI rather
+    /// than zero-asserted, since closed-loop HTTP throughput is
+    /// scheduler-sensitive.
+    telemetry_overhead_frac: f64,
+    /// Every 200 in every round was bit-exact against the single-thread
+    /// CSR rows, on both sides (CI-enforced: telemetry must not perturb
+    /// logits).
+    on_ok_match: bool,
+    off_ok_match: bool,
+}
+
+#[derive(Debug, Serialize)]
 struct FaultsResult {
     /// Chaos seeds driven through the full HTTP path with the injector
     /// armed (backend panics, slowdowns, connection resets, brownout).
@@ -364,6 +415,7 @@ struct RuntimeBenchReport {
     faults: FaultsResult,
     quant: QuantResult,
     observability: ObservabilityResult,
+    telemetry: TelemetryResult,
     speedup_csr_single: f64,
     speedup_batched: f64,
     speedup_csr_pooled: f64,
@@ -547,6 +599,42 @@ fn main() {
     assert!(
         gateway.backpressure.ok_match,
         "shedding must not corrupt in-flight responses"
+    );
+
+    // Live telemetry: interleaved telemetry-on/off gateway stacks for the
+    // overhead gate, then a scrape of /v1/stats and /dashboard whose
+    // windowed per-model figures must agree with the cumulative recorders.
+    let telemetry = telemetry_bench(
+        Arc::clone(&csr) as Arc<dyn InferenceBackend>,
+        &x,
+        &csr_logits,
+        &input_dims,
+        (threads * 2).clamp(2, 8),
+        passes,
+        chunk_size.max(2),
+        Duration::from_millis(2),
+        seed,
+    );
+    assert!(
+        telemetry.stats_parse_ok,
+        "/v1/stats must parse with schema_version 1 and a model=default series"
+    );
+    assert!(
+        telemetry.dashboard_ok,
+        "/dashboard must serve a non-empty self-contained page"
+    );
+    assert!(
+        telemetry.energy_uj_per_inference > 0.0,
+        "per-model energy attribution must be positive"
+    );
+    assert!(
+        telemetry.p99_within_tolerance,
+        "windowed p99 ({} µs) must agree with the cumulative recorder ({} µs)",
+        telemetry.windowed_p99_us, telemetry.cumulative_p99_us
+    );
+    assert!(
+        telemetry.on_ok_match && telemetry.off_ok_match,
+        "logits must stay bit-exact with telemetry on and off"
     );
 
     // Multi-model registry: artifact cold start, warm lookup cost,
@@ -734,6 +822,7 @@ fn main() {
             },
         },
         observability,
+        telemetry,
         speedup_csr_single: event_wall.as_secs_f64() / csr_wall.as_secs_f64(),
         speedup_batched: event_wall.as_secs_f64() / batched_wall.as_secs_f64(),
         speedup_csr_pooled: event_wall.as_secs_f64() / (report.metrics.wall_ms / 1e3),
@@ -836,6 +925,17 @@ fn main() {
         } else {
             format!(" -> {}", out.observability.chrome_trace_path)
         },
+    );
+    eprintln!(
+        "telemetry: windowed p99 {:.0} µs vs cumulative {:.0} µs (x{:.3}) | {:.2} µJ/inference | slo {} | scrape {:.0} µs ({} B) | on/off delta {:+.2}%",
+        out.telemetry.windowed_p99_us,
+        out.telemetry.cumulative_p99_us,
+        out.telemetry.p99_agreement_ratio,
+        out.telemetry.energy_uj_per_inference,
+        out.telemetry.slo_state,
+        out.telemetry.scrape_mean_us,
+        out.telemetry.stats_body_bytes,
+        out.telemetry.telemetry_overhead_frac * 100.0,
     );
     eprintln!(
         "faults({} seeds) {} req: {} ok / {} 429 / {} 503 / {} other / {} transport | injected {} | mismatches {} | retries {} quarantined {} | post-storm ok {} | breaker open {} recover {} | torn-write survived {} | disabled delta {:+.2}%",
@@ -984,6 +1084,205 @@ fn gateway_smoke(
         metrics,
         streaming,
         backpressure,
+    }
+}
+
+/// The live-telemetry section: two identical gateway stacks over the same
+/// backend — one with the windowed `TelemetryHub` attached (the
+/// default), one with `telemetry: false` — driven by interleaved
+/// best-of-N closed-loop HTTP rounds for the overhead estimate. The
+/// telemetry-on stack is then scraped: `/v1/stats` must parse with the
+/// documented schema and its `model=default` windowed p99 / energy
+/// figures must agree with the cumulative recorders; `/dashboard` must
+/// serve a non-empty self-contained page; N timed scrapes price the
+/// dashboard's poll loop.
+#[allow(clippy::too_many_arguments)]
+fn telemetry_bench(
+    backend: Arc<dyn InferenceBackend>,
+    x: &Tensor,
+    expected_logits: &Tensor,
+    input_dims: &[usize],
+    clients: usize,
+    passes: usize,
+    max_batch: usize,
+    max_delay: Duration,
+    seed: u64,
+) -> TelemetryResult {
+    let make_stack = |telemetry: bool| {
+        let server = Arc::new(StreamingServer::new(
+            Arc::clone(&backend),
+            StreamingConfig {
+                threads: 0,
+                max_batch,
+                max_delay,
+                max_pending: 0,
+                brownout: None,
+            },
+        ));
+        let gateway = Gateway::start(
+            Arc::clone(&server),
+            GatewayConfig {
+                workers: clients,
+                telemetry,
+                ..GatewayConfig::for_dims(input_dims)
+            },
+        )
+        .expect("telemetry gateway bind");
+        (gateway, server)
+    };
+    let (mut on_gateway, on_server) = make_stack(true);
+    let (mut off_gateway, off_server) = make_stack(false);
+
+    // Interleaved best-of-N: each round drives the identical closed loop
+    // through both stacks back to back, so frequency/scheduler drift hits
+    // both sides equally; best-of-N on each side is the overhead estimate
+    // (same protocol as the tracing and fault-injection overhead gates).
+    let rounds = 5usize;
+    let mut best_on = 0.0f64;
+    let mut best_off = 0.0f64;
+    let mut on_ok_match = true;
+    let mut off_ok_match = true;
+    let clean = |r: &LoadReport| {
+        r.mismatches == 0 && r.transport_errors == 0 && r.ok_200 > 0 && r.ok_200 == r.requests
+    };
+    for round in 0..rounds as u64 {
+        let config = |s: u64| LoadGenConfig {
+            clients,
+            passes,
+            seed: s,
+            ..LoadGenConfig::default()
+        };
+        let off = run_closed_loop(
+            off_gateway.local_addr(),
+            x,
+            Some(expected_logits),
+            &config(seed ^ (0x0FF0 + round)),
+        );
+        off_ok_match &= clean(&off);
+        best_off = best_off.max(off.requests_per_sec);
+        let on = run_closed_loop(
+            on_gateway.local_addr(),
+            x,
+            Some(expected_logits),
+            &config(seed ^ (0x0A00 + round)),
+        );
+        on_ok_match &= clean(&on);
+        best_on = best_on.max(on.requests_per_sec);
+    }
+    let telemetry_overhead_frac = (best_off - best_on) / best_off.max(1e-9);
+
+    // Scrape the telemetry-on stack while its windows still hold every
+    // round's traffic (the rounds take seconds; the widest window is
+    // 300 s), so windowed and cumulative figures describe the same load.
+    let mut client = HttpClient::connect(on_gateway.local_addr()).expect("stats client");
+    let stats = client.get("/v1/stats").expect("stats GET");
+    let stats_body_bytes = stats.body.len();
+    let parsed: Option<serde::Content> = std::str::from_utf8(&stats.body)
+        .ok()
+        .and_then(|text| serde_json::from_str(text).ok())
+        .filter(|_| stats.status == 200);
+
+    let mut schema_version = 0u64;
+    let mut windowed_p99_us = 0.0f64;
+    let mut cumulative_p99_us = 0.0f64;
+    let mut energy_uj_per_inference = 0.0f64;
+    let mut slo_state = String::new();
+    let mut deadline_miss_ratio_fast = 0.0f64;
+    let mut found_default_model = false;
+    if let Some(map) = parsed.as_ref().and_then(|c| c.as_map()) {
+        schema_version = serde::field(map, "schema_version")
+            .ok()
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        cumulative_p99_us = serde::field(map, "cumulative")
+            .ok()
+            .and_then(|c| c.as_map())
+            .and_then(|c| serde::field(c, "e2e_p99_us").ok())
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        if let Some(models) = serde::field(map, "models").ok().and_then(|m| m.as_seq()) {
+            if let Some(model) = models
+                .iter()
+                .filter_map(|m| m.as_map())
+                .find(|m| serde::field(m, "model").ok().and_then(|v| v.as_str()) == Some("default"))
+            {
+                found_default_model = true;
+                windowed_p99_us = serde::field(model, "e2e_us")
+                    .ok()
+                    .and_then(|w| w.as_map())
+                    .and_then(|w| serde::field(w, "300s").ok())
+                    .and_then(|w| w.as_map())
+                    .and_then(|w| serde::field(w, "p99").ok())
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0);
+                energy_uj_per_inference = serde::field(model, "energy_uj_per_inference")
+                    .ok()
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0);
+                slo_state = serde::field(model, "slo_state")
+                    .ok()
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("")
+                    .to_string();
+                deadline_miss_ratio_fast = serde::field(model, "deadline_miss_ratio")
+                    .ok()
+                    .and_then(|r| r.as_map())
+                    .and_then(|r| serde::field(r, "fast").ok())
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0);
+            }
+        }
+    }
+    let stats_parse_ok = parsed.is_some() && schema_version == 1 && found_default_model;
+    // Windowed quantiles report their log-linear bin's upper edge: bounded
+    // overshoot, never undershoot (see the snn-telemetry docs).
+    let p99_within_tolerance = cumulative_p99_us > 0.0
+        && windowed_p99_us >= cumulative_p99_us * 0.99
+        && windowed_p99_us <= cumulative_p99_us * 1.25 + 1.0;
+
+    // What one dashboard poll costs the gateway.
+    let scrapes = 30u64;
+    let t0 = Instant::now();
+    for _ in 0..scrapes {
+        let scrape = client.get("/v1/stats").expect("stats scrape");
+        assert_eq!(scrape.status, 200, "scrape loop must keep getting 200s");
+    }
+    let scrape_mean_us = t0.elapsed().as_micros() as f64 / scrapes as f64;
+
+    let dash = client.get("/dashboard").expect("dashboard GET");
+    let dashboard_bytes = dash.body.len();
+    let dashboard_ok = dash.status == 200
+        && dashboard_bytes > 1000
+        && std::str::from_utf8(&dash.body)
+            .map(|h| h.contains("<!DOCTYPE html>") && h.contains("/v1/stats"))
+            .unwrap_or(false);
+
+    on_gateway.shutdown();
+    on_server.shutdown();
+    off_gateway.shutdown();
+    off_server.shutdown();
+
+    TelemetryResult {
+        stats_parse_ok,
+        schema_version,
+        windowed_p99_us,
+        cumulative_p99_us,
+        p99_agreement_ratio: windowed_p99_us / cumulative_p99_us.max(1e-9),
+        p99_within_tolerance,
+        energy_uj_per_inference,
+        slo_state,
+        deadline_miss_ratio_fast,
+        dashboard_ok,
+        dashboard_bytes,
+        scrapes,
+        scrape_mean_us,
+        stats_body_bytes,
+        rounds,
+        on_requests_per_sec: best_on,
+        off_requests_per_sec: best_off,
+        telemetry_overhead_frac,
+        on_ok_match,
+        off_ok_match,
     }
 }
 

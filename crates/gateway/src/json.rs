@@ -172,6 +172,10 @@ pub struct InferResponse {
     pub exec_us: f64,
     /// Submit-to-result latency as measured inside the gateway, µs.
     pub e2e_us: f64,
+    /// Modeled per-image energy of the formed batch this request rode in,
+    /// µJ on the paper's proposed processor configuration. `0.0` when the
+    /// serving stack has no energy pricer attached (telemetry disabled).
+    pub energy_uj: f64,
     /// The request's trace id (16 hex digits); empty when the gateway
     /// serves an untraced [`snn_runtime::StreamingServer`]. Feed it to
     /// `GET /v1/trace/<id>` to retrieve the recorded span tree.
@@ -348,6 +352,7 @@ mod tests {
             queue_wait_us: 12.5,
             exec_us: 99.0,
             e2e_us: 120.0,
+            energy_uj: 431.25,
             trace_id: "00000080000002ab".to_string(),
         };
         let json = serde_json::to_string(&resp).unwrap();

@@ -22,8 +22,16 @@
 //!   request's span tree — when the wrapped server carries a
 //!   [`TraceCollector`](snn_trace::TraceCollector), each `/v1/infer`
 //!   response echoes its `trace_id`, honoring a client-supplied
-//!   `x-snn-trace-id` header) and `GET /healthz`. Backpressure maps onto
-//!   the wire:
+//!   `x-snn-trace-id` header), `GET /healthz` (liveness: always `200`
+//!   while the process runs, even mid-drain) and `GET /readyz` (readiness:
+//!   `503` with a JSON body once [`Gateway::begin_drain`] flips the drain
+//!   flag, reporting brownout and breaker state alongside). With telemetry
+//!   on (the [`GatewayConfig::telemetry`] default) a windowed
+//!   [`TelemetryHub`](snn_telemetry::TelemetryHub) collects labeled
+//!   per-model / per-route sliding-window series — served as JSON by
+//!   `GET /v1/stats` ([`stats`] documents the schema) and rendered live by
+//!   `GET /dashboard`, a single dependency-free HTML page. Backpressure
+//!   maps onto the wire:
 //!   [`QueueFull`](snn_runtime::SubmitError::QueueFull) → `429`, drain →
 //!   `503`, handler timeout → `504`. With a
 //!   [`ModelRegistry`](snn_runtime::ModelRegistry) attached
@@ -80,11 +88,13 @@ pub mod http;
 pub mod json;
 mod metrics;
 mod server;
+pub mod stats;
 
 pub use client::{
     run_closed_loop, run_closed_loop_any, HttpClient, LoadGenConfig, LoadReport, WireResponse,
 };
 pub use http::{Limits, ParseError, Request};
 pub use json::{ErrorBody, InferRequest, InferResponse, ModelListBody, SwapRequest};
-pub use metrics::{prometheus_text, GatewayMetrics, GatewayRecorder, RouteMetrics};
+pub use metrics::{prometheus_text, GatewayMetrics, GatewayRecorder, RouteMetrics, TraceStats};
 pub use server::{Gateway, GatewayConfig};
+pub use stats::render_stats;

@@ -8,9 +8,25 @@
 //! the whole path from accepted socket to executed batch.
 
 use serde::{Deserialize, Serialize};
-use snn_runtime::{HistogramSnapshot, LatencyRecorder, StreamingMetrics};
+use snn_runtime::{HistogramSnapshot, LatencyRecorder, RegistryMetrics, StreamingMetrics};
 use std::collections::BTreeMap;
 use std::time::Duration;
+
+/// Trace-collector health for the exposition: the cumulative
+/// recorded/dropped totals plus the ring's current occupancy against its
+/// capacity — `ring_spans` near `ring_capacity` with `spans_dropped`
+/// climbing means the retention window is too small for the span rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Spans recorded into the collector since construction.
+    pub spans_recorded: u64,
+    /// Spans evicted from the bounded ring since construction.
+    pub spans_dropped: u64,
+    /// Spans currently retained in the ring.
+    pub ring_spans: usize,
+    /// The ring's retention bound.
+    pub ring_capacity: usize,
+}
 
 /// Latency summary for one route (`infer`, `metrics`, `health`, `other`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -171,13 +187,15 @@ fn histogram_family(out: &mut String, name: &str, help: &str, hist: &HistogramSn
 }
 
 /// Renders the gateway and streaming snapshots in Prometheus text
-/// exposition format (`text/plain; version=0.0.4`). `trace` carries the
-/// span collector's `(recorded, dropped)` totals when the wrapped server
-/// is traced.
+/// exposition format (`text/plain; version=0.0.4`). `registry` adds the
+/// `snn_registry_*` families when a [`ModelRegistry`](snn_runtime::ModelRegistry)
+/// fronts this gateway; `trace` carries the span collector's totals and
+/// ring occupancy when the wrapped server is traced.
 pub fn prometheus_text(
     gateway: &GatewayMetrics,
     streaming: &StreamingMetrics,
-    trace: Option<(u64, u64)>,
+    registry: Option<&RegistryMetrics>,
+    trace: Option<TraceStats>,
 ) -> String {
     let mut out = String::with_capacity(2048);
     for (name, help, value) in [
@@ -286,6 +304,11 @@ pub fn prometheus_text(
             "Ticket waits that expired before the result landed",
             streaming.wait_timeouts,
         ),
+        (
+            "snn_streaming_deadline_misses_total",
+            "Requests whose batch began executing more than the grace period past their EDF deadline",
+            streaming.deadline_misses,
+        ),
     ] {
         counter_family(&mut out, name, help, value);
     }
@@ -349,18 +372,125 @@ pub fn prometheus_text(
     ] {
         histogram_family(&mut out, name, help, hist);
     }
-    if let Some((recorded, dropped)) = trace {
+    if let Some(registry) = registry {
+        for (name, help, value) in [
+            (
+                "snn_registry_cold_loads_total",
+                "Artifact loads performed (cold starts)",
+                registry.cold_loads,
+            ),
+            (
+                "snn_registry_warm_hits_total",
+                "Lookups served immediately from a resident entry",
+                registry.warm_hits,
+            ),
+            (
+                "snn_registry_coalesced_loads_total",
+                "Lookups that waited on another thread's in-progress load",
+                registry.coalesced_loads,
+            ),
+            (
+                "snn_registry_evictions_total",
+                "Entries evicted by the LRU byte budget",
+                registry.evictions,
+            ),
+            (
+                "snn_registry_swaps_total",
+                "Successful atomic version swaps",
+                registry.swaps,
+            ),
+            (
+                "snn_registry_load_errors_total",
+                "Loads that failed (artifact or compile error)",
+                registry.load_errors,
+            ),
+            (
+                "snn_registry_breaker_opens_total",
+                "Times a model's circuit breaker opened",
+                registry.breaker_opens,
+            ),
+            (
+                "snn_registry_breaker_recoveries_total",
+                "Half-open probes that restored a model to service",
+                registry.breaker_recoveries,
+            ),
+            (
+                "snn_registry_breaker_rejections_total",
+                "Lookups rejected immediately by an open breaker",
+                registry.breaker_rejections,
+            ),
+        ] {
+            counter_family(&mut out, name, help, value);
+        }
+        for (name, help, value) in [
+            (
+                "snn_registry_catalog_models",
+                "Artifacts in the catalog (readable headers)",
+                registry.catalog_models as f64,
+            ),
+            (
+                "snn_registry_resident_models",
+                "Currently resident compiled entries",
+                registry.resident_models as f64,
+            ),
+            (
+                "snn_registry_resident_bytes",
+                "Sum of resident compiled bytes",
+                registry.resident_bytes as f64,
+            ),
+            (
+                "snn_registry_byte_budget",
+                "Configured LRU byte budget (0 = unbounded)",
+                registry.byte_budget as f64,
+            ),
+            (
+                "snn_registry_load_ms_mean",
+                "Mean artifact load wall time",
+                registry.load_ms_mean,
+            ),
+            (
+                "snn_registry_load_ms_max",
+                "Max artifact load wall time",
+                registry.load_ms_max,
+            ),
+            (
+                "snn_registry_compile_ms_mean",
+                "Mean backend compile wall time",
+                registry.compile_ms_mean,
+            ),
+            (
+                "snn_registry_compile_ms_max",
+                "Max backend compile wall time",
+                registry.compile_ms_max,
+            ),
+        ] {
+            gauge_family(&mut out, name, help, value);
+        }
+    }
+    if let Some(trace) = trace {
         counter_family(
             &mut out,
             "snn_trace_spans_recorded_total",
             "Spans recorded into the trace collector",
-            recorded,
+            trace.spans_recorded,
         );
         counter_family(
             &mut out,
             "snn_trace_spans_dropped_total",
             "Spans evicted from the bounded trace ring",
-            dropped,
+            trace.spans_dropped,
+        );
+        gauge_family(
+            &mut out,
+            "snn_trace_ring_spans",
+            "Spans currently retained in the bounded trace ring",
+            trace.ring_spans as f64,
+        );
+        gauge_family(
+            &mut out,
+            "snn_trace_ring_capacity",
+            "Retention bound of the trace ring",
+            trace.ring_capacity as f64,
         );
     }
     out
@@ -415,7 +545,36 @@ mod tests {
         r.record_response("infer", 200, Duration::from_millis(1));
         let gm = r.summarize();
         let sm = StreamingRecorder::new().summarize();
-        let text = prometheus_text(&gm, &sm, Some((7, 0)));
+        let rm = RegistryMetrics {
+            catalog_models: 2,
+            resident_models: 1,
+            resident_bytes: 4096,
+            byte_budget: 0,
+            cold_loads: 1,
+            warm_hits: 3,
+            coalesced_loads: 0,
+            evictions: 0,
+            swaps: 0,
+            load_errors: 0,
+            breaker_opens: 0,
+            breaker_recoveries: 0,
+            breaker_rejections: 0,
+            load_ms_mean: 1.5,
+            load_ms_max: 1.5,
+            compile_ms_mean: 4.0,
+            compile_ms_max: 4.0,
+        };
+        let text = prometheus_text(
+            &gm,
+            &sm,
+            Some(&rm),
+            Some(TraceStats {
+                spans_recorded: 7,
+                spans_dropped: 0,
+                ring_spans: 7,
+                ring_capacity: 4096,
+            }),
+        );
         for family in [
             "snn_gateway_connections_total 1",
             "snn_gateway_responses_total{class=\"2xx\"} 1",
@@ -431,9 +590,21 @@ mod tests {
             "snn_streaming_flushes_total{reason=\"max_batch\"} 0",
             "snn_streaming_flushes_total{reason=\"drain\"} 0",
             "snn_streaming_wait_timeouts_total 0",
+            "snn_streaming_deadline_misses_total 0",
             "snn_streaming_e2e_seconds_count 0",
+            "snn_registry_cold_loads_total 1",
+            "snn_registry_warm_hits_total 3",
+            "snn_registry_coalesced_loads_total 0",
+            "snn_registry_evictions_total 0",
+            "snn_registry_catalog_models 2",
+            "snn_registry_resident_models 1",
+            "snn_registry_resident_bytes 4096",
+            "snn_registry_load_ms_mean 1.5",
+            "snn_registry_compile_ms_max 4",
             "snn_trace_spans_recorded_total 7",
             "snn_trace_spans_dropped_total 0",
+            "snn_trace_ring_spans 7",
+            "snn_trace_ring_capacity 4096",
         ] {
             assert!(text.contains(family), "missing {family:?} in:\n{text}");
         }
@@ -453,13 +624,27 @@ mod tests {
         gr.record_connection();
         gr.record_response("infer", 200, Duration::from_millis(2));
         let mut sr = StreamingRecorder::new();
-        sr.record_request(Duration::from_micros(1500), Duration::from_micros(300));
+        sr.record_request(
+            Duration::from_micros(1500),
+            Duration::from_micros(300),
+            false,
+        );
         sr.record_batch(
             1,
             Duration::from_micros(900),
             snn_runtime::FlushReason::MaxBatch,
         );
-        let text = prometheus_text(&gr.summarize(), &sr.summarize(), Some((3, 1)));
+        let text = prometheus_text(
+            &gr.summarize(),
+            &sr.summarize(),
+            None,
+            Some(TraceStats {
+                spans_recorded: 3,
+                spans_dropped: 1,
+                ring_spans: 2,
+                ring_capacity: 64,
+            }),
+        );
 
         let mut announced: Vec<String> = Vec::new(); // families, in order
         let mut current: Option<(String, String)> = None; // (family, type)

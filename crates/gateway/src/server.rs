@@ -49,6 +49,7 @@ use snn_runtime::{
     FaultInjector, FaultPoint, ModelRegistry, RegistryError, StreamingServer, SubmitError,
     WorkerPool,
 };
+use snn_telemetry::{families, Labels, TelemetryHub};
 use snn_tensor::Tensor;
 use snn_trace::{AttrValue, TraceCollector, TraceId, TraceTarget};
 
@@ -58,7 +59,8 @@ use crate::http::{
 use crate::json::{
     render_trace, ErrorBody, InferRequest, InferResponse, ModelListBody, SwapRequest,
 };
-use crate::metrics::{prometheus_text, GatewayMetrics, GatewayRecorder};
+use crate::metrics::{prometheus_text, GatewayMetrics, GatewayRecorder, TraceStats};
+use crate::stats::render_stats;
 
 /// Gateway configuration.
 #[derive(Debug, Clone)]
@@ -96,6 +98,13 @@ pub struct GatewayConfig {
     /// handful of idle connections must never starve the pool) and bounds
     /// slow-loris senders who trickle a request forever.
     pub keep_alive_idle: Duration,
+    /// Whether to stand up a windowed [`TelemetryHub`] for this gateway
+    /// (default `true`). When on, the wrapped server (and registry, if
+    /// any) record labeled sliding-window series alongside their
+    /// cumulative recorders, and `GET /v1/stats` + `GET /dashboard`
+    /// serve live snapshots. Turning it off leaves those routes answering
+    /// `404` and removes every per-request telemetry write.
+    pub telemetry: bool,
 }
 
 impl Default for GatewayConfig {
@@ -109,6 +118,7 @@ impl Default for GatewayConfig {
             handler_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_millis(50),
             keep_alive_idle: Duration::from_secs(10),
+            telemetry: true,
         }
     }
 }
@@ -135,7 +145,21 @@ struct Shared {
     /// the `GET /v1/trace/<id>` route record into / read from it.
     trace: Option<Arc<TraceCollector>>,
     recorder: Mutex<GatewayRecorder>,
+    /// The windowed time-series hub (when
+    /// [`GatewayConfig::telemetry`] is on): the default server, every
+    /// registry entry, and the per-route HTTP recorder all write labeled
+    /// sliding-window series into it; `/v1/stats` and `/dashboard` read
+    /// them back.
+    telemetry: Option<Arc<TelemetryHub>>,
+    /// When the gateway started serving (the `uptime_s` origin).
+    started: Instant,
+    /// Soft drain ([`Gateway::begin_drain`]): readiness flips to `503`,
+    /// non-health traffic is refused, keep-alive stops — but connections
+    /// are still accepted so `/healthz` and `/readyz` probes keep working.
     draining: AtomicBool,
+    /// Hard stop ([`Gateway::shutdown`]): the acceptor exits and
+    /// connection workers close their streams. Implies `draining`.
+    stopping: AtomicBool,
     limits: Limits,
     input_dims: Vec<usize>,
     handler_timeout: Duration,
@@ -232,12 +256,31 @@ impl Gateway {
             .trace_collector()
             .cloned()
             .or_else(|| registry.as_ref().and_then(|r| r.trace_collector().cloned()));
+        let telemetry = config.telemetry.then(|| {
+            let hub = Arc::new(TelemetryHub::new());
+            // The default (non-registry) server records under a fixed
+            // model label; registry entries attach their own
+            // model/version/backend labels at load time.
+            server.attach_telemetry(
+                Arc::clone(&hub),
+                Labels::new()
+                    .with("model", "default")
+                    .with("backend", server.backend_name()),
+            );
+            if let Some(registry) = &registry {
+                registry.attach_telemetry(Arc::clone(&hub));
+            }
+            hub
+        });
         let shared = Arc::new(Shared {
             server,
             registry,
             trace,
+            telemetry,
+            started: Instant::now(),
             recorder: Mutex::new(GatewayRecorder::new()),
             draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
             limits: Limits {
                 max_head_bytes: config.max_head_bytes,
                 max_body_bytes: config.max_body_bytes,
@@ -274,6 +317,22 @@ impl Gateway {
         self.shared.draining.load(Ordering::Acquire)
     }
 
+    /// Marks the gateway as draining **without** stopping it: readiness
+    /// (`GET /readyz`) flips to `503` so load balancers stop routing here,
+    /// new non-health requests are refused with `503`, and liveness
+    /// (`GET /healthz`) keeps answering `200` — the process is alive, just
+    /// winding down. Idempotent; [`shutdown`](Self::shutdown) completes
+    /// the drain.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+    }
+
+    /// The windowed telemetry hub, when the gateway was configured with
+    /// [`GatewayConfig::telemetry`] (the default).
+    pub fn telemetry(&self) -> Option<&Arc<TelemetryHub>> {
+        self.shared.telemetry.as_ref()
+    }
+
     /// Snapshot of the gateway-level metrics accumulated so far.
     pub fn metrics(&self) -> GatewayMetrics {
         // Recover, don't propagate, a poisoned recorder: it holds plain
@@ -295,9 +354,10 @@ impl Gateway {
     /// [`StreamingServer`] keeps running.
     pub fn shutdown(&mut self) -> GatewayMetrics {
         self.shared.draining.store(true, Ordering::Release);
+        self.shared.stopping.store(true, Ordering::Release);
         if let Some(handle) = self.acceptor.take() {
             // Wake the blocking accept with a throwaway connection; the
-            // acceptor sees the drain flag and exits.
+            // acceptor sees the stop flag and exits.
             let _ = TcpStream::connect(self.addr);
             let _ = handle.join();
         }
@@ -326,7 +386,7 @@ fn acceptor_loop(listener: TcpListener, shared: Arc<Shared>, pool: Arc<WorkerPoo
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                if shared.draining.load(Ordering::Acquire) {
+                if shared.stopping.load(Ordering::Acquire) {
                     // The wakeup connection (or late traffic): close it.
                     let _ = stream.shutdown(NetShutdown::Both);
                     break;
@@ -352,7 +412,7 @@ fn acceptor_loop(listener: TcpListener, shared: Arc<Shared>, pool: Arc<WorkerPoo
                 // just exits. Back off briefly so persistent failures
                 // (e.g. fd exhaustion) do not busy-spin a core against
                 // the workers trying to free descriptors.
-                if shared.draining.load(Ordering::Acquire) {
+                if shared.stopping.load(Ordering::Acquire) {
                     break;
                 }
                 std::thread::sleep(Duration::from_millis(10));
@@ -424,9 +484,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 return;
             }
         }
-        if shared.draining.load(Ordering::Acquire) {
+        if shared.stopping.load(Ordering::Acquire) {
             // Mid-request bytes can never complete once we stop reading;
             // close so the client sees a connection error, not a hang.
+            // (A soft drain keeps reading: health probes must still land.)
             let _ = stream.shutdown(NetShutdown::Both);
             return;
         }
@@ -473,7 +534,18 @@ fn widen(reply: (&'static str, u16, &'static str, Vec<u8>)) -> Reply {
 fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared, received: Instant) -> bool {
     let start = Instant::now();
     let draining = shared.draining.load(Ordering::Acquire);
-    let (route, status, content_type, body, retry_override) = if draining {
+    // Health probes are answered even while draining: liveness must stay
+    // `200` (the process is alive, winding down is not a crash) and
+    // readiness must keep *reporting* — it answers `503` with a JSON body
+    // saying why, so a load balancer sees "alive but do not route here".
+    let probe = match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => Some(("health", 200u16, "text/plain", b"ok\n".to_vec(), None)),
+        ("GET", "/readyz") => Some(widen(handle_readyz(shared, draining))),
+        _ => None,
+    };
+    let (route, status, content_type, body, retry_override) = if let Some(reply) = probe {
+        reply
+    } else if draining {
         (
             "drain",
             503u16,
@@ -503,20 +575,30 @@ fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared, received:
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .summarize();
-                let trace = shared
-                    .trace
-                    .as_deref()
-                    .map(|c| (c.spans_recorded(), c.spans_dropped()));
+                let registry = shared.registry.as_deref().map(|r| r.metrics());
+                let trace = shared.trace.as_deref().map(|c| TraceStats {
+                    spans_recorded: c.spans_recorded(),
+                    spans_dropped: c.spans_dropped(),
+                    ring_spans: c.ring_len(),
+                    ring_capacity: c.capacity(),
+                });
                 (
                     "metrics",
                     200,
                     "text/plain; version=0.0.4",
-                    prometheus_text(&gateway, &streaming, trace).into_bytes(),
+                    prometheus_text(&gateway, &streaming, registry.as_ref(), trace).into_bytes(),
                     None,
                 )
             }
-            ("GET", "/healthz") => ("health", 200, "text/plain", b"ok\n".to_vec(), None),
-            (_, "/v1/infer") | (_, "/v1/models") | (_, "/metrics") | (_, "/healthz") => (
+            ("GET", "/v1/stats") => widen(handle_stats(shared)),
+            ("GET", "/dashboard") => widen(handle_dashboard(shared)),
+            (_, "/v1/infer")
+            | (_, "/v1/models")
+            | (_, "/metrics")
+            | (_, "/healthz")
+            | (_, "/readyz")
+            | (_, "/v1/stats")
+            | (_, "/dashboard") => (
                 "other",
                 405,
                 "application/json",
@@ -554,7 +636,111 @@ fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared, received:
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .record_response(route, status, start.elapsed());
+    if let Some(hub) = &shared.telemetry {
+        let now = hub.now_s();
+        let labels = Labels::new().with("route", route);
+        hub.counter(families::HTTP_REQUESTS, &labels).add(now, 1.0);
+        hub.histogram(families::HTTP_E2E_US, &labels)
+            .record_us(now, start.elapsed().as_micros() as u64);
+    }
     keep_alive && wrote
+}
+
+/// The `GET /readyz` handler — readiness as distinct from liveness. A
+/// ready gateway answers `200`; a draining one answers `503` so load
+/// balancers stop routing here while `/healthz` keeps reporting the
+/// process alive. The body always carries the degradation signals an
+/// operator triages first: the drain flag, whether the streaming server's
+/// priority brownout is engaged, and how many registry models sit behind
+/// an open circuit breaker.
+fn handle_readyz(shared: &Shared, draining: bool) -> (&'static str, u16, &'static str, Vec<u8>) {
+    const ROUTE: &str = "health";
+    let breaker_open_models = shared
+        .registry
+        .as_deref()
+        .map(|r| {
+            r.list()
+                .iter()
+                .filter(|m| m.state == "breaker-open")
+                .count()
+        })
+        .unwrap_or(0);
+    let body = serde::Content::Map(vec![
+        ("ready".to_string(), serde::Content::Bool(!draining)),
+        ("draining".to_string(), serde::Content::Bool(draining)),
+        (
+            "brownout_engaged".to_string(),
+            serde::Content::Bool(shared.server.brownout_engaged()),
+        ),
+        (
+            "breaker_open_models".to_string(),
+            serde::Content::U64(breaker_open_models as u64),
+        ),
+    ]);
+    let body = serde_json::to_string(&body)
+        .unwrap_or_else(|_| "{\"ready\":false}".to_string())
+        .into_bytes();
+    let status = if draining { 503 } else { 200 };
+    (ROUTE, status, "application/json", body)
+}
+
+/// The `GET /v1/stats` handler: the full windowed telemetry snapshot as
+/// JSON (see [`crate::stats`] for the schema). `404` when the gateway was
+/// configured with [`GatewayConfig::telemetry`] off.
+fn handle_stats(shared: &Shared) -> (&'static str, u16, &'static str, Vec<u8>) {
+    const ROUTE: &str = "stats";
+    let Some(hub) = shared.telemetry.as_deref() else {
+        return (
+            ROUTE,
+            404,
+            "application/json",
+            ErrorBody::render("telemetry is not enabled on this gateway"),
+        );
+    };
+    let streaming = shared.server.metrics();
+    let gateway = shared
+        .recorder
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .summarize();
+    let registry = shared.registry.as_deref().map(|r| r.metrics());
+    let trace = shared.trace.as_deref().map(|c| TraceStats {
+        spans_recorded: c.spans_recorded(),
+        spans_dropped: c.spans_dropped(),
+        ring_spans: c.ring_len(),
+        ring_capacity: c.capacity(),
+    });
+    let body = render_stats(
+        hub,
+        &streaming,
+        &gateway,
+        registry.as_ref(),
+        trace.as_ref(),
+        shared.started.elapsed().as_secs_f64(),
+    );
+    (ROUTE, 200, "application/json", body)
+}
+
+/// The `GET /dashboard` handler: one self-contained HTML page (no external
+/// scripts, styles or fonts — it must render on an air-gapped box) that
+/// polls `/v1/stats` and draws per-model tiles, sparklines, SLO state and
+/// the degradation ladder. `404` when telemetry is off.
+fn handle_dashboard(shared: &Shared) -> (&'static str, u16, &'static str, Vec<u8>) {
+    const ROUTE: &str = "dashboard";
+    if shared.telemetry.is_none() {
+        return (
+            ROUTE,
+            404,
+            "application/json",
+            ErrorBody::render("telemetry is not enabled on this gateway"),
+        );
+    }
+    (
+        ROUTE,
+        200,
+        "text/html; charset=utf-8",
+        include_str!("dashboard.html").as_bytes().to_vec(),
+    )
 }
 
 /// The `GET /v1/trace/<id>` handler: parses the hex trace id from the
@@ -795,6 +981,7 @@ fn run_infer(
                 queue_wait_us: response.queue_wait.as_secs_f64() * 1e6,
                 exec_us: response.exec_time.as_secs_f64() * 1e6,
                 e2e_us: submitted.elapsed().as_secs_f64() * 1e6,
+                energy_uj: response.energy_uj,
                 trace_id: trace_ctx
                     .as_ref()
                     .map(|(_, trace, _)| trace.to_string())

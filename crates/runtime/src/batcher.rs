@@ -357,6 +357,11 @@ pub struct StreamedResponse {
     pub exec_time: Duration,
     /// Images in the formed batch (1 ..= `max_batch`).
     pub batch_size: usize,
+    /// Per-image energy of the formed batch in µJ, priced on the
+    /// `snn-hw` processor model from the batch's measured event
+    /// counters. `0.0` when the server has no energy pricer attached
+    /// (telemetry disabled, or the backend exposes no model geometry).
+    pub energy_uj: f64,
 }
 
 /// Handle to one in-flight streaming request, returned by

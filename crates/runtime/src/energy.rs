@@ -11,7 +11,9 @@
 //! packed-code bytes and the bench's top-1 agreement for the full
 //! accuracy/energy/bytes trade-off.
 
-use snn_hw::{LayerGeometry, LayerKind, NetworkReport, Processor, WorkloadProfile};
+use snn_hw::{
+    LayerGeometry, LayerKind, NetworkReport, Processor, ProcessorConfig, WorkloadProfile,
+};
 use snn_sim::RunStats;
 use ttfs_core::{ConvertError, SnnLayer, SnnModel};
 
@@ -110,6 +112,47 @@ pub fn energy_report(
         span.attr("energy_per_image_uj", report.energy_per_image_uj);
     }
     Ok(report)
+}
+
+/// Reusable per-batch energy pricer for the streaming serving path.
+///
+/// [`energy_report`] re-derives the layer geometry on every call —
+/// fine for one post-hoc report, too heavy to sit behind every flushed
+/// batch. `EnergyPricer` does the geometry walk once at attach time
+/// and then prices each batch's measured [`RunStats`] in O(layers):
+/// [`measured_profile`] normalizes the counters per sample, so the
+/// returned figure is already **µJ per image** regardless of how many
+/// requests rode in the batch.
+#[derive(Debug, Clone)]
+pub struct EnergyPricer {
+    geometry: Vec<LayerGeometry>,
+    input_neurons: usize,
+    processor: Processor,
+}
+
+impl EnergyPricer {
+    /// Builds a pricer for `model` at per-sample `input_dims`, on the
+    /// paper's proposed (log-PE) processor configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::Structure`] if `input_dims` does not fit
+    /// the model.
+    pub fn new(model: &SnnModel, input_dims: &[usize]) -> Result<Self, ConvertError> {
+        Ok(Self {
+            geometry: layer_geometry(model, input_dims)?,
+            input_neurons: input_dims.iter().product(),
+            processor: Processor::new(ProcessorConfig::proposed()),
+        })
+    }
+
+    /// Prices one executed batch's measured counters: µJ per image.
+    pub fn price_per_image_uj(&self, stats: &RunStats) -> f64 {
+        let profile = measured_profile(stats, self.input_neurons);
+        self.processor
+            .run_network(&self.geometry, &profile)
+            .energy_per_image_uj
+    }
 }
 
 /// [`energy_report`] for the quantized serving path: geometry and input

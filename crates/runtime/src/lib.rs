@@ -126,6 +126,8 @@ pub use registry::{
     ModelHandle, ModelRegistry, ModelStatus, RegistryConfig, RegistryError, RegistryMetrics,
     SwapReport,
 };
-pub use server::{BatchReport, InferenceServer, ServerConfig, StreamingServer};
+pub use server::{
+    BatchReport, InferenceServer, ServerConfig, StreamingServer, DEADLINE_MISS_GRACE,
+};
 pub use wheel::{BatchWheel, LaneSpike, TimeWheel, WheelSpike};
 pub use workers::{PoolClosed, WorkerPool};

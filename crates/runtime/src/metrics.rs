@@ -6,9 +6,14 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use snn_sim::RunStats;
+use snn_telemetry::{families, Labels, TelemetryHub, WindowCounter, WindowHistogram};
+
 use crate::batcher::FlushReason;
+use crate::energy::EnergyPricer;
 
 /// Reservoir capacity of a [`LatencyRecorder`]: counts, totals and means
 /// stay exact forever, while quantile queries past this many samples are
@@ -382,12 +387,88 @@ pub struct StreamingMetrics {
     /// Requests quarantined after panicking *solo* on the isolation
     /// retry — the poison request itself, failed with a typed error.
     pub quarantined: u64,
+    /// Requests whose formed batch began executing after their batching
+    /// deadline had already expired — the cumulative companion of the
+    /// per-model windowed deadline-miss SLO ratio.
+    pub deadline_misses: u64,
     /// Log-bucket histogram of end-to-end (submit → result) latency.
     pub e2e_histogram: HistogramSnapshot,
     /// Log-bucket histogram of queue wait (submit → batch exec start).
     pub queue_wait_histogram: HistogramSnapshot,
     /// Log-bucket histogram of formed-batch backend execution time.
     pub exec_histogram: HistogramSnapshot,
+}
+
+/// Labeled windowed-telemetry fan-out for one [`StreamingRecorder`]:
+/// an [`Arc<TelemetryHub>`] plus this server's label set (`model`,
+/// `version`, `backend`) with the per-request series handles cached so
+/// the hot path never touches the hub's family map. Optionally carries
+/// an [`EnergyPricer`], in which case every executed batch is priced on
+/// the `snn-hw` processor model and the per-model `energy_uj` series
+/// fills in.
+///
+/// Attach one with
+/// [`StreamingServer::attach_telemetry`](crate::StreamingServer::attach_telemetry);
+/// recorders without a sink behave exactly as before (the cumulative
+/// recorders are always fed — telemetry is additive, never a
+/// replacement).
+#[derive(Clone)]
+pub struct TelemetrySink {
+    hub: Arc<TelemetryHub>,
+    labels: Labels,
+    requests: Arc<WindowCounter>,
+    deadline_misses: Arc<WindowCounter>,
+    energy: Arc<WindowCounter>,
+    e2e: Arc<WindowHistogram>,
+    queue_wait: Arc<WindowHistogram>,
+    exec: Arc<WindowHistogram>,
+    wait_timeouts: Arc<WindowCounter>,
+    pricer: Option<EnergyPricer>,
+}
+
+impl TelemetrySink {
+    /// Builds a sink recording into `hub` under `labels`, pre-resolving
+    /// the per-request series. `pricer` enables per-batch energy
+    /// attribution (pass `None` for backends without fixed geometry).
+    pub fn new(hub: Arc<TelemetryHub>, labels: Labels, pricer: Option<EnergyPricer>) -> Self {
+        Self {
+            requests: hub.counter(families::REQUESTS, &labels),
+            deadline_misses: hub.counter(families::DEADLINE_MISSES, &labels),
+            energy: hub.counter(families::ENERGY_UJ, &labels),
+            e2e: hub.histogram(families::E2E_US, &labels),
+            queue_wait: hub.histogram(families::QUEUE_WAIT_US, &labels),
+            exec: hub.histogram(families::EXEC_US, &labels),
+            wait_timeouts: hub.counter(families::WAIT_TIMEOUTS, &labels),
+            hub,
+            labels,
+            pricer,
+        }
+    }
+
+    /// The label value for a shed priority: `0`..`7` verbatim, anything
+    /// higher collapses into `8+` so the `priority` label stays
+    /// cardinality-bounded no matter what clients send.
+    fn priority_label(priority: u8) -> String {
+        if priority <= 7 {
+            priority.to_string()
+        } else {
+            "8+".to_string()
+        }
+    }
+
+    fn record_labeled(&self, family: &str, key: &'static str, value: String) {
+        let labels = self.labels.clone().with(key, value);
+        self.hub.counter(family, &labels).add(self.hub.now_s(), 1.0);
+    }
+}
+
+impl std::fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetrySink")
+            .field("labels", &self.labels)
+            .field("pricer", &self.pricer.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Accumulates streaming measurements: one [`record_batch`] per formed
@@ -411,6 +492,11 @@ pub struct StreamingRecorder {
     wait_timeouts: u64,
     batch_retries: u64,
     quarantined: u64,
+    deadline_misses: u64,
+    /// Windowed-telemetry fan-out; `None` keeps the recorder purely
+    /// cumulative (the pre-telemetry behavior, and the disabled path the
+    /// bench noise-gates against).
+    sink: Option<TelemetrySink>,
 }
 
 impl StreamingRecorder {
@@ -431,7 +517,20 @@ impl StreamingRecorder {
             wait_timeouts: 0,
             batch_retries: 0,
             quarantined: 0,
+            deadline_misses: 0,
+            sink: None,
         }
+    }
+
+    /// Attaches a windowed-telemetry sink; every subsequent recording
+    /// additionally feeds the hub's labeled series.
+    pub fn set_sink(&mut self, sink: TelemetrySink) {
+        self.sink = Some(sink);
+    }
+
+    /// Whether a telemetry sink is attached.
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
     }
 
     /// Records one executed batch: its size, backend execution time and
@@ -445,11 +544,48 @@ impl StreamingRecorder {
             FlushReason::MaxBatch => 1,
             FlushReason::Drain => 2,
         }] += 1;
+        if let Some(sink) = &self.sink {
+            let now = sink.hub.now_s();
+            sink.exec
+                .record_us(now, exec.as_micros().min(u64::MAX as u128) as u64);
+            sink.record_labeled(
+                families::FLUSHES,
+                "flush_reason",
+                reason.as_str().to_string(),
+            );
+        }
     }
 
-    /// Records one submission shed by backpressure (`QueueFull`).
-    pub fn record_shed(&mut self) {
+    /// Prices one executed batch's measured event counters on the
+    /// attached sink's `snn-hw` [`EnergyPricer`], accumulating
+    /// `size × per-image µJ` into the per-model windowed `energy_uj`
+    /// series. Returns the **per-image** figure for response
+    /// attribution; `0.0` when no sink or no pricer is attached.
+    pub fn record_batch_energy(&mut self, stats: &RunStats, size: usize) -> f64 {
+        let Some(sink) = &self.sink else {
+            return 0.0;
+        };
+        let Some(pricer) = &sink.pricer else {
+            return 0.0;
+        };
+        let per_image_uj = pricer.price_per_image_uj(stats);
+        sink.energy
+            .add(sink.hub.now_s(), per_image_uj * size as f64);
+        per_image_uj
+    }
+
+    /// Records one submission shed by backpressure (`QueueFull`), with
+    /// the shed request's priority (labels the windowed series; the
+    /// cumulative counter stays priority-blind).
+    pub fn record_shed(&mut self, priority: u8) {
         self.sheds += 1;
+        if let Some(sink) = &self.sink {
+            sink.record_labeled(
+                families::SHEDS,
+                "priority",
+                TelemetrySink::priority_label(priority),
+            );
+        }
     }
 
     /// Submissions shed so far.
@@ -457,9 +593,17 @@ impl StreamingRecorder {
         self.sheds
     }
 
-    /// Records one submission shed by priority brownout.
-    pub fn record_brownout_shed(&mut self) {
+    /// Records one submission shed by priority brownout, with the shed
+    /// request's priority.
+    pub fn record_brownout_shed(&mut self, priority: u8) {
         self.brownout_sheds += 1;
+        if let Some(sink) = &self.sink {
+            sink.record_labeled(
+                families::BROWNOUT_SHEDS,
+                "priority",
+                TelemetrySink::priority_label(priority),
+            );
+        }
     }
 
     /// Brownout sheds so far.
@@ -487,6 +631,9 @@ impl StreamingRecorder {
     /// expiry (the caller gave up before the batch completed).
     pub fn record_wait_timeout(&mut self) {
         self.wait_timeouts += 1;
+        if let Some(sink) = &self.sink {
+            sink.wait_timeouts.add(sink.hub.now_s(), 1.0);
+        }
     }
 
     /// Wait-timeout expiries so far.
@@ -494,13 +641,30 @@ impl StreamingRecorder {
         self.wait_timeouts
     }
 
-    /// Records one completed request: end-to-end latency and the share of
-    /// it spent waiting for the batch to form and reach a worker.
-    pub fn record_request(&mut self, e2e: Duration, queue_wait: Duration) {
+    /// Records one completed request: end-to-end latency, the share of
+    /// it spent waiting for the batch to form and reach a worker, and
+    /// whether the request's batching deadline was missed (its batch
+    /// began executing after the EDF deadline expired — the SLO
+    /// deadline-miss signal).
+    pub fn record_request(&mut self, e2e: Duration, queue_wait: Duration, deadline_missed: bool) {
         self.e2e.record(e2e);
         self.queue_wait.record(queue_wait);
         self.e2e_hist.record(e2e);
         self.queue_wait_hist.record(queue_wait);
+        if deadline_missed {
+            self.deadline_misses += 1;
+        }
+        if let Some(sink) = &self.sink {
+            let now = sink.hub.now_s();
+            sink.requests.add(now, 1.0);
+            sink.e2e
+                .record_us(now, e2e.as_micros().min(u64::MAX as u128) as u64);
+            sink.queue_wait
+                .record_us(now, queue_wait.as_micros().min(u64::MAX as u128) as u64);
+            if deadline_missed {
+                sink.deadline_misses.add(now, 1.0);
+            }
+        }
     }
 
     /// Completed requests so far.
@@ -557,6 +721,7 @@ impl StreamingRecorder {
             wait_timeouts: self.wait_timeouts,
             batch_retries: self.batch_retries,
             quarantined: self.quarantined,
+            deadline_misses: self.deadline_misses,
             e2e_histogram: self.e2e_hist.snapshot(),
             queue_wait_histogram: self.queue_wait_hist.snapshot(),
             exec_histogram: self.exec_hist.snapshot(),
@@ -722,9 +887,9 @@ mod tests {
         r.record_batch(3, Duration::from_millis(6), FlushReason::MaxBatch);
         r.record_batch(1, Duration::from_millis(2), FlushReason::EdfDeadline);
         for _ in 0..3 {
-            r.record_request(Duration::from_millis(10), Duration::from_millis(4));
+            r.record_request(Duration::from_millis(10), Duration::from_millis(4), false);
         }
-        r.record_request(Duration::from_millis(3), Duration::from_millis(1));
+        r.record_request(Duration::from_millis(3), Duration::from_millis(1), true);
         let m = r.summarize();
         assert_eq!(m.requests, 4);
         assert_eq!(m.batches, 2);
@@ -757,10 +922,10 @@ mod tests {
     #[test]
     fn shed_counter_accumulates_and_summarizes() {
         let mut r = StreamingRecorder::new();
-        r.record_shed();
-        r.record_shed();
+        r.record_shed(0);
+        r.record_shed(9);
         r.record_batch(1, Duration::from_millis(1), FlushReason::EdfDeadline);
-        r.record_request(Duration::from_millis(2), Duration::from_millis(1));
+        r.record_request(Duration::from_millis(2), Duration::from_millis(1), false);
         assert_eq!(r.sheds(), 2);
         let m = r.summarize();
         assert_eq!(m.shed_requests, 2);
@@ -783,8 +948,8 @@ mod tests {
     fn streaming_metrics_roundtrip_json() {
         let mut r = StreamingRecorder::new();
         r.record_batch(2, Duration::from_millis(1), FlushReason::MaxBatch);
-        r.record_request(Duration::from_millis(2), Duration::from_millis(1));
-        r.record_request(Duration::from_millis(2), Duration::from_millis(1));
+        r.record_request(Duration::from_millis(2), Duration::from_millis(1), false);
+        r.record_request(Duration::from_millis(2), Duration::from_millis(1), false);
         let m = r.summarize();
         let json = serde_json::to_string(&m).unwrap();
         let back: StreamingMetrics = serde_json::from_str(&json).unwrap();

@@ -45,6 +45,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::Serialize;
+use snn_telemetry::{Labels, TelemetryHub};
 use snn_trace::{AttrValue, TraceCollector, TraceTarget};
 use ttfs_core::ConvertError;
 
@@ -354,6 +355,7 @@ pub struct ModelRegistry {
     dir: PathBuf,
     config: RegistryConfig,
     trace: Option<Arc<TraceCollector>>,
+    telemetry: Mutex<Option<Arc<TelemetryHub>>>,
     state: Mutex<State>,
     loading_cv: Condvar,
 }
@@ -386,6 +388,7 @@ impl ModelRegistry {
             dir: dir.as_ref().to_path_buf(),
             config,
             trace,
+            telemetry: Mutex::new(None),
             state: Mutex::new(State {
                 catalog: BTreeMap::new(),
                 resident: BTreeMap::new(),
@@ -794,6 +797,31 @@ impl ModelRegistry {
         self.trace.as_ref()
     }
 
+    /// Attaches a telemetry hub: every entry server loaded from here on
+    /// records windowed per-model series labeled
+    /// `model=<name>,version=<version>,backend=<label>`, and every
+    /// already-resident entry is retrofitted with the same sink.
+    pub fn attach_telemetry(&self, hub: Arc<TelemetryHub>) {
+        let resident: Vec<Arc<ModelHandle>> = {
+            let state = self.state.lock().expect("registry state poisoned");
+            state.resident.values().cloned().collect()
+        };
+        for handle in resident {
+            handle
+                .server
+                .attach_telemetry(Arc::clone(&hub), Self::entry_labels(&handle.info));
+        }
+        *self.telemetry.lock().expect("registry telemetry poisoned") = Some(hub);
+    }
+
+    /// Windowed-series labels identifying one registry entry.
+    fn entry_labels(info: &ArtifactInfo) -> Labels {
+        Labels::new()
+            .with("model", info.name.clone())
+            .with("version", info.version.clone())
+            .with("backend", info.backend.label())
+    }
+
     /// Releases every resident entry (each server drains its in-flight
     /// tickets when its last `Arc` drops). The catalog stays intact; the
     /// next lookup reloads cold.
@@ -913,6 +941,14 @@ impl ModelRegistry {
             )),
             None => Arc::new(StreamingServer::new(backend, self.config.streaming.clone())),
         };
+        let hub = self
+            .telemetry
+            .lock()
+            .expect("registry telemetry poisoned")
+            .clone();
+        if let Some(hub) = hub {
+            server.attach_telemetry(hub, Self::entry_labels(info));
+        }
         Ok(ModelHandle {
             key: key.to_string(),
             info: info.clone(),

@@ -17,6 +17,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use snn_sim::RunStats;
+use snn_telemetry::{Labels, TelemetryHub};
 use snn_tensor::Tensor;
 use snn_trace::{push_context, TraceCollector, TraceTarget};
 use ttfs_core::{ConvertError, SnnModel};
@@ -25,8 +26,11 @@ use crate::batcher::{
     BatcherMsg, BrownoutConfig, DeadlineBatcher, FlushReason, PendingRequest, StreamingConfig,
     SubmitError, SubmitOptions, Ticket,
 };
+use crate::energy::EnergyPricer;
 use crate::faults::{FaultInjector, FaultPoint};
-use crate::metrics::{LatencyRecorder, StreamingMetrics, StreamingRecorder, ThroughputMetrics};
+use crate::metrics::{
+    LatencyRecorder, StreamingMetrics, StreamingRecorder, TelemetrySink, ThroughputMetrics,
+};
 use crate::workers::WorkerPool;
 use crate::{InferenceBackend, StreamedResponse};
 
@@ -234,6 +238,17 @@ impl InferenceServer {
         })
     }
 }
+
+/// Tolerance before a late execution start counts as an SLO deadline
+/// miss.
+///
+/// An EDF-deadline flush *fires at* the earliest admitted deadline, so in
+/// a healthy server `exec_start` trails the deadline by flush-timer wakeup
+/// plus pool-handoff jitter — microseconds to a few milliseconds. Genuine
+/// overload (workers saturated, batches queueing) lags by tens of
+/// milliseconds or more. Counting a miss only past this grace separates
+/// the two without a tunable per deployment.
+pub const DEADLINE_MISS_GRACE: Duration = Duration::from_millis(10);
 
 /// Streaming inference front-end: one-at-a-time submission, adaptive
 /// deadline batching, per-request [`Ticket`] delivery.
@@ -515,7 +530,7 @@ impl StreamingServer {
             self.recorder
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
-                .record_shed();
+                .record_shed(options.priority);
             return Err(SubmitError::QueueFull {
                 max_pending: self.max_pending,
             });
@@ -539,7 +554,7 @@ impl StreamingServer {
                 self.recorder
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
-                    .record_brownout_shed();
+                    .record_brownout_shed(options.priority);
                 return Err(SubmitError::Brownout {
                     priority: options.priority,
                     shed_below_priority: brownout.shed_below_priority,
@@ -608,6 +623,30 @@ impl StreamingServer {
             rx,
             Some(Arc::clone(&self.recorder)),
         ))
+    }
+
+    /// Attaches windowed telemetry: every subsequent recording
+    /// additionally feeds labeled series in `hub` under `labels`
+    /// (conventionally `model`, `version`, `backend`), in addition to —
+    /// never instead of — the cumulative recorders. When the backend
+    /// exposes fixed compiled geometry
+    /// ([`InferenceBackend::input_dims`]), an [`EnergyPricer`] is built
+    /// so every executed batch is priced on the `snn-hw` processor
+    /// model: responses carry per-image
+    /// [`energy_uj`](StreamedResponse::energy_uj), the per-model
+    /// windowed `energy_uj` series fills in, and traced requests gain an
+    /// `energy.price` span. Telemetry only ever reads timings and event
+    /// counters, so logits stay bit-identical with or without it.
+    pub fn attach_telemetry(&self, hub: Arc<TelemetryHub>, labels: Labels) {
+        let pricer = self
+            .backend
+            .input_dims()
+            .and_then(|dims| EnergyPricer::new(self.backend.model(), dims).ok());
+        let sink = TelemetrySink::new(hub, labels, pricer);
+        self.recorder
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .set_sink(sink);
     }
 
     /// Snapshot of the streaming metrics accumulated so far. Keeps
@@ -859,6 +898,9 @@ fn dispatch_batch(
                 // One lock for the whole batch, not one per request.
                 let mut rec = recorder.lock().unwrap_or_else(|e| e.into_inner());
                 rec.record_batch(k, exec_time, reason);
+                // Priced once per executed batch (O(layers)), attributed
+                // per image; 0.0 when no telemetry/pricer is attached.
+                let energy_uj = rec.record_batch_energy(&stats, k);
                 for (i, request) in batch.into_iter().enumerate() {
                     let row = Tensor::from_vec(
                         logits.as_slice()[i * classes..(i + 1) * classes].to_vec(),
@@ -866,7 +908,14 @@ fn dispatch_batch(
                     )
                     .expect("row slice matches classes");
                     let queue_wait = exec_start.saturating_duration_since(request.enqueued);
-                    rec.record_request(request.enqueued.elapsed(), queue_wait);
+                    // SLO deadline miss: the batch started executing more
+                    // than [`DEADLINE_MISS_GRACE`] after this request's
+                    // EDF deadline. The grace absorbs the flush path's own
+                    // latency — an EDF-deadline flush *fires at* the
+                    // deadline, so without it every deadline-flushed
+                    // request would count as late by timer jitter.
+                    let deadline_missed = exec_start > request.deadline + DEADLINE_MISS_GRACE;
+                    rec.record_request(request.enqueued.elapsed(), queue_wait, deadline_missed);
                     // Record runtime spans BEFORE the reply lands: once
                     // the submitter sees its response, its trace query
                     // must already contain the whole runtime side.
@@ -879,6 +928,16 @@ fn dispatch_batch(
                             exec_start,
                             Vec::new(),
                         );
+                        if energy_uj > 0.0 {
+                            c.record_span(
+                                target.trace,
+                                target.parent,
+                                "energy.price",
+                                exec_end,
+                                exec_end,
+                                vec![("energy_uj", energy_uj.into())],
+                            );
+                        }
                     }
                     let _ = request.reply.send(Ok(StreamedResponse {
                         logits: row,
@@ -886,6 +945,7 @@ fn dispatch_batch(
                         queue_wait,
                         exec_time,
                         batch_size: k,
+                        energy_uj,
                     }));
                 }
             }
@@ -924,7 +984,12 @@ fn dispatch_batch(
                                     .expect("row slice matches classes");
                             let mut rec = recorder.lock().unwrap_or_else(|e| e.into_inner());
                             rec.record_batch(1, solo_exec, reason);
-                            rec.record_request(request.enqueued.elapsed(), queue_wait);
+                            let energy_uj = rec.record_batch_energy(&stats, 1);
+                            rec.record_request(
+                                request.enqueued.elapsed(),
+                                queue_wait,
+                                solo_start > request.deadline + DEADLINE_MISS_GRACE,
+                            );
                             drop(rec);
                             let _ = request.reply.send(Ok(StreamedResponse {
                                 logits: row,
@@ -932,6 +997,7 @@ fn dispatch_batch(
                                 queue_wait,
                                 exec_time: solo_exec,
                                 batch_size: 1,
+                                energy_uj,
                             }));
                         }
                         Ok(Err(e)) => {

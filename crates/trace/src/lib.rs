@@ -479,6 +479,14 @@ impl TraceCollector {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Spans currently retained in the ring (occupancy against
+    /// [`capacity`](Self::capacity)). Drains the per-thread shards first
+    /// so the figure reflects everything recorded so far.
+    pub fn ring_len(&self) -> usize {
+        self.drain_shards();
+        self.ring.lock().expect("trace ring poisoned").len()
+    }
+
     /// Recording-thread tracks as `(track, thread name)` pairs, ascending
     /// by track.
     pub fn tracks(&self) -> Vec<(u32, String)> {

@@ -16,6 +16,7 @@
 //! | [`runtime`] | `snn-runtime` | batched multi-threaded CSR inference engine |
 //! | [`gateway`] | `snn-gateway` | dependency-free HTTP/1.1 serving front-end |
 //! | [`trace`] | `snn-trace` | per-request span trees + Chrome trace export |
+//! | [`telemetry`] | `snn-telemetry` | windowed time-series metrics + SLO burn rates |
 //!
 //! See `examples/quickstart.rs` for the end-to-end pipeline and
 //! `examples/runtime_server.rs` for the batched inference runtime (add
@@ -28,6 +29,7 @@ pub use snn_logquant as logquant;
 pub use snn_nn as nn;
 pub use snn_runtime as runtime;
 pub use snn_sim as sim;
+pub use snn_telemetry as telemetry;
 pub use snn_tensor as tensor;
 pub use snn_trace as trace;
 pub use ttfs_core as ttfs;
