@@ -348,6 +348,38 @@ struct TelemetryResult {
 }
 
 #[derive(Debug, Serialize)]
+struct LoggingResult {
+    /// Interleaved best-of-N closed-loop HTTP throughput with the
+    /// structured-log flight recorder on (`logging: true`, the default,
+    /// plus an incidents dir) vs `logging: false` (fresh identical
+    /// stacks, same backend Arc).
+    rounds: usize,
+    on_requests_per_sec: f64,
+    off_requests_per_sec: f64,
+    /// `(off − on) / off`, best-of-N; noise-gated (≤ 5%) in CI rather
+    /// than zero-asserted, same protocol as the tracing/telemetry gates.
+    logging_overhead_frac: f64,
+    /// Every 200 in every round was bit-exact on both sides
+    /// (CI-enforced: logging must not perturb logits).
+    on_ok_match: bool,
+    off_ok_match: bool,
+    /// Flight-recorder accounting on the logging-on stack after the
+    /// rounds: the closed loop's access log must leave events behind,
+    /// and at quick scale the ring must not overflow (CI-enforced).
+    events_recorded: u64,
+    events_dropped: u64,
+    /// `GET /v1/logs?level=info` parsed and returned ≥ 1 event
+    /// (CI-enforced).
+    logs_route_ok: bool,
+    /// An explicit incident written on the live stack, then fetched
+    /// back over `GET /v1/incidents/<id>`: kind echoed, embedded
+    /// `/v1/stats` snapshot parsed (CI-enforced).
+    incident_id: String,
+    incidents_written: u64,
+    incident_round_trip_ok: bool,
+}
+
+#[derive(Debug, Serialize)]
 struct FaultsResult {
     /// Chaos seeds driven through the full HTTP path with the injector
     /// armed (backend panics, slowdowns, connection resets, brownout).
@@ -416,6 +448,7 @@ struct RuntimeBenchReport {
     quant: QuantResult,
     observability: ObservabilityResult,
     telemetry: TelemetryResult,
+    logging: LoggingResult,
     speedup_csr_single: f64,
     speedup_batched: f64,
     speedup_csr_pooled: f64,
@@ -637,6 +670,43 @@ fn main() {
         "logits must stay bit-exact with telemetry on and off"
     );
 
+    // Structured logging + flight recorder: interleaved logging-on/off
+    // stacks for the overhead gate, then the /v1/logs ring and an
+    // explicit incident round-trip through /v1/incidents/<id>.
+    let logging = logging_bench(
+        Arc::clone(&csr) as Arc<dyn InferenceBackend>,
+        &x,
+        &csr_logits,
+        &input_dims,
+        (threads * 2).clamp(2, 8),
+        passes,
+        chunk_size.max(2),
+        Duration::from_millis(2),
+        seed,
+    );
+    assert!(
+        logging.on_ok_match && logging.off_ok_match,
+        "logits must stay bit-exact with logging on and off"
+    );
+    assert!(
+        logging.events_recorded > 0,
+        "the closed loop must leave flight-recorder events behind"
+    );
+    assert!(
+        logging.logs_route_ok,
+        "/v1/logs must serve the recorded ring"
+    );
+    assert!(
+        logging.incident_round_trip_ok,
+        "an incident must round-trip through /v1/incidents/<id>"
+    );
+    if matches!(scale, Scale::Quick) {
+        assert_eq!(
+            logging.events_dropped, 0,
+            "quick scale must not overflow the flight ring"
+        );
+    }
+
     // Multi-model registry: artifact cold start, warm lookup cost,
     // per-model routing for two geometries through one gateway, and an
     // atomic version swap under closed-loop load.
@@ -823,6 +893,7 @@ fn main() {
         },
         observability,
         telemetry,
+        logging,
         speedup_csr_single: event_wall.as_secs_f64() / csr_wall.as_secs_f64(),
         speedup_batched: event_wall.as_secs_f64() / batched_wall.as_secs_f64(),
         speedup_csr_pooled: event_wall.as_secs_f64() / (report.metrics.wall_ms / 1e3),
@@ -936,6 +1007,16 @@ fn main() {
         out.telemetry.scrape_mean_us,
         out.telemetry.stats_body_bytes,
         out.telemetry.telemetry_overhead_frac * 100.0,
+    );
+    eprintln!(
+        "logging: {} events ({} dropped) | /v1/logs ok {} | incident {} round-trip {} ({} written) | on/off delta {:+.2}%",
+        out.logging.events_recorded,
+        out.logging.events_dropped,
+        out.logging.logs_route_ok,
+        out.logging.incident_id,
+        out.logging.incident_round_trip_ok,
+        out.logging.incidents_written,
+        out.logging.logging_overhead_frac * 100.0,
     );
     eprintln!(
         "faults({} seeds) {} req: {} ok / {} 429 / {} 503 / {} other / {} transport | injected {} | mismatches {} | retries {} quarantined {} | post-storm ok {} | breaker open {} recover {} | torn-write survived {} | disabled delta {:+.2}%",
@@ -1283,6 +1364,168 @@ fn telemetry_bench(
         telemetry_overhead_frac,
         on_ok_match,
         off_ok_match,
+    }
+}
+
+/// The structured-logging section: two identical gateway stacks over the
+/// same backend — one with the flight recorder and an incidents dir
+/// attached (`logging: true`, the default), one with `logging: false` —
+/// driven by interleaved best-of-N closed-loop rounds for the overhead
+/// estimate (same protocol as the tracing/telemetry/fault gates). The
+/// logging-on stack is then probed: `/v1/logs` must serve the recorded
+/// ring, and an explicitly written incident must round-trip through
+/// `GET /v1/incidents/<id>` with its kind echoed and its embedded
+/// `/v1/stats` snapshot parseable.
+#[allow(clippy::too_many_arguments)]
+fn logging_bench(
+    backend: Arc<dyn InferenceBackend>,
+    x: &Tensor,
+    expected_logits: &Tensor,
+    input_dims: &[usize],
+    clients: usize,
+    passes: usize,
+    max_batch: usize,
+    max_delay: Duration,
+    seed: u64,
+) -> LoggingResult {
+    let incidents_dir =
+        std::env::temp_dir().join(format!("snn_bench_incidents_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&incidents_dir);
+    let make_stack = |logging: bool| {
+        let server = Arc::new(StreamingServer::new(
+            Arc::clone(&backend),
+            StreamingConfig {
+                threads: 0,
+                max_batch,
+                max_delay,
+                max_pending: 0,
+                brownout: None,
+            },
+        ));
+        let gateway = Gateway::start(
+            Arc::clone(&server),
+            GatewayConfig {
+                workers: clients,
+                logging,
+                incidents_dir: logging.then(|| incidents_dir.clone()),
+                ..GatewayConfig::for_dims(input_dims)
+            },
+        )
+        .expect("logging gateway bind");
+        (gateway, server)
+    };
+    let (mut on_gateway, on_server) = make_stack(true);
+    let (mut off_gateway, off_server) = make_stack(false);
+
+    let rounds = 5usize;
+    let mut best_on = 0.0f64;
+    let mut best_off = 0.0f64;
+    let mut on_ok_match = true;
+    let mut off_ok_match = true;
+    let clean = |r: &LoadReport| {
+        r.mismatches == 0 && r.transport_errors == 0 && r.ok_200 > 0 && r.ok_200 == r.requests
+    };
+    for round in 0..rounds as u64 {
+        let config = |s: u64| LoadGenConfig {
+            clients,
+            passes,
+            seed: s,
+            ..LoadGenConfig::default()
+        };
+        let off = run_closed_loop(
+            off_gateway.local_addr(),
+            x,
+            Some(expected_logits),
+            &config(seed ^ (0x10F0 + round)),
+        );
+        off_ok_match &= clean(&off);
+        best_off = best_off.max(off.requests_per_sec);
+        let on = run_closed_loop(
+            on_gateway.local_addr(),
+            x,
+            Some(expected_logits),
+            &config(seed ^ (0x10A0 + round)),
+        );
+        on_ok_match &= clean(&on);
+        best_on = best_on.max(on.requests_per_sec);
+    }
+    let logging_overhead_frac = (best_off - best_on) / best_off.max(1e-9);
+
+    let collector = Arc::clone(on_gateway.log_collector().expect("logging-on collector"));
+    let events_recorded = collector.events_recorded_total();
+    let events_dropped = collector.events_dropped();
+
+    let mut client = HttpClient::connect(on_gateway.local_addr()).expect("logs client");
+    let logs = client.get("/v1/logs?level=info").expect("logs GET");
+    let logs_route_ok = logs.status == 200
+        && std::str::from_utf8(&logs.body)
+            .ok()
+            .and_then(|text| serde_json::from_str::<serde::Content>(text).ok())
+            .map(|body| {
+                body.as_map()
+                    .and_then(|m| serde::field(m, "events").ok())
+                    .and_then(|e| e.as_seq())
+                    .is_some_and(|events| !events.is_empty())
+            })
+            .unwrap_or(false);
+
+    // The incident round-trip: write one on the live stack, fetch it
+    // back over the wire, and require the embedded stats snapshot to be
+    // real JSON (it comes from the same renderer as `/v1/stats`).
+    let recorder = Arc::clone(on_gateway.incidents().expect("incident recorder"));
+    let incident_id = recorder
+        .record(
+            "bench_probe",
+            "synthetic incident for the round-trip gate",
+            None,
+        )
+        .unwrap_or_default();
+    let incidents_written = recorder.written();
+    let listed = client.get("/v1/incidents").expect("incident list GET");
+    let fetched = client
+        .get(&format!("/v1/incidents/{incident_id}"))
+        .expect("incident GET");
+    let incident_round_trip_ok = !incident_id.is_empty()
+        && listed.status == 200
+        && std::str::from_utf8(&listed.body).is_ok_and(|t| t.contains(&incident_id))
+        && fetched.status == 200
+        && std::str::from_utf8(&fetched.body)
+            .ok()
+            .and_then(|text| serde_json::from_str::<serde::Content>(text).ok())
+            .map(|report| {
+                let map = report.as_map();
+                let kind_ok = map
+                    .and_then(|m| serde::field(m, "kind").ok())
+                    .and_then(|v| v.as_str())
+                    == Some("bench_probe");
+                let stats_ok = map
+                    .and_then(|m| serde::field(m, "sections").ok())
+                    .and_then(|s| s.as_map())
+                    .and_then(|s| serde::field(s, "stats").ok())
+                    .is_some_and(|stats| stats.as_map().is_some());
+                kind_ok && stats_ok
+            })
+            .unwrap_or(false);
+
+    on_gateway.shutdown();
+    on_server.shutdown();
+    off_gateway.shutdown();
+    off_server.shutdown();
+    let _ = std::fs::remove_dir_all(&incidents_dir);
+
+    LoggingResult {
+        rounds,
+        on_requests_per_sec: best_on,
+        off_requests_per_sec: best_off,
+        logging_overhead_frac,
+        on_ok_match,
+        off_ok_match,
+        events_recorded,
+        events_dropped,
+        logs_route_ok,
+        incident_id,
+        incidents_written,
+        incident_round_trip_ok,
     }
 }
 

@@ -95,6 +95,8 @@ pub use client::{
 };
 pub use http::{Limits, ParseError, Request};
 pub use json::{ErrorBody, InferRequest, InferResponse, ModelListBody, SwapRequest};
-pub use metrics::{prometheus_text, GatewayMetrics, GatewayRecorder, RouteMetrics, TraceStats};
+pub use metrics::{
+    prometheus_text, GatewayMetrics, GatewayRecorder, LogStats, RouteMetrics, TraceStats,
+};
 pub use server::{Gateway, GatewayConfig};
 pub use stats::render_stats;

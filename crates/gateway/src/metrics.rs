@@ -28,6 +28,26 @@ pub struct TraceStats {
     pub ring_capacity: usize,
 }
 
+/// Flight-recorder health for the exposition: per-level recorded totals,
+/// ring drops/occupancy, sink rate-limit suppressions and incident
+/// reports written — `dropped` climbing means the log ring is too small
+/// for the event rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogStats {
+    /// Events recorded per level, indexed `[debug, info, warn, error]`.
+    pub events: [u64; 4],
+    /// Events evicted from the bounded flight-recorder ring.
+    pub dropped: u64,
+    /// Events currently retained in the ring.
+    pub ring_len: usize,
+    /// The ring's retention bound.
+    pub ring_capacity: usize,
+    /// Sink lines suppressed by per-`(level, target)` rate limiting.
+    pub suppressed: u64,
+    /// Incident post-mortem reports written to disk.
+    pub incidents_written: u64,
+}
+
 /// Latency summary for one route (`infer`, `metrics`, `health`, `other`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RouteMetrics {
@@ -190,12 +210,15 @@ fn histogram_family(out: &mut String, name: &str, help: &str, hist: &HistogramSn
 /// exposition format (`text/plain; version=0.0.4`). `registry` adds the
 /// `snn_registry_*` families when a [`ModelRegistry`](snn_runtime::ModelRegistry)
 /// fronts this gateway; `trace` carries the span collector's totals and
-/// ring occupancy when the wrapped server is traced.
+/// ring occupancy when the wrapped server is traced; `log` adds the
+/// `snn_log_*` + `snn_incidents_*` families when the structured-log
+/// flight recorder is on.
 pub fn prometheus_text(
     gateway: &GatewayMetrics,
     streaming: &StreamingMetrics,
     registry: Option<&RegistryMetrics>,
     trace: Option<TraceStats>,
+    log: Option<&LogStats>,
 ) -> String {
     let mut out = String::with_capacity(2048);
     for (name, help, value) in [
@@ -493,6 +516,47 @@ pub fn prometheus_text(
             trace.ring_capacity as f64,
         );
     }
+    if let Some(log) = log {
+        out.push_str(
+            "# HELP snn_log_events_total Structured log events recorded, by level\n# TYPE snn_log_events_total counter\n",
+        );
+        for (i, level) in ["debug", "info", "warn", "error"].iter().enumerate() {
+            out.push_str(&format!(
+                "snn_log_events_total{{level=\"{level}\"}} {}\n",
+                log.events[i]
+            ));
+        }
+        counter_family(
+            &mut out,
+            "snn_log_events_dropped_total",
+            "Events evicted from the bounded flight-recorder ring",
+            log.dropped,
+        );
+        counter_family(
+            &mut out,
+            "snn_log_sink_suppressed_total",
+            "JSON sink lines suppressed by per-target rate limiting",
+            log.suppressed,
+        );
+        gauge_family(
+            &mut out,
+            "snn_log_ring_events",
+            "Events currently retained in the flight-recorder ring",
+            log.ring_len as f64,
+        );
+        gauge_family(
+            &mut out,
+            "snn_log_ring_capacity",
+            "Retention bound of the flight-recorder ring",
+            log.ring_capacity as f64,
+        );
+        counter_family(
+            &mut out,
+            "snn_incidents_written_total",
+            "Incident post-mortem reports written to disk",
+            log.incidents_written,
+        );
+    }
     out
 }
 
@@ -574,6 +638,14 @@ mod tests {
                 ring_spans: 7,
                 ring_capacity: 4096,
             }),
+            Some(&LogStats {
+                events: [0, 5, 2, 1],
+                dropped: 0,
+                ring_len: 8,
+                ring_capacity: 2048,
+                suppressed: 0,
+                incidents_written: 1,
+            }),
         );
         for family in [
             "snn_gateway_connections_total 1",
@@ -605,6 +677,13 @@ mod tests {
             "snn_trace_spans_dropped_total 0",
             "snn_trace_ring_spans 7",
             "snn_trace_ring_capacity 4096",
+            "snn_log_events_total{level=\"info\"} 5",
+            "snn_log_events_total{level=\"error\"} 1",
+            "snn_log_events_dropped_total 0",
+            "snn_log_sink_suppressed_total 0",
+            "snn_log_ring_events 8",
+            "snn_log_ring_capacity 2048",
+            "snn_incidents_written_total 1",
         ] {
             assert!(text.contains(family), "missing {family:?} in:\n{text}");
         }
@@ -643,6 +722,14 @@ mod tests {
                 spans_dropped: 1,
                 ring_spans: 2,
                 ring_capacity: 64,
+            }),
+            Some(&LogStats {
+                events: [4, 3, 2, 1],
+                dropped: 1,
+                ring_len: 9,
+                ring_capacity: 2048,
+                suppressed: 2,
+                incidents_written: 1,
             }),
         );
 

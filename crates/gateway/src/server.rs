@@ -40,13 +40,15 @@
 
 use std::io::{Read, Write};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use snn_log::{IncidentConfig, IncidentRecorder, Level, LogCollector};
 use snn_runtime::{
-    FaultInjector, FaultPoint, ModelRegistry, RegistryError, StreamingServer, SubmitError,
+    FaultInjector, FaultPoint, LogSink, ModelRegistry, RegistryError, StreamingServer, SubmitError,
     WorkerPool,
 };
 use snn_telemetry::{families, Labels, TelemetryHub};
@@ -59,7 +61,7 @@ use crate::http::{
 use crate::json::{
     render_trace, ErrorBody, InferRequest, InferResponse, ModelListBody, SwapRequest,
 };
-use crate::metrics::{prometheus_text, GatewayMetrics, GatewayRecorder, TraceStats};
+use crate::metrics::{prometheus_text, GatewayMetrics, GatewayRecorder, LogStats, TraceStats};
 use crate::stats::render_stats;
 
 /// Gateway configuration.
@@ -105,6 +107,21 @@ pub struct GatewayConfig {
     /// serve live snapshots. Turning it off leaves those routes answering
     /// `404` and removes every per-request telemetry write.
     pub telemetry: bool,
+    /// Whether to stand up the structured log flight recorder (default
+    /// `true`). When on, every layer — access log, batcher, registry,
+    /// fault injector — records leveled events into a bounded in-memory
+    /// ring served by `GET /v1/logs`; the minimum level comes from the
+    /// `SNN_LOG` spec (default `info`), and setting `SNN_LOG` also
+    /// attaches a JSON-lines stderr sink. Off, the routes answer `404`
+    /// and every log call is one relaxed atomic load.
+    pub logging: bool,
+    /// Directory for incident post-mortem reports. When set (and
+    /// [`logging`](Self::logging) is on), failure sites — batch
+    /// quarantine, breaker open, brownout engage, panics — atomically
+    /// write self-contained JSON snapshots here (bounded, LRU-cleaned),
+    /// served by `GET /v1/incidents`. `None` (the default) disables
+    /// incident capture.
+    pub incidents_dir: Option<PathBuf>,
 }
 
 impl Default for GatewayConfig {
@@ -119,6 +136,8 @@ impl Default for GatewayConfig {
             poll_interval: Duration::from_millis(50),
             keep_alive_idle: Duration::from_secs(10),
             telemetry: true,
+            logging: true,
+            incidents_dir: None,
         }
     }
 }
@@ -151,6 +170,9 @@ struct Shared {
     /// sliding-window series into it; `/v1/stats` and `/dashboard` read
     /// them back.
     telemetry: Option<Arc<TelemetryHub>>,
+    /// The structured-log sink (collector + optional incident recorder)
+    /// every layer records into, when [`GatewayConfig::logging`] is on.
+    log: Option<LogSink>,
     /// When the gateway started serving (the `uptime_s` origin).
     started: Instant,
     /// Soft drain ([`Gateway::begin_drain`]): readiness flips to `503`,
@@ -272,11 +294,40 @@ impl Gateway {
             }
             hub
         });
+        let log = config.logging.then(|| {
+            // The SNN_LOG spec sets the collector's floor; the spec's
+            // per-target overrides additionally filter the stderr sink.
+            // No SNN_LOG → info-level ring only, no sink.
+            let spec = snn_log::LogSpec::from_env();
+            let collector = Arc::new(LogCollector::new(snn_log::DEFAULT_CAPACITY));
+            collector.set_min_level(spec.most_verbose());
+            if std::env::var_os("SNN_LOG").is_some() {
+                if let Ok(sink) = snn_log::JsonSink::new(snn_log::SinkConfig::stderr(spec)) {
+                    collector.set_sink(sink);
+                }
+            }
+            let incidents = config.incidents_dir.as_ref().and_then(|dir| {
+                IncidentRecorder::new(dir, Arc::clone(&collector), IncidentConfig::default())
+                    .ok()
+                    .map(Arc::new)
+            });
+            if let Some(recorder) = &incidents {
+                snn_log::install_panic_hook(recorder);
+            }
+            let sink = LogSink::new(collector, incidents);
+            server.attach_logging(sink.clone());
+            if let Some(registry) = &registry {
+                registry.attach_logging(sink.clone());
+            }
+            FaultInjector::global().attach_log(Arc::clone(sink.collector()));
+            sink
+        });
         let shared = Arc::new(Shared {
             server,
             registry,
             trace,
             telemetry,
+            log,
             started: Instant::now(),
             recorder: Mutex::new(GatewayRecorder::new()),
             draining: AtomicBool::new(false),
@@ -290,6 +341,16 @@ impl Gateway {
             poll_interval: config.poll_interval,
             keep_alive_idle: config.keep_alive_idle,
         });
+        if let Some(recorder) = shared.log.as_ref().and_then(|s| s.incidents()).cloned() {
+            // Weak back-reference: the incident recorder must not keep the
+            // gateway alive after shutdown — a post-shutdown incident just
+            // loses its live-snapshot sections.
+            let weak = Arc::downgrade(&shared);
+            recorder.set_provider(move |trace| match weak.upgrade() {
+                Some(shared) => snapshot_sections(&shared, trace),
+                None => Vec::new(),
+            });
+        }
         let pool = Arc::new(WorkerPool::new(workers));
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -331,6 +392,18 @@ impl Gateway {
     /// [`GatewayConfig::telemetry`] (the default).
     pub fn telemetry(&self) -> Option<&Arc<TelemetryHub>> {
         self.shared.telemetry.as_ref()
+    }
+
+    /// The structured-log flight recorder, when the gateway was
+    /// configured with [`GatewayConfig::logging`] (the default).
+    pub fn log_collector(&self) -> Option<&Arc<LogCollector>> {
+        self.shared.log.as_ref().map(|s| s.collector())
+    }
+
+    /// The incident recorder, when [`GatewayConfig::incidents_dir`] was
+    /// set (and logging is on).
+    pub fn incidents(&self) -> Option<&Arc<IncidentRecorder>> {
+        self.shared.log.as_ref().and_then(|s| s.incidents())
     }
 
     /// Snapshot of the gateway-level metrics accumulated so far.
@@ -449,6 +522,15 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                     // Injected mid-exchange connection loss: the request
                     // parsed but its response never leaves. The client
                     // must surface a typed transport error, not hang.
+                    if let Some(sink) = &shared.log {
+                        snn_log::warn!(
+                            sink.collector(),
+                            "gateway.conn",
+                            { "target": request.target.as_str() },
+                            "dropping connection: injected reset after parsing {}",
+                            request.target
+                        );
+                    }
                     let _ = stream.shutdown(NetShutdown::Both);
                     return;
                 }
@@ -474,6 +556,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                     }
                 };
                 let start = Instant::now();
+                if let Some(sink) = &shared.log {
+                    snn_log::warn!(
+                        sink.collector(),
+                        "gateway.conn",
+                        { "status": u64::from(status) },
+                        "connection closed on parse error: {message}"
+                    );
+                }
                 let body = ErrorBody::render(message);
                 let bytes = write_response(status, "application/json", &body, false);
                 let _ = stream.write_all(&bytes);
@@ -568,6 +658,18 @@ fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared, received:
                 ErrorBody::render(format!("method {} not allowed on {path}", request.method)),
                 None,
             ),
+            ("GET", "/v1/logs") => widen(handle_logs(request, shared)),
+            ("GET", "/v1/incidents") => widen(handle_incidents_list(shared)),
+            ("GET", path) if path.starts_with("/v1/incidents/") => {
+                widen(handle_incident_get(path, shared))
+            }
+            (_, path) if path == "/v1/incidents" || path.starts_with("/v1/incidents/") => (
+                "other",
+                405,
+                "application/json",
+                ErrorBody::render(format!("method {} not allowed on {path}", request.method)),
+                None,
+            ),
             ("GET", "/metrics") => {
                 let streaming = shared.server.metrics();
                 let gateway = shared
@@ -576,17 +678,14 @@ fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared, received:
                     .unwrap_or_else(|e| e.into_inner())
                     .summarize();
                 let registry = shared.registry.as_deref().map(|r| r.metrics());
-                let trace = shared.trace.as_deref().map(|c| TraceStats {
-                    spans_recorded: c.spans_recorded(),
-                    spans_dropped: c.spans_dropped(),
-                    ring_spans: c.ring_len(),
-                    ring_capacity: c.capacity(),
-                });
+                let trace = live_trace_stats(shared);
+                let log = live_log_stats(shared);
                 (
                     "metrics",
                     200,
                     "text/plain; version=0.0.4",
-                    prometheus_text(&gateway, &streaming, registry.as_ref(), trace).into_bytes(),
+                    prometheus_text(&gateway, &streaming, registry.as_ref(), trace, log.as_ref())
+                        .into_bytes(),
                     None,
                 )
             }
@@ -598,6 +697,7 @@ fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared, received:
             | (_, "/healthz")
             | (_, "/readyz")
             | (_, "/v1/stats")
+            | (_, "/v1/logs")
             | (_, "/dashboard") => (
                 "other",
                 405,
@@ -642,6 +742,34 @@ fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared, received:
         hub.counter(families::HTTP_REQUESTS, &labels).add(now, 1.0);
         hub.histogram(families::HTTP_E2E_US, &labels)
             .record_us(now, start.elapsed().as_micros() as u64);
+    }
+    // Per-request access log: one event per answered request, error-level
+    // for 5xx, warn for backpressure, stamped with the caller's trace id
+    // when the request carried one (inference failures additionally log
+    // with their internally minted id — see `log_request_failure`).
+    if let Some(sink) = &shared.log {
+        let collector = sink.collector();
+        let level = match status {
+            500.. => Level::Error,
+            429 => Level::Warn,
+            _ => Level::Info,
+        };
+        if collector.level_enabled(level) {
+            let trace = request
+                .header("x-snn-trace-id")
+                .and_then(TraceId::parse_hex);
+            collector.record_traced(
+                level,
+                "gateway.http",
+                format!("{} {} -> {status}", request.method, request.path()),
+                vec![
+                    ("route", route.into()),
+                    ("status", u64::from(status).into()),
+                    ("latency_us", (start.elapsed().as_micros() as u64).into()),
+                ],
+                trace,
+            );
+        }
     }
     keep_alive && wrote
 }
@@ -697,6 +825,18 @@ fn handle_stats(shared: &Shared) -> (&'static str, u16, &'static str, Vec<u8>) {
             ErrorBody::render("telemetry is not enabled on this gateway"),
         );
     };
+    (
+        ROUTE,
+        200,
+        "application/json",
+        render_live_stats(shared, hub),
+    )
+}
+
+/// Renders the full `/v1/stats` snapshot body — shared between the route
+/// handler and the incident report's `stats` section, so a post-mortem
+/// snapshot always matches the live schema.
+fn render_live_stats(shared: &Shared, hub: &TelemetryHub) -> Vec<u8> {
     let streaming = shared.server.metrics();
     let gateway = shared
         .recorder
@@ -704,21 +844,72 @@ fn handle_stats(shared: &Shared) -> (&'static str, u16, &'static str, Vec<u8>) {
         .unwrap_or_else(|e| e.into_inner())
         .summarize();
     let registry = shared.registry.as_deref().map(|r| r.metrics());
-    let trace = shared.trace.as_deref().map(|c| TraceStats {
-        spans_recorded: c.spans_recorded(),
-        spans_dropped: c.spans_dropped(),
-        ring_spans: c.ring_len(),
-        ring_capacity: c.capacity(),
-    });
-    let body = render_stats(
+    let trace = live_trace_stats(shared);
+    let log = live_log_stats(shared);
+    render_stats(
         hub,
         &streaming,
         &gateway,
         registry.as_ref(),
         trace.as_ref(),
+        log.as_ref(),
         shared.started.elapsed().as_secs_f64(),
-    );
-    (ROUTE, 200, "application/json", body)
+    )
+}
+
+/// The trace collector's cumulative counters, when tracing is on.
+fn live_trace_stats(shared: &Shared) -> Option<TraceStats> {
+    shared.trace.as_deref().map(|c| TraceStats {
+        spans_recorded: c.spans_recorded(),
+        spans_dropped: c.spans_dropped(),
+        ring_spans: c.ring_len(),
+        ring_capacity: c.capacity(),
+    })
+}
+
+/// The flight recorder's cumulative counters, when logging is on.
+fn live_log_stats(shared: &Shared) -> Option<LogStats> {
+    shared.log.as_ref().map(|sink| {
+        let c = sink.collector();
+        LogStats {
+            events: [
+                c.events_recorded(Level::Debug),
+                c.events_recorded(Level::Info),
+                c.events_recorded(Level::Warn),
+                c.events_recorded(Level::Error),
+            ],
+            dropped: c.events_dropped(),
+            ring_len: c.ring_len(),
+            ring_capacity: c.capacity(),
+            suppressed: c.sink_suppressed(),
+            incidents_written: sink.incidents().map_or(0, |r| r.written()),
+        }
+    })
+}
+
+/// The sections an incident report embeds: the live `/v1/stats` snapshot
+/// (same renderer as the route, so the schemas match), the failing
+/// request's span tree when its trace id is known, and the fault
+/// injector's counters.
+fn snapshot_sections(shared: &Shared, trace: Option<TraceId>) -> Vec<(String, String)> {
+    let mut sections = Vec::new();
+    if let Some(hub) = shared.telemetry.as_deref() {
+        if let Ok(body) = String::from_utf8(render_live_stats(shared, hub)) {
+            sections.push(("stats".to_string(), body));
+        }
+    }
+    if let (Some(collector), Some(trace)) = (shared.trace.as_deref(), trace) {
+        let spans = collector.trace(trace);
+        if !spans.is_empty() {
+            if let Ok(tree) = String::from_utf8(render_trace(trace, &spans)) {
+                sections.push(("trace".to_string(), tree));
+            }
+        }
+    }
+    if let Ok(counts) = serde_json::to_string(&FaultInjector::global().counts()) {
+        sections.push(("faults".to_string(), counts));
+    }
+    sections
 }
 
 /// The `GET /dashboard` handler: one self-contained HTML page (no external
@@ -781,6 +972,156 @@ fn handle_trace(path: &str, shared: &Shared) -> (&'static str, u16, &'static str
         );
     }
     (ROUTE, 200, json, render_trace(trace, &spans))
+}
+
+/// The `GET /v1/logs` handler: the flight recorder's retained events as
+/// JSON, optionally filtered by `?level=<debug|info|warn|error>`
+/// (at-least) and `?target=<prefix>`. Each event uses the same schema as
+/// the JSON-lines sink. `404` when logging is off; `400` for an unknown
+/// level.
+fn handle_logs(request: &Request, shared: &Shared) -> (&'static str, u16, &'static str, Vec<u8>) {
+    const ROUTE: &str = "logs";
+    let json = "application/json";
+    let Some(sink) = &shared.log else {
+        return (
+            ROUTE,
+            404,
+            json,
+            ErrorBody::render("logging is not enabled on this gateway"),
+        );
+    };
+    let mut level = None;
+    let mut target = None;
+    if let Some((_, query)) = request.target.split_once('?') {
+        for pair in query.split('&') {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            match key {
+                "level" => match Level::parse(value) {
+                    Some(parsed) => level = Some(parsed),
+                    None => {
+                        return (
+                            ROUTE,
+                            400,
+                            json,
+                            ErrorBody::render(format!(
+                                "{value:?} is not a log level (debug|info|warn|error)"
+                            )),
+                        )
+                    }
+                },
+                "target" => target = Some(value.to_string()),
+                _ => {} // unknown query keys are ignored, not rejected
+            }
+        }
+    }
+    let collector = sink.collector();
+    let events = collector.recent_filtered(level, target.as_deref());
+    let mut body = String::with_capacity(events.len() * 160 + 64);
+    body.push_str("{\"events\":[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        // `render_line` emits one self-contained JSON object per event —
+        // the exact sink schema — so the array embeds them verbatim.
+        body.push_str(snn_log::render_line(event).trim_end());
+    }
+    body.push_str(&format!(
+        "],\"recorded\":{},\"dropped\":{}}}",
+        collector.events_recorded_total(),
+        collector.events_dropped()
+    ));
+    (ROUTE, 200, json, body.into_bytes())
+}
+
+/// The `GET /v1/incidents` handler: every incident report id on disk
+/// (oldest first — ids sort chronologically) plus cumulative counters.
+/// `404` when incident capture is off.
+fn handle_incidents_list(shared: &Shared) -> (&'static str, u16, &'static str, Vec<u8>) {
+    const ROUTE: &str = "incidents";
+    let json = "application/json";
+    let Some(recorder) = shared.log.as_ref().and_then(|s| s.incidents()) else {
+        return (
+            ROUTE,
+            404,
+            json,
+            ErrorBody::render("incident capture is not enabled on this gateway"),
+        );
+    };
+    let ids = recorder.list();
+    let mut body = String::with_capacity(ids.len() * 48 + 64);
+    body.push_str("{\"incidents\":[");
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push('"');
+        body.push_str(&snn_log::json_escape(id));
+        body.push('"');
+    }
+    body.push_str(&format!(
+        "],\"written\":{},\"coalesced\":{}}}",
+        recorder.written(),
+        recorder.coalesced()
+    ));
+    (ROUTE, 200, json, body.into_bytes())
+}
+
+/// The `GET /v1/incidents/<id>` handler: one incident report, verbatim.
+/// `404` for an unknown (or malformed — ids never contain separators) id,
+/// or when incident capture is off.
+fn handle_incident_get(path: &str, shared: &Shared) -> (&'static str, u16, &'static str, Vec<u8>) {
+    const ROUTE: &str = "incidents";
+    let json = "application/json";
+    let Some(recorder) = shared.log.as_ref().and_then(|s| s.incidents()) else {
+        return (
+            ROUTE,
+            404,
+            json,
+            ErrorBody::render("incident capture is not enabled on this gateway"),
+        );
+    };
+    let id = path.strip_prefix("/v1/incidents/").unwrap_or_default();
+    match recorder.read(id) {
+        Some(bytes) => (ROUTE, 200, json, bytes),
+        None => (
+            ROUTE,
+            404,
+            json,
+            ErrorBody::render(format!("no incident report named {id:?}")),
+        ),
+    }
+}
+
+/// Records a request-failure event in the flight recorder, stamped with
+/// the request's (possibly internally minted) trace id — every 5xx answer
+/// leaves at least one correlated event behind.
+fn log_request_failure(
+    shared: &Shared,
+    route: &'static str,
+    status: u16,
+    detail: &str,
+    trace: Option<TraceId>,
+) {
+    let Some(sink) = &shared.log else { return };
+    let collector = sink.collector();
+    let level = if status >= 500 {
+        Level::Error
+    } else {
+        Level::Warn
+    };
+    if collector.level_enabled(level) {
+        collector.record_traced(
+            level,
+            "gateway.http",
+            format!("{route} failed with {status}: {detail}"),
+            vec![
+                ("route", route.into()),
+                ("status", u64::from(status).into()),
+            ],
+            trace,
+        );
+    }
 }
 
 /// The `POST /v1/infer` handler: JSON body → geometry validation →
@@ -850,6 +1191,7 @@ fn run_infer(
 ) -> (&'static str, u16, &'static str, Vec<u8>) {
     let json = "application/json";
     let handler_start = Instant::now();
+    let trace_id = trace_ctx.as_ref().map(|&(_, trace, _)| trace);
     if let Some((collector, trace, root)) = &trace_ctx {
         collector.record_span(
             *trace,
@@ -920,6 +1262,13 @@ fn run_infer(
     let mut ticket = match server.submit_with(&image, options) {
         Ok(ticket) => ticket,
         Err(SubmitError::QueueFull { max_pending }) => {
+            log_request_failure(
+                shared,
+                route,
+                429,
+                &format!("queue full at {max_pending} admitted"),
+                trace_id,
+            );
             return (
                 route,
                 429,
@@ -927,7 +1276,7 @@ fn run_infer(
                 ErrorBody::render(format!(
                     "queue full: {max_pending} requests already admitted; retry with backoff"
                 )),
-            )
+            );
         }
         Err(SubmitError::Brownout {
             priority,
@@ -936,6 +1285,13 @@ fn run_infer(
             // Load shedding is backpressure, same wire shape as a full
             // queue: the client should back off and retry (or escalate
             // its priority if it genuinely is latency-critical).
+            log_request_failure(
+                shared,
+                route,
+                429,
+                &format!("brownout shed priority {priority} (below {shed_below_priority})"),
+                trace_id,
+            );
             return (
                 route,
                 429,
@@ -950,6 +1306,9 @@ fn run_infer(
             // A rejected submit during server teardown is unavailability,
             // not a client error.
             let status = if server.is_shut_down() { 503 } else { 400 };
+            if status >= 500 {
+                log_request_failure(shared, route, status, &e.to_string(), trace_id);
+            }
             return (route, status, json, ErrorBody::render(e.to_string()));
         }
     };
@@ -990,12 +1349,19 @@ fn run_infer(
             let body = match serde_json::to_string(&wire) {
                 Ok(body) => body.into_bytes(),
                 Err(e) => {
+                    log_request_failure(
+                        shared,
+                        route,
+                        500,
+                        &format!("response serialization failed: {e}"),
+                        trace_id,
+                    );
                     return (
                         route,
                         500,
                         json,
                         ErrorBody::render(format!("response serialization failed: {e}")),
-                    )
+                    );
                 }
             };
             if let Some((collector, trace, root)) = &trace_ctx {
@@ -1043,6 +1409,13 @@ fn run_infer(
                     vec![("status", AttrValue::U64(504))],
                 );
             }
+            log_request_failure(
+                shared,
+                route,
+                504,
+                &format!("ticket wait exceeded {:?}", shared.handler_timeout),
+                trace_id,
+            );
             (
                 route,
                 504,
@@ -1053,7 +1426,10 @@ fn run_infer(
                 )),
             )
         }
-        Err(e) => (route, 500, json, ErrorBody::render(e.to_string())),
+        Err(e) => {
+            log_request_failure(shared, route, 500, &e.to_string(), trace_id);
+            (route, 500, json, ErrorBody::render(e.to_string()))
+        }
     }
 }
 
@@ -1205,7 +1581,19 @@ fn handle_model_infer(spec: &str, request: &Request, shared: &Shared, received: 
             received,
             trace_ctx,
         )),
-        Err(e) => registry_error_response(ROUTE, &e),
+        Err(e) => {
+            let reply = registry_error_response(ROUTE, &e);
+            if reply.1 >= 500 {
+                log_request_failure(
+                    shared,
+                    ROUTE,
+                    reply.1,
+                    &e.to_string(),
+                    parent.map(|t| t.trace),
+                );
+            }
+            reply
+        }
     }
 }
 
@@ -1282,7 +1670,19 @@ fn handle_swap(name: &str, request: &Request, shared: &Shared) -> Reply {
             }
             (ROUTE, 200, json, body, None)
         }
-        Err(e) => registry_error_response(ROUTE, &e),
+        Err(e) => {
+            let reply = registry_error_response(ROUTE, &e);
+            if reply.1 >= 500 {
+                log_request_failure(
+                    shared,
+                    ROUTE,
+                    reply.1,
+                    &e.to_string(),
+                    parent.map(|t| t.trace),
+                );
+            }
+            reply
+        }
     }
 }
 

@@ -41,7 +41,12 @@
 //!     "queue_wait_share": 0.42, "mean_batch_occupancy": 3.8},
 //!   "registry": {...} | null,    // snn_runtime::RegistryMetrics verbatim
 //!   "trace": {"ring_spans": 512, "ring_capacity": 4096,
-//!             "spans_recorded": 9000, "spans_dropped": 0} | null
+//!             "spans_recorded": 9000, "spans_dropped": 0} | null,
+//!   "log": {"events": {"debug": 0, "info": 810, "warn": 2, "error": 1},
+//!           "dropped": 0, "ring_events": 813, "ring_capacity": 2048,
+//!           "sink_suppressed": 0} | null,
+//!   "incidents": 1,              // post-mortem reports written to disk
+//!   "build": {"pkg_version": "0.1.0", "profile": "release"}
 //! }
 //! ```
 //!
@@ -57,7 +62,7 @@ use serde::{Content, Serialize};
 use snn_runtime::{RegistryMetrics, StreamingMetrics};
 use snn_telemetry::{families, slo, CounterSnapshot, HubSnapshot, TelemetryHub, WINDOWS_S};
 
-use crate::metrics::{GatewayMetrics, TraceStats};
+use crate::metrics::{GatewayMetrics, LogStats, TraceStats};
 
 /// Sum a counter snapshot's `window_s` window (0 when absent).
 fn wsum(counter: Option<&CounterSnapshot>, window_s: u64) -> f64 {
@@ -113,6 +118,7 @@ pub fn render_stats(
     gateway: &GatewayMetrics,
     registry: Option<&RegistryMetrics>,
     trace: Option<&TraceStats>,
+    log: Option<&LogStats>,
     uptime_s: f64,
 ) -> Vec<u8> {
     let now_s = hub.now_s();
@@ -344,6 +350,48 @@ pub fn render_stats(
         })
         .unwrap_or(Content::Null);
 
+    let log_section = log
+        .map(|l| {
+            Content::Map(vec![
+                (
+                    "events".to_string(),
+                    Content::Map(
+                        ["debug", "info", "warn", "error"]
+                            .iter()
+                            .zip(l.events.iter())
+                            .map(|(name, &n)| (name.to_string(), Content::U64(n)))
+                            .collect(),
+                    ),
+                ),
+                ("dropped".to_string(), Content::U64(l.dropped)),
+                ("ring_events".to_string(), Content::U64(l.ring_len as u64)),
+                (
+                    "ring_capacity".to_string(),
+                    Content::U64(l.ring_capacity as u64),
+                ),
+                ("sink_suppressed".to_string(), Content::U64(l.suppressed)),
+            ])
+        })
+        .unwrap_or(Content::Null);
+
+    let build = Content::Map(vec![
+        (
+            "pkg_version".to_string(),
+            Content::Str(env!("CARGO_PKG_VERSION").to_string()),
+        ),
+        (
+            "profile".to_string(),
+            Content::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_string(),
+            ),
+        ),
+    ]);
+
     let body = Content::Map(vec![
         ("schema_version".to_string(), Content::U64(1)),
         ("now_s".to_string(), Content::U64(now_s)),
@@ -382,6 +430,12 @@ pub fn render_stats(
             registry.map(|r| r.to_content()).unwrap_or(Content::Null),
         ),
         ("trace".to_string(), trace),
+        ("log".to_string(), log_section),
+        (
+            "incidents".to_string(),
+            Content::U64(log.map_or(0, |l| l.incidents_written)),
+        ),
+        ("build".to_string(), build),
     ]);
     serde_json::to_string(&body)
         .unwrap_or_else(|_| "{\"error\":\"internal error\"}".to_string())
@@ -411,7 +465,7 @@ mod tests {
 
         let streaming = StreamingRecorder::new().summarize();
         let gateway = crate::metrics::GatewayRecorder::new().summarize();
-        let body = render_stats(&hub, &streaming, &gateway, None, None, 12.5);
+        let body = render_stats(&hub, &streaming, &gateway, None, None, None, 12.5);
         let text = String::from_utf8(body).unwrap();
         let parsed: Content = serde_json::from_str(&text).unwrap();
         let map = parsed.as_map().unwrap();
@@ -427,6 +481,9 @@ mod tests {
             "cumulative",
             "registry",
             "trace",
+            "log",
+            "incidents",
+            "build",
         ] {
             assert!(
                 map.iter().any(|(k, _)| k == key),
@@ -465,7 +522,7 @@ mod tests {
             .add(now, 10.0);
         let streaming = StreamingRecorder::new().summarize();
         let gateway = crate::metrics::GatewayRecorder::new().summarize();
-        let body = render_stats(&hub, &streaming, &gateway, None, None, 1.0);
+        let body = render_stats(&hub, &streaming, &gateway, None, None, None, 1.0);
         let parsed: Content = serde_json::from_str(&String::from_utf8(body).unwrap()).unwrap();
         let models = field(parsed.as_map().unwrap(), "models")
             .unwrap()

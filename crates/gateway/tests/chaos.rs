@@ -15,10 +15,12 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{field, Content};
 use snn_gateway::{client::HttpClient, run_closed_loop, Gateway, GatewayConfig, LoadGenConfig};
 use snn_nn::{ActivationLayer, DenseLayer, Flatten, Layer, Relu, Sequential};
 use snn_runtime::{BackendChoice, BrownoutConfig, FaultConfig, FaultInjector, StreamingConfig};
 use snn_sim::EventSnn;
+use snn_trace::{TraceCollector, TraceId};
 use ttfs_core::{convert, Base2Kernel, SnnModel};
 
 /// One armed injector per process: tests take this before touching it.
@@ -344,4 +346,217 @@ fn brownout_sheds_low_priority_on_the_wire_and_recovers() {
         streaming.brownout_shed_requests, report.shed_429,
         "wire sheds and the runtime counter must agree"
     );
+}
+
+/// The flight-recorder acceptance capstone: a seeded chaos storm against
+/// a traced, incident-enabled gateway must leave behind a `quarantine`
+/// incident whose post-mortem snapshot (a) is valid self-contained JSON,
+/// (b) carries the condemned request's real, still-retrievable trace id
+/// with at least one embedded flight-recorder event stamped with it, and
+/// (c) embeds a `/v1/stats` snapshot with exactly the live endpoint's
+/// schema. Also walks the incident and log HTTP surface end to end.
+#[test]
+fn chaos_storm_writes_trace_correlated_incident_snapshots() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let _quiet = QuietInjectedPanics::install();
+    let injector = FaultInjector::global();
+    injector.disarm();
+
+    let incidents_dir =
+        std::env::temp_dir().join(format!("snn_chaos_incidents_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&incidents_dir);
+
+    let model = Arc::new(dense_model(42));
+    let mut rng = StdRng::seed_from_u64(0xC4A1);
+    let n = 10usize;
+    let x = snn_tensor::uniform(&[n, 1, 2, 4], 0.0, 1.0, &mut rng);
+    let (expected, _) = EventSnn::new(&model).run(&x).expect("reference run");
+
+    let collector = Arc::new(TraceCollector::new(0));
+    let server = Arc::new(
+        BackendChoice::Csr
+            .serve_streaming_traced(
+                Arc::clone(&model),
+                &DIMS,
+                StreamingConfig {
+                    threads: 2,
+                    max_batch: 4,
+                    max_delay: Duration::from_micros(500),
+                    max_pending: 0,
+                    brownout: None,
+                },
+                Arc::clone(&collector),
+            )
+            .expect("traced streaming stack"),
+    );
+    let mut gateway = Gateway::start(
+        Arc::clone(&server),
+        GatewayConfig {
+            workers: 4,
+            incidents_dir: Some(incidents_dir.clone()),
+            ..GatewayConfig::for_dims(&DIMS)
+        },
+    )
+    .expect("gateway start");
+    let recorder = Arc::clone(
+        gateway
+            .incidents()
+            .expect("incidents_dir enables the recorder"),
+    );
+
+    // Panic often enough that some batch's solo isolation retry panics
+    // again — quarantine, the explicit trigger whose incident carries
+    // the condemned request's trace id. The storms are seeded, so which
+    // one produces it is deterministic.
+    let mut quarantine: Option<(String, Content)> = None;
+    'storms: for seed in [0x1AC1u64, 0x1AC2, 0x1AC3] {
+        injector.arm(
+            seed,
+            FaultConfig {
+                backend_panic: 0.35,
+                ..FaultConfig::default()
+            },
+        );
+        let report = run_closed_loop(
+            gateway.local_addr(),
+            &x,
+            Some(&expected),
+            &LoadGenConfig {
+                clients: 4,
+                passes: 3,
+                max_priority: 3,
+                seed,
+                retry_after_cap: Some(Duration::from_millis(2)),
+                ..LoadGenConfig::default()
+            },
+        );
+        injector.disarm();
+        assert_eq!(report.mismatches, 0, "storm seed {seed:#x}: corrupted 200");
+        for id in recorder.list() {
+            let bytes = recorder.read(&id).expect("listed incident is readable");
+            let parsed: Content = serde_json::from_str(std::str::from_utf8(&bytes).unwrap())
+                .expect("incident report is valid JSON");
+            let is_quarantine = parsed.as_map().and_then(|m| {
+                field(m, "kind")
+                    .ok()
+                    .and_then(Content::as_str)
+                    .map(str::to_string)
+            }) == Some("quarantine".to_string());
+            if is_quarantine {
+                quarantine = Some((id, parsed));
+                break 'storms;
+            }
+        }
+    }
+    let (id, report) = quarantine.expect("no storm produced a quarantine incident");
+    let map = report.as_map().expect("incident report is a JSON object");
+
+    // (a) Self-contained: build info, the event window, drop accounting.
+    let build = field(map, "build")
+        .ok()
+        .and_then(Content::as_map)
+        .expect("incident embeds build info");
+    assert!(field(build, "pkg_version")
+        .ok()
+        .and_then(Content::as_str)
+        .is_some());
+    assert!(field(map, "events_dropped").is_ok());
+
+    // (b) Trace correlation: a real hex trace id, retrievable over the
+    // wire, and at least one embedded flight-recorder event carries it.
+    let trace_hex = field(map, "trace_id")
+        .ok()
+        .and_then(Content::as_str)
+        .expect("a quarantine incident names its request's trace")
+        .to_string();
+    assert!(
+        TraceId::parse_hex(&trace_hex).is_some(),
+        "trace id {trace_hex:?} must be 16-digit hex"
+    );
+    let window = field(map, "events")
+        .ok()
+        .and_then(Content::as_seq)
+        .expect("incident embeds the flight-recorder window");
+    assert!(!window.is_empty(), "the event window must not be empty");
+    assert!(
+        window.iter().any(|event| {
+            event
+                .as_map()
+                .and_then(|m| field(m, "trace").ok().and_then(Content::as_str))
+                == Some(trace_hex.as_str())
+        }),
+        "no embedded event carries the incident's trace id {trace_hex}"
+    );
+    let mut client = HttpClient::connect(gateway.local_addr()).expect("connect");
+    let tree = client
+        .get(&format!("/v1/trace/{trace_hex}"))
+        .expect("trace fetch");
+    assert_eq!(tree.status, 200, "incident trace must be retrievable");
+
+    // (c) The embedded stats snapshot has exactly the live schema: same
+    // keys, same order — both come from the same renderer.
+    let sections = field(map, "sections")
+        .ok()
+        .and_then(Content::as_map)
+        .expect("incident embeds snapshot sections");
+    let snapshot = field(sections, "stats")
+        .ok()
+        .and_then(Content::as_map)
+        .expect("sections embed a parseable stats snapshot");
+    assert!(field(sections, "faults").is_ok(), "fault counts section");
+    if let Some(tree) = field(sections, "trace").ok().and_then(Content::as_map) {
+        assert_eq!(
+            field(tree, "trace_id").ok().and_then(Content::as_str),
+            Some(trace_hex.as_str()),
+            "the embedded trace tree is the incident's own"
+        );
+    }
+    let live = client.get("/v1/stats").expect("stats fetch");
+    assert_eq!(live.status, 200);
+    let live: Content =
+        serde_json::from_str(std::str::from_utf8(&live.body).unwrap()).expect("live stats parse");
+    let live_keys: Vec<&String> = live
+        .as_map()
+        .expect("live stats is a JSON object")
+        .iter()
+        .map(|(k, _)| k)
+        .collect();
+    let snapshot_keys: Vec<&String> = snapshot.iter().map(|(k, _)| k).collect();
+    assert_eq!(
+        snapshot_keys, live_keys,
+        "incident stats snapshot must match the live /v1/stats schema"
+    );
+
+    // The HTTP surface serves the same artifacts.
+    let list = client.get("/v1/incidents").expect("incident list");
+    assert_eq!(list.status, 200);
+    assert!(
+        String::from_utf8(list.body).unwrap().contains(&id),
+        "/v1/incidents must list {id}"
+    );
+    let fetched = client
+        .get(&format!("/v1/incidents/{id}"))
+        .expect("incident fetch");
+    assert_eq!(fetched.status, 200);
+    assert_eq!(
+        fetched.body,
+        recorder.read(&id).unwrap(),
+        "/v1/incidents/<id> serves the report verbatim"
+    );
+    let logs = client.get("/v1/logs?level=error").expect("logs fetch");
+    assert_eq!(logs.status, 200);
+    let logs: Content =
+        serde_json::from_str(std::str::from_utf8(&logs.body).unwrap()).expect("logs parse");
+    let recorded = logs
+        .as_map()
+        .and_then(|m| field(m, "events").ok().and_then(Content::as_seq))
+        .expect("/v1/logs returns an events array");
+    assert!(
+        !recorded.is_empty(),
+        "the storm must leave error events behind in /v1/logs"
+    );
+
+    gateway.shutdown();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&incidents_dir);
 }

@@ -326,6 +326,25 @@ fn hostile_routing_gets_typed_statuses_never_hangs() {
         .post_json("/v1/models//infer", &infer_body(&DIMS_A, 0.5))
         .unwrap();
     assert_eq!(r.status, 404);
+    // Unknown log level → 400; valid filters (plus an ignored junk key)
+    // → 200 even with zero matching events.
+    let r = client.get("/v1/logs?level=loud").unwrap();
+    assert_eq!(r.status, 400);
+    let r = client
+        .get("/v1/logs?level=warn&target=registry&junk")
+        .unwrap();
+    assert_eq!(r.status, 200);
+    // Wrong method on the observability routes → 405.
+    let r = client.post_json("/v1/logs", "{}").unwrap();
+    assert_eq!(r.status, 405);
+    let r = client.post_json("/v1/incidents", "{}").unwrap();
+    assert_eq!(r.status, 405);
+    // Incident capture is not configured here → 404, and a hostile id
+    // must not traverse out of the (nonexistent) incidents dir.
+    let r = client.get("/v1/incidents").unwrap();
+    assert_eq!(r.status, 404);
+    let r = client.get("/v1/incidents/../../etc/passwd").unwrap();
+    assert_eq!(r.status, 404);
 
     // After all of that the registry routes still serve.
     let r = client

@@ -32,10 +32,11 @@
 //! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
+use snn_log::LogCollector;
 
 /// Every place the stack can be made to fail on purpose.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,6 +179,7 @@ struct Inner {
     config: FaultConfig,
     fired: [u64; 6],
     evaluated: u64,
+    log: Option<Arc<LogCollector>>,
 }
 
 impl Inner {
@@ -208,6 +210,7 @@ impl FaultInjector {
                 config: FaultConfig::default(),
                 fired: [0; 6],
                 evaluated: 0,
+                log: None,
             }),
         }
     }
@@ -237,6 +240,12 @@ impl FaultInjector {
         self.enabled.store(false, Ordering::Release);
     }
 
+    /// Attaches a log collector: every fired fault emits a `faults`
+    /// warning event naming the injection point. Survives re-arming.
+    pub fn attach_log(&self, log: Arc<LogCollector>) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).log = Some(log);
+    }
+
     /// Whether the injector is currently armed (one relaxed load).
     #[inline]
     pub fn is_enabled(&self) -> bool {
@@ -264,6 +273,17 @@ impl FaultInjector {
         let fire = inner.next_f64() < p;
         if fire {
             inner.fired[point.index()] += 1;
+            // The collector's locks are leaves: logging under `inner` is
+            // safe, and no incident is triggered from here.
+            if let Some(log) = &inner.log {
+                snn_log::warn!(
+                    log,
+                    "faults",
+                    { "point": point.label(), "fired": inner.fired[point.index()] },
+                    "injected fault fired: {}",
+                    point.label()
+                );
+            }
         }
         fire
     }

@@ -115,7 +115,7 @@ pub use csr::{
 pub use engine::{CsrEngine, DEFAULT_MAX_LANES};
 pub use faults::{FaultConfig, FaultCounts, FaultInjector, FaultPoint};
 pub use metrics::{
-    HistogramBucket, HistogramSnapshot, LatencyRecorder, LogHistogram, OccupancyBucket,
+    HistogramBucket, HistogramSnapshot, LatencyRecorder, LogHistogram, LogSink, OccupancyBucket,
     StreamingMetrics, StreamingRecorder, ThroughputMetrics,
 };
 pub use quant::{

@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use snn_log::{IncidentRecorder, LogCollector, TraceId};
 use snn_sim::RunStats;
 use snn_telemetry::{families, Labels, TelemetryHub, WindowCounter, WindowHistogram};
 
@@ -471,6 +472,49 @@ impl std::fmt::Debug for TelemetrySink {
     }
 }
 
+/// Structured-logging fan-out for one serving component: the shared
+/// flight-recorder [`LogCollector`] plus, optionally, the
+/// [`IncidentRecorder`] the failure sites trigger post-mortem snapshots
+/// on. Attach one with
+/// [`StreamingServer::attach_logging`](crate::StreamingServer::attach_logging)
+/// or [`ModelRegistry::attach_logging`](crate::ModelRegistry::attach_logging);
+/// components without a sink behave exactly as before (logging is
+/// additive, never a replacement).
+#[derive(Debug, Clone)]
+pub struct LogSink {
+    log: Arc<LogCollector>,
+    incidents: Option<Arc<IncidentRecorder>>,
+}
+
+impl LogSink {
+    /// Builds a sink recording into `log`, triggering incident reports
+    /// on `incidents` when present.
+    pub fn new(log: Arc<LogCollector>, incidents: Option<Arc<IncidentRecorder>>) -> Self {
+        Self { log, incidents }
+    }
+
+    /// The shared flight-recorder collector.
+    pub fn collector(&self) -> &Arc<LogCollector> {
+        &self.log
+    }
+
+    /// The incident recorder, when post-mortem snapshots are configured.
+    pub fn incidents(&self) -> Option<&Arc<IncidentRecorder>> {
+        self.incidents.as_ref()
+    }
+
+    /// Triggers an incident report (no-op without a recorder).
+    ///
+    /// Callers must NOT hold any lock an incident snapshot provider may
+    /// take (the streaming recorder, registry state, telemetry hub) —
+    /// the provider renders a live stats snapshot.
+    pub fn incident(&self, kind: &str, detail: &str, trace: Option<TraceId>) -> Option<String> {
+        self.incidents
+            .as_ref()
+            .and_then(|recorder| recorder.record(kind, detail, trace))
+    }
+}
+
 /// Accumulates streaming measurements: one [`record_batch`] per formed
 /// batch plus one [`record_request`] per request that rode in it.
 ///
@@ -497,6 +541,9 @@ pub struct StreamingRecorder {
     /// cumulative (the pre-telemetry behavior, and the disabled path the
     /// bench noise-gates against).
     sink: Option<TelemetrySink>,
+    /// Structured-logging fan-out; `None` keeps the recorder silent (the
+    /// pre-logging behavior the bench noise-gates against).
+    log: Option<LogSink>,
 }
 
 impl StreamingRecorder {
@@ -519,6 +566,7 @@ impl StreamingRecorder {
             quarantined: 0,
             deadline_misses: 0,
             sink: None,
+            log: None,
         }
     }
 
@@ -531,6 +579,18 @@ impl StreamingRecorder {
     /// Whether a telemetry sink is attached.
     pub fn has_sink(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// Attaches a structured-logging sink; the batcher's flush and
+    /// failure-isolation decisions start emitting log events (and
+    /// incident triggers, when the sink carries a recorder).
+    pub fn set_log_sink(&mut self, sink: LogSink) {
+        self.log = Some(sink);
+    }
+
+    /// The attached structured-logging sink, if any.
+    pub fn log_sink(&self) -> Option<&LogSink> {
+        self.log.as_ref()
     }
 
     /// Records one executed batch: its size, backend execution time and
@@ -552,6 +612,19 @@ impl StreamingRecorder {
                 families::FLUSHES,
                 "flush_reason",
                 reason.as_str().to_string(),
+            );
+        }
+        if let Some(log) = &self.log {
+            snn_log::debug!(
+                log.collector(),
+                "runtime.batcher",
+                {
+                    "reason": reason.as_str(),
+                    "batch_size": size,
+                    "exec_us": exec.as_micros().min(u64::MAX as u128) as u64,
+                },
+                "flushed batch of {size} ({})",
+                reason.as_str()
             );
         }
     }
@@ -615,11 +688,29 @@ impl StreamingRecorder {
     /// to isolate the poison request.
     pub fn record_batch_retry(&mut self) {
         self.batch_retries += 1;
+        if let Some(log) = &self.log {
+            snn_log::warn!(
+                log.collector(),
+                "runtime.batcher",
+                { "batch_retries": self.batch_retries },
+                "batch panicked in a worker; re-running request-by-request to isolate the poison"
+            );
+        }
     }
 
-    /// Records one request quarantined after panicking solo.
+    /// Records one request quarantined after panicking solo. The caller
+    /// (the dispatch path) triggers the incident separately, outside
+    /// this recorder's lock.
     pub fn record_quarantined(&mut self) {
         self.quarantined += 1;
+        if let Some(log) = &self.log {
+            snn_log::error!(
+                log.collector(),
+                "runtime.batcher",
+                { "quarantined": self.quarantined },
+                "request quarantined: the backend panicked while executing it solo"
+            );
+        }
     }
 
     /// Quarantined requests so far.

@@ -52,7 +52,7 @@ use ttfs_core::ConvertError;
 use crate::artifact::{ArtifactError, ArtifactInfo, ModelArtifact, ARTIFACT_EXTENSION};
 use crate::csr::CsrFootprint;
 use crate::faults::{FaultInjector, FaultPoint};
-use crate::metrics::LatencyRecorder;
+use crate::metrics::{LatencyRecorder, LogSink};
 use crate::{InferenceBackend, StreamingConfig, StreamingServer};
 
 /// Tuning knobs for a [`ModelRegistry`].
@@ -356,6 +356,7 @@ pub struct ModelRegistry {
     config: RegistryConfig,
     trace: Option<Arc<TraceCollector>>,
     telemetry: Mutex<Option<Arc<TelemetryHub>>>,
+    log: Mutex<Option<LogSink>>,
     state: Mutex<State>,
     loading_cv: Condvar,
 }
@@ -389,6 +390,7 @@ impl ModelRegistry {
             config,
             trace,
             telemetry: Mutex::new(None),
+            log: Mutex::new(None),
             state: Mutex::new(State {
                 catalog: BTreeMap::new(),
                 resident: BTreeMap::new(),
@@ -553,6 +555,14 @@ impl ModelRegistry {
                         let now = Instant::now();
                         if now < until {
                             state.counters.breaker_rejections += 1;
+                            if let Some(sink) = self.log_sink() {
+                                snn_log::warn!(
+                                    sink.collector(),
+                                    "registry.breaker",
+                                    { "key": key.as_str(), "retry_ms": (until - now).as_millis() as u64 },
+                                    "lookup rejected: breaker open for {key}"
+                                );
+                            }
                             return Err(RegistryError::BreakerOpen {
                                 key,
                                 retry_after: until - now,
@@ -590,10 +600,12 @@ impl ModelRegistry {
         match result {
             Ok(handle) => {
                 state.load_failures.remove(&key);
+                let mut breaker_recovered = false;
                 if let Some(breaker) = state.breakers.remove(&key) {
                     if breaker.open_until.is_some() {
                         // A half-open probe came back healthy.
                         state.counters.breaker_recoveries += 1;
+                        breaker_recovered = true;
                     }
                 }
                 let handle = Arc::new(handle);
@@ -610,6 +622,34 @@ impl ModelRegistry {
                 let evicted = Self::evict_over_budget(&mut state, self.config.byte_budget);
                 drop(state);
                 self.loading_cv.notify_all();
+                if let Some(sink) = self.log_sink() {
+                    snn_log::info!(
+                        sink.collector(),
+                        "registry",
+                        { "key": key.as_str(), "load_ms": handle.load_ms, "compile_ms": handle.compile_ms },
+                        "cold-loaded {key} ({:.1} ms load + {:.1} ms compile)",
+                        handle.load_ms,
+                        handle.compile_ms
+                    );
+                    if breaker_recovered {
+                        snn_log::info!(
+                            sink.collector(),
+                            "registry.breaker",
+                            { "key": key.as_str() },
+                            "circuit breaker closed for {key}: half-open probe succeeded"
+                        );
+                    }
+                    for victim in &evicted {
+                        snn_log::info!(
+                            sink.collector(),
+                            "registry",
+                            { "key": victim.key.as_str(), "bytes": victim.footprint.stored_bytes as u64 },
+                            "evicted {} ({} resident bytes) under the LRU byte budget",
+                            victim.key,
+                            victim.footprint.stored_bytes
+                        );
+                    }
+                }
                 drop(evicted); // shut servers down outside the lock
                 Ok(handle)
             }
@@ -618,9 +658,11 @@ impl ModelRegistry {
                 state
                     .load_failures
                     .insert(key.clone(), (generation, e.clone()));
+                let mut breaker_opened = false;
+                let mut breaker_backoff = Duration::ZERO;
                 if self.config.breaker_threshold > 0 {
                     let base = self.config.breaker_backoff;
-                    let breaker = state.breakers.entry(key).or_insert(BreakerState {
+                    let breaker = state.breakers.entry(key.clone()).or_insert(BreakerState {
                         consecutive_failures: 0,
                         open_until: None,
                         backoff: base,
@@ -632,14 +674,42 @@ impl ModelRegistry {
                         breaker.backoff =
                             (breaker.backoff * 2).min(self.config.breaker_backoff_max);
                         breaker.open_until = Some(Instant::now() + breaker.backoff);
+                        breaker_opened = true;
+                        breaker_backoff = breaker.backoff;
                         state.counters.breaker_opens += 1;
                     } else if breaker.consecutive_failures >= self.config.breaker_threshold {
                         breaker.open_until = Some(Instant::now() + breaker.backoff);
+                        breaker_opened = true;
+                        breaker_backoff = breaker.backoff;
                         state.counters.breaker_opens += 1;
                     }
                 }
                 drop(state);
                 self.loading_cv.notify_all();
+                if let Some(sink) = self.log_sink() {
+                    snn_log::error!(
+                        sink.collector(),
+                        "registry",
+                        { "key": key.as_str(), "error": e.to_string() },
+                        "load failed for {key}: {e}"
+                    );
+                    if breaker_opened {
+                        snn_log::error!(
+                            sink.collector(),
+                            "registry.breaker",
+                            { "key": key.as_str(), "backoff_ms": breaker_backoff.as_millis() as u64 },
+                            "circuit breaker opened for {key}; rejecting lookups for {:.1}s",
+                            breaker_backoff.as_secs_f64()
+                        );
+                        // The state lock is released: the incident snapshot
+                        // provider reads registry metrics through it.
+                        sink.incident(
+                            "breaker_open",
+                            &format!("circuit breaker opened for {key} after repeated load failures: {e}"),
+                            parent.map(|t| t.trace),
+                        );
+                    }
+                }
                 Err(e)
             }
         }
@@ -676,6 +746,20 @@ impl ModelRegistry {
             from.filter(|v| !v.is_empty())
         };
         let swap_ms = swap_start.elapsed().as_secs_f64() * 1e3;
+        if let Some(sink) = self.log_sink() {
+            snn_log::info!(
+                sink.collector(),
+                "registry",
+                {
+                    "name": name,
+                    "from": from.as_deref().unwrap_or("-"),
+                    "to": version,
+                    "warm": was_resident,
+                },
+                "swapped {name} to @{version} in {swap_ms:.1} ms ({})",
+                if was_resident { "warm" } else { "cold" }
+            );
+        }
         if let (Some(collector), Some(target)) = (&self.trace, parent) {
             collector.record_span(
                 target.trace,
@@ -814,6 +898,27 @@ impl ModelRegistry {
         *self.telemetry.lock().expect("registry telemetry poisoned") = Some(hub);
     }
 
+    /// Attaches a log sink: lifecycle transitions (cold loads, evictions,
+    /// swaps, breaker opens/recoveries/rejections, load errors) emit
+    /// structured `registry.*` events, a breaker opening triggers an
+    /// incident snapshot, and every entry server — resident now or loaded
+    /// later — gets the same sink for its batcher events.
+    pub fn attach_logging(&self, sink: LogSink) {
+        let resident: Vec<Arc<ModelHandle>> = {
+            let state = self.state.lock().expect("registry state poisoned");
+            state.resident.values().cloned().collect()
+        };
+        for handle in resident {
+            handle.server.attach_logging(sink.clone());
+        }
+        *self.log.lock().expect("registry log poisoned") = Some(sink);
+    }
+
+    /// A clone of the attached log sink, if any.
+    fn log_sink(&self) -> Option<LogSink> {
+        self.log.lock().expect("registry log poisoned").clone()
+    }
+
     /// Windowed-series labels identifying one registry entry.
     fn entry_labels(info: &ArtifactInfo) -> Labels {
         Labels::new()
@@ -948,6 +1053,9 @@ impl ModelRegistry {
             .clone();
         if let Some(hub) = hub {
             server.attach_telemetry(hub, Self::entry_labels(info));
+        }
+        if let Some(sink) = self.log_sink() {
+            server.attach_logging(sink);
         }
         Ok(ModelHandle {
             key: key.to_string(),

@@ -29,7 +29,7 @@ use crate::batcher::{
 use crate::energy::EnergyPricer;
 use crate::faults::{FaultInjector, FaultPoint};
 use crate::metrics::{
-    LatencyRecorder, StreamingMetrics, StreamingRecorder, TelemetrySink, ThroughputMetrics,
+    LatencyRecorder, LogSink, StreamingMetrics, StreamingRecorder, TelemetrySink, ThroughputMetrics,
 };
 use crate::workers::WorkerPool;
 use crate::{InferenceBackend, StreamedResponse};
@@ -541,10 +541,14 @@ impl StreamingServer {
         // with a typed error while higher priorities ride on.
         if let Some(brownout) = &self.brownout {
             let engaged = if admitted >= brownout.high_water {
-                self.brownout_engaged.store(true, Ordering::Relaxed);
+                if !self.brownout_engaged.swap(true, Ordering::Relaxed) {
+                    self.on_brownout_transition(true, admitted);
+                }
                 true
             } else if admitted <= brownout.low_water {
-                self.brownout_engaged.store(false, Ordering::Relaxed);
+                if self.brownout_engaged.swap(false, Ordering::Relaxed) {
+                    self.on_brownout_transition(false, admitted);
+                }
                 false
             } else {
                 self.brownout_engaged.load(Ordering::Relaxed)
@@ -647,6 +651,56 @@ impl StreamingServer {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .set_sink(sink);
+    }
+
+    /// Attaches structured logging: the batcher's flush decisions,
+    /// failure isolation (batch retries, quarantines) and brownout
+    /// transitions start emitting flight-recorder events — and incident
+    /// snapshots, when the sink carries an
+    /// [`IncidentRecorder`](snn_log::IncidentRecorder). Logging only
+    /// ever reads timings and counters, so logits stay bit-identical
+    /// with or without it.
+    pub fn attach_logging(&self, sink: LogSink) {
+        self.recorder
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .set_log_sink(sink);
+    }
+
+    /// Logs (and, on engage, snapshots) a brownout hysteresis
+    /// transition. Off the submit fast path: called only when the
+    /// engaged bit actually flips.
+    #[cold]
+    fn on_brownout_transition(&self, engaged: bool, depth: usize) {
+        let sink = self
+            .recorder
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .log_sink()
+            .cloned();
+        let Some(sink) = sink else { return };
+        if engaged {
+            snn_log::warn!(
+                sink.collector(),
+                "runtime.brownout",
+                { "depth": depth, "engaged": true },
+                "brownout engaged: queue depth {depth} crossed the high-water mark"
+            );
+            // The recorder lock is released above: the incident snapshot
+            // provider reads live stats through that same lock.
+            sink.incident(
+                "brownout_engage",
+                &format!("queue depth {depth} crossed the brownout high-water mark"),
+                None,
+            );
+        } else {
+            snn_log::info!(
+                sink.collector(),
+                "runtime.brownout",
+                { "depth": depth, "engaged": false },
+                "brownout disengaged: queue depth {depth} fell to the low-water mark"
+            );
+        }
     }
 
     /// Snapshot of the streaming metrics accumulated so far. Keeps
@@ -1004,10 +1058,21 @@ fn dispatch_batch(
                             let _ = request.reply.send(Err(e));
                         }
                         Err(()) => {
-                            recorder
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .record_quarantined();
+                            let log_sink = {
+                                let mut rec = recorder.lock().unwrap_or_else(|e| e.into_inner());
+                                rec.record_quarantined();
+                                rec.log_sink().cloned()
+                            };
+                            // Outside the recorder lock: the incident
+                            // snapshot provider reads live stats through
+                            // that same lock.
+                            if let Some(sink) = log_sink {
+                                sink.incident(
+                                    "quarantine",
+                                    "request quarantined after panicking solo on the isolation retry",
+                                    request.trace.map(|t| t.trace),
+                                );
+                            }
                             let _ = request.reply.send(Err(quarantined_error()));
                         }
                     }

@@ -17,6 +17,7 @@
 //! | [`gateway`] | `snn-gateway` | dependency-free HTTP/1.1 serving front-end |
 //! | [`trace`] | `snn-trace` | per-request span trees + Chrome trace export |
 //! | [`telemetry`] | `snn-telemetry` | windowed time-series metrics + SLO burn rates |
+//! | [`log`] | `snn-log` | structured trace-correlated logs + incident recorder |
 //!
 //! See `examples/quickstart.rs` for the end-to-end pipeline and
 //! `examples/runtime_server.rs` for the batched inference runtime (add
@@ -25,6 +26,7 @@
 pub use snn_data as data;
 pub use snn_gateway as gateway;
 pub use snn_hw as hw;
+pub use snn_log as log;
 pub use snn_logquant as logquant;
 pub use snn_nn as nn;
 pub use snn_runtime as runtime;
